@@ -1,0 +1,70 @@
+"""Fig. 3 — effectiveness of the hardware performance model (Eq. 2-3).
+
+For each device, a per-operator latency LUT is micro-benchmarked, the
+bias ``B`` is calibrated on M sampled architectures, and the predictor
+is evaluated on a held-out set against fresh on-device measurements.
+
+Paper numbers: RMSE 0.1 ms (CPU), 0.5 ms (GPU), 1.7 ms (edge), with
+strong predicted-vs-measured correlation after incorporating B. The
+shape criteria: bias correction slashes the RMSE, correlation r > 0.95,
+and the RMSE ordering CPU < GPU < edge holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
+
+_PAPER_RMSE = {"cpu": 0.1, "gpu": 0.5, "edge": 1.7}
+_EVAL_ARCHS = 60
+
+
+def _fit_and_evaluate(space, device):
+    lut = LatencyLUT.build(space, device, samples_per_cell=3, seed=0)
+    profiler = OnDeviceProfiler(device, seed=1)
+
+    raw = LatencyPredictor(lut, space)
+    calibrated = LatencyPredictor(lut, space)
+    calibrated.calibrate_bias(space, profiler, num_archs=40, seed=2)
+
+    eval_rng = np.random.default_rng(33)
+    holdout = [space.sample(eval_rng) for _ in range(_EVAL_ARCHS)]
+    return (
+        raw.evaluate(space, profiler, holdout),
+        calibrated.evaluate(space, profiler, holdout),
+        calibrated.bias_ms,
+    )
+
+
+def test_fig3_latency_predictor(benchmark, space_a, devices):
+    def experiment():
+        return {
+            key: _fit_and_evaluate(space_a, devices[key])
+            for key in ("cpu", "gpu", "edge")
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n=== Fig. 3: predicted vs on-device latency (per device) ===")
+    print(f"{'device':>6s} {'B (ms)':>8s} {'RMSE w/o B':>11s} {'RMSE w/ B':>10s} "
+          f"{'paper RMSE':>10s} {'r':>7s} {'rho':>7s}")
+    for key in ("cpu", "gpu", "edge"):
+        raw, fixed, bias = results[key]
+        print(
+            f"{key:>6s} {bias:8.2f} {raw.rmse_ms:11.3f} {fixed.rmse_ms:10.3f} "
+            f"{_PAPER_RMSE[key]:10.1f} {fixed.pearson_r:7.4f} "
+            f"{fixed.spearman_rho:7.4f}"
+        )
+
+    # Shape criteria.
+    for key in ("cpu", "gpu", "edge"):
+        raw, fixed, bias = results[key]
+        assert bias > 0.0, f"{key}: B must be positive (missing overheads)"
+        assert fixed.rmse_ms < raw.rmse_ms * 0.6, f"{key}: B must slash RMSE"
+        assert fixed.pearson_r > 0.9, f"{key}: correlation too weak"
+        # Within ~4x of the paper's absolute RMSE (different noise floor).
+        assert fixed.rmse_ms < _PAPER_RMSE[key] * 4.0, key
+
+    # RMSE ordering matches the paper: CPU < GPU < edge.
+    rmse = {k: results[k][1].rmse_ms for k in results}
+    assert rmse["cpu"] < rmse["gpu"] < rmse["edge"]

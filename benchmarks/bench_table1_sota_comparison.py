@@ -1,0 +1,168 @@
+"""Table I — comparison with state-of-the-art approaches.
+
+Regenerates the paper's headline table:
+
+* 11 published baselines (3 manual, 8 NAS), with error rates quoted from
+  the literature (the paper's own methodology) and latencies measured on
+  the three *simulated* devices, anchor-calibrated to the paper's
+  testbed scale;
+* 6 HSCoNets — one full HSCoNAS pipeline run per (device, channel
+  layout) pair: A-series at the paper's 9 / 24 / 34 ms constraints and
+  B-series at the looser constraints the published B-row latencies
+  imply (12 / 26.5 / 53 ms).
+
+Absolute numbers come from a simulator; the assertions check the
+*shape*: who wins, roughly by what factor, and that every HSCoNet meets
+its constraint on its target device.
+"""
+
+import pytest
+
+from repro.baselines import all_baselines
+from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig
+from repro.hardware import OnDeviceProfiler
+from repro.report import TableRow, render_table1
+
+from conftest import TARGETS_A, TARGETS_B
+
+_DEVICE_KEYS = ("gpu", "cpu", "edge")
+
+
+def _measure_on_all(space, arch, devices):
+    """Median measured latency of one architecture on every device."""
+    out = {}
+    for key in _DEVICE_KEYS:
+        profiler = OnDeviceProfiler(devices[key], seed=11)
+        out[key] = profiler.measure_ms(space, arch)
+    return out
+
+
+def _run_series(tag, space, surrogate, targets, devices, seed):
+    """One HSCoNAS run per device; returns TableRows + metadata."""
+    rows = []
+    meta = {}
+    for key in _DEVICE_KEYS:
+        config = HSCoNASConfig(
+            target_ms=targets[key],
+            evolution=EvolutionConfig(seed=seed),
+            seed=seed,
+        )
+        result = HSCoNAS(space, devices[key], config, surrogate=surrogate).run()
+        lats = _measure_on_all(space, result.arch, devices)
+        name = f"HSCoNet-{key.upper()}-{tag}"
+        rows.append(
+            TableRow(
+                name=name,
+                group="hsconas",
+                top1_error=round(result.top1_error, 1),
+                top5_error=result.top5_error,
+                latency_gpu_ms=lats["gpu"],
+                latency_cpu_ms=lats["cpu"],
+                latency_edge_ms=lats["edge"],
+            )
+        )
+        meta[name] = {"target": targets[key], "device": key, "lats": lats}
+    return rows, meta
+
+
+def test_table1_sota_comparison(benchmark, space_a, space_b, surrogate_a,
+                                surrogate_b, devices):
+    def experiment():
+        rows = []
+        for model in all_baselines():
+            net = model.build()
+            lat = {
+                key: devices[key].run_network_ms(net.layers)
+                for key in _DEVICE_KEYS
+            }
+            rows.append(
+                TableRow(
+                    name=model.name,
+                    group=model.group,
+                    top1_error=model.published.top1_error,
+                    top5_error=model.published.top5_error,
+                    latency_gpu_ms=lat["gpu"],
+                    latency_cpu_ms=lat["cpu"],
+                    latency_edge_ms=lat["edge"],
+                )
+            )
+        rows_a, meta_a = _run_series(
+            "A", space_a, surrogate_a, TARGETS_A, devices, seed=0
+        )
+        rows_b, meta_b = _run_series(
+            "B", space_b, surrogate_b, TARGETS_B, devices, seed=1
+        )
+        return rows + rows_a + rows_b, {**meta_a, **meta_b}
+
+    rows, meta = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    print("\n=== Table I: comparison with state-of-the-art approaches ===")
+    print("(baseline errors: published values, as in the paper; latencies:")
+    print(" simulated devices, anchor-calibrated to the paper's testbed)\n")
+    print(render_table1(rows))
+    print(
+        "\nconstraints: A-series "
+        f"{TARGETS_A['gpu']}/{TARGETS_A['cpu']}/{TARGETS_A['edge']} ms; "
+        f"B-series {TARGETS_B['gpu']}/{TARGETS_B['cpu']}/{TARGETS_B['edge']} ms"
+    )
+
+    by_name = {r.name: r for r in rows}
+
+    def lat(name, key):
+        return getattr(by_name[name], f"latency_{key}_ms")
+
+    # --- shape criteria ---------------------------------------------------
+
+    # Every HSCoNet meets its latency constraint on its target device
+    # (within 10%; the paper's own Edge-A lands at 34.9 vs T=34).
+    for name, info in meta.items():
+        measured = info["lats"][info["device"]]
+        assert measured <= info["target"] * 1.10, (name, measured)
+
+    # Specialization wins (Table I's diagonal pattern): on device X at
+    # its constraint, the X-searched net reaches the lowest error among
+    # the series members that also meet that constraint.
+    targets = {"A": TARGETS_A, "B": TARGETS_B}
+    for tag in ("A", "B"):
+        for key in _DEVICE_KEYS:
+            budget = targets[tag][key] * 1.10
+            own = by_name[f"HSCoNet-{key.upper()}-{tag}"]
+            assert getattr(own, f"latency_{key}_ms") <= budget, (tag, key)
+            for other in _DEVICE_KEYS:
+                if other == key:
+                    continue
+                rival = by_name[f"HSCoNet-{other.upper()}-{tag}"]
+                if getattr(rival, f"latency_{key}_ms") <= budget:
+                    # 0.5-pt tolerance: the surrogate's per-arch residual
+                    # plus EA seed variance — the same scale on which the
+                    # paper's own A-series rows differ (25.1 vs 25.7).
+                    assert own.top1_error <= rival.top1_error + 0.5, (
+                        tag, key, other
+                    )
+
+    # HSCoNet-GPU-A is decisively faster on GPU than ProxylessNAS-GPU at
+    # comparable accuracy (paper: x1.3 with equal error).
+    assert lat("HSCoNet-GPU-A", "gpu") < lat("ProxylessNAS-GPU", "gpu") / 1.15
+    assert by_name["HSCoNet-GPU-A"].top1_error <= 26.5
+
+    # The B-series reaches lower error than the A-series (bigger layout).
+    mean_a = sum(by_name[f"HSCoNet-{k.upper()}-A"].top1_error
+                 for k in _DEVICE_KEYS) / 3
+    mean_b = sum(by_name[f"HSCoNet-{k.upper()}-B"].top1_error
+                 for k in _DEVICE_KEYS) / 3
+    assert mean_b < mean_a
+
+    # HSCoNet-CPU-B: among the most accurate models while being a large
+    # factor faster than DARTS on CPU (paper: lowest error, x3.1 faster).
+    cpu_b = by_name["HSCoNet-CPU-B"]
+    best_published = min(
+        r.top1_error for r in rows if r.group in ("manual", "nas")
+    )
+    assert cpu_b.top1_error <= best_published + 0.8
+    assert lat("DARTS", "cpu") / cpu_b.latency_cpu_ms > 1.8
+
+    # HSCoNets beat the manual designs on their target device at equal
+    # or better accuracy (Table I's first conclusion).
+    assert lat("HSCoNet-GPU-A", "gpu") < lat("MobileNetV2 1.0x", "gpu")
+    assert lat("HSCoNet-EDGE-A", "edge") < lat("MobileNetV2 1.0x", "edge")
+    assert lat("HSCoNet-CPU-A", "cpu") < lat("MobileNetV2 1.0x", "cpu")

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure from the paper:
+it computes the experiment, prints the same rows/series the paper
+reports, asserts the *shape* criteria from DESIGN.md, and times a
+representative kernel via pytest-benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accuracy import AccuracySurrogate
+from repro.hardware.calibration import calibrated_devices
+from repro.space import SearchSpace, imagenet_a, imagenet_b
+
+# Paper Sec. IV: latency constraints per device for the A-series models
+# (9 / 24 / 34 ms). The CPU constraint is mapped onto the calibrated
+# simulator's scale: the paper's 24 ms sits ~5% below its measured
+# MobileNetV2-CPU latency (25.2 ms), and our simulated MobileNetV2-CPU
+# is 23.3 ms, so the equivalent constraint here is ~22.5 ms.
+TARGETS_A = {"gpu": 9.0, "cpu": 22.5, "edge": 34.0}
+# The B-series rows of Table I correspond to looser constraints (their
+# reported on-target latencies): GPU-B 12.0, CPU-B 26.4, Edge-B 52.7.
+TARGETS_B = {"gpu": 12.0, "cpu": 26.5, "edge": 53.0}
+
+
+@pytest.fixture(scope="session")
+def devices():
+    """GPU/CPU/edge simulators calibrated on the Table-I anchors."""
+    return calibrated_devices()
+
+
+@pytest.fixture(scope="session")
+def space_a():
+    return SearchSpace(imagenet_a())
+
+
+@pytest.fixture(scope="session")
+def space_b():
+    return SearchSpace(imagenet_b())
+
+
+@pytest.fixture(scope="session")
+def surrogate_a(space_a):
+    return AccuracySurrogate(space_a)
+
+
+@pytest.fixture(scope="session")
+def surrogate_b(space_b):
+    return AccuracySurrogate(space_b)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,49 @@
+"""Hardware performance modeling (paper Sec. III-A / Fig. 3).
+
+Builds the per-operator latency LUT for each device, calibrates the
+communication-overhead bias ``B`` from M = 40 measured architectures
+(Eq. 3), and evaluates the predictor on a held-out set — reproducing the
+paper's predicted-vs-measured comparison, including the LUT's JSON
+round-trip (the artifact you would ship with a deployment toolchain).
+
+Run:  python examples/latency_predictor.py
+"""
+
+import numpy as np
+
+from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
+from repro.hardware.calibration import calibrated_devices
+from repro.space import SearchSpace, imagenet_a
+
+
+def main() -> None:
+    space = SearchSpace(imagenet_a())
+    devices = calibrated_devices()
+
+    for key in ("cpu", "gpu", "edge"):
+        device = devices[key]
+        print(f"\n--- {device.spec.name} ---")
+
+        lut = LatencyLUT.build(space, device, samples_per_cell=3, seed=0)
+        print(f"LUT cells micro-benchmarked: {len(lut)}")
+
+        predictor = LatencyPredictor(lut, space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        bias = predictor.calibrate_bias(space, profiler, num_archs=40, seed=2)
+        print(f"calibrated bias B = {bias:+.2f} ms (Eq. 3)")
+
+        rng = np.random.default_rng(33)
+        holdout = [space.sample(rng) for _ in range(40)]
+        report = predictor.evaluate(space, profiler, holdout)
+        print(f"held-out evaluation: {report}")
+
+        # The LUT serializes to JSON, so a deployment pipeline can ship
+        # it without re-profiling.
+        restored = LatencyLUT.from_json(lut.to_json())
+        arch = space.sample(rng)
+        assert restored.sum_ops_ms(arch, space) == lut.sum_ops_ms(arch, space)
+        print("LUT JSON round-trip: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Accuracy/latency trade-off flexibility (paper Sec. II-B).
+
+The multi-objective formulation lets platforms "trade latency for
+higher accuracy, and vice versa" by moving the constraint ``T``. This
+example sweeps T on the edge device, runs a (budget-reduced) search at
+each point, and prints the resulting trade-off curve plus its Pareto
+front.
+
+Run:  python examples/pareto_tradeoff.py
+"""
+
+from repro.analysis import pareto_front
+from repro.core import EvolutionConfig, EvolutionarySearch, HSCoNAS, HSCoNASConfig, Objective
+from repro.hardware.calibration import calibrated_devices
+from repro.space import SearchSpace, imagenet_a
+
+
+def main() -> None:
+    space = SearchSpace(imagenet_a())
+    device = calibrated_devices()["edge"]
+
+    # Build the predictor once; reuse it across all targets.
+    nas = HSCoNAS(space, device, HSCoNASConfig(seed=0))
+    predictor = nas.build_predictor()
+
+    points = []
+    print("sweeping latency targets on the edge device:")
+    for target in (20.0, 26.0, 32.0, 38.0, 44.0):
+        objective = Objective(
+            accuracy_fn=nas.surrogate.proxy_accuracy,
+            latency_fn=predictor.predict,
+            target_ms=target,
+            beta=-0.5,
+        )
+        search = EvolutionarySearch(
+            space, objective,
+            EvolutionConfig(generations=10, population_size=30,
+                            num_parents=10, seed=1),
+        )
+        best = search.run().best
+        top1 = nas.surrogate.top1_error(best.arch)
+        points.append((best.latency_ms, 100.0 - top1))
+        print(
+            f"  T = {target:4.1f} ms -> latency {best.latency_ms:5.1f} ms, "
+            f"top-1 acc {100.0 - top1:5.2f}%"
+        )
+
+    front = pareto_front(points)
+    print("\nPareto front (latency ms, top-1 acc %):")
+    for lat, acc in front:
+        print(f"  {lat:6.1f}  {acc:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

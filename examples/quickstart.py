@@ -1,0 +1,45 @@
+"""Quickstart: discover a DNN for an edge device under a 34 ms budget.
+
+Runs the full HSCoNAS pipeline (paper Fig. 1) on the simulated Jetson
+Xavier: latency-LUT micro-benchmarking, bias calibration, progressive
+space shrinking, and evolutionary search — then reports the discovered
+architecture with its (surrogate) ImageNet accuracy and a fresh
+on-device latency measurement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HSCoNAS, HSCoNASConfig, SearchSpace
+from repro.hardware.calibration import calibrated_devices
+from repro.space import imagenet_a
+
+
+def main() -> None:
+    # The search space: L=20 ShuffleNetV2-style layers, K=5 operators,
+    # 10 channel factors -> |A| ~ 9.5e33 (paper Sec. II-A).
+    space = SearchSpace(imagenet_a())
+    print(f"search space: {space}")
+
+    # Simulated devices, anchor-calibrated to the paper's testbed scale.
+    device = calibrated_devices()["edge"]
+    print(f"target device: {device.spec.name} (batch {device.spec.batch_size})")
+
+    # The paper's edge constraint: T = 34 ms.
+    config = HSCoNASConfig(target_ms=34.0, seed=0)
+    nas = HSCoNAS(space, device, config)
+
+    print("\nrunning HSCoNAS (LUT -> bias B -> shrinking -> EA)...\n")
+    result = nas.run()
+
+    print(result.summary())
+    print("\nper-generation progress:")
+    for record in result.search.generations[::4]:
+        best = record.best
+        print(
+            f"  gen {record.index:2d}: score {best.score:.4f}, "
+            f"latency {best.latency_ms:.1f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

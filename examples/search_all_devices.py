@@ -1,0 +1,55 @@
+"""Device specialization: one HSCoNet per target device (Table I, A-series).
+
+Searches the A-layout space once per device at the paper's constraints,
+then cross-times every discovered network on every device — showing the
+Table-I pattern: each net is the best choice on the hardware it was
+searched for.
+
+Run:  python examples/search_all_devices.py
+"""
+
+from repro import HSCoNAS, HSCoNASConfig, SearchSpace
+from repro.baselines import get_baseline
+from repro.hardware import OnDeviceProfiler
+from repro.hardware.calibration import calibrated_devices
+from repro.space import imagenet_a
+
+TARGETS = {"gpu": 9.0, "cpu": 22.5, "edge": 34.0}
+
+
+def main() -> None:
+    space = SearchSpace(imagenet_a())
+    devices = calibrated_devices()
+
+    discovered = {}
+    for key, target in TARGETS.items():
+        print(f"searching for {key} (T = {target} ms)...")
+        nas = HSCoNAS(space, devices[key], HSCoNASConfig(target_ms=target, seed=0))
+        result = nas.run()
+        discovered[key] = result
+        print(
+            f"  -> top-1 err {result.top1_error:.1f}%, "
+            f"measured {result.measured_latency_ms:.1f} ms on {key}"
+        )
+
+    print("\ncross-device latency matrix (ms):")
+    print(f"{'model':18s}" + "".join(f"{k:>8s}" for k in TARGETS))
+    for key, result in discovered.items():
+        profilers = {
+            k: OnDeviceProfiler(devices[k], seed=7) for k in TARGETS
+        }
+        lats = [profilers[k].measure_ms(space, result.arch) for k in TARGETS]
+        row = "".join(f"{v:8.1f}" for v in lats)
+        print(f"HSCoNet-{key.upper():3s}-A    {row}")
+
+    # Reference points: a manual design and a NAS baseline.
+    for name in ("MobileNetV2 1.0x", "ProxylessNAS-GPU"):
+        model = get_baseline(name)
+        net = model.build()
+        lats = [devices[k].run_network_ms(net.layers) for k in TARGETS]
+        row = "".join(f"{v:8.1f}" for v in lats)
+        print(f"{name:18s}{row}  (top-1 err {model.published.top1_error}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — a full reproduction of HSCoNAS (DATE 2021).
+
+HSCoNAS is a multi-objective hardware-aware neural architecture search
+(NAS) framework that couples
+
+* a **hardware performance model** — per-operator latency lookup tables
+  plus a calibrated communication-overhead bias (paper Eq. 2-3),
+* **dynamic channel scaling** — per-layer channel scaling factors explored
+  jointly with the operator choice (paper Sec. III-B),
+* **progressive space shrinking** — a staged pruning of the search space
+  guided by subspace quality estimates (paper Eq. 4, Sec. III-C), and
+* an **evolutionary architecture search** (paper Sec. III-D)
+
+into one pipeline that designs DNNs that are accurate *and* fast on a
+specific target device (GPU / CPU / edge).
+
+Because this reproduction runs without physical devices or ImageNet, the
+package also implements the substrates the paper depends on:
+
+* :mod:`repro.nn` — a from-scratch numpy neural-network framework with
+  manual backpropagation (convolutions, batch norm, channel shuffle,
+  channel masking, SGD, cosine schedules).
+* :mod:`repro.hardware` — analytical roofline-style device simulators
+  standing in for the Quadro GV100 / Xeon Gold 6136 / Jetson Xavier.
+* :mod:`repro.accuracy` — a calibrated ImageNet-accuracy surrogate used
+  where numpy training at ImageNet scale is infeasible.
+* :mod:`repro.data` — a procedurally generated image-classification task
+  for the real-training path.
+
+See ``DESIGN.md`` for the substitution rationale and the per-experiment
+index, and ``EXPERIMENTS.md`` for paper-vs-measured results.
+"""
+
+from repro.space import Architecture, SearchSpace
+from repro.hardware import DeviceModel, LatencyPredictor, get_device
+from repro.accuracy import AccuracySurrogate
+from repro.core import (
+    EvolutionarySearch,
+    HSCoNAS,
+    HSCoNASConfig,
+    Objective,
+    ProgressiveSpaceShrinking,
+    SubspaceQuality,
+)
+from repro.tabular import TabularBenchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Architecture",
+    "SearchSpace",
+    "DeviceModel",
+    "LatencyPredictor",
+    "get_device",
+    "AccuracySurrogate",
+    "Objective",
+    "SubspaceQuality",
+    "ProgressiveSpaceShrinking",
+    "EvolutionarySearch",
+    "HSCoNAS",
+    "HSCoNASConfig",
+    "TabularBenchmark",
+    "__version__",
+]

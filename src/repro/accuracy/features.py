@@ -1,0 +1,62 @@
+"""Structural features of an architecture, consumed by the surrogate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.space.architecture import Architecture
+from repro.space.operators import get_operator
+from repro.space.search_space import SearchSpace
+
+
+@dataclass(frozen=True)
+class ArchFeatures:
+    """Capacity and shape descriptors of one architecture.
+
+    Attributes
+    ----------
+    flops:
+        Total MACs (stem + searchable layers + head).
+    params:
+        Total weight count.
+    depth:
+        Number of non-skip layers.
+    num_layers:
+        Searchable layer count ``L``.
+    mean_factor, std_factor, min_factor:
+        Channel scaling profile statistics.
+    num_distinct_ops:
+        Operator diversity (distinct non-skip operator kinds used).
+    mean_kernel:
+        Average kernel size over non-skip layers (0 if all skip).
+    """
+
+    flops: float
+    params: float
+    depth: int
+    num_layers: int
+    mean_factor: float
+    std_factor: float
+    min_factor: float
+    num_distinct_ops: int
+    mean_kernel: float
+
+
+def extract_features(space: SearchSpace, arch: Architecture) -> ArchFeatures:
+    """Compute :class:`ArchFeatures` for ``arch`` within ``space``."""
+    factors = np.asarray(arch.factors, dtype=np.float64)
+    non_skip = [get_operator(i) for i in arch.ops if not get_operator(i).is_skip]
+    kernels = [op.kernel_size for op in non_skip]
+    return ArchFeatures(
+        flops=space.arch_flops(arch),
+        params=space.arch_params(arch),
+        depth=len(non_skip),
+        num_layers=arch.num_layers,
+        mean_factor=float(factors.mean()),
+        std_factor=float(factors.std()),
+        min_factor=float(factors.min()),
+        num_distinct_ops=len({op.name for op in non_skip}),
+        mean_kernel=float(np.mean(kernels)) if kernels else 0.0,
+    )

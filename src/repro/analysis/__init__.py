@@ -1,0 +1,30 @@
+"""Analysis utilities: FLOPs buckets, Pareto fronts, correlation studies."""
+
+from repro.analysis.buckets import BucketStats, bucket_spread
+from repro.analysis.pareto import pareto_front
+from repro.analysis.space_stats import (
+    Distribution,
+    SpaceStats,
+    feasible_fraction,
+    space_statistics,
+)
+from repro.analysis.traces import (
+    area_under_trace,
+    best_so_far,
+    evaluation_trace,
+    evaluations_to_reach,
+)
+
+__all__ = [
+    "BucketStats",
+    "bucket_spread",
+    "pareto_front",
+    "best_so_far",
+    "evaluation_trace",
+    "evaluations_to_reach",
+    "area_under_trace",
+    "Distribution",
+    "SpaceStats",
+    "space_statistics",
+    "feasible_fraction",
+]

@@ -1,0 +1,74 @@
+"""FLOPs/Params-bucket latency-spread analysis (paper Fig. 2).
+
+Fig. 2's point is that architectures with near-identical FLOPs (or
+parameter counts) differ substantially in device latency. We quantify
+this by bucketing architectures on the hardware-agnostic metric and
+measuring the within-bucket latency spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BucketStats:
+    """Latency statistics of one metric bucket."""
+
+    metric_low: float
+    metric_high: float
+    count: int
+    latency_min: float
+    latency_max: float
+    latency_mean: float
+
+    @property
+    def spread_ratio(self) -> float:
+        """max/min latency inside the bucket (1.0 = no spread)."""
+        if self.latency_min <= 0:
+            raise ValueError("latencies must be positive")
+        return self.latency_max / self.latency_min
+
+
+def bucket_spread(
+    metric: Sequence[float],
+    latency: Sequence[float],
+    num_buckets: int = 8,
+    min_count: int = 3,
+) -> List[BucketStats]:
+    """Bucket by ``metric`` quantiles; report per-bucket latency spread.
+
+    Buckets with fewer than ``min_count`` members are dropped (their
+    spread would be meaningless).
+    """
+    m = np.asarray(metric, dtype=np.float64)
+    lat = np.asarray(latency, dtype=np.float64)
+    if m.shape != lat.shape or m.ndim != 1:
+        raise ValueError("metric and latency must be equal-length 1-D sequences")
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    edges = np.quantile(m, np.linspace(0.0, 1.0, num_buckets + 1))
+    stats: List[BucketStats] = []
+    for i in range(num_buckets):
+        lo, hi = edges[i], edges[i + 1]
+        if i == num_buckets - 1:
+            mask = (m >= lo) & (m <= hi)
+        else:
+            mask = (m >= lo) & (m < hi)
+        if mask.sum() < min_count:
+            continue
+        bucket_lat = lat[mask]
+        stats.append(
+            BucketStats(
+                metric_low=float(lo),
+                metric_high=float(hi),
+                count=int(mask.sum()),
+                latency_min=float(bucket_lat.min()),
+                latency_max=float(bucket_lat.max()),
+                latency_mean=float(bucket_lat.mean()),
+            )
+        )
+    return stats

@@ -1,0 +1,20 @@
+"""Pareto-front extraction for (latency, accuracy) clouds."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def pareto_front(
+    points: Sequence[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Non-dominated subset: minimize the first coordinate (latency),
+    maximize the second (accuracy). Returned sorted by latency."""
+    ordered = sorted(points, key=lambda p: (p[0], -p[1]))
+    front: List[Tuple[float, float]] = []
+    best_acc = float("-inf")
+    for lat, acc in ordered:
+        if acc > best_acc:
+            front.append((lat, acc))
+            best_acc = acc
+    return front

@@ -1,0 +1,68 @@
+"""Search-convergence traces: best-so-far score vs evaluation count.
+
+Used by the EA / REINFORCE / random-search comparisons: a searcher's
+quality is a *curve* (how fast it gets good), not just its endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.evolution import SearchResult
+
+
+def best_so_far(scores: Sequence[float]) -> List[float]:
+    """Running maximum of a score sequence."""
+    out: List[float] = []
+    best = float("-inf")
+    for score in scores:
+        best = max(best, score)
+        out.append(best)
+    return out
+
+
+def evaluation_trace(result: SearchResult) -> List[Tuple[int, float]]:
+    """(evaluations used, best score so far) after each round.
+
+    Works for any searcher that reports :class:`GenerationRecord` rounds
+    (the EA, REINFORCE, and random search all do).
+    """
+    trace: List[Tuple[int, float]] = []
+    seen = 0
+    best = float("-inf")
+    for gen in result.generations:
+        seen += len(gen.population)
+        best = max(best, gen.best.score)
+        trace.append((seen, best))
+    return trace
+
+
+def evaluations_to_reach(
+    result: SearchResult, score: float
+) -> int:
+    """Evaluations the searcher needed to first reach ``score``.
+
+    Returns -1 if the score was never reached. Counts within rounds at
+    round granularity (the finest the record keeps).
+    """
+    for seen, best in evaluation_trace(result):
+        if best >= score:
+            return seen
+    return -1
+
+
+def area_under_trace(result: SearchResult) -> float:
+    """Evaluation-weighted mean of the best-so-far curve.
+
+    A searcher that gets good early scores higher; two searchers with
+    the same endpoint are separated by how quickly they climbed.
+    """
+    trace = evaluation_trace(result)
+    if not trace:
+        raise ValueError("empty search result")
+    total = 0.0
+    prev_evals = 0
+    for evals, best in trace:
+        total += best * (evals - prev_evals)
+        prev_evals = evals
+    return total / prev_evals

@@ -1,0 +1,28 @@
+"""Baseline models from the paper's Table I.
+
+Every comparator — MobileNetV2/V3, ShuffleNetV2, DARTS, MnasNet-A1,
+FBNet-A/B/C, ProxylessNAS-GPU/CPU/Mobile — is specified here as a
+layer-level graph of primitive kernels, so the *same* simulated devices
+that time HSCoNets also time the baselines; who-is-faster-than-whom is
+produced by the hardware model, not copied from the paper.
+
+Accuracy numbers for baselines are the published literature values
+(``zoo.published``) — exactly the paper's own methodology: its Table I
+quotes error rates from the cited papers and only re-measures latency.
+"""
+
+from repro.baselines.blocks import NetBuilder
+from repro.baselines.zoo import (
+    BaselineModel,
+    PublishedStats,
+    all_baselines,
+    get_baseline,
+)
+
+__all__ = [
+    "NetBuilder",
+    "BaselineModel",
+    "PublishedStats",
+    "all_baselines",
+    "get_baseline",
+]

@@ -1,0 +1,35 @@
+"""DARTS (Liu et al., ICLR 2019) — the hardware-agnostic comparator.
+
+The DARTS ImageNet network stacks 14 searched cells (reduction cells at
+1/3 and 2/3 depth) on a stride-4 stem, with 48 initial channels. Each
+cell launches ~18 kernels, so the network issues an order of magnitude
+more kernels than the mobile baselines at comparable FLOPs — which is
+exactly why Table I shows it far slower on every device despite decent
+accuracy, and why HSCoNAS's hardware-aware search wins.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.blocks import NetBuilder
+
+_NUM_CELLS = 14
+_INIT_CHANNELS = 48
+
+
+def build(input_size: int = 224) -> NetBuilder:
+    """Construct the DARTS-V2 ImageNet network."""
+    net = NetBuilder(input_size=input_size, input_channels=3)
+    # ImageNet stem: two stride-2 3x3 convs (C/2 then C), then one more
+    # stride-2 conv — brings 224 down to 28 before the first cell.
+    net.conv_bn(_INIT_CHANNELS // 2, k=3, stride=2)
+    net.conv_bn(_INIT_CHANNELS, k=3, stride=2)
+    net.conv_bn(_INIT_CHANNELS, k=3, stride=2)
+    channels = _INIT_CHANNELS
+    reduction_at = {_NUM_CELLS // 3, 2 * _NUM_CELLS // 3}
+    for cell in range(_NUM_CELLS):
+        reduction = cell in reduction_at
+        if reduction:
+            channels *= 2
+        net.darts_cell(channels, reduction=reduction)
+    net.fc_head(num_classes=1000)
+    return net

@@ -1,0 +1,28 @@
+"""MnasNet-A1 (Tan et al., CVPR 2019)."""
+
+from __future__ import annotations
+
+from repro.baselines.blocks import NetBuilder
+
+# (expansion, channels, repeats, first stride, kernel, SE) — Fig. 7 of the paper.
+_SETTING = (
+    (6, 24, 2, 2, 3, False),
+    (3, 40, 3, 2, 5, True),
+    (6, 80, 4, 2, 3, False),
+    (6, 112, 2, 1, 3, True),
+    (6, 160, 3, 2, 5, True),
+    (6, 320, 1, 1, 3, False),
+)
+
+
+def build(input_size: int = 224) -> NetBuilder:
+    """Construct MnasNet-A1."""
+    net = NetBuilder(input_size=input_size, input_channels=3)
+    net.conv_bn(32, k=3, stride=2)
+    # SepConv block: dw3x3 + linear 1x1 down to 16 channels.
+    net.mbconv(16, expansion=1, k=3, stride=1)
+    for t, c, n, s, k, se in _SETTING:
+        for i in range(n):
+            net.mbconv(c, expansion=t, k=k, stride=s if i == 0 else 1, se=se)
+    net.head(1280, num_classes=1000)
+    return net

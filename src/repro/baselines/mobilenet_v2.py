@@ -1,0 +1,38 @@
+"""MobileNetV2 (Sandler et al., CVPR 2018)."""
+
+from __future__ import annotations
+
+from repro.baselines.blocks import NetBuilder
+
+# (expansion t, channels c, repeats n, first stride s) — Table 2 of the paper.
+_SETTING = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _scale(channels: int, multiplier: float) -> int:
+    """Width-multiplier rounding to multiples of 8 (the reference impl)."""
+    scaled = channels * multiplier
+    rounded = max(8, int(scaled + 4) // 8 * 8)
+    if rounded < 0.9 * scaled:
+        rounded += 8
+    return rounded
+
+
+def build(width: float = 1.0, input_size: int = 224) -> NetBuilder:
+    """Construct MobileNetV2 at a given width multiplier."""
+    net = NetBuilder(input_size=input_size, input_channels=3)
+    net.conv_bn(_scale(32, width), k=3, stride=2)
+    for t, c, n, s in _SETTING:
+        cout = _scale(c, width)
+        for i in range(n):
+            net.mbconv(cout, expansion=t, k=3, stride=s if i == 0 else 1)
+    head = max(1280, _scale(1280, width))
+    net.head(head, num_classes=1000)
+    return net

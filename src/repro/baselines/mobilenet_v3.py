@@ -1,0 +1,36 @@
+"""MobileNetV3-Large (Howard et al., ICCV 2019)."""
+
+from __future__ import annotations
+
+from repro.baselines.blocks import NetBuilder
+
+# (kernel, expanded width, out channels, SE, stride) — Table 1 of the paper.
+_LARGE = (
+    (3, 16, 16, False, 1),
+    (3, 64, 24, False, 2),
+    (3, 72, 24, False, 1),
+    (5, 72, 40, True, 2),
+    (5, 120, 40, True, 1),
+    (5, 120, 40, True, 1),
+    (3, 240, 80, False, 2),
+    (3, 200, 80, False, 1),
+    (3, 184, 80, False, 1),
+    (3, 184, 80, False, 1),
+    (3, 480, 112, True, 1),
+    (3, 672, 112, True, 1),
+    (5, 672, 160, True, 2),
+    (5, 960, 160, True, 1),
+    (5, 960, 160, True, 1),
+)
+
+
+def build(input_size: int = 224) -> NetBuilder:
+    """Construct MobileNetV3-Large 1.0x."""
+    net = NetBuilder(input_size=input_size, input_channels=3)
+    net.conv_bn(16, k=3, stride=2)
+    for k, exp, cout, se, stride in _LARGE:
+        net.mbconv(cout, expansion=exp / net.channels, k=k, stride=stride,
+                   se=se, mid=exp)
+    net.conv_bn(960, k=1, stride=1)
+    net.head_pooled(1280, num_classes=1000)
+    return net

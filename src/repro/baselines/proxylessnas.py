@@ -1,0 +1,73 @@
+"""ProxylessNAS-GPU/CPU/Mobile (Cai et al., ICLR 2019).
+
+The three variants share the MBConv skeleton and differ in the
+specialization the paper highlights: the GPU net is *shallow and wide*
+with large kernels (GPUs prefer few big kernels), the CPU net is *deep
+and narrow* with 3x3 kernels, and the Mobile net sits in between. Block
+tables follow the searched architectures in the ProxylessNAS paper
+(Fig. 5), with per-block details approximated and validated against the
+published MAC counts by the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.baselines.blocks import NetBuilder
+
+# Each block: (expansion, kernel, out channels, stride); expansion 0 = skip.
+_Block = Tuple[float, int, int, int]
+
+_GPU: Tuple[_Block, ...] = (
+    (1, 3, 24, 1),
+    (5, 5, 32, 2), (0, 3, 32, 1), (0, 3, 32, 1), (0, 3, 32, 1),
+    (5, 7, 56, 2), (0, 3, 56, 1), (0, 3, 56, 1), (0, 3, 56, 1),
+    (6, 7, 112, 2), (3, 5, 112, 1), (0, 3, 112, 1), (0, 3, 112, 1),
+    (6, 5, 128, 1), (3, 5, 128, 1), (0, 3, 128, 1), (3, 5, 128, 1),
+    (6, 7, 256, 2), (6, 7, 256, 1), (6, 7, 256, 1), (6, 5, 256, 1),
+    (6, 7, 432, 1),
+)
+
+_CPU: Tuple[_Block, ...] = (
+    (1, 3, 24, 1),
+    (6, 3, 32, 2), (3, 3, 32, 1), (3, 3, 32, 1), (3, 3, 32, 1),
+    (6, 3, 48, 2), (3, 3, 48, 1), (3, 3, 48, 1), (3, 3, 48, 1),
+    (6, 3, 88, 2), (3, 3, 88, 1), (3, 3, 88, 1), (3, 3, 88, 1),
+    (6, 5, 104, 1), (3, 3, 104, 1), (3, 3, 104, 1), (3, 3, 104, 1),
+    (6, 5, 216, 2), (3, 5, 216, 1), (3, 5, 216, 1), (3, 5, 216, 1),
+    (6, 5, 360, 1),
+)
+
+_MOBILE: Tuple[_Block, ...] = (
+    (1, 3, 16, 1),
+    (6, 5, 32, 2), (3, 3, 32, 1), (0, 3, 32, 1), (0, 3, 32, 1),
+    (6, 7, 40, 2), (3, 3, 40, 1), (3, 5, 40, 1), (3, 5, 40, 1),
+    (6, 7, 80, 2), (3, 5, 80, 1), (3, 5, 80, 1), (3, 5, 80, 1),
+    (6, 5, 96, 1), (3, 5, 96, 1), (3, 5, 96, 1), (3, 5, 96, 1),
+    (6, 7, 192, 2), (6, 7, 192, 1), (3, 7, 192, 1), (3, 7, 192, 1),
+    (6, 7, 320, 1),
+)
+
+_VARIANTS = {"gpu": _GPU, "cpu": _CPU, "mobile": _MOBILE}
+
+
+def _build_from_blocks(blocks: Sequence[_Block], input_size: int,
+                       stem: int, head: int) -> NetBuilder:
+    net = NetBuilder(input_size=input_size, input_channels=3)
+    net.conv_bn(stem, k=3, stride=2)
+    for expansion, k, cout, stride in blocks:
+        if expansion == 0:
+            continue
+        net.mbconv(cout, expansion=expansion, k=k, stride=stride)
+    net.head(head, num_classes=1000)
+    return net
+
+
+def build(variant: str = "mobile", input_size: int = 224) -> NetBuilder:
+    """Construct ProxylessNAS-GPU, -CPU, or -Mobile."""
+    variant = variant.lower()
+    if variant not in _VARIANTS:
+        raise ValueError(f"variant {variant!r} not in {sorted(_VARIANTS)}")
+    stem = 40 if variant == "gpu" else 32
+    head = 1728 if variant == "gpu" else 1280
+    return _build_from_blocks(_VARIANTS[variant], input_size, stem, head)

@@ -1,0 +1,32 @@
+"""ShuffleNetV2 (Ma et al., ECCV 2018)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.baselines.blocks import NetBuilder
+
+# width multiplier -> (stage channels, head channels) — Table 5 of the paper.
+_WIDTHS: Dict[float, Tuple[Tuple[int, int, int], int]] = {
+    0.5: ((48, 96, 192), 1024),
+    1.0: ((116, 232, 464), 1024),
+    1.5: ((176, 352, 704), 1024),
+    2.0: ((244, 488, 976), 2048),
+}
+
+_STAGE_REPEATS = (4, 8, 4)
+
+
+def build(width: float = 1.5, input_size: int = 224) -> NetBuilder:
+    """Construct ShuffleNetV2 at one of the published width multipliers."""
+    if width not in _WIDTHS:
+        raise ValueError(f"width {width} not in {sorted(_WIDTHS)}")
+    stage_channels, head = _WIDTHS[width]
+    net = NetBuilder(input_size=input_size, input_channels=3)
+    net.conv_bn(24, k=3, stride=2)
+    net.maxpool(k=3, stride=2)
+    for channels, repeats in zip(stage_channels, _STAGE_REPEATS):
+        for i in range(repeats):
+            net.shuffle_unit(channels, k=3, stride=2 if i == 0 else 1)
+    net.head(head, num_classes=1000)
+    return net

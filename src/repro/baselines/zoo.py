@@ -1,0 +1,138 @@
+"""Registry of Table-I baselines with their published reference numbers.
+
+``PublishedStats`` records what the paper's Table I reports: top-1/top-5
+error (quoted from the literature) and the latencies the authors
+measured on their GPU / CPU / edge testbed. The reproduction times every
+model on the *simulated* devices and compares shapes against these
+references in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines import (
+    darts,
+    fbnet,
+    mnasnet,
+    mobilenet_v2,
+    mobilenet_v3,
+    proxylessnas,
+    shufflenet_v2,
+)
+from repro.baselines.blocks import NetBuilder
+
+
+@dataclass(frozen=True)
+class PublishedStats:
+    """Numbers from the paper's Table I (errors quoted from literature)."""
+
+    top1_error: float
+    top5_error: Optional[float]
+    latency_gpu_ms: float
+    latency_cpu_ms: float
+    latency_edge_ms: float
+
+    def latency_ms(self, device_key: str) -> float:
+        try:
+            return {
+                "gpu": self.latency_gpu_ms,
+                "cpu": self.latency_cpu_ms,
+                "edge": self.latency_edge_ms,
+            }[device_key]
+        except KeyError:
+            raise KeyError(f"unknown device {device_key!r}") from None
+
+
+@dataclass(frozen=True)
+class BaselineModel:
+    """A named baseline: how to build it + its published reference stats."""
+
+    name: str
+    group: str  # "manual" or "nas"
+    builder: Callable[[], NetBuilder]
+    published: PublishedStats
+
+    def build(self) -> NetBuilder:
+        return self.builder()
+
+
+_BASELINES: Tuple[BaselineModel, ...] = (
+    BaselineModel(
+        "MobileNetV2 1.0x", "manual",
+        lambda: mobilenet_v2.build(width=1.0),
+        PublishedStats(28.0, None, 11.5, 25.2, 61.9),
+    ),
+    BaselineModel(
+        "ShuffleNetV2 1.5x", "manual",
+        lambda: shufflenet_v2.build(width=1.5),
+        PublishedStats(27.4, None, 10.5, 34.3, 65.9),
+    ),
+    BaselineModel(
+        "MobileNetV3 (large)", "manual",
+        mobilenet_v3.build,
+        PublishedStats(24.8, None, 12.2, 31.8, 61.1),
+    ),
+    BaselineModel(
+        "DARTS", "nas",
+        darts.build,
+        PublishedStats(26.7, 8.7, 17.3, 81.4, 68.7),
+    ),
+    BaselineModel(
+        "MnasNet-A1", "nas",
+        mnasnet.build,
+        PublishedStats(24.8, 7.5, 10.9, 26.4, 51.8),
+    ),
+    BaselineModel(
+        "FBNet-A", "nas",
+        lambda: fbnet.build("a"),
+        PublishedStats(27.0, 9.1, 10.5, 21.6, 48.6),
+    ),
+    BaselineModel(
+        "FBNet-B", "nas",
+        lambda: fbnet.build("b"),
+        PublishedStats(25.9, 8.2, 13.6, 25.5, 57.1),
+    ),
+    BaselineModel(
+        "FBNet-C", "nas",
+        lambda: fbnet.build("c"),
+        PublishedStats(25.1, 7.7, 15.5, 28.7, 66.4),
+    ),
+    BaselineModel(
+        "ProxylessNAS-GPU", "nas",
+        lambda: proxylessnas.build("gpu"),
+        PublishedStats(24.9, 7.5, 12.0, 24.5, 57.4),
+    ),
+    BaselineModel(
+        "ProxylessNAS-CPU", "nas",
+        lambda: proxylessnas.build("cpu"),
+        PublishedStats(24.7, None, 16.1, 29.6, 70.1),
+    ),
+    BaselineModel(
+        "ProxylessNAS-Mobile", "nas",
+        lambda: proxylessnas.build("mobile"),
+        PublishedStats(25.4, 7.8, 11.5, 26.4, 53.5),
+    ),
+)
+
+
+def all_baselines() -> List[BaselineModel]:
+    """All Table-I comparators, in the table's order."""
+    return list(_BASELINES)
+
+
+def get_baseline(name: str) -> BaselineModel:
+    """Look up one baseline by its Table-I row name."""
+    for model in _BASELINES:
+        if model.name == name:
+            return model
+    raise KeyError(f"unknown baseline {name!r}")
+
+
+def baselines_by_group() -> Dict[str, List[BaselineModel]]:
+    """Baselines grouped as in Table I (manual vs. NAS)."""
+    groups: Dict[str, List[BaselineModel]] = {"manual": [], "nas": []}
+    for model in _BASELINES:
+        groups[model.group].append(model)
+    return groups

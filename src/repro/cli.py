@@ -1,0 +1,296 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the workflows a downstream user runs most:
+
+* ``search``  — one HSCoNAS pipeline run; prints the summary and writes
+  a JSON artifact (architecture, metrics, per-generation history).
+* ``predict`` — build and evaluate the latency predictor on a device;
+  writes the LUT JSON next to the report.
+* ``table1``  — regenerate the Table-I comparison (baselines +
+  HSCoNets) and write it as text and CSV.
+* ``front``   — NSGA-II accuracy/latency Pareto front; writes CSV.
+
+All artifacts land in ``--out`` (default ``./results``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.accuracy import AccuracySurrogate
+from repro.core import (
+    EvolutionConfig,
+    HSCoNAS,
+    HSCoNASConfig,
+    Nsga2Config,
+    Nsga2Search,
+)
+from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
+from repro.hardware.calibration import calibrated_devices
+from repro.report.figures import series_to_csv
+from repro.space import SearchSpace, imagenet_a, imagenet_b
+
+
+def _space(layout: str) -> SearchSpace:
+    if layout == "a":
+        return SearchSpace(imagenet_a())
+    if layout == "b":
+        return SearchSpace(imagenet_b())
+    raise SystemExit(f"unknown layout {layout!r}; expected 'a' or 'b'")
+
+
+def _ensure_out(path: str) -> Path:
+    out = Path(path)
+    out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def cmd_search(args: argparse.Namespace) -> int:
+    space = _space(args.layout)
+    device = calibrated_devices()[args.device]
+    config = HSCoNASConfig(
+        target_ms=args.target,
+        seed=args.seed,
+        evolution=EvolutionConfig(seed=args.seed),
+    )
+    result = HSCoNAS(space, device, config).run()
+    print(result.summary())
+
+    out = _ensure_out(args.out)
+    artifact = {
+        "device": args.device,
+        "layout": args.layout,
+        "target_ms": args.target,
+        "seed": args.seed,
+        "architecture": result.arch.to_dict(),
+        "top1_error": result.top1_error,
+        "top5_error": result.top5_error,
+        "predicted_latency_ms": result.predicted_latency_ms,
+        "measured_latency_ms": result.measured_latency_ms,
+        "bias_ms": result.bias_ms,
+        "generations": [
+            {
+                "index": g.index,
+                "best_score": g.best.score,
+                "best_latency_ms": g.best.latency_ms,
+            }
+            for g in result.search.generations
+        ],
+    }
+    path = out / f"search_{args.device}_{args.layout}_{args.target:g}ms.json"
+    path.write_text(json.dumps(artifact, indent=2))
+    print(f"\nartifact written to {path}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    space = _space(args.layout)
+    device = calibrated_devices()[args.device]
+    lut = LatencyLUT.build(space, device, samples_per_cell=3, seed=args.seed)
+    predictor = LatencyPredictor(lut, space)
+    profiler = OnDeviceProfiler(device, seed=args.seed + 1)
+    bias = predictor.calibrate_bias(space, profiler, num_archs=40,
+                                    seed=args.seed + 2)
+    rng = np.random.default_rng(args.seed + 3)
+    holdout = [space.sample(rng) for _ in range(40)]
+    report = predictor.evaluate(space, profiler, holdout)
+    print(f"bias B = {bias:+.2f} ms")
+    print(report)
+
+    out = _ensure_out(args.out)
+    lut_path = out / f"lut_{args.device}_{args.layout}.json"
+    lut_path.write_text(lut.to_json())
+    print(f"LUT written to {lut_path}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.baselines import all_baselines
+    from repro.report import TableRow, render_table1
+    from repro.report.tables import render_markdown
+
+    devices = calibrated_devices()
+    rows: List[TableRow] = []
+    for model in all_baselines():
+        net = model.build()
+        rows.append(
+            TableRow(
+                name=model.name,
+                group=model.group,
+                top1_error=model.published.top1_error,
+                top5_error=model.published.top5_error,
+                latency_gpu_ms=devices["gpu"].run_network_ms(net.layers),
+                latency_cpu_ms=devices["cpu"].run_network_ms(net.layers),
+                latency_edge_ms=devices["edge"].run_network_ms(net.layers),
+            )
+        )
+
+    targets = {"gpu": 9.0, "cpu": 22.5, "edge": 34.0}
+    if not args.baselines_only:
+        space = _space("a")
+        surrogate = AccuracySurrogate(space)
+        for key, target in targets.items():
+            result = HSCoNAS(
+                space, devices[key],
+                HSCoNASConfig(target_ms=target, seed=args.seed),
+                surrogate=surrogate,
+            ).run()
+            lats = {
+                k: OnDeviceProfiler(devices[k], seed=11).measure_ms(
+                    space, result.arch
+                )
+                for k in targets
+            }
+            rows.append(
+                TableRow(
+                    name=f"HSCoNet-{key.upper()}-A",
+                    group="hsconas",
+                    top1_error=round(result.top1_error, 1),
+                    top5_error=result.top5_error,
+                    latency_gpu_ms=lats["gpu"],
+                    latency_cpu_ms=lats["cpu"],
+                    latency_edge_ms=lats["edge"],
+                )
+            )
+
+    text = render_table1(rows)
+    print(text)
+    out = _ensure_out(args.out)
+    (out / "table1.txt").write_text(text + "\n")
+    (out / "table1.md").write_text(render_markdown(rows) + "\n")
+    print(f"\nartifacts written to {out}/table1.txt and table1.md")
+    return 0
+
+
+def cmd_front(args: argparse.Namespace) -> int:
+    space = _space(args.layout)
+    device = calibrated_devices()[args.device]
+    surrogate = AccuracySurrogate(space)
+    lut = LatencyLUT.build(space, device, samples_per_cell=2, seed=args.seed)
+    predictor = LatencyPredictor(lut, space)
+    profiler = OnDeviceProfiler(device, seed=args.seed)
+    predictor.calibrate_bias(space, profiler, num_archs=25, seed=args.seed + 1)
+
+    result = Nsga2Search(
+        space,
+        accuracy_fn=surrogate.proxy_accuracy,
+        latency_fn=predictor.predict,
+        config=Nsga2Config(seed=args.seed),
+    ).run()
+
+    print(f"{len(result.front)} Pareto points "
+          f"({result.num_evaluations} evaluations):")
+    for p in result.front:
+        print(f"  {p.latency_ms:7.2f} ms -> proxy acc {p.accuracy:.4f}")
+
+    out = _ensure_out(args.out)
+    csv = series_to_csv(
+        {
+            "latency_ms": [p.latency_ms for p in result.front],
+            "proxy_accuracy": [p.accuracy for p in result.front],
+        }
+    )
+    path = out / f"front_{args.device}_{args.layout}.csv"
+    path.write_text(csv + "\n")
+    print(f"front written to {path}")
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    from repro.hardware import EnergyModel, EnergyPredictor
+
+    space = _space(args.layout)
+    device = calibrated_devices()[args.device]
+    model = EnergyModel(device)
+    predictor = EnergyPredictor(space, model).build(seed=args.seed)
+    bias = predictor.calibrate_bias(num_archs=30, seed=args.seed + 1)
+
+    rng = np.random.default_rng(args.seed + 2)
+    rows = []
+    for _ in range(args.samples):
+        arch = space.sample(rng)
+        rows.append(
+            (
+                device.latency_ms(space, arch),
+                model.arch_energy_mj(space, arch),
+                predictor.predict(arch),
+            )
+        )
+    print(f"energy predictor bias = {bias:+.2f} mJ")
+    print(f"{'latency ms':>11s} {'energy mJ':>10s} {'predicted mJ':>13s}")
+    for lat, mj, pred in rows[:10]:
+        print(f"{lat:11.2f} {mj:10.1f} {pred:13.1f}")
+
+    out = _ensure_out(args.out)
+    csv = series_to_csv(
+        {
+            "latency_ms": [r[0] for r in rows],
+            "energy_mj": [r[1] for r in rows],
+            "predicted_mj": [r[2] for r in rows],
+        }
+    )
+    path = out / f"energy_{args.device}_{args.layout}.csv"
+    path.write_text(csv + "\n")
+    print(f"samples written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HSCoNAS reproduction command-line interface",
+    )
+    parser.add_argument("--out", default="results",
+                        help="artifact output directory (default: results)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("search", help="run one HSCoNAS pipeline")
+    p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
+    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--target", type=float, default=34.0,
+                   help="latency constraint T in ms")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("predict", help="build + evaluate the latency predictor")
+    p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
+    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("table1", help="regenerate the Table-I comparison")
+    p.add_argument("--baselines-only", action="store_true",
+                   help="skip the HSCoNAS runs (baselines only, fast)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("front", help="NSGA-II accuracy/latency Pareto front")
+    p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
+    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_front)
+
+    p = sub.add_parser("energy",
+                       help="energy model + predictor samples (future work)")
+    p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
+    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--samples", type=int, default=40)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_energy)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Channel scaling schemes (paper Sec. III-B, Fig. 4).
+
+The *conventional* scheme applies one uniform factor to every layer of a
+finished architecture (as in width-multiplier scaling / slimmable nets);
+HSCoNAS's *dynamic* scheme searches a per-layer factor jointly with the
+operator. This module provides the conventional scheme as the
+comparison baseline, plus utilities shared by both.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.space.architecture import Architecture
+
+
+def uniform_scaled(arch: Architecture, factor: float) -> Architecture:
+    """Apply one scaling factor to every layer (conventional scheme)."""
+    return Architecture(arch.ops, (factor,) * arch.num_layers)
+
+
+def best_uniform_factor(
+    arch: Architecture,
+    factors: Sequence[float],
+    latency_fn: Callable[[Architecture], float],
+    target_ms: float,
+) -> Optional[float]:
+    """Largest uniform factor whose scaled network meets the target.
+
+    This is how the conventional pipeline picks its width multiplier:
+    scale the finished architecture down until it fits the latency
+    budget. Returns ``None`` when even the smallest factor misses the
+    target.
+    """
+    if target_ms <= 0:
+        raise ValueError("target_ms must be positive")
+    feasible = [
+        f
+        for f in sorted(factors)
+        if latency_fn(uniform_scaled(arch, f)) <= target_ms
+    ]
+    return feasible[-1] if feasible else None
+
+
+def snap_factor(factor: float, candidates: Sequence[float]) -> float:
+    """Snap an arbitrary factor to the nearest candidate value."""
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    return min(candidates, key=lambda c: abs(c - factor))
+
+
+def greedy_fit_factors(
+    arch: Architecture,
+    factor_candidates: Sequence[Sequence[float]],
+    latency_fn: Callable[[Architecture], float],
+    accuracy_fn: Callable[[Architecture], float],
+    target_ms: float,
+    max_steps: int = 200,
+) -> Architecture:
+    """Sensitivity-guided per-layer width fitting (deterministic baseline).
+
+    Starting from ``arch``, repeatedly take the single-layer factor
+    *decrease* with the best latency-saved-per-accuracy-lost ratio until
+    the architecture meets ``target_ms``. Sits between the conventional
+    uniform multiplier (one global knob) and the EA's full channel-level
+    search: per-layer and deterministic, but greedy.
+
+    Parameters
+    ----------
+    arch:
+        Starting architecture (usually full-width).
+    factor_candidates:
+        Per-layer allowed factors (``space.candidate_factors``).
+    latency_fn, accuracy_fn:
+        Predictors; called O(layers) times per step.
+    target_ms:
+        The latency budget to reach.
+    max_steps:
+        Safety bound on greedy iterations.
+
+    Returns the first architecture meeting the target, or the best
+    effort after all factors bottom out.
+    """
+    if target_ms <= 0:
+        raise ValueError("target_ms must be positive")
+    current = arch
+    for _ in range(max_steps):
+        latency = latency_fn(current)
+        if latency <= target_ms:
+            return current
+        base_acc = accuracy_fn(current)
+        best_ratio = None
+        best_next = None
+        for layer in range(current.num_layers):
+            below = sorted(
+                f for f in factor_candidates[layer]
+                if f < current.factors[layer]
+            )
+            # Consider every lower candidate: adjacent factors can map
+            # to the same kept-channel count (rounding), so the nearest
+            # step alone may save nothing and stall the descent.
+            for factor in reversed(below):
+                candidate = current.with_factor(layer, factor)
+                saved = latency - latency_fn(candidate)
+                if saved <= 0:
+                    continue
+                lost = max(base_acc - accuracy_fn(candidate), 1e-9)
+                ratio = saved / lost
+                if best_ratio is None or ratio > best_ratio:
+                    best_ratio = ratio
+                    best_next = candidate
+                break  # nearest candidate that actually saves time
+        if best_next is None:
+            return current  # bottomed out everywhere
+        current = best_next
+    return current

@@ -1,0 +1,73 @@
+"""Multi-constraint objective: latency target + energy budget.
+
+The paper's conclusion announces extending HSCoNAS with "different
+hardware constraints like power consumption". This module generalizes
+the Eq. 1 objective:
+
+``F(arch, T, B) = ACC(arch) + beta * |LAT(arch)/T - 1|
+                  + beta_energy * max(0, E(arch)/B - 1)``
+
+The latency term keeps its symmetric shape (hit the target exactly);
+the energy term is one-sided — a *budget*, not a target: being under
+budget is free, exceeding it is penalized proportionally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.objective import EvaluatedArch, Objective
+from repro.space.architecture import Architecture
+
+
+class MultiConstraintObjective(Objective):
+    """Eq. 1 plus a one-sided energy-budget penalty.
+
+    Parameters
+    ----------
+    accuracy_fn, latency_fn, target_ms, beta:
+        As in :class:`~repro.core.objective.Objective`.
+    energy_fn:
+        ``arch -> energy in mJ`` — normally an
+        :class:`~repro.hardware.energy.EnergyPredictor`.
+    energy_budget_mj:
+        The budget ``B``.
+    beta_energy:
+        Penalty weight; must be negative.
+    """
+
+    def __init__(
+        self,
+        accuracy_fn: Callable[[Architecture], float],
+        latency_fn: Callable[[Architecture], float],
+        target_ms: float,
+        energy_fn: Callable[[Architecture], float],
+        energy_budget_mj: float,
+        beta: float = -0.5,
+        beta_energy: float = -1.0,
+    ):
+        super().__init__(accuracy_fn, latency_fn, target_ms, beta)
+        if energy_budget_mj <= 0:
+            raise ValueError("energy_budget_mj must be positive")
+        if beta_energy >= 0:
+            raise ValueError("beta_energy must be negative")
+        self.energy_fn = energy_fn
+        self.energy_budget_mj = energy_budget_mj
+        self.beta_energy = beta_energy
+
+    def energy_penalty(self, energy_mj: float) -> float:
+        """One-sided budget penalty (0 when within budget)."""
+        overshoot = max(0.0, energy_mj / self.energy_budget_mj - 1.0)
+        return self.beta_energy * overshoot
+
+    def evaluate(self, arch: Architecture) -> EvaluatedArch:
+        accuracy = self.accuracy_fn(arch)
+        latency = self.latency_fn(arch)
+        energy = self.energy_fn(arch)
+        score = (
+            self.score_parts(accuracy, latency)
+            + self.energy_penalty(energy)
+        )
+        return EvaluatedArch(
+            arch=arch, accuracy=accuracy, latency_ms=latency, score=score
+        )

@@ -1,0 +1,272 @@
+"""NSGA-II multi-objective search — a Pareto-front extension.
+
+The paper folds accuracy and latency into one scalar (Eq. 1), which
+finds one architecture per constraint ``T``. A deployment team usually
+wants the whole accuracy/latency *front* in a single search; this module
+provides it with the standard NSGA-II machinery (fast non-dominated
+sorting + crowding distance) over the same genetic operators as the
+Sec. III-D EA. The front it returns can then be cut at any latency
+budget — equivalent to sweeping ``T`` in Eq. 1, at a fraction of the
+evaluations (see ``benchmarks/bench_nsga2_front.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.space.architecture import Architecture
+from repro.space.search_space import SearchSpace
+
+
+@dataclass(frozen=True)
+class BiObjective:
+    """An architecture scored on (latency to minimize, accuracy to maximize)."""
+
+    arch: Architecture
+    latency_ms: float
+    accuracy: float
+
+    def dominates(self, other: "BiObjective") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        no_worse = (
+            self.latency_ms <= other.latency_ms
+            and self.accuracy >= other.accuracy
+        )
+        better = (
+            self.latency_ms < other.latency_ms
+            or self.accuracy > other.accuracy
+        )
+        return no_worse and better
+
+
+@dataclass(frozen=True)
+class Nsga2Config:
+    """NSGA-II hyper-parameters (genetic operators match the EA's)."""
+
+    generations: int = 20
+    population_size: int = 50
+    crossover_prob: float = 0.25
+    mutation_prob: float = 0.25
+    per_layer_mutation_prob: float = 0.1
+    seed_corners: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.generations < 1 or self.population_size < 4:
+            raise ValueError("need >= 1 generation and population >= 4")
+        for p in (self.crossover_prob, self.mutation_prob,
+                  self.per_layer_mutation_prob):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError("probabilities must be in [0, 1]")
+
+
+@dataclass
+class Nsga2Result:
+    """Final population and its first non-dominated front."""
+
+    front: List[BiObjective]
+    population: List[BiObjective] = field(default_factory=list)
+    num_evaluations: int = 0
+
+    def knee_under(self, latency_budget_ms: float) -> BiObjective:
+        """Most accurate front member within a latency budget."""
+        feasible = [p for p in self.front if p.latency_ms <= latency_budget_ms]
+        if not feasible:
+            raise ValueError(
+                f"no front member within {latency_budget_ms} ms "
+                f"(front spans {min(p.latency_ms for p in self.front):.1f}-"
+                f"{max(p.latency_ms for p in self.front):.1f} ms)"
+            )
+        return max(feasible, key=lambda p: p.accuracy)
+
+
+def non_dominated_sort(points: List[BiObjective]) -> List[List[int]]:
+    """Fast non-dominated sorting; returns index fronts, best first."""
+    n = len(points)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            if points[i].dominates(points[j]):
+                dominated_by[i].append(j)
+            elif points[j].dominates(points[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [f for f in fronts if f]
+
+
+def crowding_distance(points: List[BiObjective], front: List[int]) -> Dict[int, float]:
+    """Crowding distance of each front member (bigger = more isolated)."""
+    if not front:
+        return {}
+    distance = {i: 0.0 for i in front}
+    for key in ("latency_ms", "accuracy"):
+        ordered = sorted(front, key=lambda i: getattr(points[i], key))
+        lo = getattr(points[ordered[0]], key)
+        hi = getattr(points[ordered[-1]], key)
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        span = hi - lo
+        if span <= 0:
+            continue
+        for prev, cur, nxt in zip(ordered, ordered[1:], ordered[2:]):
+            gap = getattr(points[nxt], key) - getattr(points[prev], key)
+            distance[cur] += gap / span
+    return distance
+
+
+class Nsga2Search:
+    """NSGA-II over a search space with (latency, accuracy) objectives."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        accuracy_fn: Callable[[Architecture], float],
+        latency_fn: Callable[[Architecture], float],
+        config: Nsga2Config = Nsga2Config(),
+    ):
+        self.space = space
+        self.accuracy_fn = accuracy_fn
+        self.latency_fn = latency_fn
+        self.config = config
+        self._cache: Dict[Tuple, BiObjective] = {}
+
+    # -- evaluation -------------------------------------------------------------
+
+    def _evaluate(self, arch: Architecture) -> BiObjective:
+        key = arch.key()
+        if key not in self._cache:
+            self._cache[key] = BiObjective(
+                arch=arch,
+                latency_ms=self.latency_fn(arch),
+                accuracy=self.accuracy_fn(arch),
+            )
+        return self._cache[key]
+
+    # -- genetic operators (same shapes as the Sec. III-D EA) -------------------
+
+    def _crossover(self, a: Architecture, b: Architecture,
+                   rng: np.random.Generator) -> Architecture:
+        take_a = rng.random(a.num_layers) < 0.5
+        ops = tuple(a.ops[i] if take_a[i] else b.ops[i]
+                    for i in range(a.num_layers))
+        factors = tuple(a.factors[i] if take_a[i] else b.factors[i]
+                        for i in range(a.num_layers))
+        return Architecture(ops, factors)
+
+    def _mutate(self, arch: Architecture, rng: np.random.Generator) -> Architecture:
+        ops = list(arch.ops)
+        factors = list(arch.factors)
+        p = self.config.per_layer_mutation_prob
+        for layer in range(arch.num_layers):
+            if rng.random() < p:
+                ops[layer] = int(rng.choice(self.space.candidate_ops[layer]))
+            if rng.random() < p:
+                factors[layer] = float(
+                    rng.choice(self.space.candidate_factors[layer])
+                )
+        return Architecture(tuple(ops), tuple(factors))
+
+    # -- selection ----------------------------------------------------------------
+
+    @staticmethod
+    def _rank_population(points: List[BiObjective]) -> List[int]:
+        """Indices ordered by (front rank, descending crowding)."""
+        fronts = non_dominated_sort(points)
+        ordered: List[int] = []
+        for front in fronts:
+            crowd = crowding_distance(points, front)
+            ordered.extend(sorted(front, key=lambda i: -crowd[i]))
+        return ordered
+
+    # -- main loop ------------------------------------------------------------------
+
+    def _corner_architectures(self) -> List[Architecture]:
+        """Full-width single-operator networks — high-latency anchors.
+
+        Uniform sampling almost never draws the slow-accurate corner of
+        the space, so the front would otherwise take many generations to
+        stretch there; seeding with the corners is standard practice.
+        """
+        corners = []
+        for op in range(5):
+            try:
+                arch = Architecture(
+                    tuple(
+                        op if op in self.space.candidate_ops[layer]
+                        else self.space.candidate_ops[layer][0]
+                        for layer in range(self.space.num_layers)
+                    ),
+                    tuple(
+                        max(self.space.candidate_factors[layer])
+                        for layer in range(self.space.num_layers)
+                    ),
+                )
+            except ValueError:  # pragma: no cover - defensive
+                continue
+            if self.space.contains(arch):
+                corners.append(arch)
+        return corners
+
+    def run(self) -> Nsga2Result:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        seeds: List[Architecture] = (
+            self._corner_architectures() if cfg.seed_corners else []
+        )
+        seeds = seeds[: cfg.population_size // 2]
+        population = [self._evaluate(arch) for arch in seeds]
+        population += [
+            self._evaluate(self.space.sample(rng))
+            for _ in range(cfg.population_size - len(population))
+        ]
+
+        for _ in range(cfg.generations - 1):
+            ranked = self._rank_population(population)
+            parents = [population[i] for i in ranked[: cfg.population_size // 2]]
+            children: List[BiObjective] = []
+            seen = {p.arch.key() for p in parents}
+            attempts = 0
+            needed = cfg.population_size - len(parents)
+            while len(children) < needed and attempts < needed * 40:
+                attempts += 1
+                child = parents[int(rng.integers(len(parents)))].arch
+                if rng.random() < cfg.crossover_prob and len(parents) > 1:
+                    other = parents[int(rng.integers(len(parents)))].arch
+                    child = self._crossover(child, other, rng)
+                if rng.random() < cfg.mutation_prob:
+                    child = self._mutate(child, rng)
+                if child.key() in seen or not self.space.contains(child):
+                    continue
+                seen.add(child.key())
+                children.append(self._evaluate(child))
+            while len(children) < needed:
+                children.append(self._evaluate(self.space.sample(rng)))
+            population = parents + children
+
+        fronts = non_dominated_sort(population)
+        front = sorted(
+            (population[i] for i in fronts[0]), key=lambda p: p.latency_ms
+        )
+        return Nsga2Result(
+            front=front,
+            population=population,
+            num_evaluations=len(self._cache),
+        )

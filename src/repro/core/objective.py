@@ -1,0 +1,98 @@
+"""The multi-objective trade-off score (paper Eq. 1).
+
+``F(arch, T) = ACC(arch) + beta * |LAT(arch)/T - 1|`` with ``beta < 0``:
+an architecture is penalized both for exceeding the latency target *and*
+for undershooting it (leaving accuracy on the table), which is why the
+EA's population concentrates *at* the constraint (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.space.architecture import Architecture
+
+
+@dataclass(frozen=True)
+class EvaluatedArch:
+    """An architecture together with its objective breakdown."""
+
+    arch: Architecture
+    accuracy: float
+    latency_ms: float
+    score: float
+
+    def __lt__(self, other: "EvaluatedArch") -> bool:
+        return self.score < other.score
+
+    def to_dict(self) -> dict:
+        return {
+            "arch": self.arch.to_dict(),
+            "accuracy": self.accuracy,
+            "latency_ms": self.latency_ms,
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EvaluatedArch":
+        return cls(
+            arch=Architecture.from_dict(payload["arch"]),
+            accuracy=float(payload["accuracy"]),
+            latency_ms=float(payload["latency_ms"]),
+            score=float(payload["score"]),
+        )
+
+
+class Objective:
+    """Callable implementing Eq. 1 for a fixed device/target.
+
+    Parameters
+    ----------
+    accuracy_fn:
+        ``arch -> accuracy`` as a fraction in [0, 1]. During search this
+        is the weight-sharing proxy accuracy; see
+        :meth:`repro.accuracy.AccuracySurrogate.proxy_accuracy`.
+    latency_fn:
+        ``arch -> latency in ms`` — normally the LUT+B predictor
+        (Eq. 2), which is the whole point: no on-device measurement in
+        the search loop.
+    target_ms:
+        The latency constraint ``T``.
+    beta:
+        Trade-off coefficient; must be negative.
+    """
+
+    def __init__(
+        self,
+        accuracy_fn: Callable[[Architecture], float],
+        latency_fn: Callable[[Architecture], float],
+        target_ms: float,
+        beta: float = -0.5,
+    ):
+        if target_ms <= 0:
+            raise ValueError("target_ms must be positive")
+        if beta >= 0:
+            raise ValueError("beta must be negative (it is a penalty weight)")
+        self.accuracy_fn = accuracy_fn
+        self.latency_fn = latency_fn
+        self.target_ms = target_ms
+        self.beta = beta
+
+    def score_parts(self, accuracy: float, latency_ms: float) -> float:
+        """Eq. 1 from precomputed accuracy/latency."""
+        return accuracy + self.beta * abs(latency_ms / self.target_ms - 1.0)
+
+    def evaluate(self, arch: Architecture) -> EvaluatedArch:
+        """Evaluate one architecture, returning the full breakdown."""
+        accuracy = self.accuracy_fn(arch)
+        latency = self.latency_fn(arch)
+        return EvaluatedArch(
+            arch=arch,
+            accuracy=accuracy,
+            latency_ms=latency,
+            score=self.score_parts(accuracy, latency),
+        )
+
+    def __call__(self, arch: Architecture) -> float:
+        return self.evaluate(arch).score

@@ -1,0 +1,51 @@
+"""Subspace quality estimation (paper Eq. 4 / Definition 1).
+
+``Q(A_sub) = (1/N) * sum_i F(arch_i, T)`` over ``N`` architectures
+sampled uniformly from the subspace. The paper uses ``N = 100``
+(sufficient per Radosavovic et al., "On Network Design Spaces for
+Visual Recognition").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.objective import Objective
+from repro.space.search_space import SearchSpace
+
+
+class SubspaceQuality:
+    """Monte-Carlo estimator of subspace quality.
+
+    Parameters
+    ----------
+    objective:
+        The trade-off objective ``F`` (Eq. 1).
+    num_samples:
+        ``N`` in Eq. 4; the paper fixes 100.
+    seed:
+        Base seed; every :meth:`estimate` call advances an internal
+        counter so repeated estimates of *different* subspaces use
+        independent draws while a fresh estimator is fully reproducible.
+    """
+
+    def __init__(self, objective: Objective, num_samples: int = 100, seed: int = 0):
+        if num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        self.objective = objective
+        self.num_samples = num_samples
+        self._seed_seq = np.random.SeedSequence(seed)
+        self.evaluations = 0  # total F() calls, for the complexity claim
+
+    def estimate(self, subspace: SearchSpace, rng: Optional[np.random.Generator] = None) -> float:
+        """``Q(subspace)`` — the mean objective of N uniform samples."""
+        if rng is None:
+            rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
+        total = 0.0
+        for _ in range(self.num_samples):
+            arch = subspace.sample(rng)
+            total += self.objective(arch)
+            self.evaluations += 1
+        return total / self.num_samples

@@ -1,0 +1,219 @@
+"""The end-to-end HSCoNAS pipeline (paper Fig. 1).
+
+Given a target device and latency constraint ``T``, the pipeline
+
+1. builds the per-operator latency LUT by micro-benchmarking on the
+   device and calibrates the bias ``B`` from ``M`` end-to-end
+   measurements (Sec. III-A);
+2. forms the Eq. 1 objective from the weight-sharing proxy accuracy and
+   the latency *predictor* (no on-device measurement inside the loop);
+3. progressively shrinks the search space (Sec. III-C);
+4. runs the evolutionary search inside the shrunk space (Sec. III-D);
+5. reports the discovered architecture with stand-alone accuracy and a
+   fresh on-device latency measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.accuracy.surrogate import AccuracySurrogate
+from repro.core.evolution import EvolutionConfig, EvolutionarySearch, SearchResult
+from repro.core.objective import Objective
+from repro.core.quality import SubspaceQuality
+from repro.core.shrinking import ProgressiveSpaceShrinking, ShrinkResult
+from repro.hardware.device import DeviceModel
+from repro.hardware.ledger import MeasurementLedger
+from repro.hardware.lut import LatencyLUT
+from repro.hardware.predictor import LatencyPredictor
+from repro.hardware.profiler import OnDeviceProfiler
+from repro.space.architecture import Architecture
+from repro.space.search_space import SearchSpace
+
+
+@dataclass(frozen=True)
+class HSCoNASConfig:
+    """All pipeline hyper-parameters; defaults follow the paper."""
+
+    target_ms: float = 34.0
+    beta: float = -0.5
+    # Hardware modeling (Sec. III-A).
+    lut_samples_per_cell: int = 4
+    bias_calibration_archs: int = 40  # M in Eq. 3
+    # Space shrinking (Sec. III-C).
+    enable_shrinking: bool = True
+    quality_samples: int = 100  # N in Eq. 4
+    shrink_stage_layers: Optional[tuple] = None  # None = paper schedule
+    # Evolutionary search (Sec. III-D).
+    evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_ms <= 0:
+            raise ValueError("target_ms must be positive")
+        if self.beta >= 0:
+            raise ValueError("beta must be negative")
+        if self.lut_samples_per_cell < 1 or self.bias_calibration_archs < 1:
+            raise ValueError("LUT/bias sampling counts must be >= 1")
+
+
+@dataclass
+class HSCoNASResult:
+    """Everything produced by one pipeline run."""
+
+    arch: Architecture
+    top1_error: float
+    top5_error: float
+    predicted_latency_ms: float
+    measured_latency_ms: float
+    bias_ms: float
+    search: SearchResult
+    shrink: Optional[ShrinkResult]
+    predictor: LatencyPredictor
+    final_space: SearchSpace
+    ledger: Optional[MeasurementLedger] = None
+
+    def summary(self) -> str:
+        lines = [
+            f"discovered architecture: {self.arch}",
+            f"top-1/top-5 error: {self.top1_error:.1f}% / {self.top5_error:.1f}%",
+            (
+                f"latency: predicted {self.predicted_latency_ms:.1f} ms, "
+                f"measured {self.measured_latency_ms:.1f} ms "
+                f"(bias B = {self.bias_ms:+.2f} ms)"
+            ),
+            f"EA evaluations: {self.search.num_evaluations}",
+        ]
+        if self.shrink is not None:
+            removed = sum(self.shrink.orders_of_magnitude_removed())
+            lines.append(
+                f"space shrinking: -{removed:.1f} orders of magnitude "
+                f"({self.shrink.quality_evaluations} quality evaluations)"
+            )
+        if self.ledger is not None:
+            lines.append(f"search cost: {self.ledger.summary()}")
+        return "\n".join(lines)
+
+
+class HSCoNAS:
+    """Hardware-software co-design NAS for one device/target pair.
+
+    Parameters
+    ----------
+    space:
+        The initial search space ``A``.
+    device:
+        Target device model (simulated hardware).
+    surrogate:
+        Accuracy model; defaults to the calibrated ImageNet surrogate
+        for the given space.
+    config:
+        Pipeline hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        device: DeviceModel,
+        config: Optional[HSCoNASConfig] = None,
+        surrogate: Optional[AccuracySurrogate] = None,
+    ):
+        self.space = space
+        self.device = device
+        self.config = config if config is not None else HSCoNASConfig()
+        self.surrogate = (
+            surrogate
+            if surrogate is not None
+            else AccuracySurrogate.for_space(space)
+        )
+        self.ledger = MeasurementLedger()
+        self.profiler = OnDeviceProfiler(
+            device, seed=self.config.seed, ledger=self.ledger
+        )
+
+    # -- stage 1: hardware performance modeling ---------------------------------
+
+    def build_predictor(self) -> LatencyPredictor:
+        """Build the LUT and calibrate ``B`` (Eq. 2-3)."""
+        cfg = self.config
+        lut = LatencyLUT.build(
+            self.space,
+            self.device,
+            samples_per_cell=cfg.lut_samples_per_cell,
+            seed=cfg.seed,
+            ledger=self.ledger,
+        )
+        predictor = LatencyPredictor(lut, self.space, ledger=self.ledger)
+        predictor.calibrate_bias(
+            self.space,
+            self.profiler,
+            num_archs=cfg.bias_calibration_archs,
+            seed=cfg.seed + 1,
+        )
+        return predictor
+
+    # -- full pipeline --------------------------------------------------------------
+
+    def run(self) -> HSCoNASResult:
+        """Execute the whole pipeline and return the discovered network."""
+        cfg = self.config
+        predictor = self.build_predictor()
+
+        objective = Objective(
+            accuracy_fn=self.surrogate.proxy_accuracy,
+            latency_fn=predictor.predict,
+            target_ms=cfg.target_ms,
+            beta=cfg.beta,
+        )
+
+        # From here until the final verification measurement the search
+        # is measurement-free — the property Eq. 2-3 buys. The frozen
+        # ledger turns an accidental on-device call into a hard error.
+        self.ledger.freeze_measurements()
+
+        shrink_result: Optional[ShrinkResult] = None
+        search_space = self.space
+        if cfg.enable_shrinking:
+            quality = SubspaceQuality(
+                objective, num_samples=cfg.quality_samples, seed=cfg.seed + 2
+            )
+            shrinker = ProgressiveSpaceShrinking(
+                quality, stage_layers=cfg.shrink_stage_layers
+            )
+            shrink_result = shrinker.run(search_space)
+            assert shrink_result.final_space is not None
+            search_space = shrink_result.final_space
+
+        # The EA seed is always derived from the pipeline seed so that
+        # one knob controls the whole run's determinism; the rest of the
+        # EvolutionConfig (budgets, probabilities) is honoured as given.
+        evolution_cfg = EvolutionConfig(
+            generations=cfg.evolution.generations,
+            population_size=cfg.evolution.population_size,
+            num_parents=cfg.evolution.num_parents,
+            crossover_prob=cfg.evolution.crossover_prob,
+            mutation_prob=cfg.evolution.mutation_prob,
+            per_layer_mutation_prob=cfg.evolution.per_layer_mutation_prob,
+            seed=cfg.seed + 3,
+        )
+        search = EvolutionarySearch(search_space, objective, evolution_cfg)
+        search_result = search.run()
+
+        self.ledger.thaw_measurements()
+        best = search_result.best.arch
+        return HSCoNASResult(
+            arch=best,
+            top1_error=self.surrogate.top1_error(best),
+            top5_error=self.surrogate.top5_error(best),
+            predicted_latency_ms=predictor.predict(best),
+            measured_latency_ms=self.profiler.measure_ms(self.space, best),
+            bias_ms=predictor.bias_ms,
+            search=search_result,
+            shrink=shrink_result,
+            predictor=predictor,
+            final_space=search_space,
+            ledger=self.ledger,
+        )

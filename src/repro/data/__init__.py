@@ -1,0 +1,19 @@
+"""Data substrate: a procedurally generated image-classification task.
+
+ImageNet is not available in this environment, so the real-training
+experiments run on a synthetic dataset whose classes are distinguishable
+only through spatially structured features — the property that makes a
+convolutional architecture (and its capacity allocation) matter, which
+is what the supernet-training experiments need to exercise.
+"""
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.data.augment import pad_and_crop, random_flip
+from repro.data.loader import BatchLoader
+
+__all__ = [
+    "SyntheticImageDataset",
+    "random_flip",
+    "pad_and_crop",
+    "BatchLoader",
+]

@@ -1,0 +1,46 @@
+"""Standard data augmentations (numpy, NCHW batches)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_flip(batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Horizontally flip each image with probability 0.5."""
+    flips = rng.random(batch.shape[0]) < 0.5
+    out = batch.copy()
+    out[flips] = out[flips, :, :, ::-1]
+    return out
+
+
+def pad_and_crop(
+    batch: np.ndarray, rng: np.random.Generator, padding: int = 2
+) -> np.ndarray:
+    """Zero-pad then randomly crop back to the original size."""
+    if padding < 1:
+        raise ValueError("padding must be >= 1")
+    n, c, h, w = batch.shape
+    padded = np.pad(
+        batch, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    out = np.empty_like(batch)
+    offsets = rng.integers(0, 2 * padding + 1, size=(n, 2))
+    for i, (oy, ox) in enumerate(offsets):
+        out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+    return out
+
+
+def cutout(
+    batch: np.ndarray, rng: np.random.Generator, length: int = 8
+) -> np.ndarray:
+    """Zero a random square patch per image (DeVries & Taylor, 2017)."""
+    n, _, h, w = batch.shape
+    out = batch.copy()
+    ys = rng.integers(0, h, size=n)
+    xs = rng.integers(0, w, size=n)
+    half = length // 2
+    for i in range(n):
+        y0, y1 = max(0, ys[i] - half), min(h, ys[i] + half)
+        x0, x1 = max(0, xs[i] - half), min(w, xs[i] + half)
+        out[i, :, y0:y1, x0:x1] = 0.0
+    return out

@@ -1,0 +1,60 @@
+"""Mini-batch iteration with optional augmentation."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+Augmentation = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class BatchLoader:
+    """Shuffled mini-batch iterator over an (images, labels) pair.
+
+    Parameters
+    ----------
+    images, labels:
+        NCHW tensor and matching label vector.
+    batch_size:
+        Mini-batch size; the final short batch is kept.
+    augmentations:
+        Applied in order to each training batch.
+    seed:
+        Shuffle/augmentation seed; each :meth:`epoch` call advances the
+        stream, so epochs see different orders but the whole run is
+        reproducible.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int = 32,
+        augmentations: Optional[List[Augmentation]] = None,
+        seed: int = 0,
+    ):
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have equal length")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.images = images
+        self.labels = labels
+        self.batch_size = batch_size
+        self.augmentations = augmentations or []
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        return (len(self.labels) + self.batch_size - 1) // self.batch_size
+
+    def epoch(self, augment: bool = True) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield one epoch of shuffled (batch, labels) pairs."""
+        order = self._rng.permutation(len(self.labels))
+        for start in range(0, len(order), self.batch_size):
+            idx = order[start : start + self.batch_size]
+            batch = self.images[idx]
+            if augment:
+                for aug in self.augmentations:
+                    batch = aug(batch, self._rng)
+            yield batch, self.labels[idx]

@@ -1,0 +1,107 @@
+"""Procedural image-classification dataset.
+
+Each class is defined by a smooth random texture prototype (a sum of
+low-frequency 2-D cosines with class-specific frequencies and phases).
+A sample is its class prototype under a random translation plus additive
+noise and a random global contrast jitter — so class evidence is spread
+over spatial frequencies and positions, and higher-capacity networks
+genuinely separate the classes better until saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SyntheticImageDataset:
+    """A fixed train/test split of the procedural task.
+
+    Attributes
+    ----------
+    train_x, train_y, test_x, test_y:
+        NCHW image tensors and integer label vectors.
+    num_classes:
+        Number of classes.
+    """
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    num_classes: int
+
+    @classmethod
+    def generate(
+        cls,
+        num_classes: int = 10,
+        train_per_class: int = 64,
+        test_per_class: int = 16,
+        image_size: int = 32,
+        channels: int = 3,
+        noise: float = 0.35,
+        seed: int = 0,
+    ) -> "SyntheticImageDataset":
+        """Generate a dataset deterministically from ``seed``."""
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        rng = np.random.default_rng(seed)
+        prototypes = _class_prototypes(rng, num_classes, image_size, channels)
+
+        def make_split(per_class: int) -> Tuple[np.ndarray, np.ndarray]:
+            images = []
+            labels = []
+            for cls_idx in range(num_classes):
+                for _ in range(per_class):
+                    images.append(
+                        _render_sample(rng, prototypes[cls_idx], noise)
+                    )
+                    labels.append(cls_idx)
+            x = np.stack(images).astype(np.float64)
+            y = np.asarray(labels, dtype=np.int64)
+            order = rng.permutation(len(y))
+            return x[order], y[order]
+
+        train_x, train_y = make_split(train_per_class)
+        test_x, test_y = make_split(test_per_class)
+        return cls(train_x, train_y, test_x, test_y, num_classes)
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return tuple(self.train_x.shape[1:])  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        return len(self.train_y)
+
+
+def _class_prototypes(
+    rng: np.random.Generator, num_classes: int, size: int, channels: int
+) -> np.ndarray:
+    """Smooth class-specific textures: sums of low-frequency cosines."""
+    yy, xx = np.meshgrid(np.arange(size), np.arange(size), indexing="ij")
+    protos = np.zeros((num_classes, channels, size, size))
+    for cls_idx in range(num_classes):
+        for ch in range(channels):
+            pattern = np.zeros((size, size))
+            for _ in range(4):
+                fx, fy = rng.uniform(0.5, 3.0, size=2) * 2 * np.pi / size
+                phase = rng.uniform(0, 2 * np.pi)
+                amp = rng.uniform(0.5, 1.0)
+                pattern += amp * np.cos(fx * xx + fy * yy + phase)
+            protos[cls_idx, ch] = pattern / np.abs(pattern).max()
+    return protos
+
+
+def _render_sample(
+    rng: np.random.Generator, prototype: np.ndarray, noise: float
+) -> np.ndarray:
+    """One sample: translated prototype + contrast jitter + noise."""
+    size = prototype.shape[-1]
+    shift_y, shift_x = rng.integers(-size // 8, size // 8 + 1, size=2)
+    shifted = np.roll(prototype, (shift_y, shift_x), axis=(-2, -1))
+    contrast = rng.uniform(0.8, 1.2)
+    sample = contrast * shifted + rng.normal(0.0, noise, size=prototype.shape)
+    return sample

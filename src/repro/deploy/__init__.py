@@ -1,0 +1,29 @@
+"""Deployment utilities: model bundles and post-training quantization.
+
+A discovered HSCoNet eventually ships to the target device. This
+package provides the last-mile pieces a user needs:
+
+* :mod:`repro.deploy.bundle` — serialize a (supernet, architecture)
+  pair into a single ``.npz`` bundle (weights + BN statistics +
+  architecture + space config) and load it back, with nothing shared
+  with the original objects.
+* :mod:`repro.deploy.quantize` — simulated symmetric post-training
+  quantization (per-output-channel for conv/linear weights), with an
+  accuracy-drop evaluation on the proxy task. Edge deployments almost
+  always quantize; the simulation shows how HSCoNets tolerate it.
+"""
+
+from repro.deploy.bundle import export_bundle, load_bundle
+from repro.deploy.quantize import (
+    QuantizationReport,
+    fake_quantize_array,
+    quantize_model_weights,
+)
+
+__all__ = [
+    "export_bundle",
+    "load_bundle",
+    "fake_quantize_array",
+    "quantize_model_weights",
+    "QuantizationReport",
+]

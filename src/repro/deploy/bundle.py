@@ -1,0 +1,118 @@
+"""Model bundles: one-file serialization of a deployable subnet.
+
+The bundle holds the supernet's parameters, every batch-norm's running
+statistics, the activated architecture, and the space configuration —
+enough to reconstruct an inference-ready model with
+:func:`load_bundle` and nothing else.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.layers.norm import BatchNorm2d
+from repro.space.architecture import Architecture
+from repro.space.config import SpaceConfig, StageSpec
+from repro.space.search_space import SearchSpace
+from repro.supernet.model import Supernet
+
+_META_KEY = "__bundle_meta__"
+
+
+def _config_to_dict(config: SpaceConfig) -> dict:
+    return {
+        "name": config.name,
+        "input_size": config.input_size,
+        "input_channels": config.input_channels,
+        "num_classes": config.num_classes,
+        "stem_channels": config.stem_channels,
+        "stages": [[s.num_blocks, s.channels] for s in config.stages],
+        "head_channels": config.head_channels,
+        "channel_factors": list(config.channel_factors),
+    }
+
+
+def _config_from_dict(payload: dict) -> SpaceConfig:
+    return SpaceConfig(
+        name=payload["name"],
+        input_size=payload["input_size"],
+        input_channels=payload["input_channels"],
+        num_classes=payload["num_classes"],
+        stem_channels=payload["stem_channels"],
+        stages=tuple(StageSpec(n, c) for n, c in payload["stages"]),
+        head_channels=payload["head_channels"],
+        channel_factors=tuple(payload["channel_factors"]),
+    )
+
+
+def _bn_stats(model: Supernet) -> dict:
+    stats = {}
+    for i, module in enumerate(model.modules()):
+        if isinstance(module, BatchNorm2d):
+            stats[f"bn{i}.running_mean"] = module.running_mean
+            stats[f"bn{i}.running_var"] = module.running_var
+    return stats
+
+
+def _restore_bn_stats(model: Supernet, data) -> None:
+    for i, module in enumerate(model.modules()):
+        if isinstance(module, BatchNorm2d):
+            module.running_mean = np.array(data[f"bn{i}.running_mean"])
+            module.running_var = np.array(data[f"bn{i}.running_var"])
+
+
+def export_bundle(
+    supernet: Supernet, arch: Architecture, path: Union[str, Path]
+) -> Path:
+    """Write a deployable bundle to ``path`` (``.npz`` appended if missing)."""
+    if not supernet.space.contains(arch):
+        raise ValueError("architecture is not part of the supernet's space")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+
+    meta = json.dumps(
+        {
+            "architecture": arch.to_dict(),
+            "space_config": _config_to_dict(supernet.space.config),
+            "format_version": 1,
+        }
+    )
+    arrays = {f"param::{k}": v for k, v in supernet.state_dict().items()}
+    arrays.update(_bn_stats(supernet))
+    arrays[_META_KEY] = np.array(meta)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_bundle(path: Union[str, Path]) -> Supernet:
+    """Reconstruct an inference-ready model from a bundle.
+
+    The returned supernet has the bundle's weights and BN statistics
+    loaded, the bundled architecture activated, and is in eval mode.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        if _META_KEY not in data:
+            raise ValueError(f"{path} is not a repro model bundle")
+        meta = json.loads(str(data[_META_KEY]))
+        config = _config_from_dict(meta["space_config"])
+        arch = Architecture.from_dict(meta["architecture"])
+
+        space = SearchSpace(config)
+        model = Supernet(space, seed=0)
+        state = {
+            key[len("param::"):]: np.array(value)
+            for key, value in data.items()
+            if key.startswith("param::")
+        }
+        model.load_state_dict(state)
+        _restore_bn_stats(model, data)
+
+    model.set_architecture(arch)
+    model.eval()
+    return model

@@ -1,0 +1,51 @@
+"""Hardware substrate: device simulators and the paper's latency predictor.
+
+The paper measures on three physical devices — an Nvidia Quadro GV100
+(GPU, batch 32), an Intel Xeon Gold 6136 (CPU, batch 1), and an Nvidia
+Jetson Xavier in power mode 6 (edge, batch 16). This reproduction stands
+them in with analytical roofline-style simulators
+(:class:`~repro.hardware.device.DeviceModel`): each primitive kernel is
+charged a launch overhead plus ``max(compute, memory)`` time with
+op-kind- and size-dependent utilization, layers pay a boundary
+(communication) overhead, and measurements carry multiplicative noise.
+
+On top of the simulated devices sits the paper's contribution — the
+latency lookup table plus calibrated bias ``B``
+(:class:`~repro.hardware.predictor.LatencyPredictor`, Eq. 2-3).
+"""
+
+from repro.hardware.spec import DeviceSpec, cpu_spec, edge_spec, gpu_spec
+from repro.hardware.device import DeviceModel, get_device
+from repro.hardware.profiler import OnDeviceProfiler
+from repro.hardware.lut import LatencyLUT
+from repro.hardware.predictor import LatencyPredictor, PredictorReport
+from repro.hardware.metrics import pearson, rmse, spearman
+from repro.hardware.calibration import calibrate_time_scale
+from repro.hardware.energy import EnergyModel, EnergyPredictor
+from repro.hardware.cost_model import SearchCostModel
+from repro.hardware.ledger import MeasurementLedger
+from repro.hardware.proxy_predictor import FlopsLatencyPredictor
+from repro.hardware.regression_predictor import FeatureLatencyPredictor
+
+__all__ = [
+    "DeviceSpec",
+    "gpu_spec",
+    "cpu_spec",
+    "edge_spec",
+    "DeviceModel",
+    "get_device",
+    "OnDeviceProfiler",
+    "LatencyLUT",
+    "LatencyPredictor",
+    "PredictorReport",
+    "rmse",
+    "pearson",
+    "spearman",
+    "calibrate_time_scale",
+    "EnergyModel",
+    "EnergyPredictor",
+    "MeasurementLedger",
+    "SearchCostModel",
+    "FlopsLatencyPredictor",
+    "FeatureLatencyPredictor",
+]

@@ -1,0 +1,57 @@
+"""Wall-clock search-cost estimation from ledger counters.
+
+The paper motivates its hardware model by the cost of on-device
+measurement at NAS scale. This converts a
+:class:`~repro.hardware.ledger.MeasurementLedger` into estimated
+wall-clock time, so "the predictor saved N hours" becomes a number.
+
+Defaults reflect a realistic measurement rig: deploying and measuring
+one architecture end to end costs tens of seconds (model export, device
+transfer, warmup, timed runs), an operator micro-benchmark cell costs a
+fraction of a second (no per-cell deployment — the op bench harness is
+loaded once), and a predictor query costs microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.ledger import MeasurementLedger
+
+
+@dataclass(frozen=True)
+class SearchCostModel:
+    """Seconds per unit of each ledger counter."""
+
+    seconds_per_measurement_session: float = 30.0
+    seconds_per_lut_cell: float = 0.2
+    seconds_per_prediction: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if min(
+            self.seconds_per_measurement_session,
+            self.seconds_per_lut_cell,
+            self.seconds_per_prediction,
+        ) < 0:
+            raise ValueError("costs must be non-negative")
+
+    def estimate_seconds(self, ledger: MeasurementLedger) -> float:
+        """Estimated wall-clock spend of the recorded activity."""
+        return (
+            ledger.measurement_sessions * self.seconds_per_measurement_session
+            + ledger.lut_cells * self.seconds_per_lut_cell
+            + ledger.predictor_queries * self.seconds_per_prediction
+        )
+
+    def measure_everything_seconds(self, ledger: MeasurementLedger) -> float:
+        """Counterfactual: what the same search would have cost if every
+        predictor query had been an on-device measurement instead."""
+        sessions = ledger.measurement_sessions + ledger.predictor_queries
+        return sessions * self.seconds_per_measurement_session
+
+    def savings_factor(self, ledger: MeasurementLedger) -> float:
+        """measure-everything cost / actual cost (the paper's payoff)."""
+        actual = self.estimate_seconds(ledger)
+        if actual <= 0:
+            raise ValueError("ledger recorded no activity")
+        return self.measure_everything_seconds(ledger) / actual

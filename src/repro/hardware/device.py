@@ -1,0 +1,162 @@
+"""Analytical device execution model ("the hardware").
+
+This module plays the role of the paper's physical testbed: given the
+primitive kernels of a network, it returns an end-to-end latency that
+includes per-kernel roofline time, launch overheads, per-layer boundary
+(communication) costs, a fixed base cost, and measurement noise.
+
+The latency *predictor* (Eq. 2-3) never sees these internals — it only
+gets end-to-end measurements, exactly like the paper's on-device
+profiling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.spec import DeviceSpec, spec_by_key
+from repro.space.architecture import Architecture
+from repro.space.operators import Primitive
+from repro.space.search_space import SearchSpace
+
+
+class DeviceModel:
+    """Executes primitive lists and reports latency in milliseconds."""
+
+    def __init__(self, spec: DeviceSpec):
+        self.spec = spec
+
+    # -- kernel-level timing --------------------------------------------------
+
+    def primitive_time_s(self, prim: Primitive, batch: Optional[int] = None) -> float:
+        """Noise-free execution time of one kernel, in seconds.
+
+        Roofline with utilization: the achievable compute throughput is
+        ``peak * kind_eff * work / (work + saturation)``, so small
+        kernels never reach steady-state throughput; memory-bound
+        kernels are limited by bandwidth instead. A launch overhead is
+        always paid.
+        """
+        spec = self.spec
+        b = spec.batch_size if batch is None else batch
+        if b < 1:
+            raise ValueError("batch must be >= 1")
+        work = prim.flops * b
+        traffic = (prim.bytes_read + prim.bytes_written) * b
+        if work > 0:
+            eff = spec.kind_efficiency.get(prim.kind, 0.3)
+            utilization = work / (work + spec.saturation_for(prim.kind))
+            compute_s = work / (spec.peak_macs_per_s * eff * max(utilization, 1e-9))
+        else:
+            compute_s = 0.0
+        bw_eff = spec.bandwidth_efficiency.get(prim.kind, 1.0)
+        memory_s = traffic / (spec.bandwidth_bytes_per_s * bw_eff)
+        return spec.launch_overhead_s + max(compute_s, memory_s)
+
+    # -- network-level timing -----------------------------------------------------
+
+    def run_network_ms(
+        self,
+        layer_primitives: Sequence[Sequence[Primitive]],
+        extra_primitives: Sequence[Primitive] = (),
+        batch: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """End-to-end latency of a network, in milliseconds.
+
+        Parameters
+        ----------
+        layer_primitives:
+            Kernels grouped by layer; every *non-empty* layer pays the
+            per-layer boundary overhead (identity skips execute nothing
+            and are fused away, so they pay nothing).
+        extra_primitives:
+            Stem/head kernels (counted once, one boundary).
+        batch:
+            Override the device's default batch size.
+        rng:
+            If given, multiplicative log-normal measurement noise is
+            applied — this makes the call a *measurement*; omit it for
+            the noise-free ground truth.
+        """
+        spec = self.spec
+        total_s = spec.base_overhead_s
+        boundaries = 0
+        for layer in layer_primitives:
+            if not layer:
+                continue
+            boundaries += 1
+            for prim in layer:
+                total_s += self.primitive_time_s(prim, batch)
+        if extra_primitives:
+            boundaries += 1
+            for prim in extra_primitives:
+                total_s += self.primitive_time_s(prim, batch)
+        total_s += boundaries * spec.layer_overhead_s
+        total_s *= spec.time_scale
+        if rng is not None and spec.noise_sigma > 0:
+            total_s *= float(np.exp(rng.normal(0.0, spec.noise_sigma)))
+        return total_s * 1e3
+
+    # -- architecture-level convenience ------------------------------------------
+
+    def latency_ms(
+        self,
+        space: SearchSpace,
+        arch: Architecture,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Latency of a search-space architecture (stem + layers + head).
+
+        With ``rng`` this simulates one noisy on-device measurement
+        (``LAT+`` in the paper's Eq. 3); without it, the noise-free
+        device time.
+        """
+        return self.run_network_ms(
+            space.arch_primitives(arch),
+            space.stem_head_primitives(arch),
+            rng=rng,
+        )
+
+    def primitives_time_ms(self, prims: Sequence[Primitive]) -> float:
+        """Summed kernel time of isolated primitives (no boundary/base
+        overheads) — the micro-benchmark view used for LUT cells."""
+        total_s = sum(self.primitive_time_s(p) for p in prims)
+        return total_s * self.spec.time_scale * 1e3
+
+    def operator_time_ms(
+        self,
+        space: SearchSpace,
+        layer: int,
+        op_index: int,
+        factor: float,
+        cin: int,
+    ) -> float:
+        """Isolated execution time of one operator choice at one layer.
+
+        This is what an op-level micro-benchmark measures when building
+        the latency LUT: kernel times only, no layer-boundary or base
+        overheads (which is precisely why the summed LUT underestimates
+        end-to-end latency and the paper needs the bias ``B``).
+        """
+        from repro.nn.layers.mask import channels_kept
+        from repro.space.operators import get_operator
+
+        geom = space.geometry[layer]
+        cout = channels_kept(geom.max_out_channels, factor)
+        prims = get_operator(op_index).primitives(cin, cout, geom.in_size, geom.stride)
+        total_s = sum(self.primitive_time_s(p) for p in prims)
+        return total_s * self.spec.time_scale * 1e3
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeviceModel({self.spec.key!r}, batch={self.spec.batch_size})"
+
+
+def get_device(key: str, time_scale: Optional[float] = None) -> DeviceModel:
+    """Construct a default device model by key (``"gpu"``/``"cpu"``/``"edge"``)."""
+    spec = spec_by_key(key)
+    if time_scale is not None:
+        spec = spec.with_time_scale(time_scale)
+    return DeviceModel(spec)

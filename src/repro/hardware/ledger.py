@@ -1,0 +1,82 @@
+"""Search-cost accounting.
+
+The paper's motivation for the Eq. 2-3 model is that "directly measuring
+the runtime performance on target hardware [...] is prohibitively
+expensive since the search space of NAS is immensely large". The ledger
+makes that claim checkable: it counts on-device measurement sessions
+(and individual inference runs) separately from predictor queries, so a
+pipeline can *prove* its search loop ran measurement-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MeasurementLedger:
+    """Counters for the three cost classes of a hardware-aware search.
+
+    Attributes
+    ----------
+    measurement_sessions:
+        Architectures measured end-to-end on the device (each costs a
+        deployment + warmup + repeats in the real world).
+    measurement_runs:
+        Individual on-device inference executions (warmup + repeats).
+    lut_cells:
+        Operator micro-benchmark cells profiled while building LUTs.
+    predictor_queries:
+        Latency/energy predictions served from the LUT — the cheap
+        operation the search loop is allowed to spam.
+    """
+
+    measurement_sessions: int = 0
+    measurement_runs: int = 0
+    lut_cells: int = 0
+    predictor_queries: int = 0
+    _frozen: bool = field(default=False, repr=False)
+
+    # -- recording --------------------------------------------------------------
+
+    def record_measurement(self, runs: int) -> None:
+        if self._frozen:
+            raise RuntimeError(
+                "ledger is frozen: an on-device measurement happened "
+                "inside a measurement-free section"
+            )
+        if runs < 1:
+            raise ValueError("a measurement session has at least one run")
+        self.measurement_sessions += 1
+        self.measurement_runs += runs
+
+    def record_lut_cells(self, cells: int) -> None:
+        if cells < 0:
+            raise ValueError("cell count must be non-negative")
+        self.lut_cells += cells
+
+    def record_prediction(self) -> None:
+        self.predictor_queries += 1
+
+    # -- measurement-free sections ----------------------------------------------
+
+    def freeze_measurements(self) -> None:
+        """Make any further on-device measurement an error.
+
+        The HSCoNAS pipeline freezes the ledger for the shrinking+EA
+        phase: Eq. 2-3 exists precisely so that phase needs no device.
+        """
+        self._frozen = True
+
+    def thaw_measurements(self) -> None:
+        self._frozen = False
+
+    # -- reporting ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        return (
+            f"on-device sessions: {self.measurement_sessions} "
+            f"({self.measurement_runs} runs), "
+            f"LUT cells: {self.lut_cells}, "
+            f"predictor queries: {self.predictor_queries}"
+        )

@@ -1,0 +1,183 @@
+"""The per-operator latency lookup table (paper Eq. 2, first term).
+
+Cells are keyed on ``(layer, operator, input_channels, factor)``: an
+operator's execution time depends on its *active* input channel count,
+which is set by the previous layer's scaling factor, so the
+micro-benchmark enumerates the possible input widths per layer (as
+op-level latency predictors such as nn-Meter do). What the LUT still
+cannot see — stem/head kernels, per-layer boundary synchronization, and
+framework entry costs — is exactly the systematic gap the bias term
+``B`` (Eq. 3) compensates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.hardware.device import DeviceModel
+from repro.nn.layers.mask import channels_kept
+from repro.space.architecture import Architecture
+from repro.space.search_space import SearchSpace
+
+_Key = Tuple[int, int, int, float]
+
+
+def _cell_key(layer: int, op: int, cin: int, factor: float) -> _Key:
+    return (layer, op, cin, round(factor, 6))
+
+
+def layer_cin_choices(space: SearchSpace, layer: int) -> List[int]:
+    """Possible active input-channel counts of a layer.
+
+    Layer 0 always receives the full stem output; deeper layers receive
+    whatever the previous layer's factor kept.
+    """
+    if layer == 0:
+        return [space.config.stem_channels]
+    prev_max = space.geometry[layer - 1].max_out_channels
+    return sorted(
+        {channels_kept(prev_max, f) for f in space.candidate_factors[layer - 1]}
+    )
+
+
+class LatencyLUT:
+    """Latency lookup table over (layer, operator, cin, factor) cells,
+    plus micro-benchmarked stem and per-input-width head cells (the stem
+    and head are fixed modules, so they are profiled once like any other
+    operator)."""
+
+    def __init__(
+        self,
+        device_key: str,
+        entries: Dict[_Key, float],
+        stem_ms: float = 0.0,
+        head_ms: Dict[int, float] = None,
+    ):
+        self.device_key = device_key
+        self.entries = dict(entries)
+        self.stem_ms = stem_ms
+        self.head_ms = dict(head_ms) if head_ms else {}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        space: SearchSpace,
+        device: DeviceModel,
+        samples_per_cell: int = 4,
+        seed: int = 0,
+        ledger=None,
+    ) -> "LatencyLUT":
+        """Micro-benchmark every operator cell on the device.
+
+        Each cell averages ``samples_per_cell`` noisy measurements, as a
+        real micro-benchmark would. With a ``ledger``, the number of
+        profiled cells is recorded for search-cost accounting.
+        """
+        if samples_per_cell < 1:
+            raise ValueError("samples_per_cell must be >= 1")
+        rng = np.random.default_rng(seed)
+        entries: Dict[_Key, float] = {}
+        sigma = device.spec.noise_sigma
+
+        def measured(base: float) -> float:
+            if sigma > 0 and base > 0:
+                times = base * np.exp(
+                    rng.normal(0.0, sigma, size=samples_per_cell)
+                )
+                return float(np.mean(times))
+            return base
+
+        stem_ms = measured(device.primitives_time_ms(space.stem_primitives()))
+        head_ms: Dict[int, float] = {}
+        last_max = space.geometry[-1].max_out_channels
+        for factor in space.candidate_factors[-1]:
+            cin = channels_kept(last_max, factor)
+            if cin not in head_ms:
+                head_ms[cin] = measured(
+                    device.primitives_time_ms(space.head_primitives(cin))
+                )
+
+        for layer in range(space.num_layers):
+            for cin in layer_cin_choices(space, layer):
+                for op in space.candidate_ops[layer]:
+                    for factor in space.candidate_factors[layer]:
+                        base = device.operator_time_ms(
+                            space, layer, op, factor, cin
+                        )
+                        entries[_cell_key(layer, op, cin, factor)] = measured(base)
+        if ledger is not None:
+            ledger.record_lut_cells(len(entries) + 1 + len(head_ms))
+        return cls(device.spec.key, entries, stem_ms=stem_ms, head_ms=head_ms)
+
+    # -- queries -----------------------------------------------------------------
+
+    def lookup(self, layer: int, op: int, cin: int, factor: float) -> float:
+        """Latency (ms) of one operator cell."""
+        key = _cell_key(layer, op, cin, factor)
+        if key not in self.entries:
+            raise KeyError(
+                f"LUT has no cell for layer={layer} op={op} "
+                f"cin={cin} factor={factor}"
+            )
+        return self.entries[key]
+
+    def sum_ops_ms(self, arch: Architecture, space: SearchSpace) -> float:
+        """``sum_l LAT(op^l)`` — Eq. 2 without the bias term.
+
+        Walks the layer chain to resolve each layer's active input
+        channel count from the previous layer's factor; the fixed stem
+        and the (width-dependent) head count as operators too.
+        """
+        total = self.stem_ms
+        channels = space.active_channels(arch)
+        for layer, (op, factor) in enumerate(zip(arch.ops, arch.factors)):
+            cin = channels[layer][0]
+            total += self.lookup(layer, op, cin, factor)
+        last_c = channels[-1][1]
+        if self.head_ms:
+            if last_c not in self.head_ms:
+                raise KeyError(f"LUT has no head cell for cin={last_c}")
+            total += self.head_ms[last_c]
+        return total
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- (de)serialization ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "device": self.device_key,
+            "stem_ms": self.stem_ms,
+            "head_ms": {str(k): v for k, v in self.head_ms.items()},
+            "entries": [
+                {
+                    "layer": k[0],
+                    "op": k[1],
+                    "cin": k[2],
+                    "factor": k[3],
+                    "ms": v,
+                }
+                for k, v in sorted(self.entries.items())
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "LatencyLUT":
+        payload = json.loads(text)
+        entries = {
+            _cell_key(e["layer"], e["op"], e["cin"], e["factor"]): float(e["ms"])
+            for e in payload["entries"]
+        }
+        return cls(
+            payload["device"],
+            entries,
+            stem_ms=float(payload.get("stem_ms", 0.0)),
+            head_ms={int(k): float(v) for k, v in payload.get("head_ms", {}).items()},
+        )

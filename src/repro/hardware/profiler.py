@@ -1,0 +1,76 @@
+"""On-device measurement methodology: warmup + repeats + median.
+
+Real latency profiling discards warmup iterations (JIT, cache warming,
+clock ramp) and aggregates repeated runs. The simulated devices add
+per-measurement noise, so the same methodology applies here and the
+profiler is the single place that owns it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hardware.device import DeviceModel
+from repro.hardware.ledger import MeasurementLedger
+from repro.space.architecture import Architecture
+from repro.space.search_space import SearchSpace
+
+
+class OnDeviceProfiler:
+    """Measures architecture latency the way a practitioner would.
+
+    Parameters
+    ----------
+    device:
+        Target device model.
+    warmup:
+        Measurements discarded before aggregation.
+    repeats:
+        Measurements aggregated (by median) per architecture.
+    seed:
+        Seed of the measurement-noise stream.
+    ledger:
+        Optional cost ledger; every measurement session is recorded so
+        the search-cost claims are checkable.
+    """
+
+    def __init__(
+        self,
+        device: DeviceModel,
+        warmup: int = 3,
+        repeats: int = 5,
+        seed: int = 0,
+        ledger: Optional[MeasurementLedger] = None,
+    ):
+        if warmup < 0 or repeats < 1:
+            raise ValueError("warmup must be >= 0 and repeats >= 1")
+        self.device = device
+        self.warmup = warmup
+        self.repeats = repeats
+        self.ledger = ledger
+        self._rng = np.random.default_rng(seed)
+
+    def measure_ms(self, space: SearchSpace, arch: Architecture) -> float:
+        """Median latency over ``repeats`` noisy runs (after warmup)."""
+        if self.ledger is not None:
+            self.ledger.record_measurement(runs=self.warmup + self.repeats)
+        for _ in range(self.warmup):
+            self.device.latency_ms(space, arch, rng=self._rng)
+        runs = [
+            self.device.latency_ms(space, arch, rng=self._rng)
+            for _ in range(self.repeats)
+        ]
+        return float(np.median(runs))
+
+    def measure_many_ms(
+        self, space: SearchSpace, archs: List[Architecture]
+    ) -> List[float]:
+        """Measure a batch of architectures."""
+        return [self.measure_ms(space, arch) for arch in archs]
+
+    def ground_truth_ms(self, space: SearchSpace, arch: Architecture) -> float:
+        """Noise-free device latency (not available on real hardware;
+        exposed for tests and analysis only)."""
+        return self.device.latency_ms(space, arch, rng=None)

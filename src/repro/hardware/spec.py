@@ -1,0 +1,195 @@
+"""Device specifications for the simulated hardware targets.
+
+The constants below describe devices *analogous to* the paper's testbed.
+Absolute throughputs were hand-tuned (and can be re-fit with
+:mod:`repro.hardware.calibration`) so that the published Table-I anchor
+models land near their published latencies; the *relative* behaviour —
+launch-overhead-dominated GPU, low-utilization batch-1 CPU, bandwidth-
+starved edge SoC — is what drives every qualitative result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of one simulated device.
+
+    Attributes
+    ----------
+    name, key:
+        Display name and short identifier (``"gpu"``/``"cpu"``/``"edge"``).
+    batch_size:
+        Inference batch size used for latency evaluation (paper Sec.
+        III-A: 32 for GPU, 1 for CPU, 16 for edge).
+    peak_macs_per_s:
+        Peak multiply-accumulate throughput.
+    bandwidth_bytes_per_s:
+        Peak DRAM bandwidth.
+    launch_overhead_s:
+        Fixed cost charged per primitive kernel (driver/dispatch).
+    layer_overhead_s:
+        Communication/synchronization cost charged per layer boundary —
+        the systematic error source the paper's bias ``B`` compensates.
+    base_overhead_s:
+        Fixed end-to-end cost (framework entry, output copy).
+    kind_efficiency:
+        Fraction of peak MACs achievable per primitive kind; depthwise
+        convolutions utilize wide SIMD/tensor hardware poorly.
+    bandwidth_efficiency:
+        Fraction of peak DRAM bandwidth achievable per primitive kind.
+        Pure data-movement kernels (channel shuffle, concat, residual
+        adds) are strided and cache-hostile, especially on a batch-1
+        CPU — this is what makes ShuffleNetV2 and DARTS relatively slow
+        on the paper's CPU despite moderate FLOPs.
+    saturation_macs:
+        Work (MACs x batch) at which a kernel reaches half of its
+        achievable throughput; models launch-to-steady-state ramp and
+        under-utilization of small kernels.
+    kind_saturation:
+        Optional per-kind override of ``saturation_macs``. Depthwise
+        kernels ramp to their (low) steady-state throughput quickly, so
+        they get a smaller saturation point than dense convolutions.
+    noise_sigma:
+        Std-dev of multiplicative log-normal measurement noise.
+    time_scale:
+        Global multiplier applied to the final latency (used by anchor
+        calibration; 1.0 by default).
+    pj_per_mac:
+        Dynamic energy per multiply-accumulate (picojoules). Depthwise
+        kernels pay the same per-MAC cost; their inefficiency shows up
+        through *time* (static power), not per-op switching energy.
+    pj_per_byte:
+        Dynamic energy per byte of DRAM traffic (picojoules).
+    static_watts:
+        Idle/leakage power drawn for the duration of the inference —
+        the term that couples energy to the latency model and makes
+        slow-but-small networks energy-expensive on big chips.
+    """
+
+    name: str
+    key: str
+    batch_size: int
+    peak_macs_per_s: float
+    bandwidth_bytes_per_s: float
+    launch_overhead_s: float
+    layer_overhead_s: float
+    base_overhead_s: float
+    kind_efficiency: Dict[str, float] = field(
+        default_factory=lambda: {"conv": 0.45, "dwconv": 0.08}
+    )
+    bandwidth_efficiency: Dict[str, float] = field(
+        default_factory=lambda: {"conv": 1.0, "dwconv": 0.8, "memory": 0.3}
+    )
+    saturation_macs: float = 1e7
+    kind_saturation: Dict[str, float] = field(default_factory=dict)
+    noise_sigma: float = 0.02
+    time_scale: float = 1.0
+    pj_per_mac: float = 10.0
+    pj_per_byte: float = 50.0
+    static_watts: float = 5.0
+
+    def saturation_for(self, kind: str) -> float:
+        """Saturation work for a primitive kind."""
+        return self.kind_saturation.get(kind, self.saturation_macs)
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.peak_macs_per_s <= 0 or self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("throughputs must be positive")
+        if min(self.launch_overhead_s, self.layer_overhead_s, self.base_overhead_s) < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        if self.pj_per_mac < 0 or self.pj_per_byte < 0 or self.static_watts < 0:
+            raise ValueError("energy parameters must be non-negative")
+        for kind in ("conv", "dwconv"):
+            if kind not in self.kind_efficiency:
+                raise ValueError(f"kind_efficiency missing {kind!r}")
+
+    def with_time_scale(self, scale: float) -> "DeviceSpec":
+        """Copy with a different global time scale (anchor calibration)."""
+        return replace(self, time_scale=scale)
+
+
+def gpu_spec() -> DeviceSpec:
+    """Quadro GV100 analogue: huge compute, high launch overheads, batch 32."""
+    return DeviceSpec(
+        name="Nvidia Quadro GV100 (simulated)",
+        key="gpu",
+        batch_size=32,
+        peak_macs_per_s=7.4e12,
+        bandwidth_bytes_per_s=870e9,
+        launch_overhead_s=9e-6,
+        layer_overhead_s=2.4e-5,
+        base_overhead_s=3.0e-4,
+        kind_efficiency={"conv": 0.40, "dwconv": 0.08},
+        bandwidth_efficiency={"conv": 1.0, "dwconv": 0.85, "memory": 0.55},
+        saturation_macs=2.0e7,
+        kind_saturation={"dwconv": 1.0e6},
+        noise_sigma=0.055,
+        pj_per_mac=25.0,
+        pj_per_byte=60.0,
+        static_watts=35.0,
+    )
+
+
+def cpu_spec() -> DeviceSpec:
+    """Xeon Gold 6136 analogue at batch 1: low utilization, tiny overheads."""
+    return DeviceSpec(
+        name="Intel Xeon Gold 6136 (simulated)",
+        key="cpu",
+        batch_size=1,
+        peak_macs_per_s=5.8e11,
+        bandwidth_bytes_per_s=1.19e11,
+        launch_overhead_s=1.5e-4,
+        layer_overhead_s=6.0e-5,
+        base_overhead_s=2.0e-4,
+        kind_efficiency={"conv": 0.055, "dwconv": 0.020},
+        bandwidth_efficiency={"conv": 1.0, "dwconv": 0.60, "memory": 0.035},
+        saturation_macs=3.0e5,
+        noise_sigma=0.004,
+        pj_per_mac=60.0,
+        pj_per_byte=200.0,
+        static_watts=12.0,
+    )
+
+
+def edge_spec() -> DeviceSpec:
+    """Jetson Xavier (power mode 6) analogue at batch 16."""
+    return DeviceSpec(
+        name="Nvidia Jetson Xavier, power mode 6 (simulated)",
+        key="edge",
+        batch_size=16,
+        peak_macs_per_s=6.9e11,
+        bandwidth_bytes_per_s=1.37e11,
+        launch_overhead_s=1.8e-5,
+        layer_overhead_s=5.2e-5,
+        base_overhead_s=6.0e-4,
+        kind_efficiency={"conv": 0.35, "dwconv": 0.20},
+        bandwidth_efficiency={"conv": 1.0, "dwconv": 0.75, "memory": 0.30},
+        saturation_macs=2.0e6,
+        noise_sigma=0.040,
+        pj_per_mac=8.0,
+        pj_per_byte=70.0,
+        static_watts=1.8,
+    )
+
+
+_SPECS = {"gpu": gpu_spec, "cpu": cpu_spec, "edge": edge_spec}
+
+
+def spec_by_key(key: str) -> DeviceSpec:
+    """Look up a default device spec by short key."""
+    try:
+        return _SPECS[key]()
+    except KeyError:
+        raise KeyError(
+            f"unknown device {key!r}; expected one of {sorted(_SPECS)}"
+        ) from None

@@ -1,0 +1,60 @@
+"""A from-scratch numpy neural-network framework with manual backprop.
+
+This subpackage is the training substrate for the reproduction: the paper
+trains its supernet with PyTorch on ImageNet; here we provide the layers,
+losses, optimizers and schedules needed to train the (scaled-down)
+HSCoNAS supernet with real gradients on a synthetic task.
+
+Conventions
+-----------
+* Activations are ``float64`` numpy arrays in ``NCHW`` layout.
+* Every :class:`~repro.nn.module.Module` implements ``forward`` and
+  ``backward``; ``backward`` consumes the gradient w.r.t. the module
+  output and returns the gradient w.r.t. the module input, accumulating
+  parameter gradients into ``Parameter.grad`` along the way.
+* Layers cache whatever they need for the backward pass during
+  ``forward(..., training=True)``; inference calls do not cache.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.initializers import kaiming_normal, kaiming_uniform, xavier_uniform, zeros_init
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.activation import HSwish, Identity, ReLU, Sigmoid
+from repro.nn.layers.pool import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.shuffle import ChannelShuffle, channel_concat, channel_split
+from repro.nn.layers.mask import ChannelMask
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.optim import SGD, clip_grad_norm
+from repro.nn.schedule import ConstantSchedule, CosineSchedule, WarmupCosineSchedule
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "kaiming_normal",
+    "kaiming_uniform",
+    "xavier_uniform",
+    "zeros_init",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "HSwish",
+    "Sigmoid",
+    "Identity",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ChannelShuffle",
+    "channel_split",
+    "channel_concat",
+    "ChannelMask",
+    "CrossEntropyLoss",
+    "SGD",
+    "clip_grad_norm",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "WarmupCosineSchedule",
+]

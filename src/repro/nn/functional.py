@@ -1,0 +1,109 @@
+"""Stateless tensor operations shared by the layer implementations.
+
+The convolution layers are built on an ``im2col``/``col2im`` pair: the
+input patches are unfolded into a matrix so that the convolution becomes
+a single GEMM, which is the only way to get acceptable throughput out of
+numpy for supernet training.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dimensions of an NCHW tensor."""
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive conv output: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold NCHW input into columns.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C * kernel * kernel, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    x = pad_nchw(x, padding)
+
+    # Gather kernel*kernel strided views, then reshape into the column
+    # matrix. Using slicing (rather than fancy indexing) keeps this
+    # memory-bandwidth bound instead of allocation bound.
+    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    for ki in range(kernel):
+        hi_end = ki + stride * out_h
+        for kj in range(kernel):
+            wj_end = kj + stride * out_w
+            cols[:, :, ki, kj, :, :] = x[:, :, ki:hi_end:stride, kj:wj_end:stride]
+    return cols.reshape(n, c * kernel * kernel, out_h * out_w), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold columns back into an NCHW tensor, summing overlapping patches.
+
+    Inverse-accumulation counterpart of :func:`im2col`, used by the
+    convolution backward pass to produce the input gradient.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for ki in range(kernel):
+        hi_end = ki + stride * out_h
+        for kj in range(kernel):
+            wj_end = kj + stride * out_w
+            padded[:, :, ki:hi_end:stride, kj:wj_end:stride] += cols[:, :, ki, kj, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer label vector."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("labels out of range for one-hot encoding")
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -1,0 +1,56 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+supernet construction is reproducible end to end — a requirement for the
+paper's weight-sharing evaluation, where subnets inherit supernet weights
+and must see identical values across runs with the same seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for linear and conv weight shapes.
+
+    Linear weights are ``(out, in)``; conv weights are
+    ``(out, in, kh, kw)`` where the receptive field multiplies both fans.
+    """
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        out_ch, in_ch, kh, kw = shape
+        receptive = kh * kw
+        return in_ch * receptive, out_ch * receptive
+    raise ValueError(f"unsupported weight shape for fan computation: {shape}")
+
+
+def kaiming_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialization (gain for ReLU nonlinearities)."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-uniform initialization."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization (for linear classifier heads)."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros_init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (biases, BN shift)."""
+    del rng  # determinism by construction
+    return np.zeros(shape, dtype=np.float64)

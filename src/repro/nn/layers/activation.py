@@ -1,0 +1,81 @@
+"""Elementwise activations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit (used throughout the ShuffleNetV2 blocks)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if self.training else None
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called without a cached training forward")
+        grad = grad_out * self._mask
+        self._mask = None
+        return grad
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid (squeeze-excite gates in MobileNetV3 baselines)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = 1.0 / (1.0 + np.exp(-x))
+        self._y = y if self.training else None
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called without a cached training forward")
+        grad = grad_out * self._y * (1.0 - self._y)
+        self._y = None
+        return grad
+
+
+class HSwish(Module):
+    """Hard swish: ``x * relu6(x + 3) / 6`` (MobileNetV3 nonlinearity)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x if self.training else None
+        return x * np.clip(x + 3.0, 0.0, 6.0) / 6.0
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a cached training forward")
+        x = self._x
+        grad = np.where(
+            x <= -3.0, 0.0, np.where(x >= 3.0, 1.0, (2.0 * x + 3.0) / 6.0)
+        )
+        self._x = None
+        return grad_out * grad
+
+
+class Identity(Module):
+    """Pass-through module (the skip-connect operator's compute path)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out

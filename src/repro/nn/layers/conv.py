@@ -1,0 +1,146 @@
+"""2-D convolution with optional grouping (depthwise as a special case).
+
+ShuffleNetV2 blocks — the paper's operator family — only need dense 1x1
+convolutions and depthwise kxk convolutions, both of which are covered by
+``Conv2d(groups=...)``. The implementation lowers each group to a GEMM
+via im2col.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import col2im, im2col
+from repro.nn.initializers import kaiming_normal, zeros_init
+from repro.nn.module import Module, Parameter
+
+
+class Conv2d(Module):
+    """Grouped 2-D convolution over NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts; both must be divisible by ``groups``.
+    kernel_size:
+        Square kernel side length.
+    stride, padding:
+        Uniform spatial stride / zero padding.
+    groups:
+        ``1`` for a dense conv, ``in_channels`` for depthwise.
+    bias:
+        Whether to add a per-output-channel bias. Convolutions followed
+        by batch norm should set this ``False`` (as the paper's blocks do).
+    rng:
+        Generator for weight initialization; required so supernet
+        construction is reproducible.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"channels ({in_channels}->{out_channels}) not divisible "
+                f"by groups={groups}"
+            )
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("kernel_size/stride must be >=1 and padding >=0")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+
+        rng = rng if rng is not None else np.random.default_rng(0)
+        weight_shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(kaiming_normal(weight_shape, rng), name="weight")
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(
+                zeros_init((out_channels,), rng), name="bias", weight_decay=False
+            )
+
+        self._cache: Optional[dict] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {c}")
+        g = self.groups
+        cin_g = self.in_channels // g
+        cout_g = self.out_channels // g
+        k = self.kernel_size
+
+        out = None
+        cols_per_group = []
+        out_h = out_w = 0
+        for gi in range(g):
+            xg = x[:, gi * cin_g : (gi + 1) * cin_g]
+            cols, out_h, out_w = im2col(xg, k, self.stride, self.padding)
+            # (cout_g, cin_g*k*k) @ (N, cin_g*k*k, OHW) -> (N, cout_g, OHW)
+            wmat = self.weight.data[gi * cout_g : (gi + 1) * cout_g].reshape(cout_g, -1)
+            yg = np.einsum("oc,ncp->nop", wmat, cols, optimize=True)
+            if out is None:
+                out = np.empty((n, self.out_channels, out_h * out_w), dtype=x.dtype)
+            out[:, gi * cout_g : (gi + 1) * cout_g] = yg
+            cols_per_group.append(cols)
+
+        out = out.reshape(n, self.out_channels, out_h, out_w)
+        if self.bias is not None:
+            out = out + self.bias.data[None, :, None, None]
+
+        if self.training:
+            self._cache = {"cols": cols_per_group, "x_shape": x.shape}
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called without a cached training forward")
+        cols_per_group = self._cache["cols"]
+        x_shape = self._cache["x_shape"]
+        n = grad_out.shape[0]
+        g = self.groups
+        cin_g = self.in_channels // g
+        cout_g = self.out_channels // g
+        k = self.kernel_size
+
+        grad_flat = grad_out.reshape(n, self.out_channels, -1)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_flat.sum(axis=(0, 2)))
+
+        grad_weight = np.zeros_like(self.weight.data)
+        grad_x = np.empty(x_shape, dtype=grad_out.dtype)
+        group_shape = (n, cin_g, x_shape[2], x_shape[3])
+        for gi in range(g):
+            gyg = grad_flat[:, gi * cout_g : (gi + 1) * cout_g]  # (N, cout_g, OHW)
+            cols = cols_per_group[gi]  # (N, cin_g*k*k, OHW)
+            # dW: sum over batch and positions.
+            gw = np.einsum("nop,ncp->oc", gyg, cols, optimize=True)
+            grad_weight[gi * cout_g : (gi + 1) * cout_g] = gw.reshape(
+                cout_g, cin_g, k, k
+            )
+            # dX: backproject columns.
+            wmat = self.weight.data[gi * cout_g : (gi + 1) * cout_g].reshape(cout_g, -1)
+            gcols = np.einsum("oc,nop->ncp", wmat, gyg, optimize=True)
+            grad_x[:, gi * cin_g : (gi + 1) * cin_g] = col2im(
+                gcols, group_shape, k, self.stride, self.padding
+            )
+
+        self.weight.accumulate_grad(grad_weight)
+        self._cache = None
+        return grad_x

@@ -1,0 +1,56 @@
+"""Fully connected layer (the classifier head)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.initializers import xavier_uniform, zeros_init
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` over ``(N, in_features)`` inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(
+            xavier_uniform((out_features, in_features), rng), name="weight"
+        )
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(
+                zeros_init((out_features,), rng), name="bias", weight_decay=False
+            )
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (N, {self.in_features}) input, got {x.shape}"
+            )
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data[None, :]
+        self._x = x if self.training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called without a cached training forward")
+        self.weight.accumulate_grad(grad_out.T @ self._x)
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_out.sum(axis=0))
+        grad_x = grad_out @ self.weight.data
+        self._x = None
+        return grad_x

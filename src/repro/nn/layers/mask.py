@@ -1,0 +1,68 @@
+"""Channel masking — the mechanism behind dynamic channel scaling.
+
+The paper (Sec. III-B) implements per-layer channel scaling by masking
+the operator output with a 0/1 vector ``I^l in {0,1}^{S^l}``: scaling
+factor ``c`` keeps the first ``round(c * S)`` channels and zeroes the
+rest. Masked channels receive no gradient, so the supernet's shared
+weights for those channels are untouched by a masked forward/backward —
+exactly the "scaling down" behaviour the paper relies on to avoid
+rebuilding the supernet topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def channels_kept(max_channels: int, factor: float) -> int:
+    """Number of channels kept by scaling factor ``factor``.
+
+    Uses round-half-away-from-zero and clamps to at least 1 channel,
+    matching the paper's example (``5 x 0.5 ~= 3``).
+    """
+    if not 0.0 < factor <= 1.0:
+        raise ValueError(f"scaling factor must be in (0, 1], got {factor}")
+    kept = int(np.floor(max_channels * factor + 0.5))
+    return max(1, min(max_channels, kept))
+
+
+def make_mask(max_channels: int, factor: float) -> np.ndarray:
+    """Build the 0/1 mask vector ``I`` for a scaling factor."""
+    mask = np.zeros(max_channels, dtype=np.float64)
+    mask[: channels_kept(max_channels, factor)] = 1.0
+    return mask
+
+
+class ChannelMask(Module):
+    """Multiply NCHW activations by a per-channel 0/1 mask.
+
+    The mask is mutable via :meth:`set_factor`, so a single supernet
+    instance can evaluate any channel configuration without rebuilding.
+    """
+
+    def __init__(self, max_channels: int, factor: float = 1.0):
+        super().__init__()
+        self.max_channels = max_channels
+        self.mask = make_mask(max_channels, factor)
+        self.factor = factor
+
+    def set_factor(self, factor: float) -> None:
+        """Re-target the mask to a new scaling factor."""
+        self.mask = make_mask(self.max_channels, factor)
+        self.factor = factor
+
+    @property
+    def active_channels(self) -> int:
+        return int(self.mask.sum())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.max_channels:
+            raise ValueError(
+                f"expected {self.max_channels} channels, got {x.shape[1]}"
+            )
+        return x * self.mask[None, :, None, None]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self.mask[None, :, None, None]

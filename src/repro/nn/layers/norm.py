@@ -1,0 +1,86 @@
+"""Batch normalization over NCHW activations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization with running statistics.
+
+    Training mode normalizes with batch statistics and updates running
+    mean/variance via exponential moving average; eval mode uses the
+    running statistics. Affine parameters are excluded from weight decay,
+    matching the paper's training recipe.
+    """
+
+    def __init__(self, num_channels: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_channels = num_channels
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(
+            np.ones(num_channels), name="gamma", weight_decay=False
+        )
+        self.beta = Parameter(
+            np.zeros(num_channels), name="beta", weight_decay=False
+        )
+        self.running_mean = np.zeros(num_channels)
+        self.running_var = np.ones(num_channels)
+        self._cache: Optional[dict] = None
+
+    def reset_running_stats(self) -> None:
+        """Reset running statistics (used when re-calibrating subnets)."""
+        self.running_mean[:] = 0.0
+        self.running_var[:] = 1.0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected (N, {self.num_channels}, H, W) input, got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = (
+            self.gamma.data[None, :, None, None] * x_hat
+            + self.beta.data[None, :, None, None]
+        )
+        if self.training:
+            self._cache = {"x_hat": x_hat, "inv_std": inv_std}
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called without a cached training forward")
+        x_hat = self._cache["x_hat"]
+        inv_std = self._cache["inv_std"]
+        n, _, h, w = grad_out.shape
+        m = n * h * w
+
+        self.gamma.accumulate_grad((grad_out * x_hat).sum(axis=(0, 2, 3)))
+        self.beta.accumulate_grad(grad_out.sum(axis=(0, 2, 3)))
+
+        # Standard batch-norm backward in terms of normalized activations.
+        g = grad_out * self.gamma.data[None, :, None, None]
+        sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+        sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        grad_x = (
+            inv_std[None, :, None, None] / m * (m * g - sum_g - x_hat * sum_gx)
+        )
+        self._cache = None
+        return grad_x

@@ -1,0 +1,63 @@
+"""Channel shuffle / split / concat — the ShuffleNetV2 plumbing.
+
+ShuffleNetV2's basic block splits channels in half, transforms one half,
+concatenates, then shuffles channels between the two halves so that
+information flows across branches. These are pure reindexing operations,
+so the backward passes are the inverse permutations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class ChannelShuffle(Module):
+    """Interleave channels across ``groups`` groups.
+
+    With ``C`` channels and ``g`` groups, channel ``i`` moves to position
+    ``(i % (C/g)) * g + i // (C/g)`` — the transpose-reshape trick from
+    ShuffleNet.
+    """
+
+    def __init__(self, groups: int = 2):
+        super().__init__()
+        if groups < 1:
+            raise ValueError("groups must be >= 1")
+        self.groups = groups
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        g = self.groups
+        if c % g:
+            raise ValueError(f"channels {c} not divisible by groups {g}")
+        return (
+            x.reshape(n, g, c // g, h, w)
+            .transpose(0, 2, 1, 3, 4)
+            .reshape(n, c, h, w)
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        n, c, h, w = grad_out.shape
+        g = self.groups
+        # Inverse of the forward permutation: swap the reshape factors.
+        return (
+            grad_out.reshape(n, c // g, g, h, w)
+            .transpose(0, 2, 1, 3, 4)
+            .reshape(n, c, h, w)
+        )
+
+
+def channel_split(x: np.ndarray, split: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Split an NCHW tensor into ``(x[:, :split], x[:, split:])``."""
+    if not 0 < split < x.shape[1]:
+        raise ValueError(f"split {split} out of range for {x.shape[1]} channels")
+    return x[:, :split], x[:, split:]
+
+
+def channel_concat(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Concatenate two NCHW tensors along the channel axis."""
+    return np.concatenate([a, b], axis=1)

@@ -1,0 +1,49 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy with optional label smoothing.
+
+    Usage: ``loss = criterion.forward(logits, labels)`` followed by
+    ``grad_logits = criterion.backward()``. The gradient is averaged
+    over the batch, matching the mean-reduction convention.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+        self._cache: Optional[dict] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, K), got {logits.shape}")
+        n, k = logits.shape
+        targets = one_hot(labels, k)
+        if self.label_smoothing > 0.0:
+            targets = targets * (1.0 - self.label_smoothing) + self.label_smoothing / k
+        logp = log_softmax(logits, axis=1)
+        loss = float(-(targets * logp).sum() / n)
+        self._cache = {"logits": logits, "targets": targets}
+        return loss
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        logits = self._cache["logits"]
+        targets = self._cache["targets"]
+        n = logits.shape[0]
+        grad = (softmax(logits, axis=1) - targets) / n
+        self._cache = None
+        return grad
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)

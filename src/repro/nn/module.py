@@ -1,0 +1,207 @@
+"""Module and parameter abstractions for the numpy NN framework.
+
+The design intentionally avoids a tape-based autograd: each layer knows
+how to backpropagate through itself, which keeps the framework small,
+debuggable, and fast enough for the scaled-down supernet training used
+in this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes
+    ----------
+    data:
+        The parameter value, updated in place by optimizers.
+    grad:
+        Accumulated gradient of the loss w.r.t. ``data``; ``None`` until
+        a backward pass touches the parameter.
+    name:
+        Optional human-readable identifier (used in state dicts).
+    weight_decay:
+        Whether L2 regularization applies to this parameter. Following
+        common practice (and the paper's training recipe), weight decay
+        is disabled for batch-norm affine parameters and biases.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", weight_decay: bool = True):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self.weight_decay = weight_decay
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the stored gradient (creating it if absent)."""
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64)
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`. Containers
+    register child modules by assigning them to attributes; parameter and
+    child discovery walks ``__dict__`` so no explicit registration call
+    is required.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- forward / backward ------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_out`` (dL/d output) and return dL/d input."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- mode --------------------------------------------------------------
+
+    def train(self) -> "Module":
+        """Put this module and all children into training mode."""
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module and all children into inference mode."""
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    # -- discovery ---------------------------------------------------------
+
+    def children(self) -> Iterator["Module"]:
+        """Yield direct child modules (attribute order)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters in this module and its descendants."""
+        for module in self.modules():
+            for value in module.__dict__.values():
+                if isinstance(value, Parameter):
+                    yield value
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, stable across calls."""
+        for attr, value in self.__dict__.items():
+            if isinstance(value, Parameter):
+                yield (f"{prefix}{attr}", value)
+        for attr, value in self.__dict__.items():
+            if isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{prefix}{attr}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{prefix}{attr}.{i}.")
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from :meth:`state_dict` output.
+
+        With ``strict=True`` every key must match in name and shape.
+        With ``strict=False`` missing/mismatched keys are skipped, which
+        supports the paper's weight-inheritance between a supernet and
+        its channel-scaled subnets.
+        """
+        params = dict(self.named_parameters())
+        if strict:
+            missing = set(params) - set(state)
+            extra = set(state) - set(params)
+            if missing or extra:
+                raise KeyError(
+                    f"state dict mismatch: missing={sorted(missing)} extra={sorted(extra)}"
+                )
+        for name, value in state.items():
+            if name not in params:
+                continue
+            if params[name].data.shape != value.shape:
+                if strict:
+                    raise ValueError(
+                        f"shape mismatch for {name}: "
+                        f"{params[name].data.shape} vs {value.shape}"
+                    )
+                continue
+            params[name].data = value.copy()
+
+
+class Sequential(Module):
+    """Compose modules in order; backward runs them in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out

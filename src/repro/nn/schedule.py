@@ -1,0 +1,76 @@
+"""Learning-rate schedules.
+
+The paper anneals the supernet learning rate from 0.5 to zero with a
+cosine schedule over 100 epochs, and warms up for 5 epochs when training
+discovered architectures from scratch.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Schedule:
+    """Maps a step index in ``[0, total_steps)`` to a learning rate."""
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    """Fixed learning rate (used for short fine-tuning stages)."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+
+    def lr_at(self, step: int) -> float:
+        del step
+        return self.lr
+
+
+class CosineSchedule(Schedule):
+    """Cosine annealing from ``base_lr`` down to ``min_lr``."""
+
+    def __init__(self, base_lr: float, total_steps: int, min_lr: float = 0.0):
+        if base_lr <= 0 or total_steps <= 0 or min_lr < 0:
+            raise ValueError("invalid cosine schedule parameters")
+        if min_lr > base_lr:
+            raise ValueError("min_lr must not exceed base_lr")
+        self.base_lr = base_lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        step = min(max(step, 0), self.total_steps)
+        cos = 0.5 * (1.0 + math.cos(math.pi * step / self.total_steps))
+        return self.min_lr + (self.base_lr - self.min_lr) * cos
+
+
+class WarmupCosineSchedule(Schedule):
+    """Linear warmup followed by cosine annealing.
+
+    Used when training HSCoNets from scratch: the paper warms up for the
+    first five epochs before the cosine decay.
+    """
+
+    def __init__(
+        self,
+        base_lr: float,
+        total_steps: int,
+        warmup_steps: int,
+        min_lr: float = 0.0,
+    ):
+        if warmup_steps < 0 or warmup_steps >= total_steps:
+            raise ValueError("warmup_steps must be in [0, total_steps)")
+        self.base_lr = base_lr
+        self.warmup_steps = warmup_steps
+        self.cosine = CosineSchedule(
+            base_lr, total_steps - warmup_steps, min_lr=min_lr
+        )
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        return self.cosine.lr_at(step - self.warmup_steps)

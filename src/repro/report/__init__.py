@@ -1,0 +1,12 @@
+"""Rendering of the paper's tables and figure data series."""
+
+from repro.report.tables import TableRow, render_table1
+from repro.report.figures import ascii_histogram, ascii_scatter, series_to_csv
+
+__all__ = [
+    "TableRow",
+    "render_table1",
+    "ascii_histogram",
+    "ascii_scatter",
+    "series_to_csv",
+]

@@ -1,0 +1,81 @@
+"""Figure data series: CSV export and terminal histograms.
+
+The benchmarks regenerate each figure as a data series (the thing a
+plot would show); these helpers render them without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def series_to_csv(series: Dict[str, Sequence[float]]) -> str:
+    """Column-wise CSV of equal-length named series."""
+    if not series:
+        raise ValueError("no series to export")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    names = list(series)
+    lines = [",".join(names)]
+    for i in range(lengths.pop()):
+        lines.append(",".join(f"{series[name][i]:.6g}" for name in names))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 56,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Terminal scatter plot (used for the Fig. 2 / Fig. 3 panels)."""
+    xs = np.asarray(x, dtype=np.float64)
+    ys = np.asarray(y, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size == 0:
+        raise ValueError("x and y must be equal-length non-empty sequences")
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4 characters")
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(xs, ys):
+        col = min(width - 1, int((xv - x_lo) / x_span * (width - 1)))
+        row = min(height - 1, int((yv - y_lo) / y_span * (height - 1)))
+        row = height - 1 - row  # origin bottom-left
+        cell = grid[row][col]
+        grid[row][col] = "*" if cell == " " else "#"
+
+    lines = [f"{y_label} ({y_lo:.3g} .. {y_hi:.3g})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_lo:.3g} .. {x_hi:.3g})")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Terminal histogram (used for the paper's Fig. 6 bottom panel)."""
+    data = np.asarray(values, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("no values to histogram")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{lo:8.2f}-{hi:8.2f} | {bar} {count}")
+    return "\n".join(lines)

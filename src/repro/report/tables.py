@@ -1,0 +1,69 @@
+"""Table I renderer: the state-of-the-art comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One row of Table I."""
+
+    name: str
+    group: str  # "manual" / "nas" / "hsconas"
+    top1_error: float
+    top5_error: Optional[float]
+    latency_gpu_ms: float
+    latency_cpu_ms: float
+    latency_edge_ms: float
+
+
+_GROUP_HEADERS = {
+    "manual": "Manually-Designed Models",
+    "nas": "State-of-the-art NAS Models",
+    "hsconas": "Hardware-Aware Models Discovered by HSCoNAS",
+}
+
+
+def render_table1(rows: Sequence[TableRow]) -> str:
+    """Render rows in the paper's Table-I layout (fixed-width text)."""
+    if not rows:
+        raise ValueError("no rows to render")
+    lines: List[str] = []
+    header = (
+        f"{'Model':34s} {'Top-1':>6s} {'Top-5':>6s} "
+        f"{'GPU(ms)':>8s} {'CPU(ms)':>8s} {'Edge(ms)':>9s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    current_group = None
+    for row in rows:
+        if row.group != current_group:
+            current_group = row.group
+            lines.append(f"-- {_GROUP_HEADERS.get(row.group, row.group)} --")
+        top5 = f"{row.top5_error:6.1f}" if row.top5_error is not None else "     -"
+        lines.append(
+            f"{row.name:34s} {row.top1_error:6.1f} {top5} "
+            f"{row.latency_gpu_ms:8.1f} {row.latency_cpu_ms:8.1f} "
+            f"{row.latency_edge_ms:9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_markdown(rows: Sequence[TableRow]) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        raise ValueError("no rows to render")
+    lines = [
+        "| Model | Top-1 (%) | Top-5 (%) | GPU (ms) | CPU (ms) | Edge (ms) |",
+        "|---|---|---|---|---|---|",
+    ]
+    for row in rows:
+        top5 = f"{row.top5_error:.1f}" if row.top5_error is not None else "-"
+        lines.append(
+            f"| {row.name} | {row.top1_error:.1f} | {top5} "
+            f"| {row.latency_gpu_ms:.1f} | {row.latency_cpu_ms:.1f} "
+            f"| {row.latency_edge_ms:.1f} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""The HSCoNAS search space.
+
+The space follows the paper's setup: a supernet with ``L = 20`` layers,
+``K = 5`` candidate operators per layer (ShuffleNetV2 blocks with kernel
+sizes 3/5/7, a ShuffleNetV2-Xception block, and a skip connection), and
+``n = 10`` channel scaling factors per layer — ``50^20 ~= 9.5e33``
+architectures, the size the paper quotes.
+"""
+
+from repro.space.config import (
+    SpaceConfig,
+    StageSpec,
+    imagenet_a,
+    imagenet_b,
+    mini,
+    proxy,
+)
+from repro.space.operators import (
+    KERNEL_CHOICES,
+    NUM_OPERATORS,
+    OperatorSpec,
+    Primitive,
+    SKIP_INDEX,
+    get_operator,
+    operators,
+)
+from repro.space.architecture import Architecture
+from repro.space.encoding import (
+    architecture_to_index,
+    index_to_architecture,
+    space_cardinality,
+)
+from repro.space.geometry import LayerGeometry, build_layer_geometry
+from repro.space.search_space import SearchSpace
+from repro.space.sampling import sample_architectures, sample_uniform
+
+__all__ = [
+    "SpaceConfig",
+    "StageSpec",
+    "imagenet_a",
+    "imagenet_b",
+    "mini",
+    "proxy",
+    "OperatorSpec",
+    "Primitive",
+    "operators",
+    "get_operator",
+    "NUM_OPERATORS",
+    "KERNEL_CHOICES",
+    "SKIP_INDEX",
+    "Architecture",
+    "architecture_to_index",
+    "index_to_architecture",
+    "space_cardinality",
+    "LayerGeometry",
+    "build_layer_geometry",
+    "SearchSpace",
+    "sample_uniform",
+    "sample_architectures",
+]

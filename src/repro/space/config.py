@@ -1,0 +1,184 @@
+"""Search-space configuration.
+
+Two families of presets:
+
+* **Paper-scale** layouts used for the analytical experiments (latency
+  modeling, Table I): 224x224 inputs, 20 layers, channel layouts
+  ``[48,128,256,512]`` (HSCoNet-A) and ``[68,168,336,672]`` (HSCoNet-B),
+  mirroring the Single-Path-One-Shot stage plan the paper builds on.
+* A **proxy** layout for the real numpy-training path: same topology,
+  drastically smaller so supernet training with real gradients finishes
+  in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of the backbone: ``num_blocks`` layers at ``channels``.
+
+    The first block of every stage has stride 2 (spatial downsampling);
+    the rest have stride 1.
+    """
+
+    num_blocks: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError("stage needs at least one block")
+        if self.channels < 2:
+            raise ValueError("stage needs at least two channels (for the split)")
+
+
+@dataclass(frozen=True)
+class SpaceConfig:
+    """Full definition of a supernet search space.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports and LUT caching.
+    input_size:
+        Square input resolution (224 for ImageNet-scale).
+    input_channels:
+        Image channels (3 for RGB).
+    num_classes:
+        Classifier output width.
+    stem_channels:
+        Output channels of the stride-2 stem convolution.
+    stages:
+        Backbone stage plan; total blocks across stages is ``L``.
+    head_channels:
+        Channels of the final 1x1 conv before global pooling.
+    channel_factors:
+        The dynamic channel scaling factors ``C`` (paper Sec. III-B).
+    """
+
+    name: str
+    input_size: int = 224
+    input_channels: int = 3
+    num_classes: int = 1000
+    stem_channels: int = 16
+    stages: Tuple[StageSpec, ...] = ()
+    head_channels: int = 1024
+    channel_factors: Tuple[float, ...] = field(
+        default=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+    )
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a space needs at least one stage")
+        if not self.channel_factors:
+            raise ValueError("a space needs at least one channel factor")
+        for f in self.channel_factors:
+            if not 0.0 < f <= 1.0:
+                raise ValueError(f"channel factor {f} outside (0, 1]")
+        if self.input_size % (2 ** (1 + len(self.stages))):
+            # stem stride 2 plus one stride-2 block per stage
+            raise ValueError(
+                "input_size must be divisible by the total downsampling factor"
+            )
+
+    @property
+    def num_layers(self) -> int:
+        """``L`` — the number of searchable layers."""
+        return sum(s.num_blocks for s in self.stages)
+
+    @property
+    def num_factors(self) -> int:
+        return len(self.channel_factors)
+
+    def stage_of_layer(self, layer: int) -> int:
+        """Stage index that layer ``layer`` (0-based) belongs to."""
+        if not 0 <= layer < self.num_layers:
+            raise IndexError(f"layer {layer} out of range")
+        offset = 0
+        for i, stage in enumerate(self.stages):
+            if layer < offset + stage.num_blocks:
+                return i
+            offset += stage.num_blocks
+        raise AssertionError("unreachable")
+
+    def layer_channels(self) -> List[int]:
+        """Maximum output channels ``S^l`` for each layer, in order."""
+        out: List[int] = []
+        for stage in self.stages:
+            out.extend([stage.channels] * stage.num_blocks)
+        return out
+
+    def layer_strides(self) -> List[int]:
+        """Stride of each layer (2 at stage starts, else 1)."""
+        out: List[int] = []
+        for stage in self.stages:
+            out.append(2)
+            out.extend([1] * (stage.num_blocks - 1))
+        return out
+
+
+def imagenet_a() -> SpaceConfig:
+    """Paper-scale space with the HSCoNet-A channel layout [48,128,256,512]."""
+    return SpaceConfig(
+        name="imagenet-a",
+        stages=(
+            StageSpec(4, 48),
+            StageSpec(4, 128),
+            StageSpec(8, 256),
+            StageSpec(4, 512),
+        ),
+    )
+
+
+def imagenet_b() -> SpaceConfig:
+    """Paper-scale space with the HSCoNet-B channel layout [68,168,336,672]."""
+    return SpaceConfig(
+        name="imagenet-b",
+        stages=(
+            StageSpec(4, 68),
+            StageSpec(4, 168),
+            StageSpec(8, 336),
+            StageSpec(4, 672),
+        ),
+    )
+
+
+def mini(num_classes: int = 8) -> SpaceConfig:
+    """Minimal space for *real supernet training* demonstrations.
+
+    Four searchable layers, three channel factors, 16x16 inputs: small
+    enough that weight-sharing training visibly learns within a few
+    hundred SGD steps (the paper's 100-epoch ImageNet budget compressed
+    to benchmark scale), while keeping all five operator choices so the
+    shrinking and masking mechanisms are fully exercised.
+    """
+    return SpaceConfig(
+        name="mini",
+        input_size=16,
+        num_classes=num_classes,
+        stem_channels=8,
+        stages=(StageSpec(2, 12), StageSpec(2, 24)),
+        head_channels=48,
+        channel_factors=(0.5, 0.75, 1.0),
+    )
+
+
+def proxy(num_classes: int = 10) -> SpaceConfig:
+    """Tiny space for real numpy supernet training (same topology family).
+
+    32x32 inputs, 8 searchable layers over two stages. Five operator
+    choices and ten channel factors are preserved so every HSCoNAS
+    mechanism (masking, shrinking, EA) exercises identically to the
+    paper-scale space.
+    """
+    return SpaceConfig(
+        name="proxy",
+        input_size=32,
+        num_classes=num_classes,
+        stem_channels=8,
+        stages=(StageSpec(4, 16), StageSpec(4, 32)),
+        head_channels=64,
+    )

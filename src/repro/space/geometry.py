@@ -1,0 +1,57 @@
+"""Per-layer geometry derived from a :class:`SpaceConfig`.
+
+The geometry fixes, for every searchable layer, the maximum input/output
+channels, the stride, and the spatial resolution at which the layer
+executes — everything the analytic cost model needs besides the chosen
+operator and channel factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.space.config import SpaceConfig
+
+
+@dataclass(frozen=True)
+class LayerGeometry:
+    """Static geometry of one searchable layer."""
+
+    layer: int
+    stage: int
+    stride: int
+    max_in_channels: int
+    max_out_channels: int
+    in_size: int
+
+    @property
+    def out_size(self) -> int:
+        return self.in_size // self.stride
+
+
+def build_layer_geometry(config: SpaceConfig) -> List[LayerGeometry]:
+    """Compute the geometry of every searchable layer, in order.
+
+    The stem convolution (stride 2) runs before layer 0, so layer 0 sees
+    ``input_size // 2`` and ``stem_channels`` inputs.
+    """
+    geoms: List[LayerGeometry] = []
+    size = config.input_size // 2  # after the stride-2 stem
+    in_ch = config.stem_channels
+    channels = config.layer_channels()
+    strides = config.layer_strides()
+    for layer, (out_ch, stride) in enumerate(zip(channels, strides)):
+        geoms.append(
+            LayerGeometry(
+                layer=layer,
+                stage=config.stage_of_layer(layer),
+                stride=stride,
+                max_in_channels=in_ch,
+                max_out_channels=out_ch,
+                in_size=size,
+            )
+        )
+        size //= stride
+        in_ch = out_ch
+    return geoms

@@ -1,0 +1,35 @@
+"""The weight-sharing supernet (real numpy training path).
+
+The analytic packages (:mod:`repro.hardware`, :mod:`repro.accuracy`)
+handle paper-scale experiments; this package implements the actual
+supernet with shared weights, one choice block per searchable layer,
+channel masking for dynamic channel scaling, and subnet activation —
+the machinery the paper trains on ImageNet, exercised here on the proxy
+space with real gradients.
+"""
+
+from repro.supernet.blocks import (
+    ShuffleV2Block,
+    ShuffleXceptionBlock,
+    SkipOp,
+    build_operator_module,
+)
+from repro.supernet.choice_block import ChoiceBlock
+from repro.supernet.inheritance import (
+    copy_weights_and_stats,
+    extract_subnet,
+    inherit_into,
+)
+from repro.supernet.model import Supernet
+
+__all__ = [
+    "copy_weights_and_stats",
+    "extract_subnet",
+    "inherit_into",
+    "ShuffleV2Block",
+    "ShuffleXceptionBlock",
+    "SkipOp",
+    "build_operator_module",
+    "ChoiceBlock",
+    "Supernet",
+]

@@ -1,0 +1,54 @@
+"""One searchable layer: K parallel operators + a channel mask.
+
+Only the *active* operator executes on each forward pass (single-path
+weight sharing, as in the paper); the channel mask implements the
+dynamic channel scaling of Sec. III-B, zeroing masked output channels
+so their shared weights receive no gradient.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.layers.mask import ChannelMask
+from repro.nn.module import Module
+from repro.space.geometry import LayerGeometry
+from repro.space.operators import operators
+from repro.supernet.blocks import build_operator_module
+
+
+class ChoiceBlock(Module):
+    """The supernet's per-layer choice over (operator, channel factor)."""
+
+    def __init__(self, geometry: LayerGeometry, rng: np.random.Generator):
+        super().__init__()
+        self.geometry = geometry
+        self.ops: List[Module] = [
+            build_operator_module(
+                spec,
+                geometry.max_in_channels,
+                geometry.max_out_channels,
+                geometry.stride,
+                rng,
+            )
+            for spec in operators()
+        ]
+        self.mask = ChannelMask(geometry.max_out_channels, factor=1.0)
+        self.active_op = 0
+
+    def set_active(self, op_index: int, factor: float) -> None:
+        """Select the operator and channel factor for subsequent passes."""
+        if not 0 <= op_index < len(self.ops):
+            raise IndexError(f"operator index {op_index} out of range")
+        self.active_op = op_index
+        self.mask.set_factor(factor)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.ops[self.active_op](x)
+        return self.mask(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.mask.backward(grad_out)
+        return self.ops[self.active_op].backward(grad)

@@ -1,0 +1,87 @@
+"""The full weight-sharing supernet."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pool import GlobalAvgPool2d
+from repro.nn.module import Module, Sequential
+from repro.space.architecture import Architecture
+from repro.space.search_space import SearchSpace
+from repro.supernet.choice_block import ChoiceBlock
+
+
+class Supernet(Module):
+    """Stem + L choice blocks + classifier head, with shared weights.
+
+    Any architecture in the space can be activated with
+    :meth:`set_architecture`; forward/backward then exercise exactly the
+    chosen single path, with channel masking applied per layer.
+    """
+
+    def __init__(self, space: SearchSpace, seed: int = 0):
+        super().__init__()
+        self.space = space
+        cfg = space.config
+        rng = np.random.default_rng(seed)
+        self.stem = Sequential(
+            Conv2d(cfg.input_channels, cfg.stem_channels, 3, stride=2, padding=1,
+                   rng=rng),
+            BatchNorm2d(cfg.stem_channels),
+            ReLU(),
+        )
+        self.blocks: List[ChoiceBlock] = [
+            ChoiceBlock(geom, rng) for geom in space.geometry
+        ]
+        last_channels = space.geometry[-1].max_out_channels
+        self.head = Sequential(
+            Conv2d(last_channels, cfg.head_channels, 1, rng=rng),
+            BatchNorm2d(cfg.head_channels),
+            ReLU(),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(cfg.head_channels, cfg.num_classes, rng=rng)
+        self._active: Optional[Architecture] = None
+
+    # -- path selection --------------------------------------------------------
+
+    def set_architecture(self, arch: Architecture) -> None:
+        """Activate one (op, factor) path per layer."""
+        if arch.num_layers != len(self.blocks):
+            raise ValueError(
+                f"architecture has {arch.num_layers} layers; "
+                f"supernet has {len(self.blocks)}"
+            )
+        for block, op, factor in zip(self.blocks, arch.ops, arch.factors):
+            block.set_active(op, factor)
+        self._active = arch
+
+    @property
+    def active_architecture(self) -> Optional[Architecture]:
+        return self._active
+
+    # -- forward / backward ---------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._active is None:
+            raise RuntimeError("call set_architecture before forward")
+        x = self.stem(x)
+        for block in self.blocks:
+            x = block(x)
+        x = self.head(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_out)
+        grad = self.pool.backward(grad)
+        grad = self.head.backward(grad)
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.stem.backward(grad)

@@ -1,0 +1,184 @@
+"""Tabular NAS benchmark artifacts (NAS-Bench style).
+
+Precomputes (latency, energy, surrogate-accuracy) for a set of
+architectures and serves them as an O(1) lookup table — the standard
+way to let search-algorithm research iterate without touching the
+simulator (or, in the real world, the device farm). Architectures are
+keyed by their exact mixed-radix index (:mod:`repro.space.encoding`),
+so the table is stable across processes and compact on disk.
+
+Small spaces (the ``mini`` demo space: 50 625 architectures) can be
+tabulated *exhaustively*; paper-scale spaces are sampled.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.space.architecture import Architecture
+from repro.space.encoding import (
+    architecture_to_index,
+    index_to_architecture,
+    space_cardinality,
+)
+from repro.space.search_space import SearchSpace
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """Precomputed metrics of one architecture."""
+
+    latency_ms: float
+    accuracy: float
+    energy_mj: Optional[float] = None
+
+
+class TabularBenchmark:
+    """An immutable arch -> metrics lookup over one search space."""
+
+    def __init__(self, space: SearchSpace, entries: Dict[int, TableEntry],
+                 exhaustive: bool = False):
+        self.space = space
+        self._entries = dict(entries)
+        self.exhaustive = exhaustive
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        space: SearchSpace,
+        latency_fn: Callable[[Architecture], float],
+        accuracy_fn: Callable[[Architecture], float],
+        energy_fn: Optional[Callable[[Architecture], float]] = None,
+        num_archs: Optional[int] = 1000,
+        seed: int = 0,
+    ) -> "TabularBenchmark":
+        """Tabulate the space.
+
+        ``num_archs=None`` tabulates *exhaustively* (guarded to spaces
+        of at most one million architectures); otherwise ``num_archs``
+        distinct architectures are sampled uniformly.
+        """
+        total = space_cardinality(space)
+        entries: Dict[int, TableEntry] = {}
+
+        def record(index: int, arch: Architecture) -> None:
+            entries[index] = TableEntry(
+                latency_ms=latency_fn(arch),
+                accuracy=accuracy_fn(arch),
+                energy_mj=energy_fn(arch) if energy_fn is not None else None,
+            )
+
+        if num_archs is None:
+            if total > 1_000_000:
+                raise ValueError(
+                    f"space has {total} architectures; exhaustive "
+                    "tabulation is capped at 1e6 — pass num_archs instead"
+                )
+            for index in range(total):
+                record(index, index_to_architecture(space, index))
+            return cls(space, entries, exhaustive=True)
+
+        if num_archs < 1:
+            raise ValueError("num_archs must be >= 1 (or None for exhaustive)")
+        rng = np.random.default_rng(seed)
+        attempts = 0
+        target = min(num_archs, total)
+        while len(entries) < target and attempts < num_archs * 50:
+            attempts += 1
+            arch = space.sample(rng)
+            index = architecture_to_index(space, arch)
+            if index not in entries:
+                record(index, arch)
+        return cls(space, entries, exhaustive=(len(entries) == total))
+
+    # -- queries -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, arch: Architecture) -> bool:
+        try:
+            return architecture_to_index(self.space, arch) in self._entries
+        except ValueError:
+            return False
+
+    def query(self, arch: Architecture) -> TableEntry:
+        """O(1) metrics lookup; raises ``KeyError`` for untabulated archs."""
+        index = architecture_to_index(self.space, arch)
+        if index not in self._entries:
+            raise KeyError(
+                "architecture not tabulated "
+                f"(table holds {len(self)} of {space_cardinality(self.space)})"
+            )
+        return self._entries[index]
+
+    def entries(self) -> Iterator[Tuple[Architecture, TableEntry]]:
+        """Iterate (architecture, entry) pairs (index order)."""
+        for index in sorted(self._entries):
+            yield index_to_architecture(self.space, index), self._entries[index]
+
+    def best_under(self, latency_budget_ms: float) -> Tuple[Architecture, TableEntry]:
+        """Most accurate tabulated architecture within a latency budget.
+
+        On an exhaustive table this is the space's *true* optimum —
+        the oracle answer search algorithms are benchmarked against.
+        """
+        best = None
+        best_index = None
+        for index, entry in self._entries.items():
+            if entry.latency_ms > latency_budget_ms:
+                continue
+            if best is None or entry.accuracy > best.accuracy:
+                best = entry
+                best_index = index
+        if best is None:
+            raise ValueError(f"no entry within {latency_budget_ms} ms")
+        return index_to_architecture(self.space, best_index), best
+
+    # -- (de)serialization ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "exhaustive": self.exhaustive,
+            "entries": [
+                {
+                    "index": str(index),  # big ints as strings
+                    "latency_ms": e.latency_ms,
+                    "accuracy": e.accuracy,
+                    "energy_mj": e.energy_mj,
+                }
+                for index, e in sorted(self._entries.items())
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, space: SearchSpace, text: str) -> "TabularBenchmark":
+        payload = json.loads(text)
+        entries = {
+            int(e["index"]): TableEntry(
+                latency_ms=float(e["latency_ms"]),
+                accuracy=float(e["accuracy"]),
+                energy_mj=(
+                    float(e["energy_mj"]) if e["energy_mj"] is not None else None
+                ),
+            )
+            for e in payload["entries"]
+        }
+        return cls(space, entries, exhaustive=bool(payload["exhaustive"]))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, space: SearchSpace, path: Union[str, Path]) -> "TabularBenchmark":
+        return cls.from_json(space, Path(path).read_text())

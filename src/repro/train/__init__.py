@@ -1,0 +1,24 @@
+"""Training harnesses for the real-gradient path.
+
+* :class:`~repro.train.supernet_trainer.SupernetTrainer` — single-path
+  weight-sharing supernet training (the paper's 100-epoch phase and the
+  15-epoch post-shrinking tuning phases).
+* :class:`~repro.train.standalone.StandaloneTrainer` — train one fixed
+  architecture from scratch (how HSCoNets are finally trained).
+"""
+
+from repro.train.metrics import top_k_accuracy
+from repro.train.sampling import FairSampler, UniformSampler
+from repro.train.supernet_trainer import SupernetTrainer, TrainConfig
+from repro.train.standalone import StandaloneTrainer
+from repro.train.bn_recalibration import recalibrate_bn
+
+__all__ = [
+    "top_k_accuracy",
+    "UniformSampler",
+    "FairSampler",
+    "SupernetTrainer",
+    "TrainConfig",
+    "StandaloneTrainer",
+    "recalibrate_bn",
+]

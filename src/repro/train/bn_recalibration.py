@@ -1,0 +1,80 @@
+"""Batch-norm recalibration for weight-sharing evaluation.
+
+A supernet's running BN statistics are accumulated across *different*
+paths and describe no single subnet, so inference-mode evaluation of an
+inherited subnet is systematically wrong. The standard remedy (used by
+the one-shot NAS literature the paper builds on) is to re-estimate the
+statistics for the chosen path by streaming a few training batches
+through it before evaluation — implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.loader import BatchLoader
+from repro.nn.layers.norm import BatchNorm2d
+from repro.space.architecture import Architecture
+from repro.supernet.model import Supernet
+
+
+def recalibrate_bn(
+    supernet: Supernet,
+    arch: Architecture,
+    loader: BatchLoader,
+    num_batches: int = 4,
+    momentum: float = 0.5,
+) -> int:
+    """Re-estimate BN running statistics for one activated path.
+
+    Resets every BN's running statistics, then streams ``num_batches``
+    training batches (no augmentation, no gradient) through the
+    activated path with a high-momentum update. Returns the number of
+    batches actually used.
+
+    The supernet is left in training mode with ``arch`` active;
+    evaluation in ``eval()`` mode afterwards uses the recalibrated
+    statistics.
+    """
+    if num_batches < 1:
+        raise ValueError("num_batches must be >= 1")
+    if not 0.0 < momentum <= 1.0:
+        raise ValueError("momentum must be in (0, 1]")
+
+    supernet.set_architecture(arch)
+    supernet.train()
+    originals = []
+    for module in supernet.modules():
+        if isinstance(module, BatchNorm2d):
+            module.reset_running_stats()
+            originals.append((module, module.momentum))
+            module.momentum = momentum
+
+    used = 0
+    for batch, _ in loader.epoch(augment=False):
+        supernet(batch)
+        used += 1
+        if used >= num_batches:
+            break
+
+    for module, saved in originals:
+        module.momentum = saved
+    return used
+
+
+def eval_with_recalibrated_bn(
+    supernet: Supernet,
+    arch: Architecture,
+    loader: BatchLoader,
+    images: np.ndarray,
+    labels: np.ndarray,
+    num_batches: int = 4,
+) -> float:
+    """Convenience: recalibrate, then top-1 accuracy in eval mode."""
+    from repro.train.metrics import top_k_accuracy
+
+    recalibrate_bn(supernet, arch, loader, num_batches=num_batches)
+    supernet.eval()
+    logits = supernet(images)
+    supernet.train()
+    return top_k_accuracy(logits, labels, k=1)

@@ -1,0 +1,20 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose true label is in the top-k predictions."""
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, K), got {logits.shape}")
+    if k < 1 or k > logits.shape[1]:
+        raise ValueError(f"k={k} out of range for {logits.shape[1]} classes")
+    if len(labels) != len(logits):
+        raise ValueError("labels and logits must have equal length")
+    if len(labels) == 0:
+        raise ValueError("empty batch")
+    topk = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    hits = (topk == np.asarray(labels)[:, None]).any(axis=1)
+    return float(hits.mean())

@@ -1,0 +1,71 @@
+"""Path-sampling strategies for supernet training.
+
+The paper trains with uniform path sampling. A known refinement
+(FairNAS) enforces *strict fairness*: within every block of K steps,
+each layer activates each of its K candidate operators exactly once (in
+per-layer shuffled order), so no operator's shared weights fall behind
+by sampling luck. Both strategies are provided; the trainer takes one
+as a pluggable component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+import numpy as np
+
+from repro.space.architecture import Architecture
+from repro.space.search_space import SearchSpace
+
+
+class PathSampler(Protocol):
+    """Produces one training path per SGD step."""
+
+    def next_path(
+        self, space: SearchSpace, rng: np.random.Generator
+    ) -> Architecture: ...
+
+
+class UniformSampler:
+    """The paper's strategy: independent uniform draws each step."""
+
+    def next_path(
+        self, space: SearchSpace, rng: np.random.Generator
+    ) -> Architecture:
+        return space.sample(rng)
+
+
+class FairSampler:
+    """Strict-fairness operator scheduling (FairNAS-style).
+
+    Maintains, per layer, a shuffled queue of the layer's candidate
+    operators; every step pops one per layer, reshuffling when a queue
+    empties. Over any window of ``K`` steps each operator of a layer is
+    activated exactly once. Channel factors stay uniformly sampled (the
+    mask reuses the *same* shared weights, so fairness does not apply).
+    """
+
+    def __init__(self) -> None:
+        self._queues: List[List[int]] = []
+
+    def _refill(self, space: SearchSpace, layer: int,
+                rng: np.random.Generator) -> None:
+        ops = list(space.candidate_ops[layer])
+        rng.shuffle(ops)
+        self._queues[layer] = ops
+
+    def next_path(
+        self, space: SearchSpace, rng: np.random.Generator
+    ) -> Architecture:
+        if len(self._queues) != space.num_layers:
+            self._queues = [[] for _ in range(space.num_layers)]
+        ops = []
+        for layer in range(space.num_layers):
+            if not self._queues[layer]:
+                self._refill(space, layer, rng)
+            ops.append(self._queues[layer].pop())
+        factors = tuple(
+            float(rng.choice(space.candidate_factors[layer]))
+            for layer in range(space.num_layers)
+        )
+        return Architecture(tuple(ops), factors)

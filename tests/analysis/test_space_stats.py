@@ -1,0 +1,96 @@
+"""Tests for space statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Distribution, feasible_fraction, space_statistics
+from repro.hardware import get_device
+
+
+class TestDistribution:
+    def test_from_samples(self):
+        d = Distribution.from_samples(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert d.mean == pytest.approx(2.5)
+        assert d.minimum == 1.0 and d.maximum == 4.0
+        assert d.median == pytest.approx(2.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Distribution.from_samples(np.array([]))
+
+    def test_str_contains_summary(self):
+        d = Distribution.from_samples(np.array([1.0, 2.0]))
+        assert "mean" in str(d)
+
+
+class TestSpaceStatistics:
+    def test_basic_stats(self, proxy_space):
+        stats = space_statistics(proxy_space, num_samples=50, seed=0)
+        assert stats.num_samples == 50
+        assert stats.flops.minimum > 0
+        assert 0 <= stats.depth.minimum <= stats.depth.maximum <= 8
+        assert stats.latency_ms is None
+
+    def test_with_latency(self, proxy_space):
+        device = get_device("gpu")
+        stats = space_statistics(
+            proxy_space, num_samples=30, seed=0,
+            latency_fn=lambda a: device.latency_ms(proxy_space, a),
+        )
+        assert stats.latency_ms is not None
+        assert stats.latency_ms.minimum > 0
+
+    def test_deterministic(self, proxy_space):
+        a = space_statistics(proxy_space, num_samples=20, seed=3)
+        b = space_statistics(proxy_space, num_samples=20, seed=3)
+        assert a.flops.mean == b.flops.mean
+
+    def test_shrinking_shifts_distribution(self, proxy_space):
+        """Pinning every layer to skip drops the FLOPs distribution."""
+        shrunk = proxy_space
+        for layer in range(proxy_space.num_layers):
+            shrunk = shrunk.fix_operator(layer, 4)
+        full = space_statistics(proxy_space, num_samples=40, seed=0)
+        skipped = space_statistics(shrunk, num_samples=40, seed=0)
+        assert skipped.flops.mean < full.flops.mean
+
+    def test_invalid_samples_raises(self, proxy_space):
+        with pytest.raises(ValueError):
+            space_statistics(proxy_space, num_samples=0)
+
+
+class TestFeasibleFraction:
+    def test_everything_feasible_with_huge_tolerance(self, proxy_space):
+        frac = feasible_fraction(
+            proxy_space,
+            latency_fn=lambda a: 1.0,
+            target_ms=1.0,
+            tolerance=10.0,
+            num_samples=20,
+        )
+        assert frac == 1.0
+
+    def test_nothing_feasible_far_target(self, proxy_space):
+        frac = feasible_fraction(
+            proxy_space,
+            latency_fn=lambda a: 1.0,
+            target_ms=100.0,
+            tolerance=0.01,
+            num_samples=20,
+        )
+        assert frac == 0.0
+
+    def test_real_device_fraction_in_unit_interval(self, proxy_space):
+        device = get_device("gpu")
+        frac = feasible_fraction(
+            proxy_space,
+            latency_fn=lambda a: device.latency_ms(proxy_space, a),
+            target_ms=1.2,
+            tolerance=0.1,
+            num_samples=60,
+        )
+        assert 0.0 < frac < 1.0
+
+    def test_invalid_args_raise(self, proxy_space):
+        with pytest.raises(ValueError):
+            feasible_fraction(proxy_space, lambda a: 1.0, target_ms=0.0)

@@ -1,0 +1,94 @@
+"""Tests for search-convergence traces."""
+
+import pytest
+
+from repro.analysis import (
+    area_under_trace,
+    best_so_far,
+    evaluation_trace,
+    evaluations_to_reach,
+)
+from repro.core import Objective, RandomSearch
+from repro.core.evolution import GenerationRecord, SearchResult
+from repro.core.objective import EvaluatedArch
+from repro.space import Architecture
+
+
+def _result(round_scores):
+    """SearchResult with one EvaluatedArch per score per round."""
+    generations = []
+    best = None
+    for i, scores in enumerate(round_scores):
+        population = [
+            EvaluatedArch(Architecture.uniform(2), 0.5, 1.0, s) for s in scores
+        ]
+        record = GenerationRecord(i, population)
+        generations.append(record)
+        if best is None or record.best.score > best.score:
+            best = record.best
+    result = SearchResult(best=best, generations=generations)
+    result.num_evaluations = sum(len(s) for s in round_scores)
+    return result
+
+
+class TestBestSoFar:
+    def test_running_max(self):
+        assert best_so_far([1.0, 0.5, 2.0, 1.5]) == [1.0, 1.0, 2.0, 2.0]
+
+    def test_empty(self):
+        assert best_so_far([]) == []
+
+
+class TestEvaluationTrace:
+    def test_counts_and_bests(self):
+        result = _result([[0.1, 0.3], [0.2, 0.25], [0.5]])
+        assert evaluation_trace(result) == [(2, 0.3), (4, 0.3), (5, 0.5)]
+
+    def test_monotone_best(self):
+        result = _result([[0.4], [0.1], [0.3]])
+        trace = evaluation_trace(result)
+        bests = [b for _, b in trace]
+        assert bests == sorted(bests)
+
+
+class TestEvaluationsToReach:
+    def test_reached(self):
+        result = _result([[0.1], [0.6], [0.9]])
+        assert evaluations_to_reach(result, 0.5) == 2
+        assert evaluations_to_reach(result, 0.9) == 3
+
+    def test_never_reached(self):
+        result = _result([[0.1], [0.2]])
+        assert evaluations_to_reach(result, 0.5) == -1
+
+
+class TestAreaUnderTrace:
+    def test_constant_curve(self):
+        result = _result([[0.5, 0.5], [0.5]])
+        assert area_under_trace(result) == pytest.approx(0.5)
+
+    def test_early_riser_scores_higher(self):
+        early = _result([[0.9], [0.9], [0.9]])
+        late = _result([[0.1], [0.1], [0.9]])
+        assert area_under_trace(early) > area_under_trace(late)
+
+    def test_empty_raises(self):
+        result = SearchResult(
+            best=EvaluatedArch(Architecture.uniform(2), 0.5, 1.0, 0.5)
+        )
+        with pytest.raises(ValueError):
+            area_under_trace(result)
+
+
+class TestWithRealSearcher:
+    def test_random_search_trace(self, proxy_space):
+        obj = Objective(
+            lambda a: min(1.0, (proxy_space.arch_flops(a) / 2.5e5) ** 0.5),
+            lambda a: proxy_space.arch_flops(a) / 1e4,
+            15.0,
+            -0.5,
+        )
+        result = RandomSearch(proxy_space, obj, budget=30).run()
+        trace = evaluation_trace(result)
+        assert trace[-1][0] == 30
+        assert trace[-1][1] == pytest.approx(result.best.score)

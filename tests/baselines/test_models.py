@@ -1,0 +1,175 @@
+"""Tests for baseline model specifications.
+
+The strongest check is FLOPs against the published MAC counts — a
+wrong layer table or geometry error shows up immediately there.
+"""
+
+import pytest
+
+from repro.baselines import all_baselines, get_baseline
+from repro.baselines import (
+    darts,
+    fbnet,
+    mnasnet,
+    mobilenet_v2,
+    mobilenet_v3,
+    proxylessnas,
+    shufflenet_v2,
+)
+from repro.baselines.blocks import NetBuilder
+from repro.baselines.zoo import baselines_by_group
+
+# name -> published MACs (from the respective papers)
+PUBLISHED_MACS = {
+    "MobileNetV2 1.0x": 300e6,
+    "ShuffleNetV2 1.5x": 299e6,
+    "MobileNetV3 (large)": 219e6,
+    "DARTS": 574e6,
+    "MnasNet-A1": 312e6,
+    "FBNet-A": 249e6,
+    "FBNet-B": 295e6,
+    "FBNet-C": 375e6,
+    "ProxylessNAS-GPU": 465e6,
+    "ProxylessNAS-CPU": 439e6,
+    "ProxylessNAS-Mobile": 320e6,
+}
+
+
+class TestFLOPsAgainstPublished:
+    @pytest.mark.parametrize("name", sorted(PUBLISHED_MACS))
+    def test_macs_within_tolerance(self, name):
+        net = get_baseline(name).build()
+        published = PUBLISHED_MACS[name]
+        assert net.flops == pytest.approx(published, rel=0.16), (
+            f"{name}: {net.flops / 1e6:.1f}M vs published {published / 1e6:.0f}M"
+        )
+
+
+class TestGeometry:
+    @pytest.mark.parametrize("model", all_baselines(), ids=lambda m: m.name)
+    def test_ends_at_classifier(self, model):
+        net = model.build()
+        assert net.channels == 1000  # ImageNet classes
+        assert net.size == 1
+
+    @pytest.mark.parametrize("model", all_baselines(), ids=lambda m: m.name)
+    def test_params_plausible(self, model):
+        net = model.build()
+        # Mobile models: 2M..90M weights (DARTS biggest)
+        assert 1.5e6 < net.params < 9e7
+
+
+class TestBuilders:
+    def test_mobilenet_v2_width_scaling(self):
+        flops_small = mobilenet_v2.build(width=0.5).flops
+        flops_large = mobilenet_v2.build(width=1.4).flops
+        assert flops_small < 300e6 / 2.5
+        assert flops_large > 450e6
+
+    def test_shufflenet_width_table(self):
+        f05 = shufflenet_v2.build(width=0.5).flops
+        f20 = shufflenet_v2.build(width=2.0).flops
+        assert f05 == pytest.approx(41e6, rel=0.3)
+        assert f20 == pytest.approx(591e6, rel=0.2)
+
+    def test_shufflenet_unknown_width_raises(self):
+        with pytest.raises(ValueError):
+            shufflenet_v2.build(width=1.25)
+
+    def test_fbnet_variants_ordered(self):
+        fa = fbnet.build("a").flops
+        fb = fbnet.build("b").flops
+        fc = fbnet.build("c").flops
+        assert fa < fb < fc
+
+    def test_fbnet_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            fbnet.build("d")
+
+    def test_proxyless_gpu_shallower_fewer_layers(self):
+        gpu = proxylessnas.build("gpu")
+        cpu = proxylessnas.build("cpu")
+        assert len(gpu.layers) < len(cpu.layers)
+
+    def test_proxyless_unknown_variant_raises(self):
+        with pytest.raises(ValueError):
+            proxylessnas.build("tpu")
+
+    def test_darts_kernel_count_dwarfs_mobilenets(self):
+        """DARTS launches far more kernels at similar FLOPs — the
+        property behind its Table-I slowness."""
+        darts_kernels = sum(len(layer) for layer in darts.build().layers)
+        mbv2_kernels = sum(
+            len(layer) for layer in mobilenet_v2.build().layers
+        )
+        assert darts_kernels > 3 * mbv2_kernels
+
+    def test_mnasnet_has_se_blocks(self):
+        net = mnasnet.build()
+        names = [p.name for layer in net.layers for p in layer]
+        assert any("se-" in n for n in names)
+
+    def test_mobilenet_v3_pooled_head(self):
+        net = mobilenet_v3.build()
+        names = [p.name for layer in net.layers for p in layer]
+        assert "head-hidden" in names
+
+
+class TestNetBuilder:
+    def test_tracks_geometry(self):
+        net = NetBuilder(input_size=32, input_channels=3)
+        net.conv_bn(8, k=3, stride=2)
+        assert net.size == 16 and net.channels == 8
+        net.mbconv(16, expansion=6, k=3, stride=2)
+        assert net.size == 8 and net.channels == 16
+
+    def test_flops_accumulate(self):
+        net = NetBuilder(input_size=32)
+        before = net.flops
+        net.conv_bn(8, k=3, stride=1)
+        assert net.flops > before
+
+    def test_residual_memory_op_when_shapes_match(self):
+        net = NetBuilder(input_size=32)
+        net.conv_bn(8, k=1)
+        net.mbconv(8, expansion=3, k=3, stride=1)
+        names = [p.name for p in net.layers[-1]]
+        assert "residual-add" in names
+
+    def test_no_residual_on_stride_2(self):
+        net = NetBuilder(input_size=32)
+        net.conv_bn(8, k=1)
+        net.mbconv(8, expansion=3, k=3, stride=2)
+        names = [p.name for p in net.layers[-1]]
+        assert "residual-add" not in names
+
+    def test_maxpool_halves(self):
+        net = NetBuilder(input_size=32)
+        net.conv_bn(8, k=3, stride=1)
+        net.maxpool()
+        assert net.size == 16
+
+
+class TestZoo:
+    def test_eleven_comparators(self):
+        assert len(all_baselines()) == 11  # Table I comparator count
+
+    def test_groups(self):
+        groups = baselines_by_group()
+        assert len(groups["manual"]) == 3
+        assert len(groups["nas"]) == 8
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_baseline("ResNet-50")
+
+    def test_published_stats_complete(self):
+        for model in all_baselines():
+            p = model.published
+            assert p.top1_error > 20.0
+            for key in ("gpu", "cpu", "edge"):
+                assert p.latency_ms(key) > 5.0
+
+    def test_published_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            all_baselines()[0].published.latency_ms("tpu")

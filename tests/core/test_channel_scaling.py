@@ -1,0 +1,146 @@
+"""Tests for the channel-scaling schemes (Sec. III-B)."""
+
+import pytest
+
+from repro.core import best_uniform_factor, uniform_scaled
+from repro.core.channel_scaling import snap_factor
+from repro.space import Architecture
+
+
+class TestUniformScaled:
+    def test_applies_same_factor_everywhere(self):
+        arch = Architecture((0, 1, 2), (0.3, 0.7, 1.0))
+        scaled = uniform_scaled(arch, 0.5)
+        assert scaled.factors == (0.5, 0.5, 0.5)
+        assert scaled.ops == arch.ops
+
+    def test_original_untouched(self):
+        arch = Architecture((0,), (1.0,))
+        uniform_scaled(arch, 0.5)
+        assert arch.factors == (1.0,)
+
+
+class TestBestUniformFactor:
+    def _latency(self, arch):
+        # latency proportional to mean factor (monotone in the factor)
+        return 10.0 * sum(arch.factors) / len(arch.factors)
+
+    def test_picks_largest_feasible(self):
+        arch = Architecture.uniform(4, 0, 1.0)
+        factors = [0.2, 0.4, 0.6, 0.8, 1.0]
+        best = best_uniform_factor(arch, factors, self._latency, target_ms=6.5)
+        assert best == 0.6
+
+    def test_none_when_infeasible(self):
+        arch = Architecture.uniform(4, 0, 1.0)
+        best = best_uniform_factor(arch, [0.5, 1.0], self._latency, target_ms=1.0)
+        assert best is None
+
+    def test_exact_boundary_feasible(self):
+        arch = Architecture.uniform(4, 0, 1.0)
+        best = best_uniform_factor(arch, [0.5, 1.0], self._latency, target_ms=5.0)
+        assert best == 0.5
+
+    def test_invalid_target_raises(self):
+        arch = Architecture.uniform(2, 0, 1.0)
+        with pytest.raises(ValueError):
+            best_uniform_factor(arch, [0.5], self._latency, target_ms=0.0)
+
+
+class TestSnapFactor:
+    def test_snaps_to_nearest(self):
+        assert snap_factor(0.47, [0.1, 0.5, 1.0]) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            snap_factor(0.5, [])
+
+
+class TestGreedyFitFactors:
+    """Tests for the sensitivity-guided per-layer width fitting."""
+
+    def _setup(self, space):
+        from repro.accuracy import AccuracySurrogate
+
+        surrogate = AccuracySurrogate(space)
+        latency_fn = lambda a: space.arch_flops(a) / 1e4
+        return surrogate.proxy_accuracy, latency_fn
+
+    def test_meets_reachable_target(self, proxy_space):
+        from repro.core import greedy_fit_factors
+
+        acc_fn, lat_fn = self._setup(proxy_space)
+        start = Architecture.uniform(proxy_space.num_layers, 0, 1.0)
+        target = lat_fn(start) * 0.7
+        fitted = greedy_fit_factors(
+            start, proxy_space.candidate_factors, lat_fn, acc_fn, target
+        )
+        assert lat_fn(fitted) <= target
+        assert proxy_space.contains(fitted)
+
+    def test_already_feasible_returns_unchanged(self, proxy_space):
+        from repro.core import greedy_fit_factors
+
+        acc_fn, lat_fn = self._setup(proxy_space)
+        start = Architecture.uniform(proxy_space.num_layers, 0, 0.5)
+        fitted = greedy_fit_factors(
+            start, proxy_space.candidate_factors, lat_fn, acc_fn,
+            target_ms=lat_fn(start) + 1.0,
+        )
+        assert fitted == start
+
+    def test_unreachable_target_bottoms_out(self, proxy_space):
+        from repro.core import greedy_fit_factors
+
+        acc_fn, lat_fn = self._setup(proxy_space)
+        start = Architecture.uniform(proxy_space.num_layers, 0, 1.0)
+        fitted = greedy_fit_factors(
+            start, proxy_space.candidate_factors, lat_fn, acc_fn,
+            target_ms=1e-6,
+        )
+        # Best effort: as fast as the all-minimum-factor architecture.
+        # (Some factors may stop above the literal minimum when channel
+        # rounding makes the last decrements free of latency savings.)
+        all_min = Architecture(
+            start.ops,
+            tuple(min(c) for c in proxy_space.candidate_factors),
+        )
+        assert lat_fn(fitted) == pytest.approx(lat_fn(all_min))
+
+    def test_ops_untouched(self, proxy_space, rng):
+        from repro.core import greedy_fit_factors
+
+        acc_fn, lat_fn = self._setup(proxy_space)
+        start = proxy_space.sample(rng).with_factor(0, 1.0)
+        fitted = greedy_fit_factors(
+            start, proxy_space.candidate_factors, lat_fn, acc_fn,
+            target_ms=lat_fn(start) * 0.8,
+        )
+        assert fitted.ops == start.ops
+
+    def test_beats_uniform_scaling(self, proxy_space):
+        """Greedy per-layer fitting keeps more accuracy than the
+        conventional uniform multiplier at the same budget."""
+        from repro.core import best_uniform_factor, greedy_fit_factors, uniform_scaled
+
+        acc_fn, lat_fn = self._setup(proxy_space)
+        start = Architecture.uniform(proxy_space.num_layers, 1, 1.0)
+        target = lat_fn(start) * 0.62
+        greedy = greedy_fit_factors(
+            start, proxy_space.candidate_factors, lat_fn, acc_fn, target
+        )
+        uniform = best_uniform_factor(
+            start, proxy_space.config.channel_factors, lat_fn, target
+        )
+        assert uniform is not None
+        assert acc_fn(greedy) >= acc_fn(uniform_scaled(start, uniform)) - 1e-9
+
+    def test_invalid_target_raises(self, proxy_space):
+        from repro.core import greedy_fit_factors
+
+        acc_fn, lat_fn = self._setup(proxy_space)
+        with pytest.raises(ValueError):
+            greedy_fit_factors(
+                Architecture.uniform(8), proxy_space.candidate_factors,
+                lat_fn, acc_fn, target_ms=0.0,
+            )

@@ -1,0 +1,184 @@
+"""Tests for the evolutionary search (Sec. III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, EvolutionarySearch, Objective
+from repro.core.evolution import RandomSearch
+from repro.space import Architecture
+
+
+def make_objective(space, target=15.0):
+    """Accuracy grows with FLOPs; latency proportional to FLOPs.
+
+    Scaled so the proxy space's ~0.08-0.24M MACs map to 8-24 "ms",
+    putting the default target inside the reachable range. The sqrt
+    gives diminishing accuracy returns, so the optimum sits exactly at
+    the latency target (as with the real surrogate).
+    """
+    return Objective(
+        accuracy_fn=lambda a: min(1.0, (space.arch_flops(a) / 2.5e5) ** 0.5),
+        latency_fn=lambda a: space.arch_flops(a) / 1e4,
+        target_ms=target,
+        beta=-0.5,
+    )
+
+
+class TestEvolutionConfig:
+    def test_paper_defaults(self):
+        cfg = EvolutionConfig()
+        assert cfg.generations == 20
+        assert cfg.population_size == 50
+        assert cfg.num_parents == 20
+        assert cfg.crossover_prob == 0.25
+        assert cfg.mutation_prob == 0.25
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            EvolutionConfig(generations=0)
+        with pytest.raises(ValueError):
+            EvolutionConfig(num_parents=51, population_size=50)
+        with pytest.raises(ValueError):
+            EvolutionConfig(crossover_prob=1.5)
+
+
+class TestGeneticOperators:
+    def _search(self, space):
+        return EvolutionarySearch(space, make_objective(space))
+
+    def test_crossover_mixes_parents(self, proxy_space):
+        search = self._search(proxy_space)
+        a = Architecture.uniform(8, op_index=0, factor=0.5)
+        b = Architecture.uniform(8, op_index=1, factor=1.0)
+        child = search._crossover(a, b, np.random.default_rng(0))
+        # every gene comes from one of the two parents, pairwise
+        for i in range(8):
+            assert (child.ops[i], child.factors[i]) in {(0, 0.5), (1, 1.0)}
+
+    def test_mutation_stays_in_space(self, proxy_space, rng):
+        search = self._search(proxy_space)
+        arch = proxy_space.sample(rng)
+        for _ in range(10):
+            arch = search._mutate(arch, rng)
+            assert proxy_space.contains(arch)
+
+    def test_mutation_respects_shrunk_space(self, proxy_space, rng):
+        shrunk = proxy_space.fix_operator(7, 2)
+        search = EvolutionarySearch(shrunk, make_objective(shrunk))
+        arch = shrunk.sample(rng)
+        for _ in range(20):
+            arch = search._mutate(arch, rng)
+            assert arch.ops[7] == 2
+
+
+class TestSearchRun:
+    def test_deterministic(self, proxy_space):
+        cfg = EvolutionConfig(generations=4, population_size=10, num_parents=4, seed=9)
+        r1 = EvolutionarySearch(proxy_space, make_objective(proxy_space), cfg).run()
+        r2 = EvolutionarySearch(proxy_space, make_objective(proxy_space), cfg).run()
+        assert r1.best.arch == r2.best.arch
+        assert r1.best.score == r2.best.score
+
+    def test_best_improves_or_holds_over_generations(self, proxy_space):
+        cfg = EvolutionConfig(generations=8, population_size=16, num_parents=6)
+        result = EvolutionarySearch(
+            proxy_space, make_objective(proxy_space), cfg
+        ).run()
+        bests = [g.best.score for g in result.generations]
+        running = [max(bests[: i + 1]) for i in range(len(bests))]
+        assert running == sorted(running)
+        assert result.best.score == pytest.approx(max(bests))
+
+    def test_population_size_maintained(self, proxy_space):
+        cfg = EvolutionConfig(generations=5, population_size=12, num_parents=4)
+        result = EvolutionarySearch(
+            proxy_space, make_objective(proxy_space), cfg
+        ).run()
+        for gen in result.generations:
+            assert len(gen.population) == 12
+
+    def test_latency_concentrates_near_target(self, proxy_space):
+        """The paper's Fig. 6: the EA's final population clusters at the
+        latency constraint much tighter than uniform sampling."""
+        target = 15.0
+        obj = make_objective(proxy_space, target=target)
+        cfg = EvolutionConfig(generations=12, population_size=30, num_parents=10)
+        result = EvolutionarySearch(proxy_space, obj, cfg).run()
+
+        final = np.array(result.generations[-1].latencies())
+        rng = np.random.default_rng(0)
+        random_lats = np.array(
+            [obj.latency_fn(proxy_space.sample(rng)) for _ in range(30)]
+        )
+        ea_dev = np.mean(np.abs(final / target - 1.0))
+        rand_dev = np.mean(np.abs(random_lats / target - 1.0))
+        assert ea_dev < rand_dev * 0.5
+
+    def test_best_latency_close_to_target(self, proxy_space):
+        target = 15.0
+        cfg = EvolutionConfig(generations=12, population_size=30, num_parents=10)
+        result = EvolutionarySearch(
+            proxy_space, make_objective(proxy_space, target), cfg
+        ).run()
+        assert result.best.latency_ms == pytest.approx(target, rel=0.1)
+
+    def test_all_evaluated_inside_space(self, proxy_space):
+        shrunk = proxy_space.fix_operator(7, 1).fix_operator(6, 0)
+        cfg = EvolutionConfig(generations=4, population_size=10, num_parents=4)
+        result = EvolutionarySearch(shrunk, make_objective(shrunk), cfg).run()
+        for ev in result.all_evaluated():
+            assert shrunk.contains(ev.arch)
+
+    def test_beats_random_at_equal_budget(self, space_a):
+        """EA vs random-search ablation at equal budget, on the real
+        (surrogate accuracy + device latency) objective. The toy smooth
+        objective would be too easy — random search saturates it — so
+        this test uses the paper-scale landscape, where selection
+        pressure matters."""
+        from repro.accuracy import AccuracySurrogate
+        from repro.hardware import get_device
+
+        surrogate = AccuracySurrogate(space_a)
+        device = get_device("edge")
+        obj = Objective(
+            accuracy_fn=surrogate.proxy_accuracy,
+            latency_fn=lambda a: device.latency_ms(space_a, a),
+            target_ms=19.0,
+            beta=-0.5,
+        )
+        cfg = EvolutionConfig(generations=10, population_size=20, num_parents=8, seed=1)
+        ea = EvolutionarySearch(space_a, obj, cfg).run()
+        budget = sum(len(g.population) for g in ea.generations)
+        wins = 0
+        for seed in range(3):
+            rnd = RandomSearch(space_a, obj, budget=budget, seed=seed).run()
+            if ea.best.score >= rnd.best.score:
+                wins += 1
+        assert wins >= 2
+
+    def test_memoization_counts_unique(self, proxy_space):
+        cfg = EvolutionConfig(generations=4, population_size=10, num_parents=4)
+        search = EvolutionarySearch(proxy_space, make_objective(proxy_space), cfg)
+        result = search.run()
+        assert result.num_evaluations <= sum(
+            len(g.population) for g in result.generations
+        )
+
+    def test_best_per_generation(self, proxy_space):
+        cfg = EvolutionConfig(generations=3, population_size=8, num_parents=3)
+        result = EvolutionarySearch(
+            proxy_space, make_objective(proxy_space), cfg
+        ).run()
+        assert len(result.best_per_generation()) == 3
+
+
+class TestRandomSearch:
+    def test_budget_respected(self, proxy_space):
+        result = RandomSearch(
+            proxy_space, make_objective(proxy_space), budget=25
+        ).run()
+        assert result.num_evaluations == 25
+
+    def test_invalid_budget_raises(self, proxy_space):
+        with pytest.raises(ValueError):
+            RandomSearch(proxy_space, make_objective(proxy_space), budget=0)

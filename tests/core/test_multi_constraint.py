@@ -1,0 +1,108 @@
+"""Tests for the latency+energy multi-constraint objective."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvolutionConfig,
+    EvolutionarySearch,
+    MultiConstraintObjective,
+)
+from repro.hardware import EnergyModel, EnergyPredictor, get_device
+from repro.space import Architecture
+
+
+def _objective(space, energy_budget, beta_energy=-1.0):
+    device = get_device("edge")
+    energy = EnergyModel(device)
+    return MultiConstraintObjective(
+        accuracy_fn=lambda a: min(1.0, (space.arch_flops(a) / 2.5e5) ** 0.5),
+        latency_fn=lambda a: device.latency_ms(space, a),
+        target_ms=1.3,
+        energy_fn=lambda a: energy.arch_energy_mj(space, a),
+        energy_budget_mj=energy_budget,
+        beta=-0.5,
+        beta_energy=beta_energy,
+    )
+
+
+class TestValidation:
+    def test_nonpositive_budget_raises(self, proxy_space):
+        with pytest.raises(ValueError):
+            _objective(proxy_space, energy_budget=0.0)
+
+    def test_nonnegative_beta_energy_raises(self, proxy_space):
+        with pytest.raises(ValueError):
+            _objective(proxy_space, energy_budget=1.0, beta_energy=0.0)
+
+
+class TestEnergyPenalty:
+    def test_under_budget_is_free(self, proxy_space):
+        obj = _objective(proxy_space, energy_budget=10.0)
+        assert obj.energy_penalty(5.0) == 0.0
+        assert obj.energy_penalty(10.0) == 0.0
+
+    def test_over_budget_penalized_proportionally(self, proxy_space):
+        obj = _objective(proxy_space, energy_budget=10.0, beta_energy=-2.0)
+        assert obj.energy_penalty(15.0) == pytest.approx(-1.0)
+
+    def test_evaluate_includes_energy_term(self, proxy_space, rng):
+        arch = proxy_space.sample(rng)
+        generous = _objective(proxy_space, energy_budget=1e9)
+        tight = _objective(proxy_space, energy_budget=1e-6)
+        assert tight(arch) < generous(arch)
+
+    def test_reduces_to_eq1_with_big_budget(self, proxy_space, rng):
+        from repro.core import Objective
+
+        arch = proxy_space.sample(rng)
+        multi = _objective(proxy_space, energy_budget=1e9)
+        plain = Objective(
+            multi.accuracy_fn, multi.latency_fn, multi.target_ms, multi.beta
+        )
+        assert multi(arch) == pytest.approx(plain(arch))
+
+
+class TestEnergyConstrainedSearch:
+    def test_tight_budget_changes_winner(self, proxy_space):
+        """The energy budget must actually steer the search."""
+        device = get_device("edge")
+        energy = EnergyModel(device)
+
+        # Find the typical energy level first.
+        rng = np.random.default_rng(0)
+        typical = float(np.median([
+            energy.arch_energy_mj(proxy_space, proxy_space.sample(rng))
+            for _ in range(20)
+        ]))
+
+        cfg = EvolutionConfig(generations=6, population_size=14,
+                              num_parents=5, seed=2)
+        loose = EvolutionarySearch(
+            proxy_space, _objective(proxy_space, energy_budget=typical * 10),
+            cfg,
+        ).run().best
+        tight = EvolutionarySearch(
+            proxy_space, _objective(proxy_space, energy_budget=typical * 0.8),
+            cfg,
+        ).run().best
+
+        loose_energy = energy.arch_energy_mj(proxy_space, loose.arch)
+        tight_energy = energy.arch_energy_mj(proxy_space, tight.arch)
+        assert tight_energy < loose_energy
+        # and the tight run roughly respects the budget
+        assert tight_energy <= typical * 0.8 * 1.15
+
+
+class TestEnergyPredictorInSearch:
+    def test_predictor_substitutes_for_measurement(self, proxy_space, rng):
+        """A search can use the energy *predictor* instead of the
+        ground-truth rail, like the latency side does."""
+        device = get_device("edge")
+        model = EnergyModel(device)
+        predictor = EnergyPredictor(proxy_space, model).build(seed=0)
+        predictor.calibrate_bias(num_archs=10, seed=1)
+        arch = proxy_space.sample(rng)
+        assert predictor.predict(arch) == pytest.approx(
+            model.arch_energy_mj(proxy_space, arch), rel=0.15
+        )

@@ -1,0 +1,135 @@
+"""Tests for the NSGA-II multi-objective extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import BiObjective, Nsga2Config, Nsga2Search
+from repro.core.nsga2 import crowding_distance, non_dominated_sort
+from repro.space import Architecture
+
+
+def _point(lat, acc):
+    return BiObjective(Architecture.uniform(2), lat, acc)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert _point(1.0, 0.9).dominates(_point(2.0, 0.8))
+
+    def test_partial_dominance(self):
+        assert _point(1.0, 0.8).dominates(_point(2.0, 0.8))
+        assert _point(1.0, 0.9).dominates(_point(1.0, 0.8))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not _point(1.0, 0.8).dominates(_point(1.0, 0.8))
+
+    def test_tradeoff_points_incomparable(self):
+        a = _point(1.0, 0.7)
+        b = _point(2.0, 0.9)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestSorting:
+    def test_single_front(self):
+        pts = [_point(1.0, 0.5), _point(2.0, 0.7), _point(3.0, 0.9)]
+        fronts = non_dominated_sort(pts)
+        assert fronts == [[0, 1, 2]]
+
+    def test_two_fronts(self):
+        pts = [_point(1.0, 0.9), _point(2.0, 0.5)]  # 0 dominates 1
+        fronts = non_dominated_sort(pts)
+        assert fronts == [[0], [1]]
+
+    def test_every_point_in_exactly_one_front(self):
+        rng = np.random.default_rng(0)
+        pts = [_point(float(l), float(a)) for l, a in rng.uniform(0, 1, (30, 2))]
+        fronts = non_dominated_sort(pts)
+        flat = [i for f in fronts for i in f]
+        assert sorted(flat) == list(range(30))
+
+    def test_front_members_mutually_nondominated(self):
+        rng = np.random.default_rng(1)
+        pts = [_point(float(l), float(a)) for l, a in rng.uniform(0, 1, (25, 2))]
+        fronts = non_dominated_sort(pts)
+        for front in fronts:
+            for i in front:
+                for j in front:
+                    assert not pts[i].dominates(pts[j]) or i == j
+
+
+class TestCrowding:
+    def test_extremes_infinite(self):
+        pts = [_point(1.0, 0.5), _point(2.0, 0.7), _point(3.0, 0.9)]
+        crowd = crowding_distance(pts, [0, 1, 2])
+        assert crowd[0] == float("inf")
+        assert crowd[2] == float("inf")
+        assert np.isfinite(crowd[1])
+
+    def test_empty_front(self):
+        assert crowding_distance([], []) == {}
+
+    def test_isolated_point_has_larger_distance(self):
+        # points at latency 1, 1.1, 5, 9, 9.1 -> the middle one is isolated
+        pts = [_point(1.0, 0.1), _point(1.1, 0.2), _point(5.0, 0.5),
+               _point(9.0, 0.8), _point(9.1, 0.9)]
+        crowd = crowding_distance(pts, list(range(5)))
+        finite = {i: c for i, c in crowd.items() if np.isfinite(c)}
+        assert max(finite, key=finite.get) == 2
+
+
+class TestSearch:
+    def _search(self, space, cfg=None):
+        return Nsga2Search(
+            space,
+            accuracy_fn=lambda a: min(1.0, (space.arch_flops(a) / 2.5e5) ** 0.5),
+            latency_fn=lambda a: space.arch_flops(a) / 1e4,
+            config=cfg or Nsga2Config(generations=8, population_size=20, seed=0),
+        )
+
+    def test_front_sorted_and_nondominated(self, proxy_space):
+        result = self._search(proxy_space).run()
+        front = result.front
+        assert front
+        for a, b in zip(front, front[1:]):
+            assert a.latency_ms <= b.latency_ms
+            assert a.accuracy <= b.accuracy  # front trades one for the other
+        for p in front:
+            for q in result.population:
+                assert not q.dominates(p)
+
+    def test_front_spans_latency_range(self, proxy_space):
+        result = self._search(proxy_space).run()
+        lats = [p.latency_ms for p in result.front]
+        assert max(lats) > min(lats) * 1.3
+
+    def test_deterministic(self, proxy_space):
+        r1 = self._search(proxy_space).run()
+        r2 = self._search(proxy_space).run()
+        assert [p.arch for p in r1.front] == [p.arch for p in r2.front]
+
+    def test_knee_under_budget(self, proxy_space):
+        result = self._search(proxy_space).run()
+        mid = float(np.median([p.latency_ms for p in result.front]))
+        knee = result.knee_under(mid)
+        assert knee.latency_ms <= mid
+        for p in result.front:
+            if p.latency_ms <= mid:
+                assert knee.accuracy >= p.accuracy
+
+    def test_knee_infeasible_raises(self, proxy_space):
+        result = self._search(proxy_space).run()
+        with pytest.raises(ValueError):
+            result.knee_under(0.001)
+
+    def test_members_inside_space(self, proxy_space):
+        shrunk = proxy_space.fix_operator(7, 1)
+        result = self._search(shrunk).run()
+        for p in result.population:
+            assert shrunk.contains(p.arch)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            Nsga2Config(population_size=2)
+        with pytest.raises(ValueError):
+            Nsga2Config(crossover_prob=2.0)

@@ -1,0 +1,109 @@
+"""Tests for the Eq. 1 objective and Eq. 4 subspace quality."""
+
+import numpy as np
+import pytest
+
+from repro.core import Objective, SubspaceQuality
+from repro.space import Architecture
+
+
+def flops_latency(space):
+    """A latency proxy linear in FLOPs (deterministic, no device needed)."""
+    return lambda arch: space.arch_flops(arch) / 1e7
+
+
+class TestObjective:
+    def test_score_at_exact_target(self):
+        obj = Objective(lambda a: 0.75, lambda a: 34.0, target_ms=34.0, beta=-0.5)
+        arch = Architecture.uniform(3)
+        assert obj(arch) == pytest.approx(0.75)
+
+    def test_overshoot_penalized(self):
+        obj = Objective(lambda a: 0.75, lambda a: 51.0, target_ms=34.0, beta=-0.5)
+        # |51/34 - 1| = 0.5 -> score = 0.75 - 0.25
+        assert obj(Architecture.uniform(3)) == pytest.approx(0.5)
+
+    def test_undershoot_also_penalized(self):
+        """Eq. 1 uses |.|: being faster than T also scores lower, which
+        is what concentrates the EA's population at the constraint."""
+        obj = Objective(lambda a: 0.75, lambda a: 17.0, target_ms=34.0, beta=-0.5)
+        assert obj(Architecture.uniform(3)) < 0.75
+
+    def test_symmetric_deviations_equal(self):
+        obj = Objective(lambda a: 0.7, lambda a: 0.0, target_ms=10.0, beta=-0.4)
+        assert obj.score_parts(0.7, 12.0) == pytest.approx(obj.score_parts(0.7, 8.0))
+
+    def test_evaluate_breakdown(self):
+        obj = Objective(lambda a: 0.8, lambda a: 20.0, target_ms=10.0, beta=-1.0)
+        ev = obj.evaluate(Architecture.uniform(2))
+        assert ev.accuracy == 0.8
+        assert ev.latency_ms == 20.0
+        assert ev.score == pytest.approx(0.8 - 1.0)
+
+    def test_evaluated_arch_ordering(self):
+        obj = Objective(lambda a: 0.8, lambda a: 10.0, target_ms=10.0, beta=-1.0)
+        good = obj.evaluate(Architecture.uniform(2))
+        bad_obj = Objective(lambda a: 0.2, lambda a: 10.0, target_ms=10.0, beta=-1.0)
+        bad = bad_obj.evaluate(Architecture.uniform(2))
+        assert bad < good
+
+    def test_positive_beta_rejected(self):
+        with pytest.raises(ValueError):
+            Objective(lambda a: 1.0, lambda a: 1.0, target_ms=1.0, beta=0.1)
+
+    def test_nonpositive_target_rejected(self):
+        with pytest.raises(ValueError):
+            Objective(lambda a: 1.0, lambda a: 1.0, target_ms=0.0)
+
+
+class TestSubspaceQuality:
+    def _objective(self, space):
+        return Objective(
+            accuracy_fn=lambda a: space.arch_flops(a) / 3e8,
+            latency_fn=flops_latency(space),
+            target_ms=15.0,
+            beta=-0.3,
+        )
+
+    def test_estimate_is_mean_of_n_samples(self, proxy_space):
+        obj = self._objective(proxy_space)
+        quality = SubspaceQuality(obj, num_samples=50, seed=0)
+        q = quality.estimate(proxy_space)
+        assert np.isfinite(q)
+        assert quality.evaluations == 50
+
+    def test_paper_default_n_is_100(self, proxy_space):
+        quality = SubspaceQuality(self._objective(proxy_space))
+        assert quality.num_samples == 100
+
+    def test_deterministic_given_seed(self, proxy_space):
+        obj = self._objective(proxy_space)
+        q1 = SubspaceQuality(obj, num_samples=30, seed=5).estimate(proxy_space)
+        q2 = SubspaceQuality(obj, num_samples=30, seed=5).estimate(proxy_space)
+        assert q1 == q2
+
+    def test_discriminates_subspaces(self, proxy_space):
+        """A subspace pinned to the op that best matches the target must
+        score higher than one pinned to a clearly-worse op."""
+        space = proxy_space
+        obj = Objective(
+            accuracy_fn=lambda a: 0.7,
+            latency_fn=lambda a: 10.0 + a.ops.count(4),  # skips hurt here
+            target_ms=10.0,
+            beta=-0.5,
+        )
+        quality = SubspaceQuality(obj, num_samples=80, seed=0)
+        q_conv = quality.estimate(space.fix_operator(0, 0))
+        q_skip = quality.estimate(space.fix_operator(0, 4))
+        assert q_conv > q_skip
+
+    def test_invalid_n_raises(self, proxy_space):
+        with pytest.raises(ValueError):
+            SubspaceQuality(self._objective(proxy_space), num_samples=0)
+
+    def test_evaluation_counter_accumulates(self, proxy_space):
+        obj = self._objective(proxy_space)
+        quality = SubspaceQuality(obj, num_samples=10, seed=0)
+        quality.estimate(proxy_space)
+        quality.estimate(proxy_space)
+        assert quality.evaluations == 20

@@ -1,0 +1,105 @@
+"""Tests for the REINFORCE search baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import Objective, ReinforceConfig, ReinforceSearch
+from repro.space import SearchSpace, proxy
+
+
+def make_objective(space, target=15.0):
+    return Objective(
+        accuracy_fn=lambda a: min(1.0, (space.arch_flops(a) / 2.5e5) ** 0.5),
+        latency_fn=lambda a: space.arch_flops(a) / 1e4,
+        target_ms=target,
+        beta=-0.5,
+    )
+
+
+class TestConfig:
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ReinforceConfig(iterations=0)
+        with pytest.raises(ValueError):
+            ReinforceConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            ReinforceConfig(baseline_momentum=1.0)
+
+
+class TestSearch:
+    def test_samples_stay_in_space(self, proxy_space, rng):
+        search = ReinforceSearch(proxy_space, make_objective(proxy_space))
+        for _ in range(20):
+            arch, _, _ = search._sample(rng)
+            assert proxy_space.contains(arch)
+
+    def test_respects_shrunk_space(self, rng):
+        space = SearchSpace(proxy()).fix_operator(7, 2)
+        search = ReinforceSearch(space, make_objective(space))
+        for _ in range(20):
+            arch, _, _ = search._sample(rng)
+            assert arch.ops[7] == 2
+
+    def test_deterministic(self, proxy_space):
+        cfg = ReinforceConfig(iterations=4, batch_size=8, seed=5)
+        obj = make_objective(proxy_space)
+        r1 = ReinforceSearch(proxy_space, obj, cfg).run()
+        r2 = ReinforceSearch(proxy_space, obj, cfg).run()
+        assert r1.best.arch == r2.best.arch
+
+    def test_budget_accounting(self, proxy_space):
+        cfg = ReinforceConfig(iterations=5, batch_size=7)
+        result = ReinforceSearch(
+            proxy_space, make_objective(proxy_space), cfg
+        ).run()
+        assert result.num_evaluations == 35
+        assert len(result.generations) == 5
+
+    def test_policy_improves_mean_reward(self, proxy_space):
+        """The controller's sampled population must improve over
+        training — the definition of the policy gradient working."""
+        cfg = ReinforceConfig(iterations=15, batch_size=30,
+                              learning_rate=3.0, seed=0)
+        result = ReinforceSearch(
+            proxy_space, make_objective(proxy_space), cfg
+        ).run()
+        first = np.mean([e.score for e in result.generations[0].population])
+        last = np.mean([e.score for e in result.generations[-1].population])
+        assert last > first
+
+    def test_entropy_decreases(self, proxy_space):
+        """A converging categorical policy loses entropy."""
+        cfg = ReinforceConfig(iterations=15, batch_size=30,
+                              learning_rate=3.0, seed=0)
+        search = ReinforceSearch(proxy_space, make_objective(proxy_space), cfg)
+        initial_entropy = search.policy_entropy()
+        search.run()
+        assert search.policy_entropy() < initial_entropy
+
+    def test_best_never_degrades(self, proxy_space):
+        cfg = ReinforceConfig(iterations=8, batch_size=10, seed=1)
+        result = ReinforceSearch(
+            proxy_space, make_objective(proxy_space), cfg
+        ).run()
+        all_scores = [e.score for g in result.generations for e in g.population]
+        assert result.best.score == pytest.approx(max(all_scores))
+
+
+class TestEntropyBonus:
+    def test_entropy_weight_slows_collapse(self, proxy_space):
+        """A positive entropy bonus keeps the policy broader than the
+        plain controller after the same training."""
+        obj = make_objective(proxy_space)
+        plain = ReinforceSearch(
+            proxy_space, obj,
+            ReinforceConfig(iterations=10, batch_size=20,
+                            learning_rate=3.0, seed=4),
+        )
+        regularized = ReinforceSearch(
+            proxy_space, obj,
+            ReinforceConfig(iterations=10, batch_size=20,
+                            learning_rate=3.0, entropy_weight=0.5, seed=4),
+        )
+        plain.run()
+        regularized.run()
+        assert regularized.policy_entropy() >= plain.policy_entropy()

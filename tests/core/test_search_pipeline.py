@@ -1,0 +1,97 @@
+"""Tests for the end-to-end HSCoNAS pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig
+from repro.hardware import get_device
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return HSCoNASConfig(
+        target_ms=1.3,  # inside the proxy space's 0.9-1.5 ms GPU range
+        lut_samples_per_cell=1,
+        bias_calibration_archs=8,
+        quality_samples=10,
+        evolution=EvolutionConfig(
+            generations=4, population_size=12, num_parents=5
+        ),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline_result(proxy_space, quick_config):
+    nas = HSCoNAS(proxy_space, get_device("gpu"), quick_config)
+    return nas.run()
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper(self):
+        cfg = HSCoNASConfig()
+        assert cfg.quality_samples == 100  # N in Eq. 4
+        assert cfg.evolution.generations == 20
+        assert cfg.enable_shrinking
+
+    def test_invalid_target_raises(self):
+        with pytest.raises(ValueError):
+            HSCoNASConfig(target_ms=-1.0)
+
+    def test_nonnegative_beta_raises(self):
+        with pytest.raises(ValueError):
+            HSCoNASConfig(beta=0.0)
+
+
+class TestPipeline:
+    def test_discovers_valid_architecture(self, proxy_space, pipeline_result):
+        assert proxy_space.contains(pipeline_result.arch)
+
+    def test_latency_near_target(self, pipeline_result, quick_config):
+        assert pipeline_result.measured_latency_ms == pytest.approx(
+            quick_config.target_ms, rel=0.25
+        )
+
+    def test_predictor_calibrated(self, pipeline_result):
+        assert pipeline_result.predictor.calibrated
+        assert pipeline_result.bias_ms > 0.0
+
+    def test_shrinking_happened(self, pipeline_result):
+        assert pipeline_result.shrink is not None
+        assert pipeline_result.final_space.fixed_layers()
+
+    def test_search_inside_shrunk_space(self, pipeline_result):
+        fixed = pipeline_result.final_space.fixed_layers()
+        for layer, op in fixed.items():
+            assert pipeline_result.arch.ops[layer] == op
+
+    def test_errors_plausible(self, pipeline_result):
+        assert 5.0 < pipeline_result.top1_error < 60.0
+        assert pipeline_result.top5_error < pipeline_result.top1_error
+
+    def test_summary_renders(self, pipeline_result):
+        text = pipeline_result.summary()
+        assert "top-1" in text
+        assert "bias B" in text
+
+    def test_shrinking_disabled(self, proxy_space, quick_config):
+        from dataclasses import replace
+
+        cfg = replace(quick_config, enable_shrinking=False)
+        result = HSCoNAS(proxy_space, get_device("gpu"), cfg).run()
+        assert result.shrink is None
+        assert not result.final_space.fixed_layers()
+
+    def test_reproducible(self, proxy_space, quick_config, pipeline_result):
+        again = HSCoNAS(proxy_space, get_device("gpu"), quick_config).run()
+        assert again.arch == pipeline_result.arch
+
+    def test_different_targets_different_archs(self, proxy_space, quick_config):
+        from dataclasses import replace
+
+        cfg_fast = replace(quick_config, target_ms=1.0)
+        fast = HSCoNAS(proxy_space, get_device("gpu"), cfg_fast).run()
+        slow_result = HSCoNAS(
+            proxy_space, get_device("gpu"), quick_config
+        ).run()
+        assert fast.measured_latency_ms < slow_result.measured_latency_ms

@@ -1,0 +1,61 @@
+"""Tests for search-result serialization (JSON artifacts)."""
+
+import json
+
+import pytest
+
+from repro.core import EvolutionConfig, EvolutionarySearch, Objective
+from repro.core.evolution import SearchResult
+from repro.core.objective import EvaluatedArch
+from repro.space import Architecture
+
+
+def _objective(space):
+    return Objective(
+        accuracy_fn=lambda a: min(1.0, (space.arch_flops(a) / 2.5e5) ** 0.5),
+        latency_fn=lambda a: space.arch_flops(a) / 1e4,
+        target_ms=15.0,
+        beta=-0.5,
+    )
+
+
+class TestEvaluatedArchRoundtrip:
+    def test_roundtrip(self):
+        ev = EvaluatedArch(Architecture.uniform(4, 2, 0.5), 0.71, 33.2, 0.695)
+        restored = EvaluatedArch.from_dict(ev.to_dict())
+        assert restored == ev
+
+    def test_json_safe(self):
+        ev = EvaluatedArch(Architecture.uniform(4), 0.5, 1.0, 0.4)
+        text = json.dumps(ev.to_dict())
+        assert EvaluatedArch.from_dict(json.loads(text)) == ev
+
+
+class TestSearchResultRoundtrip:
+    @pytest.fixture(scope="class")
+    def result(self, proxy_space):
+        cfg = EvolutionConfig(generations=3, population_size=8, num_parents=3)
+        return EvolutionarySearch(proxy_space, _objective(proxy_space), cfg).run()
+
+    def test_roundtrip_preserves_best(self, result):
+        restored = SearchResult.from_dict(result.to_dict())
+        assert restored.best == result.best
+        assert restored.num_evaluations == result.num_evaluations
+
+    def test_roundtrip_preserves_generations(self, result):
+        restored = SearchResult.from_dict(result.to_dict())
+        assert len(restored.generations) == len(result.generations)
+        for a, b in zip(restored.generations, result.generations):
+            assert a.index == b.index
+            assert a.population == b.population
+
+    def test_through_json(self, result):
+        text = json.dumps(result.to_dict())
+        restored = SearchResult.from_dict(json.loads(text))
+        assert restored.best.score == pytest.approx(result.best.score)
+
+    def test_traces_survive_roundtrip(self, result):
+        from repro.analysis import evaluation_trace
+
+        restored = SearchResult.from_dict(result.to_dict())
+        assert evaluation_trace(restored) == evaluation_trace(result)

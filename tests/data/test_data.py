@@ -1,0 +1,149 @@
+"""Tests for the synthetic dataset, loader, and augmentations."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader, SyntheticImageDataset, pad_and_crop, random_flip
+from repro.data.augment import cutout
+
+
+class TestSyntheticDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return SyntheticImageDataset.generate(
+            num_classes=5, train_per_class=6, test_per_class=3,
+            image_size=16, seed=0,
+        )
+
+    def test_shapes(self, dataset):
+        assert dataset.train_x.shape == (30, 3, 16, 16)
+        assert dataset.test_x.shape == (15, 3, 16, 16)
+        assert dataset.image_shape == (3, 16, 16)
+        assert len(dataset) == 30
+
+    def test_balanced_classes(self, dataset):
+        counts = np.bincount(dataset.train_y, minlength=5)
+        np.testing.assert_array_equal(counts, [6] * 5)
+
+    def test_deterministic(self):
+        a = SyntheticImageDataset.generate(num_classes=3, train_per_class=4,
+                                           test_per_class=2, image_size=8, seed=5)
+        b = SyntheticImageDataset.generate(num_classes=3, train_per_class=4,
+                                           test_per_class=2, image_size=8, seed=5)
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.train_y, b.train_y)
+
+    def test_seed_changes_data(self):
+        a = SyntheticImageDataset.generate(num_classes=3, train_per_class=4,
+                                           test_per_class=2, image_size=8, seed=1)
+        b = SyntheticImageDataset.generate(num_classes=3, train_per_class=4,
+                                           test_per_class=2, image_size=8, seed=2)
+        assert not np.allclose(a.train_x, b.train_x)
+
+    def test_classes_separable_by_prototype_correlation(self, dataset):
+        """Within-class samples must correlate more strongly than
+        across-class ones — otherwise the task is pure noise and
+        training experiments would be meaningless."""
+        x = dataset.train_x.reshape(len(dataset.train_y), -1)
+        x = (x - x.mean(axis=1, keepdims=True))
+        x /= np.linalg.norm(x, axis=1, keepdims=True)
+        sim = x @ x.T
+        same = []
+        diff = []
+        y = dataset.train_y
+        for i in range(len(y)):
+            for j in range(i + 1, len(y)):
+                (same if y[i] == y[j] else diff).append(sim[i, j])
+        # Translation augmentation decorrelates raw pixels, so the gap
+        # is modest at pixel level — but it must be clearly positive.
+        assert np.mean(same) > np.mean(diff) + 0.03
+
+    def test_too_few_classes_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset.generate(num_classes=1)
+
+
+class TestBatchLoader:
+    def _loader(self, n=10, batch=4, **kwargs):
+        x = np.arange(n, dtype=np.float64).reshape(n, 1, 1, 1)
+        y = np.arange(n)
+        return BatchLoader(x, y, batch_size=batch, **kwargs)
+
+    def test_num_batches(self):
+        assert len(self._loader(n=10, batch=4)) == 3
+
+    def test_epoch_covers_all_samples(self):
+        loader = self._loader(n=10, batch=4)
+        seen = []
+        for batch, labels in loader.epoch(augment=False):
+            seen.extend(labels.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffling_changes_order(self):
+        loader = self._loader(n=32, batch=32)
+        first = next(iter(loader.epoch(augment=False)))[1]
+        second = next(iter(loader.epoch(augment=False)))[1]
+        assert not np.array_equal(first, second)
+
+    def test_labels_match_images(self):
+        loader = self._loader(n=12, batch=5)
+        for batch, labels in loader.epoch(augment=False):
+            np.testing.assert_array_equal(batch[:, 0, 0, 0], labels)
+
+    def test_augmentations_applied_in_training_only(self):
+        calls = []
+
+        def spy(batch, rng):
+            calls.append(len(batch))
+            return batch
+
+        loader = self._loader(n=8, batch=4, augmentations=[spy])
+        list(loader.epoch(augment=True))
+        assert calls == [4, 4]
+        calls.clear()
+        list(loader.epoch(augment=False))
+        assert calls == []
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BatchLoader(np.zeros((3, 1, 1, 1)), np.zeros(4))
+
+    def test_invalid_batch_raises(self):
+        with pytest.raises(ValueError):
+            BatchLoader(np.zeros((3, 1, 1, 1)), np.zeros(3), batch_size=0)
+
+
+class TestAugmentations:
+    def test_flip_preserves_shape_and_content_set(self, rng):
+        batch = np.random.default_rng(0).normal(size=(6, 3, 8, 8))
+        flipped = random_flip(batch, rng)
+        assert flipped.shape == batch.shape
+        for orig, out in zip(batch, flipped):
+            assert np.allclose(out, orig) or np.allclose(out, orig[:, :, ::-1])
+
+    def test_flip_does_not_mutate_input(self, rng):
+        batch = np.ones((4, 1, 4, 4))
+        before = batch.copy()
+        random_flip(batch, rng)
+        np.testing.assert_array_equal(batch, before)
+
+    def test_pad_and_crop_shape(self, rng):
+        batch = np.random.default_rng(0).normal(size=(5, 3, 16, 16))
+        out = pad_and_crop(batch, rng, padding=2)
+        assert out.shape == batch.shape
+
+    def test_pad_and_crop_is_translation(self, rng):
+        batch = np.zeros((1, 1, 8, 8))
+        batch[0, 0, 4, 4] = 1.0
+        out = pad_and_crop(batch, rng, padding=2)
+        assert out.sum() <= 1.0  # the single pixel moved or was cropped out
+
+    def test_pad_invalid_raises(self, rng):
+        with pytest.raises(ValueError):
+            pad_and_crop(np.zeros((1, 1, 4, 4)), rng, padding=0)
+
+    def test_cutout_zeroes_patch(self, rng):
+        batch = np.ones((3, 2, 16, 16))
+        out = cutout(batch, rng, length=8)
+        assert out.min() == 0.0
+        assert out.sum() < batch.sum()

@@ -1,0 +1,134 @@
+"""Tests for model bundles and quantization."""
+
+import numpy as np
+import pytest
+
+from repro.deploy import (
+    QuantizationReport,
+    export_bundle,
+    fake_quantize_array,
+    load_bundle,
+    quantize_model_weights,
+)
+from repro.space import Architecture
+from repro.supernet import Supernet
+from repro.train import SupernetTrainer, TrainConfig, top_k_accuracy
+
+
+@pytest.fixture()
+def trained(tiny_space, tiny_loader):
+    net = Supernet(tiny_space, seed=0)
+    trainer = SupernetTrainer(net, tiny_loader, TrainConfig(base_lr=0.1, seed=0))
+    trainer.train_epochs(tiny_space, epochs=2)
+    return net
+
+
+class TestBundle:
+    def test_roundtrip_preserves_outputs(self, tiny_space, trained, rng, tmp_path):
+        arch = tiny_space.sample(rng)
+        path = export_bundle(trained, arch, tmp_path / "model")
+        assert path.suffix == ".npz"
+
+        restored = load_bundle(path)
+        trained.set_architecture(arch)
+        trained.eval()
+        x = rng.normal(size=(2, 3, 16, 16))
+        np.testing.assert_allclose(trained(x), restored(x))
+        trained.train()
+
+    def test_restored_is_independent(self, tiny_space, trained, rng, tmp_path):
+        arch = tiny_space.sample(rng)
+        path = export_bundle(trained, arch, tmp_path / "model")
+        restored = load_bundle(path)
+        next(iter(trained.parameters())).data += 100.0
+        # restored model unaffected
+        assert not np.allclose(
+            next(iter(trained.parameters())).data,
+            next(iter(restored.parameters())).data,
+        )
+
+    def test_architecture_restored(self, tiny_space, trained, rng, tmp_path):
+        arch = tiny_space.sample(rng)
+        path = export_bundle(trained, arch, tmp_path / "model")
+        restored = load_bundle(path)
+        assert restored.active_architecture == arch
+
+    def test_foreign_arch_rejected(self, trained, tmp_path):
+        with pytest.raises(ValueError):
+            export_bundle(trained, Architecture.uniform(3), tmp_path / "m")
+
+    def test_non_bundle_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_bundle(path)
+
+
+class TestFakeQuantize:
+    def test_identity_on_zero_tensor(self):
+        z = np.zeros((3, 3))
+        np.testing.assert_array_equal(fake_quantize_array(z, bits=8), z)
+
+    def test_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(8, 16))
+        q = fake_quantize_array(w, bits=8, per_channel_axis=0)
+        for ch in range(8):
+            step = np.abs(w[ch]).max() / 127
+            assert np.abs(q[ch] - w[ch]).max() <= step / 2 + 1e-12
+
+    def test_fewer_bits_more_error(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(4, 32))
+        err8 = np.abs(fake_quantize_array(w, bits=8) - w).mean()
+        err4 = np.abs(fake_quantize_array(w, bits=4) - w).mean()
+        assert err4 > err8
+
+    def test_values_on_grid(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(64,))
+        q = fake_quantize_array(w, bits=4)
+        scale = np.abs(w).max() / 7
+        grid = np.round(q / scale)
+        np.testing.assert_allclose(grid, np.round(grid), atol=1e-9)
+
+    def test_invalid_bits_raises(self):
+        with pytest.raises(ValueError):
+            fake_quantize_array(np.ones(3), bits=1)
+
+
+class TestQuantizeModel:
+    def test_report_counts_tensors(self, tiny_space, trained):
+        report = quantize_model_weights(trained, bits=8)
+        assert isinstance(report, QuantizationReport)
+        assert report.tensors_quantized > 10
+        assert report.max_abs_error > 0.0
+        assert "int8" in str(report)
+
+    def test_int8_accuracy_nearly_preserved(self, tiny_space, tiny_dataset,
+                                            trained, rng):
+        arch = tiny_space.sample(rng)
+        trained.set_architecture(arch)
+        trained.train()
+        before = top_k_accuracy(trained(tiny_dataset.test_x), tiny_dataset.test_y)
+        quantize_model_weights(trained, bits=8)
+        after = top_k_accuracy(trained(tiny_dataset.test_x), tiny_dataset.test_y)
+        assert abs(after - before) <= 0.15
+
+    def test_int2_degrades_more_than_int8(self, tiny_space, trained, rng):
+        """Aggressive quantization perturbs outputs much more."""
+        arch = tiny_space.sample(rng)
+        x = rng.normal(size=(4, 3, 16, 16))
+
+        def perturbation(bits):
+            import copy
+
+            from repro.supernet import extract_subnet
+
+            model = extract_subnet(trained, arch)
+            model.train()
+            reference = model(x.copy())
+            quantize_model_weights(model, bits=bits)
+            return float(np.abs(model(x.copy()) - reference).mean())
+
+        assert perturbation(2) > perturbation(8) * 2

@@ -1,0 +1,181 @@
+"""Tests for device specs and the execution model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import DeviceModel, cpu_spec, edge_spec, get_device, gpu_spec
+from repro.hardware.spec import DeviceSpec, spec_by_key
+from repro.space.operators import Primitive
+
+
+def _prim(flops=1e6, br=1e4, bw=1e4, kind="conv"):
+    return Primitive("t", kind, flops, br, bw)
+
+
+class TestDeviceSpec:
+    def test_paper_batch_sizes(self):
+        # Sec. III-A: batch 1 / 16 / 32 for CPU / edge / GPU.
+        assert gpu_spec().batch_size == 32
+        assert cpu_spec().batch_size == 1
+        assert edge_spec().batch_size == 16
+
+    def test_spec_by_key(self):
+        assert spec_by_key("gpu").key == "gpu"
+        with pytest.raises(KeyError):
+            spec_by_key("tpu")
+
+    def test_with_time_scale(self):
+        spec = gpu_spec().with_time_scale(2.0)
+        assert spec.time_scale == 2.0
+        assert gpu_spec().time_scale == 1.0
+
+    def test_invalid_batch_raises(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "x", 0, 1e12, 1e11, 0, 0, 0)
+
+    def test_invalid_throughput_raises(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "x", 1, 0, 1e11, 0, 0, 0)
+
+    def test_missing_kind_efficiency_raises(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("x", "x", 1, 1e12, 1e11, 0, 0, 0,
+                       kind_efficiency={"conv": 0.5})
+
+    def test_get_device(self):
+        dev = get_device("cpu")
+        assert isinstance(dev, DeviceModel)
+        assert dev.spec.key == "cpu"
+
+    def test_get_device_with_scale(self):
+        dev = get_device("cpu", time_scale=3.0)
+        assert dev.spec.time_scale == 3.0
+
+
+class TestPrimitiveTime:
+    def test_launch_overhead_floor(self):
+        dev = get_device("gpu")
+        t = dev.primitive_time_s(_prim(flops=0, br=0, bw=0, kind="memory"))
+        assert t == pytest.approx(dev.spec.launch_overhead_s)
+
+    def test_more_flops_more_time(self):
+        dev = get_device("gpu")
+        t_small = dev.primitive_time_s(_prim(flops=1e6))
+        t_big = dev.primitive_time_s(_prim(flops=1e9))
+        assert t_big > t_small
+
+    def test_batch_scales_work(self):
+        dev = get_device("gpu")
+        t1 = dev.primitive_time_s(_prim(flops=1e9), batch=1)
+        t32 = dev.primitive_time_s(_prim(flops=1e9), batch=32)
+        assert t32 > t1
+
+    def test_batch_improves_utilization(self):
+        """Per-sample time shrinks with batch (small-batch waste)."""
+        dev = get_device("gpu")
+        per_sample_1 = dev.primitive_time_s(_prim(flops=1e7), batch=1)
+        per_sample_32 = dev.primitive_time_s(_prim(flops=1e7), batch=32) / 32
+        assert per_sample_32 < per_sample_1
+
+    def test_dwconv_slower_than_conv_at_equal_flops(self):
+        dev = get_device("gpu")
+        conv = dev.primitive_time_s(_prim(flops=1e9, kind="conv"))
+        dw = dev.primitive_time_s(_prim(flops=1e9, kind="dwconv"))
+        assert dw > conv
+
+    def test_memory_bound_kernel_uses_bandwidth(self):
+        dev = get_device("gpu")
+        t = dev.primitive_time_s(_prim(flops=0, br=1e9, bw=1e9, kind="memory"))
+        expected = dev.spec.launch_overhead_s + 2e9 * dev.spec.batch_size / (
+            dev.spec.bandwidth_bytes_per_s
+            * dev.spec.bandwidth_efficiency["memory"]
+        )
+        assert t == pytest.approx(expected)
+
+    def test_invalid_batch_raises(self):
+        with pytest.raises(ValueError):
+            get_device("gpu").primitive_time_s(_prim(), batch=0)
+
+
+class TestRunNetwork:
+    def test_empty_network_base_cost(self):
+        dev = get_device("cpu")
+        ms = dev.run_network_ms([])
+        assert ms == pytest.approx(dev.spec.base_overhead_s * 1e3)
+
+    def test_empty_layers_pay_no_boundary(self):
+        dev = get_device("cpu")
+        with_skip = dev.run_network_ms([[], [_prim()], []])
+        without = dev.run_network_ms([[_prim()]])
+        assert with_skip == pytest.approx(without)
+
+    def test_layers_add_boundary_overhead(self):
+        dev = get_device("cpu")
+        one = dev.run_network_ms([[_prim()]])
+        two = dev.run_network_ms([[_prim()], [_prim()]])
+        per_prim = dev.primitive_time_s(_prim()) * dev.spec.time_scale * 1e3
+        boundary = dev.spec.layer_overhead_s * dev.spec.time_scale * 1e3
+        assert two - one == pytest.approx(per_prim + boundary)
+
+    def test_noise_free_is_deterministic(self, space_a, rng):
+        dev = get_device("edge")
+        arch = space_a.sample(rng)
+        assert dev.latency_ms(space_a, arch) == dev.latency_ms(space_a, arch)
+
+    def test_noise_varies_measurements(self, space_a, rng):
+        dev = get_device("edge")
+        arch = space_a.sample(rng)
+        noise_rng = np.random.default_rng(0)
+        runs = {dev.latency_ms(space_a, arch, rng=noise_rng) for _ in range(5)}
+        assert len(runs) == 5
+
+    def test_noise_centered_on_truth(self, space_a, rng):
+        dev = get_device("edge")
+        arch = space_a.sample(rng)
+        truth = dev.latency_ms(space_a, arch)
+        noise_rng = np.random.default_rng(0)
+        mean = np.mean(
+            [dev.latency_ms(space_a, arch, rng=noise_rng) for _ in range(200)]
+        )
+        assert mean == pytest.approx(truth, rel=0.02)
+
+    def test_time_scale_multiplies(self, space_a, rng):
+        arch = space_a.sample(rng)
+        base = get_device("gpu").latency_ms(space_a, arch)
+        scaled = get_device("gpu", time_scale=2.0).latency_ms(space_a, arch)
+        assert scaled == pytest.approx(2 * base)
+
+
+class TestOperatorTime:
+    def test_skip_stride1_free(self, space_a):
+        dev = get_device("gpu")
+        # layer 1 has stride 1; op 4 is skip
+        assert dev.operator_time_ms(space_a, 1, 4, 1.0, cin=48) == 0.0
+
+    def test_larger_factor_slower(self, space_a):
+        dev = get_device("cpu")
+        slow = dev.operator_time_ms(space_a, 5, 0, 1.0, cin=128)
+        fast = dev.operator_time_ms(space_a, 5, 0, 0.3, cin=128)
+        assert slow > fast
+
+    def test_k7_slower_than_k3(self, space_a):
+        dev = get_device("edge")
+        t3 = dev.operator_time_ms(space_a, 5, 0, 1.0, cin=128)
+        t7 = dev.operator_time_ms(space_a, 5, 2, 1.0, cin=128)
+        assert t7 > t3
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        layer=st.integers(min_value=0, max_value=19),
+        op=st.integers(min_value=0, max_value=4),
+        factor=st.sampled_from([0.1, 0.5, 1.0]),
+    )
+    def test_operator_time_nonnegative_property(self, layer, op, factor):
+        from repro.space import SearchSpace, imagenet_a
+
+        space = SearchSpace(imagenet_a())
+        dev = get_device("gpu")
+        cin = space.geometry[layer].max_in_channels
+        assert dev.operator_time_ms(space, layer, op, factor, cin) >= 0.0

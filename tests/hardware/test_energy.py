@@ -1,0 +1,136 @@
+"""Tests for the energy model and predictor (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import EnergyModel, EnergyPredictor, get_device
+from repro.space import Architecture, SearchSpace, proxy
+from repro.space.operators import Primitive
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return SearchSpace(proxy())
+
+
+@pytest.fixture(scope="module")
+def edge_energy():
+    return EnergyModel(get_device("edge"))
+
+
+def _prim(flops=1e6, br=1e4, bw=1e4, kind="conv"):
+    return Primitive("t", kind, flops, br, bw)
+
+
+class TestEnergyModel:
+    def test_primitive_energy_positive(self, edge_energy):
+        assert edge_energy.primitive_energy_j(_prim()) > 0.0
+
+    def test_dynamic_energy_scales_with_flops(self, edge_energy):
+        small = edge_energy.primitive_energy_j(_prim(flops=1e6))
+        large = edge_energy.primitive_energy_j(_prim(flops=1e9))
+        assert large > small
+
+    def test_static_term_charges_time(self, edge_energy):
+        """A zero-flops memory op still costs energy (static power over
+        its execution time)."""
+        e = edge_energy.primitive_energy_j(_prim(flops=0, br=0, bw=0, kind="memory"))
+        spec = edge_energy.device.spec
+        assert e == pytest.approx(spec.static_watts * spec.launch_overhead_s)
+
+    def test_batch_scales_energy(self, edge_energy):
+        e1 = edge_energy.primitive_energy_j(_prim(), batch=1)
+        e16 = edge_energy.primitive_energy_j(_prim(), batch=16)
+        assert e16 > e1
+
+    def test_network_energy_monotone_in_capacity(self, small_space, edge_energy):
+        small = Architecture.uniform(small_space.num_layers, 0, 0.3)
+        large = Architecture.uniform(small_space.num_layers, 0, 1.0)
+        assert edge_energy.arch_energy_mj(small_space, small) < (
+            edge_energy.arch_energy_mj(small_space, large)
+        )
+
+    def test_noise_free_deterministic(self, small_space, edge_energy, rng):
+        arch = small_space.sample(rng)
+        a = edge_energy.arch_energy_mj(small_space, arch)
+        b = edge_energy.arch_energy_mj(small_space, arch)
+        assert a == b
+
+    def test_measurement_noise(self, small_space, edge_energy, rng):
+        arch = small_space.sample(rng)
+        noise_rng = np.random.default_rng(0)
+        runs = {
+            edge_energy.arch_energy_mj(small_space, arch, rng=noise_rng)
+            for _ in range(5)
+        }
+        assert len(runs) == 5
+
+    def test_edge_device_most_efficient(self, small_space, rng):
+        """The edge SoC burns less energy per inference than the
+        workstation parts — as its existence implies."""
+        arch = small_space.sample(rng)
+        energies = {
+            key: EnergyModel(get_device(key)).arch_energy_mj(small_space, arch)
+            / get_device(key).spec.batch_size
+            for key in ("gpu", "cpu", "edge")
+        }
+        assert energies["edge"] < energies["gpu"]
+        assert energies["edge"] < energies["cpu"]
+
+    def test_energy_not_proportional_to_latency(self, space_a, rng):
+        """Energy and latency must be distinct objectives (otherwise the
+        multi-constraint extension would be vacuous). Checked at paper
+        scale, where dynamic switching energy is a real share of the
+        total (tiny proxy networks are overhead-dominated on both axes).
+        """
+        device = get_device("edge")
+        model = EnergyModel(device)
+        archs = [space_a.sample(rng) for _ in range(30)]
+        lat = np.array([device.latency_ms(space_a, a) for a in archs])
+        eng = np.array([model.arch_energy_mj(space_a, a) for a in archs])
+        ratio = eng / lat
+        assert ratio.std() / ratio.mean() > 0.02
+
+
+class TestEnergyPredictor:
+    @pytest.fixture(scope="class")
+    def predictor(self, small_space):
+        model = EnergyModel(get_device("edge"))
+        pred = EnergyPredictor(small_space, model).build(seed=0)
+        pred.calibrate_bias(num_archs=20, seed=1)
+        return pred, model
+
+    def test_predict_before_build_raises(self, small_space):
+        model = EnergyModel(get_device("edge"))
+        pred = EnergyPredictor(small_space, model)
+        with pytest.raises(RuntimeError):
+            pred.predict(Architecture.uniform(small_space.num_layers))
+
+    def test_invalid_samples_raises(self, small_space):
+        model = EnergyModel(get_device("edge"))
+        with pytest.raises(ValueError):
+            EnergyPredictor(small_space, model).build(samples_per_cell=0)
+
+    def test_bias_positive(self, predictor):
+        pred, _ = predictor
+        assert pred.bias_mj > 0.0
+        assert pred.calibrated
+
+    def test_prediction_accuracy(self, predictor, small_space, rng):
+        pred, model = predictor
+        errors = []
+        for _ in range(20):
+            arch = small_space.sample(rng)
+            truth = model.arch_energy_mj(small_space, arch)
+            errors.append(abs(pred.predict(arch) - truth) / truth)
+        assert float(np.mean(errors)) < 0.05  # within 5% on average
+
+    def test_rank_correlation(self, predictor, small_space):
+        from repro.hardware.metrics import spearman
+
+        pred, model = predictor
+        rng = np.random.default_rng(5)
+        archs = [small_space.sample(rng) for _ in range(40)]
+        predicted = [pred.predict(a) for a in archs]
+        truth = [model.arch_energy_mj(small_space, a) for a in archs]
+        assert spearman(predicted, truth) > 0.9

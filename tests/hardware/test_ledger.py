@@ -1,0 +1,111 @@
+"""Tests for search-cost accounting (the measurement ledger)."""
+
+import pytest
+
+from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig
+from repro.hardware import (
+    LatencyLUT,
+    LatencyPredictor,
+    MeasurementLedger,
+    OnDeviceProfiler,
+    get_device,
+)
+
+
+class TestLedgerBasics:
+    def test_counters_start_zero(self):
+        ledger = MeasurementLedger()
+        assert ledger.measurement_sessions == 0
+        assert ledger.measurement_runs == 0
+        assert ledger.lut_cells == 0
+        assert ledger.predictor_queries == 0
+
+    def test_record_measurement(self):
+        ledger = MeasurementLedger()
+        ledger.record_measurement(runs=8)
+        ledger.record_measurement(runs=8)
+        assert ledger.measurement_sessions == 2
+        assert ledger.measurement_runs == 16
+
+    def test_invalid_runs_raises(self):
+        with pytest.raises(ValueError):
+            MeasurementLedger().record_measurement(runs=0)
+
+    def test_frozen_rejects_measurements(self):
+        ledger = MeasurementLedger()
+        ledger.freeze_measurements()
+        with pytest.raises(RuntimeError):
+            ledger.record_measurement(runs=1)
+        ledger.thaw_measurements()
+        ledger.record_measurement(runs=1)  # fine again
+
+    def test_frozen_allows_predictions(self):
+        ledger = MeasurementLedger()
+        ledger.freeze_measurements()
+        ledger.record_prediction()
+        assert ledger.predictor_queries == 1
+
+    def test_summary_mentions_all_counters(self):
+        ledger = MeasurementLedger()
+        ledger.record_measurement(runs=3)
+        ledger.record_lut_cells(10)
+        ledger.record_prediction()
+        text = ledger.summary()
+        assert "1" in text and "10" in text
+
+
+class TestLedgerIntegration:
+    def test_profiler_records_sessions(self, proxy_space, rng):
+        ledger = MeasurementLedger()
+        profiler = OnDeviceProfiler(
+            get_device("gpu"), warmup=2, repeats=3, seed=0, ledger=ledger
+        )
+        profiler.measure_ms(proxy_space, proxy_space.sample(rng))
+        assert ledger.measurement_sessions == 1
+        assert ledger.measurement_runs == 5
+
+    def test_lut_records_cells(self, proxy_space):
+        ledger = MeasurementLedger()
+        lut = LatencyLUT.build(
+            proxy_space, get_device("gpu"), samples_per_cell=1,
+            seed=0, ledger=ledger,
+        )
+        assert ledger.lut_cells == len(lut) + 1 + len(lut.head_ms)
+
+    def test_predictor_records_queries(self, proxy_space, rng):
+        ledger = MeasurementLedger()
+        lut = LatencyLUT.build(proxy_space, get_device("gpu"),
+                               samples_per_cell=1, seed=0)
+        predictor = LatencyPredictor(lut, proxy_space, ledger=ledger)
+        for _ in range(7):
+            predictor.predict(proxy_space.sample(rng))
+        assert ledger.predictor_queries == 7
+
+
+class TestPipelineCost:
+    def test_search_loop_is_measurement_free(self, proxy_space):
+        """The paper's headline efficiency claim, verified: the whole
+        shrinking + EA phase performs zero on-device measurements —
+        only M calibration sessions before and one verification after."""
+        cfg = HSCoNASConfig(
+            target_ms=1.3,
+            lut_samples_per_cell=1,
+            bias_calibration_archs=8,
+            quality_samples=10,
+            evolution=EvolutionConfig(
+                generations=4, population_size=12, num_parents=5
+            ),
+            seed=0,
+        )
+        nas = HSCoNAS(proxy_space, get_device("gpu"), cfg)
+        result = nas.run()
+        ledger = result.ledger
+        assert ledger is not None
+
+        # Sessions: M bias-calibration archs + the final verification.
+        assert ledger.measurement_sessions == cfg.bias_calibration_archs + 1
+        # The search itself leaned on the predictor, heavily.
+        assert ledger.predictor_queries > 100
+        assert ledger.predictor_queries > 10 * ledger.measurement_sessions
+        # Cost summary shows up in the human-readable report.
+        assert "search cost" in result.summary()

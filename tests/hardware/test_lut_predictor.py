@@ -1,0 +1,187 @@
+"""Tests for the latency LUT and the Eq. 2-3 predictor."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    LatencyLUT,
+    LatencyPredictor,
+    OnDeviceProfiler,
+    get_device,
+)
+from repro.space import SearchSpace, proxy
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return SearchSpace(proxy())
+
+
+@pytest.fixture(scope="module")
+def device():
+    return get_device("gpu")
+
+
+@pytest.fixture(scope="module")
+def lut(small_space, device):
+    return LatencyLUT.build(small_space, device, samples_per_cell=2, seed=0)
+
+
+class TestLUTBuild:
+    def test_covers_all_cells(self, small_space, lut):
+        from repro.hardware.lut import layer_cin_choices
+
+        expected = sum(
+            len(layer_cin_choices(small_space, layer))
+            * len(small_space.candidate_ops[layer])
+            * len(small_space.candidate_factors[layer])
+            for layer in range(small_space.num_layers)
+        )
+        assert len(lut) == expected
+
+    def test_lookup_known_cell(self, small_space, lut):
+        cin = small_space.config.stem_channels
+        value = lut.lookup(0, 0, cin, 1.0)
+        assert value > 0.0
+
+    def test_missing_cell_raises(self, small_space, lut):
+        cin = small_space.config.stem_channels
+        with pytest.raises(KeyError):
+            lut.lookup(0, 0, cin, 0.55)
+
+    def test_layer0_single_cin(self, small_space):
+        from repro.hardware.lut import layer_cin_choices
+
+        assert layer_cin_choices(small_space, 0) == [
+            small_space.config.stem_channels
+        ]
+        assert len(layer_cin_choices(small_space, 1)) > 1
+
+    def test_invalid_samples_raises(self, small_space, device):
+        with pytest.raises(ValueError):
+            LatencyLUT.build(small_space, device, samples_per_cell=0)
+
+    def test_sum_ops_adds_layer_entries(self, small_space, lut, rng):
+        arch = small_space.sample(rng)
+        channels = small_space.active_channels(arch)
+        manual = lut.stem_ms
+        for i, (op, f) in enumerate(zip(arch.ops, arch.factors)):
+            manual += lut.lookup(i, op, channels[i][0], f)
+        manual += lut.head_ms[channels[-1][1]]
+        assert lut.sum_ops_ms(arch, small_space) == pytest.approx(manual)
+
+    def test_stem_and_head_cells_present(self, lut):
+        assert lut.stem_ms > 0.0
+        assert lut.head_ms
+        assert all(v > 0.0 for v in lut.head_ms.values())
+
+    def test_deterministic_for_seed(self, small_space, device):
+        a = LatencyLUT.build(small_space, device, samples_per_cell=2, seed=3)
+        b = LatencyLUT.build(small_space, device, samples_per_cell=2, seed=3)
+        assert a.entries == b.entries
+
+    def test_json_roundtrip(self, lut):
+        restored = LatencyLUT.from_json(lut.to_json())
+        assert restored.device_key == lut.device_key
+        assert restored.entries == lut.entries
+
+
+class TestPredictor:
+    def test_uncalibrated_underestimates(self, small_space, device, lut, rng):
+        """Sum-of-ops misses stem/head and boundary overheads, so it
+        must systematically underestimate — the reason Eq. 3 exists."""
+        predictor = LatencyPredictor(lut, small_space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        archs = [small_space.sample(rng) for _ in range(10)]
+        measured = profiler.measure_many_ms(small_space, archs)
+        predicted = predictor.predict_many(archs)
+        assert np.mean(predicted) < np.mean(measured)
+
+    def test_bias_calibration_centers_predictions(self, small_space, device, lut):
+        predictor = LatencyPredictor(lut, small_space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        bias = predictor.calibrate_bias(small_space, profiler, num_archs=30, seed=2)
+        assert bias > 0.0  # compensates the missing overheads
+        assert predictor.calibrated
+
+        eval_rng = np.random.default_rng(77)
+        archs = [small_space.sample(eval_rng) for _ in range(30)]
+        report = predictor.evaluate(small_space, profiler, archs)
+        assert abs(report.bias_ms) < 0.2  # near-zero residual bias
+
+    def test_bias_reduces_rmse(self, small_space, device, lut):
+        profiler = OnDeviceProfiler(device, seed=1)
+        eval_rng = np.random.default_rng(7)
+        archs = [small_space.sample(eval_rng) for _ in range(25)]
+
+        raw = LatencyPredictor(lut, small_space).evaluate(small_space, profiler, archs)
+        calibrated = LatencyPredictor(lut, small_space)
+        calibrated.calibrate_bias(small_space, profiler, num_archs=30, seed=2)
+        fixed = calibrated.evaluate(small_space, profiler, archs)
+        assert fixed.rmse_ms < raw.rmse_ms
+
+    def test_high_rank_correlation(self, small_space, device, lut):
+        """The predictor must rank architectures correctly (what the EA
+        actually needs)."""
+        predictor = LatencyPredictor(lut, small_space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        predictor.calibrate_bias(small_space, profiler, num_archs=20, seed=2)
+        eval_rng = np.random.default_rng(5)
+        archs = [small_space.sample(eval_rng) for _ in range(40)]
+        report = predictor.evaluate(small_space, profiler, archs)
+        assert report.pearson_r > 0.9
+        assert report.spearman_rho > 0.85
+
+    def test_explicit_arch_list_calibration(self, small_space, device, lut, rng):
+        predictor = LatencyPredictor(lut, small_space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        archs = [small_space.sample(rng) for _ in range(5)]
+        predictor.calibrate_bias(small_space, profiler, archs=archs)
+        assert predictor.calibrated
+
+    def test_empty_calibration_raises(self, small_space, device, lut):
+        predictor = LatencyPredictor(lut, small_space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        with pytest.raises(ValueError):
+            predictor.calibrate_bias(small_space, profiler, archs=[])
+
+    def test_empty_evaluation_raises(self, small_space, device, lut):
+        predictor = LatencyPredictor(lut, small_space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        with pytest.raises(ValueError):
+            predictor.evaluate(small_space, profiler, [])
+
+    def test_report_str(self, small_space, device, lut, rng):
+        predictor = LatencyPredictor(lut, small_space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        report = predictor.evaluate(
+            small_space, profiler, [small_space.sample(rng)]
+        )
+        text = str(report)
+        assert "RMSE" in text and "gpu" in text
+
+
+class TestProfiler:
+    def test_median_reduces_noise(self, small_space, device, rng):
+        arch = small_space.sample(rng)
+        truth = device.latency_ms(small_space, arch)
+        profiler = OnDeviceProfiler(device, warmup=2, repeats=15, seed=0)
+        measured = profiler.measure_ms(small_space, arch)
+        single = device.latency_ms(
+            small_space, arch, rng=np.random.default_rng(123)
+        )
+        # median-of-15 should be at least as close as a typical single run
+        assert abs(measured - truth) < max(abs(single - truth), truth * 0.02)
+
+    def test_ground_truth_matches_device(self, small_space, device, rng):
+        arch = small_space.sample(rng)
+        profiler = OnDeviceProfiler(device, seed=0)
+        assert profiler.ground_truth_ms(small_space, arch) == pytest.approx(
+            device.latency_ms(small_space, arch)
+        )
+
+    def test_invalid_params_raise(self, device):
+        with pytest.raises(ValueError):
+            OnDeviceProfiler(device, warmup=-1)
+        with pytest.raises(ValueError):
+            OnDeviceProfiler(device, repeats=0)

@@ -1,0 +1,115 @@
+"""Property-based invariants of the hardware stack (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import EnergyModel, get_device
+from repro.space import Architecture, SearchSpace, proxy
+from repro.space.operators import Primitive
+
+_SPACE = SearchSpace(proxy())
+_DEVICES = {k: get_device(k) for k in ("gpu", "cpu", "edge")}
+
+factor_choice = st.sampled_from([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0])
+
+
+@st.composite
+def proxy_arch(draw):
+    length = _SPACE.num_layers
+    ops = tuple(draw(st.lists(st.integers(0, 4), min_size=length,
+                              max_size=length)))
+    factors = tuple(draw(st.lists(factor_choice, min_size=length,
+                                  max_size=length)))
+    return Architecture(ops, factors)
+
+
+class TestLatencyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(arch=proxy_arch(), key=st.sampled_from(["gpu", "cpu", "edge"]))
+    def test_latency_positive_and_finite(self, arch, key):
+        ms = _DEVICES[key].latency_ms(_SPACE, arch)
+        assert np.isfinite(ms) and ms > 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(arch=proxy_arch(), layer=st.integers(0, 7))
+    def test_widening_never_speeds_up(self, arch, layer):
+        """Raising one layer's channel factor never reduces noise-free
+        latency (more channels = at least as much work everywhere)."""
+        device = _DEVICES["edge"]
+        narrow = arch.with_factor(layer, 0.3)
+        wide = arch.with_factor(layer, 1.0)
+        assert device.latency_ms(_SPACE, wide) >= (
+            device.latency_ms(_SPACE, narrow) - 1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(arch=proxy_arch(), layer=st.integers(0, 7))
+    def test_skip_is_never_slower(self, arch, layer):
+        """Replacing any stride-1 layer's op with skip cannot increase
+        latency (the skip executes nothing)."""
+        if _SPACE.geometry[layer].stride != 1:
+            return
+        device = _DEVICES["gpu"]
+        skipped = arch.with_op(layer, 4)
+        assert device.latency_ms(_SPACE, skipped) <= (
+            device.latency_ms(_SPACE, arch) + 1e-12
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(arch=proxy_arch())
+    def test_energy_positive(self, arch):
+        for key, device in _DEVICES.items():
+            mj = EnergyModel(device).arch_energy_mj(_SPACE, arch)
+            assert np.isfinite(mj) and mj > 0.0, key
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        flops=st.floats(min_value=0.0, max_value=1e10),
+        byts=st.floats(min_value=0.0, max_value=1e9),
+        kind=st.sampled_from(["conv", "dwconv", "memory"]),
+    )
+    def test_primitive_time_monotone_floor(self, flops, byts, kind):
+        device = _DEVICES["edge"]
+        prim = Primitive("p", kind, flops, byts, byts)
+        t = device.primitive_time_s(prim)
+        assert t >= device.spec.launch_overhead_s
+
+
+class TestSpaceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(arch=proxy_arch())
+    def test_flops_params_positive(self, arch):
+        assert _SPACE.arch_flops(arch) > 0
+        assert _SPACE.arch_params(arch) > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(arch=proxy_arch(), layer=st.integers(0, 7))
+    def test_flops_monotone_in_single_factor(self, arch, layer):
+        narrow = arch.with_factor(layer, 0.2)
+        wide = arch.with_factor(layer, 1.0)
+        assert _SPACE.arch_flops(wide) >= _SPACE.arch_flops(narrow)
+
+    @settings(max_examples=30, deadline=None)
+    @given(arch=proxy_arch())
+    def test_active_channels_bounded(self, arch):
+        for (cin, cout), geom in zip(
+            _SPACE.active_channels(arch), _SPACE.geometry
+        ):
+            assert 1 <= cout <= geom.max_out_channels
+            assert cin >= 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        layer=st.integers(0, 7),
+        op=st.integers(0, 4),
+        seed=st.integers(0, 500),
+    )
+    def test_shrunk_space_subset_property(self, layer, op, seed):
+        """Every sample from a shrunk space is in the parent space."""
+        shrunk = _SPACE.fix_operator(layer, op)
+        rng = np.random.default_rng(seed)
+        arch = shrunk.sample(rng)
+        assert _SPACE.contains(arch)
+        assert arch.ops[layer] == op

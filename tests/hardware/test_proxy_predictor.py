@@ -1,0 +1,68 @@
+"""Tests for the FLOPs-proxy latency predictor (the Fig. 2 straw man)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    FlopsLatencyPredictor,
+    LatencyLUT,
+    LatencyPredictor,
+    OnDeviceProfiler,
+    get_device,
+)
+from repro.space import SearchSpace, proxy
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return SearchSpace(proxy())
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return OnDeviceProfiler(get_device("gpu"), seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted(small_space, profiler):
+    return FlopsLatencyPredictor(small_space).fit(profiler, num_archs=30, seed=0)
+
+
+class TestFlopsPredictor:
+    def test_predict_before_fit_raises(self, small_space, rng):
+        pred = FlopsLatencyPredictor(small_space)
+        with pytest.raises(RuntimeError):
+            pred.predict(small_space.sample(rng))
+
+    def test_too_few_archs_raises(self, small_space, profiler, rng):
+        pred = FlopsLatencyPredictor(small_space)
+        with pytest.raises(ValueError):
+            pred.fit(profiler, archs=[small_space.sample(rng)])
+
+    def test_fit_sets_device_key(self, fitted):
+        assert fitted.device_key == "gpu"
+        assert fitted.fitted
+
+    def test_predictions_finite_positive_slope(self, fitted):
+        assert fitted.slope > 0.0  # more FLOPs, more time
+
+    def test_roughly_unbiased(self, fitted, small_space, profiler):
+        rng = np.random.default_rng(7)
+        archs = [small_space.sample(rng) for _ in range(30)]
+        report = fitted.evaluate(profiler, archs)
+        assert abs(report.bias_ms) < report.rmse_ms
+
+    def test_loses_to_lut_plus_b(self, fitted, small_space, profiler):
+        """The quantitative version of Fig. 2's message: an op-level
+        hardware model beats any FLOPs-based one decisively."""
+        device = get_device("gpu")
+        lut = LatencyLUT.build(small_space, device, samples_per_cell=2, seed=0)
+        lut_pred = LatencyPredictor(lut, small_space)
+        lut_pred.calibrate_bias(small_space, profiler, num_archs=30, seed=2)
+
+        rng = np.random.default_rng(9)
+        archs = [small_space.sample(rng) for _ in range(40)]
+        flops_report = fitted.evaluate(profiler, archs)
+        lut_report = lut_pred.evaluate(small_space, profiler, archs)
+        assert lut_report.rmse_ms < flops_report.rmse_ms * 0.8
+        assert lut_report.spearman_rho > flops_report.spearman_rho

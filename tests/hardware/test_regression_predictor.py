@@ -1,0 +1,105 @@
+"""Tests for the feature-regression latency predictor."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    FeatureLatencyPredictor,
+    FlopsLatencyPredictor,
+    OnDeviceProfiler,
+    get_device,
+)
+from repro.hardware.regression_predictor import architecture_features
+from repro.space import Architecture, SearchSpace, proxy
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return SearchSpace(proxy())
+
+
+@pytest.fixture(scope="module")
+def profiler():
+    return OnDeviceProfiler(get_device("cpu"), seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted(small_space, profiler):
+    return FeatureLatencyPredictor(small_space).fit(
+        profiler, num_archs=40, seed=0
+    )
+
+
+class TestFeatures:
+    def test_vector_shape_and_bias(self, small_space, rng):
+        feats = architecture_features(small_space, small_space.sample(rng))
+        assert feats.shape == (6,)
+        assert feats[-1] == 1.0  # bias term
+
+    def test_kind_split(self, small_space):
+        """An all-xception arch has relatively more dw MACs than an
+        all-k3 arch."""
+        xcep = Architecture.uniform(small_space.num_layers, op_index=3)
+        k3 = Architecture.uniform(small_space.num_layers, op_index=0)
+        fx = architecture_features(small_space, xcep)
+        f3 = architecture_features(small_space, k3)
+        ratio_x = fx[1] / (fx[0] + fx[1])
+        ratio_3 = f3[1] / (f3[0] + f3[1])
+        assert ratio_x > ratio_3
+
+    def test_skips_reduce_kernel_count(self, small_space):
+        skippy = Architecture.uniform(small_space.num_layers, op_index=4)
+        dense = Architecture.uniform(small_space.num_layers, op_index=0)
+        f_skip = architecture_features(small_space, skippy)
+        f_dense = architecture_features(small_space, dense)
+        assert f_skip[3] < f_dense[3]
+
+
+class TestFit:
+    def test_predict_before_fit_raises(self, small_space, rng):
+        pred = FeatureLatencyPredictor(small_space)
+        with pytest.raises(RuntimeError):
+            pred.predict(small_space.sample(rng))
+        with pytest.raises(RuntimeError):
+            pred.coefficients()
+
+    def test_too_few_archs_raises(self, small_space, profiler, rng):
+        pred = FeatureLatencyPredictor(small_space)
+        with pytest.raises(ValueError):
+            pred.fit(profiler, archs=[small_space.sample(rng)] * 3)
+
+    def test_coefficients_named(self, fitted):
+        coeffs = fitted.coefficients()
+        assert set(coeffs) == {
+            "conv_macs", "dwconv_macs", "bytes_moved",
+            "kernel_count", "layer_count", "bias",
+        }
+
+    def test_kernel_count_costs_time_on_cpu(self, fitted):
+        """The CPU's per-kernel dispatch cost must be learned as a
+        positive kernel-count coefficient."""
+        assert fitted.coefficients()["kernel_count"] > 0.0
+
+
+class TestAccuracy:
+    def test_beats_flops_affine(self, fitted, small_space, profiler):
+        """More features, better model: the regression must beat the
+        FLOPs-only predictor on the kernel-count-dominated CPU."""
+        flops_pred = FlopsLatencyPredictor(small_space).fit(
+            profiler, num_archs=40, seed=0
+        )
+        rng = np.random.default_rng(5)
+        holdout = [small_space.sample(rng) for _ in range(40)]
+        reg_report = fitted.evaluate(profiler, holdout)
+        flops_report = flops_pred.evaluate(profiler, holdout)
+        assert reg_report.rmse_ms < flops_report.rmse_ms
+
+    def test_high_rank_correlation(self, fitted, small_space, profiler):
+        rng = np.random.default_rng(6)
+        holdout = [small_space.sample(rng) for _ in range(40)]
+        report = fitted.evaluate(profiler, holdout)
+        assert report.spearman_rho > 0.9
+
+    def test_empty_evaluation_raises(self, fitted, profiler):
+        with pytest.raises(ValueError):
+            fitted.evaluate(profiler, [])

@@ -1,0 +1,146 @@
+"""Robustness / failure-injection tests for the hardware stack."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    LatencyLUT,
+    LatencyPredictor,
+    OnDeviceProfiler,
+    get_device,
+)
+from repro.hardware.spec import DeviceSpec
+from repro.space import Architecture, SearchSpace, proxy
+
+
+@pytest.fixture(scope="module")
+def small_space():
+    return SearchSpace(proxy())
+
+
+class TestZeroNoiseDevice:
+    def test_measurements_equal_ground_truth(self, small_space, rng):
+        from dataclasses import replace
+
+        spec = replace(get_device("gpu").spec, noise_sigma=0.0)
+        from repro.hardware import DeviceModel
+
+        device = DeviceModel(spec)
+        arch = small_space.sample(rng)
+        noisy_rng = np.random.default_rng(0)
+        assert device.latency_ms(small_space, arch, rng=noisy_rng) == (
+            device.latency_ms(small_space, arch)
+        )
+
+    def test_predictor_near_perfect_without_noise(self, small_space):
+        """With a noise-free device, the LUT+B predictor's only error is
+        boundary-count variance — RMSE collapses below the noisy case."""
+        from dataclasses import replace
+
+        from repro.hardware import DeviceModel
+
+        quiet = DeviceModel(replace(get_device("gpu").spec, noise_sigma=0.0))
+        noisy = get_device("gpu")
+
+        def fit_eval(device):
+            lut = LatencyLUT.build(small_space, device, samples_per_cell=1, seed=0)
+            pred = LatencyPredictor(lut, small_space)
+            profiler = OnDeviceProfiler(device, seed=1)
+            pred.calibrate_bias(small_space, profiler, num_archs=15, seed=2)
+            eval_rng = np.random.default_rng(3)
+            archs = [small_space.sample(eval_rng) for _ in range(20)]
+            return pred.evaluate(small_space, profiler, archs).rmse_ms
+
+        assert fit_eval(quiet) < fit_eval(noisy)
+
+
+class TestShrunkSpaceInterop:
+    def test_full_space_lut_serves_shrunk_space_archs(self, small_space, rng):
+        """The pipeline builds the LUT before shrinking; it must keep
+        serving predictions for architectures of any shrunk subspace."""
+        device = get_device("edge")
+        lut = LatencyLUT.build(small_space, device, samples_per_cell=1, seed=0)
+        predictor = LatencyPredictor(lut, small_space)
+        shrunk = small_space.fix_operator(7, 2).fix_operator(6, 0)
+        for _ in range(10):
+            arch = shrunk.sample(rng)
+            assert predictor.predict(arch) > 0.0
+
+    def test_lut_built_on_shrunk_space_rejects_foreign_ops(self, small_space, rng):
+        """A LUT built *after* shrinking has no cells for pruned ops."""
+        device = get_device("edge")
+        shrunk = small_space.fix_operator(7, 2)
+        lut = LatencyLUT.build(shrunk, device, samples_per_cell=1, seed=0)
+        foreign = Architecture.uniform(small_space.num_layers, op_index=0)
+        with pytest.raises(KeyError):
+            lut.sum_ops_ms(foreign, shrunk)
+
+
+class TestDegenerateSpecs:
+    def test_zero_overheads_allowed(self):
+        spec = DeviceSpec(
+            name="ideal", key="ideal", batch_size=1,
+            peak_macs_per_s=1e12, bandwidth_bytes_per_s=1e11,
+            launch_overhead_s=0.0, layer_overhead_s=0.0, base_overhead_s=0.0,
+        )
+        assert spec.launch_overhead_s == 0.0
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", key="bad", batch_size=1,
+                peak_macs_per_s=1e12, bandwidth_bytes_per_s=1e11,
+                launch_overhead_s=-1.0, layer_overhead_s=0.0,
+                base_overhead_s=0.0,
+            )
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", key="bad", batch_size=1,
+                peak_macs_per_s=1e12, bandwidth_bytes_per_s=1e11,
+                launch_overhead_s=0.0, layer_overhead_s=0.0,
+                base_overhead_s=0.0, pj_per_mac=-1.0,
+            )
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", key="bad", batch_size=1,
+                peak_macs_per_s=1e12, bandwidth_bytes_per_s=1e11,
+                launch_overhead_s=0.0, layer_overhead_s=0.0,
+                base_overhead_s=0.0, noise_sigma=-0.1,
+            )
+
+
+class TestPredictorEdgeCases:
+    def test_double_bias_calibration_converges(self, small_space):
+        """Recalibrating B must not drift (idempotent up to noise)."""
+        device = get_device("gpu")
+        lut = LatencyLUT.build(small_space, device, samples_per_cell=1, seed=0)
+        predictor = LatencyPredictor(lut, small_space)
+        profiler = OnDeviceProfiler(device, seed=1)
+        b1 = predictor.calibrate_bias(small_space, profiler, num_archs=25, seed=2)
+        b2 = predictor.calibrate_bias(small_space, profiler, num_archs=25, seed=3)
+        assert b2 == pytest.approx(b1, rel=0.3)
+
+    def test_lut_json_handles_stem_head(self, small_space):
+        device = get_device("gpu")
+        lut = LatencyLUT.build(small_space, device, samples_per_cell=1, seed=0)
+        restored = LatencyLUT.from_json(lut.to_json())
+        assert restored.stem_ms == lut.stem_ms
+        assert restored.head_ms == lut.head_ms
+
+    def test_legacy_json_without_stem_head(self):
+        """Older LUT JSON (no stem/head fields) still loads."""
+        import json
+
+        payload = json.dumps({
+            "device": "gpu",
+            "entries": [
+                {"layer": 0, "op": 0, "cin": 8, "factor": 1.0, "ms": 0.5}
+            ],
+        })
+        lut = LatencyLUT.from_json(payload)
+        assert lut.stem_ms == 0.0
+        assert lut.head_ms == {}

@@ -1,0 +1,107 @@
+"""Integration: the full HSCoNAS loop with *real* supernet training.
+
+This wires every mechanism together the way the paper runs them —
+supernet training with uniform path sampling, weight-sharing accuracy
+as the objective's ACC term, LUT+B latency prediction, progressive
+shrinking with supernet tuning between stages, and the EA — on the tiny
+proxy task, with real numpy gradients end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvolutionConfig,
+    EvolutionarySearch,
+    Objective,
+    ProgressiveSpaceShrinking,
+    SubspaceQuality,
+)
+from repro.data import BatchLoader
+from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler, get_device
+from repro.supernet import Supernet
+from repro.train import SupernetTrainer, TrainConfig
+
+
+@pytest.fixture(scope="module")
+def trained_setup(tiny_space, tiny_dataset):
+    """Supernet trained briefly + calibrated latency predictor."""
+    loader = BatchLoader(
+        tiny_dataset.train_x, tiny_dataset.train_y, batch_size=8, seed=0
+    )
+    supernet = Supernet(tiny_space, seed=0)
+    trainer = SupernetTrainer(supernet, loader, TrainConfig(base_lr=0.05, seed=0))
+    trainer.train_epochs(tiny_space, epochs=3)
+
+    device = get_device("edge")
+    lut = LatencyLUT.build(tiny_space, device, samples_per_cell=1, seed=0)
+    predictor = LatencyPredictor(lut, tiny_space)
+    profiler = OnDeviceProfiler(device, seed=0)
+    predictor.calibrate_bias(tiny_space, profiler, num_archs=10, seed=1)
+    return trainer, predictor, profiler
+
+
+class TestRealPipeline:
+    def test_full_loop(self, tiny_space, tiny_dataset, trained_setup):
+        trainer, predictor, profiler = trained_setup
+
+        # Pick a reachable latency target: the median of a small sample.
+        rng = np.random.default_rng(0)
+        sample_lats = [
+            predictor.predict(tiny_space.sample(rng)) for _ in range(20)
+        ]
+        target = float(np.median(sample_lats))
+
+        objective = Objective(
+            accuracy_fn=lambda arch: trainer.evaluate_arch(
+                arch, tiny_dataset.test_x, tiny_dataset.test_y
+            ),
+            latency_fn=predictor.predict,
+            target_ms=target,
+            beta=-0.5,
+        )
+
+        # Progressive shrinking with real supernet tuning between stages.
+        quality = SubspaceQuality(objective, num_samples=5, seed=2)
+        shrinker = ProgressiveSpaceShrinking(
+            quality,
+            stage_layers=[(3,), (2,)],
+            tune_hook=lambda space, stage: trainer.tune_epochs(
+                space, epochs=1, lr=0.01
+            ),
+        )
+        shrink = shrinker.run(tiny_space)
+        search_space = shrink.final_space
+        assert set(search_space.fixed_layers()) == {3, 2}
+
+        # EA inside the shrunk space.
+        cfg = EvolutionConfig(generations=3, population_size=8, num_parents=3, seed=3)
+        result = EvolutionarySearch(search_space, objective, cfg).run()
+
+        best = result.best
+        assert search_space.contains(best.arch)
+        assert 0.0 <= best.accuracy <= 1.0
+        # the measured latency should be in the same ballpark as predicted
+        measured = profiler.measure_ms(tiny_space, best.arch)
+        assert measured == pytest.approx(best.latency_ms, rel=0.5)
+
+    def test_weight_sharing_inheritance(self, tiny_space, tiny_dataset,
+                                        trained_setup):
+        """Subnets evaluated with inherited weights must beat an
+        untrained supernet's subnets on average."""
+        trainer, _, _ = trained_setup
+        fresh = Supernet(tiny_space, seed=99)
+        loader = BatchLoader(
+            tiny_dataset.train_x, tiny_dataset.train_y, batch_size=8, seed=0
+        )
+        fresh_trainer = SupernetTrainer(fresh, loader)
+
+        trained_acc = trainer.supernet_accuracy(
+            tiny_space, tiny_dataset.train_x, tiny_dataset.train_y,
+            num_archs=6, seed=5,
+        )
+        fresh_acc = fresh_trainer.supernet_accuracy(
+            tiny_space, tiny_dataset.train_x, tiny_dataset.train_y,
+            num_archs=6, seed=5,
+        )
+        assert trained_acc >= fresh_acc

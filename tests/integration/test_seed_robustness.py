@@ -1,0 +1,47 @@
+"""Seed robustness: the pipeline's guarantees must not be seed luck."""
+
+import pytest
+
+from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig
+from repro.hardware import get_device
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_constraint_met_across_seeds(self, proxy_space, seed):
+        """Every seed's discovered architecture meets the latency
+        constraint (within measurement tolerance) and stays in-space."""
+        cfg = HSCoNASConfig(
+            target_ms=1.3,
+            lut_samples_per_cell=1,
+            bias_calibration_archs=8,
+            quality_samples=10,
+            evolution=EvolutionConfig(
+                generations=5, population_size=12, num_parents=5
+            ),
+            seed=seed,
+        )
+        result = HSCoNAS(proxy_space, get_device("gpu"), cfg).run()
+        assert proxy_space.contains(result.arch)
+        assert result.measured_latency_ms <= cfg.target_ms * 1.15
+        assert result.bias_ms > 0.0
+
+    def test_different_seeds_explore_differently(self, proxy_space):
+        """Distinct seeds should not converge on the identical network
+        in a space of 10^13 — that would mean broken randomization."""
+        archs = []
+        for seed in (0, 1, 2):
+            cfg = HSCoNASConfig(
+                target_ms=1.3,
+                lut_samples_per_cell=1,
+                bias_calibration_archs=5,
+                quality_samples=5,
+                evolution=EvolutionConfig(
+                    generations=3, population_size=10, num_parents=4
+                ),
+                seed=seed,
+            )
+            archs.append(
+                HSCoNAS(proxy_space, get_device("gpu"), cfg).run().arch
+            )
+        assert len({a.key() for a in archs}) >= 2

@@ -1,0 +1,127 @@
+"""Convolution layer tests: correctness against a naive reference,
+gradient checks, and grouped/depthwise behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d
+from tests.helpers import check_layer_gradients
+
+
+def naive_conv2d(x, weight, stride, padding, groups):
+    """Direct-loop reference convolution (NCHW)."""
+    n, cin, h, w = x.shape
+    cout, cin_g, k, _ = weight.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (h + 2 * padding - k) // stride + 1
+    ow = (w + 2 * padding - k) // stride + 1
+    out = np.zeros((n, cout, oh, ow))
+    cout_g = cout // groups
+    for b in range(n):
+        for oc in range(cout):
+            g = oc // cout_g
+            for i in range(oh):
+                for j in range(ow):
+                    patch = xp[
+                        b,
+                        g * cin_g : (g + 1) * cin_g,
+                        i * stride : i * stride + k,
+                        j * stride : j * stride + k,
+                    ]
+                    out[b, oc, i, j] = (patch * weight[oc]).sum()
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("k,stride,pad,groups", [
+        (1, 1, 0, 1),
+        (3, 1, 1, 1),
+        (3, 2, 1, 1),
+        (5, 1, 2, 1),
+        (3, 1, 1, 2),
+        (3, 2, 1, 4),  # depthwise with cin=4
+    ])
+    def test_matches_naive(self, k, stride, pad, groups):
+        rng = np.random.default_rng(0)
+        cin, cout = 4, 6 if groups == 1 else 4
+        conv = Conv2d(cin, cout, k, stride=stride, padding=pad,
+                      groups=groups, rng=rng)
+        x = rng.normal(size=(2, cin, 8, 8))
+        expected = naive_conv2d(x, conv.weight.data, stride, pad, groups)
+        np.testing.assert_allclose(conv(x), expected, atol=1e-10)
+
+    def test_bias_added(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(2, 3, 1, bias=True, rng=rng)
+        conv.weight.data[:] = 0.0
+        conv.bias.data[:] = [1.0, 2.0, 3.0]
+        out = conv(np.zeros((1, 2, 4, 4)))
+        np.testing.assert_allclose(out[0, :, 0, 0], [1.0, 2.0, 3.0])
+
+    def test_wrong_channels_raises(self):
+        conv = Conv2d(3, 4, 3, padding=1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            conv(np.zeros((1, 5, 8, 8)))
+
+    def test_indivisible_groups_raises(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, 3, groups=2, rng=np.random.default_rng(0))
+
+    def test_invalid_kernel_raises(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, 0, rng=np.random.default_rng(0))
+
+    def test_depthwise_is_per_channel(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(3, 3, 3, padding=1, groups=3, rng=rng)
+        x = np.zeros((1, 3, 6, 6))
+        x[0, 1] = 1.0  # only channel 1 carries signal
+        out = conv(x)
+        assert np.allclose(out[0, 0], 0.0)
+        assert np.allclose(out[0, 2], 0.0)
+        assert not np.allclose(out[0, 1], 0.0)
+
+
+class TestConvBackward:
+    def test_gradients_dense(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(2, 3, 3, stride=1, padding=1, bias=True, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        check_layer_gradients(conv, x)
+
+    def test_gradients_strided(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(2, 2, 3, stride=2, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 6, 6))
+        check_layer_gradients(conv, x)
+
+    def test_gradients_depthwise(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(3, 3, 3, stride=1, padding=1, groups=3, rng=rng)
+        x = rng.normal(size=(1, 3, 5, 5))
+        check_layer_gradients(conv, x)
+
+    def test_backward_without_forward_raises(self):
+        conv = Conv2d(2, 2, 3, rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 2, 4, 4)))
+
+    def test_eval_forward_does_not_cache(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(2, 2, 3, padding=1, rng=rng)
+        conv.eval()
+        conv(rng.normal(size=(1, 2, 4, 4)))
+        with pytest.raises(RuntimeError):
+            conv.backward(np.zeros((1, 2, 4, 4)))
+
+    def test_grad_accumulates_across_backwards(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(2, 2, 3, padding=1, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        g = rng.normal(size=(1, 2, 4, 4))
+        conv(x)
+        conv.backward(g)
+        first = conv.weight.grad.copy()
+        conv(x)
+        conv.backward(g)
+        np.testing.assert_allclose(conv.weight.grad, 2 * first)

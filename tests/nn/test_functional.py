@@ -1,0 +1,129 @@
+"""Tests for stateless tensor ops (im2col, softmax, one-hot)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import (
+    col2im,
+    conv_output_size,
+    im2col,
+    log_softmax,
+    one_hot,
+    pad_nchw,
+    softmax,
+)
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,k,s,p,expected",
+        [(8, 3, 1, 1, 8), (8, 3, 2, 1, 4), (8, 1, 1, 0, 8), (7, 7, 1, 3, 7),
+         (32, 5, 2, 2, 16), (4, 4, 4, 0, 1)],
+    )
+    def test_known_values(self, size, k, s, p, expected):
+        assert conv_output_size(size, k, s, p) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestPad:
+    def test_zero_padding_is_identity(self):
+        x = np.ones((1, 1, 3, 3))
+        assert pad_nchw(x, 0) is x
+
+    def test_padding_shape_and_zeros(self):
+        x = np.ones((1, 2, 3, 3))
+        p = pad_nchw(x, 2)
+        assert p.shape == (1, 2, 7, 7)
+        assert p[0, 0, 0, 0] == 0.0
+        assert p[0, 0, 2, 2] == 1.0
+
+
+class TestIm2Col:
+    def test_identity_kernel(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols, oh, ow = im2col(x, kernel=1, stride=1, padding=0)
+        assert (oh, ow) == (4, 4)
+        np.testing.assert_array_equal(cols.ravel(), x.ravel())
+
+    def test_shapes(self):
+        x = np.zeros((2, 3, 8, 8))
+        cols, oh, ow = im2col(x, kernel=3, stride=2, padding=1)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (2, 3 * 9, 16)
+
+    def test_patch_content(self):
+        x = np.arange(9, dtype=np.float64).reshape(1, 1, 3, 3)
+        cols, _, _ = im2col(x, kernel=3, stride=1, padding=0)
+        np.testing.assert_array_equal(cols[0, :, 0], x.ravel())
+
+    def test_col2im_counts_overlaps(self):
+        # Transposing ones through col2im counts patch coverage.
+        x_shape = (1, 1, 4, 4)
+        cols, oh, ow = im2col(np.zeros(x_shape), 3, 1, 1)
+        back = col2im(np.ones_like(cols), x_shape, 3, 1, 1)
+        # Interior pixels are covered by all 9 offsets.
+        assert back[0, 0, 1, 1] == 9.0
+        # The corner pixel is covered by only 4 patches.
+        assert back[0, 0, 0, 0] == 4.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        k=st.sampled_from([1, 3, 5]),
+        stride=st.sampled_from([1, 2]),
+        size=st.integers(min_value=6, max_value=10),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_adjointness(self, k, stride, size, seed):
+        """col2im is the adjoint of im2col: <Ax, y> == <x, A^T y>."""
+        rng = np.random.default_rng(seed)
+        pad = k // 2
+        x = rng.normal(size=(1, 2, size, size))
+        cols, _, _ = im2col(x, k, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        back = col2im(y, x.shape, k, stride, pad)
+        rhs = float((x * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        s = softmax(rng.normal(size=(5, 7)), axis=1)
+        np.testing.assert_allclose(s.sum(axis=1), np.ones(5))
+
+    def test_stability_large_logits(self):
+        s = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(s, [[0.5, 0.5]])
+
+    def test_log_softmax_consistent(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)))
+
+    def test_shift_invariance(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(x), softmax(x + 100.0))
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)

@@ -1,0 +1,88 @@
+"""Extended gradient checks: parameters of composite blocks, odd shapes.
+
+The cheap per-layer checks in test_conv/test_layers cover the building
+blocks; these exercise whole ShuffleNetV2 blocks *including parameter
+gradients*, plus convolution shapes the basic tests skip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Conv2d, Sequential
+from repro.nn.functional import conv_output_size
+from repro.supernet import ShuffleV2Block, ShuffleXceptionBlock, SkipOp
+from tests.helpers import check_layer_gradients
+
+
+class TestBlockParameterGradients:
+    def test_shuffle_block_stride1_params(self):
+        rng = np.random.default_rng(0)
+        block = ShuffleV2Block(4, 4, kernel_size=3, stride=1, rng=rng)
+        x = rng.normal(size=(2, 4, 4, 4))
+        check_layer_gradients(block, x, rtol=2e-3, check_params=True)
+
+    def test_shuffle_block_stride2_params(self):
+        rng = np.random.default_rng(1)
+        block = ShuffleV2Block(2, 4, kernel_size=3, stride=2, rng=rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        check_layer_gradients(block, x, rtol=2e-3, check_params=True)
+
+    def test_xception_block_params(self):
+        rng = np.random.default_rng(2)
+        block = ShuffleXceptionBlock(4, 4, stride=1, rng=rng)
+        x = rng.normal(size=(1, 4, 4, 4))
+        check_layer_gradients(block, x, rtol=2e-3, check_params=True)
+
+    def test_skip_projection_params(self):
+        rng = np.random.default_rng(3)
+        block = SkipOp(2, 4, stride=2, rng=rng)
+        x = rng.normal(size=(2, 2, 4, 4))
+        check_layer_gradients(block, x, rtol=2e-3, check_params=True)
+
+
+class TestConvOddShapes:
+    def test_kernel_7(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(2, 2, 7, stride=1, padding=3, rng=rng)
+        x = rng.normal(size=(1, 2, 8, 8))
+        check_layer_gradients(conv, x)
+
+    def test_kernel_5_stride_2(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(2, 3, 5, stride=2, padding=2, rng=rng)
+        x = rng.normal(size=(1, 2, 8, 8))
+        check_layer_gradients(conv, x)
+
+    def test_grouped_non_depthwise(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(4, 6, 3, padding=1, groups=2, rng=rng)
+        x = rng.normal(size=(1, 4, 5, 5))
+        check_layer_gradients(conv, x)
+
+    def test_chained_convs_backprop(self):
+        """Gradient flows through a stack (integration of backward chaining)."""
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Conv2d(2, 4, 3, padding=1, rng=rng),
+            Conv2d(4, 2, 1, rng=rng),
+        )
+        x = rng.normal(size=(2, 2, 5, 5))
+        check_layer_gradients(model, x, rtol=1e-3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        size=st.integers(min_value=4, max_value=12),
+        k=st.sampled_from([1, 3, 5]),
+        stride=st.sampled_from([1, 2]),
+        cin=st.integers(min_value=1, max_value=6),
+        cout=st.integers(min_value=1, max_value=6),
+    )
+    def test_output_shape_property(self, size, k, stride, cin, cout):
+        rng = np.random.default_rng(0)
+        pad = k // 2
+        conv = Conv2d(cin, cout, k, stride=stride, padding=pad, rng=rng)
+        out = conv(np.zeros((1, cin, size, size)))
+        expected = conv_output_size(size, k, stride, pad)
+        assert out.shape == (1, cout, expected, expected)

@@ -1,0 +1,217 @@
+"""Tests for loss, optimizer, gradient clipping, and LR schedules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    ConstantSchedule,
+    CosineSchedule,
+    CrossEntropyLoss,
+    Parameter,
+    SGD,
+    WarmupCosineSchedule,
+    clip_grad_norm,
+)
+from tests.helpers import numerical_gradient
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_loss(self):
+        crit = CrossEntropyLoss()
+        loss = crit(np.zeros((2, 4)), np.array([0, 1]))
+        assert loss == pytest.approx(math.log(4))
+
+    def test_perfect_prediction_low_loss(self):
+        crit = CrossEntropyLoss()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        assert crit(logits, np.array([0, 1])) < 1e-6
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 5))
+        labels = np.array([0, 2, 4])
+        crit = CrossEntropyLoss(label_smoothing=0.1)
+
+        def f(lv):
+            return CrossEntropyLoss(label_smoothing=0.1)(lv, labels)
+
+        crit(logits, labels)
+        analytic = crit.backward()
+        numeric = numerical_gradient(f, logits.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-8)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(0)
+        crit = CrossEntropyLoss()
+        crit(rng.normal(size=(4, 6)), np.array([0, 1, 2, 3]))
+        grad = crit.backward()
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_label_smoothing_increases_optimal_loss(self):
+        logits = np.array([[50.0, 0.0]])
+        labels = np.array([0])
+        plain = CrossEntropyLoss()(logits, labels)
+        smoothed = CrossEntropyLoss(label_smoothing=0.2)(logits, labels)
+        assert smoothed > plain
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_invalid_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(label_smoothing=1.0)
+
+    def test_non_2d_logits_raises(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss()(np.zeros(3), np.array([0]))
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        p.accumulate_grad(np.array([2.0]))
+        opt.step()
+        np.testing.assert_allclose(p.data, [0.8])
+
+    def test_momentum_accumulates(self):
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        for _ in range(2):
+            p.zero_grad()
+            p.accumulate_grad(np.array([1.0]))
+            opt.step()
+        # v1 = 1 -> p=-1; v2 = 0.5 + 1 = 1.5 -> p=-2.5
+        np.testing.assert_allclose(p.data, [-2.5])
+
+    def test_weight_decay_honours_flag(self):
+        decayed = Parameter(np.array([1.0]))
+        exempt = Parameter(np.array([1.0]), weight_decay=False)
+        opt = SGD([decayed, exempt], lr=1.0, momentum=0.0, weight_decay=0.1)
+        for p in (decayed, exempt):
+            p.accumulate_grad(np.array([0.0]))
+        opt.step()
+        np.testing.assert_allclose(decayed.data, [0.9])
+        np.testing.assert_allclose(exempt.data, [1.0])
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        opt.step()  # no grad accumulated
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.accumulate_grad(np.array([1.0]))
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_minimizes_quadratic(self):
+        p = Parameter(np.array([5.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(300):
+            p.zero_grad()
+            p.accumulate_grad(2 * p.data)  # d/dp p^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-3  # heavy-ball rate ~sqrt(momentum)
+
+    def test_state_dict_roundtrip(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        p.accumulate_grad(np.array([1.0]))
+        opt.step()
+        state = opt.state_dict()
+        opt2 = SGD([p], lr=0.5, momentum=0.9)
+        opt2.load_state_dict(state)
+        assert opt2.lr == 0.1
+        np.testing.assert_allclose(opt2._velocity[0], opt._velocity[0])
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.accumulate_grad(np.full(4, 0.5))  # norm 1.0
+        norm = clip_grad_norm([p], max_norm=5.0)
+        assert norm == pytest.approx(1.0)
+        np.testing.assert_allclose(p.grad, 0.5)
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.accumulate_grad(np.full(4, 10.0))
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_global_norm_across_params(self):
+        a = Parameter(np.zeros(1))
+        b = Parameter(np.zeros(1))
+        a.accumulate_grad(np.array([3.0]))
+        b.accumulate_grad(np.array([4.0]))
+        norm = clip_grad_norm([a, b], max_norm=100.0)
+        assert norm == pytest.approx(5.0)
+
+    def test_empty_returns_zero(self):
+        assert clip_grad_norm([Parameter(np.zeros(1))], 1.0) == 0.0
+
+    def test_invalid_max_norm_raises(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.01)
+        assert s.lr_at(0) == s.lr_at(1000) == 0.01
+
+    def test_cosine_endpoints(self):
+        s = CosineSchedule(0.5, total_steps=100)
+        assert s.lr_at(0) == pytest.approx(0.5)
+        assert s.lr_at(100) == pytest.approx(0.0, abs=1e-12)
+        assert s.lr_at(50) == pytest.approx(0.25)
+
+    def test_cosine_monotone_decreasing(self):
+        s = CosineSchedule(0.5, total_steps=50)
+        lrs = [s.lr_at(i) for i in range(51)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_min_lr(self):
+        s = CosineSchedule(0.5, total_steps=10, min_lr=0.1)
+        assert s.lr_at(10) == pytest.approx(0.1)
+
+    def test_warmup_ramps_linearly(self):
+        s = WarmupCosineSchedule(1.0, total_steps=20, warmup_steps=10)
+        assert s.lr_at(0) == pytest.approx(0.1)
+        assert s.lr_at(4) == pytest.approx(0.5)
+        assert s.lr_at(9) == pytest.approx(1.0)
+
+    def test_warmup_then_cosine(self):
+        s = WarmupCosineSchedule(1.0, total_steps=20, warmup_steps=10)
+        assert s.lr_at(10) == pytest.approx(1.0)
+        assert s.lr_at(20) == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_warmup_raises(self):
+        with pytest.raises(ValueError):
+            WarmupCosineSchedule(1.0, total_steps=10, warmup_steps=10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        base=st.floats(min_value=1e-4, max_value=1.0),
+        total=st.integers(min_value=2, max_value=500),
+        step=st.integers(min_value=-10, max_value=600),
+    )
+    def test_cosine_bounded_property(self, base, total, step):
+        s = CosineSchedule(base, total_steps=total)
+        assert 0.0 <= s.lr_at(step) <= base

@@ -1,0 +1,172 @@
+"""Tests for the Module/Parameter containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential
+
+
+class TestParameter:
+    def test_data_is_float64(self):
+        p = Parameter(np.ones(3, dtype=np.float32))
+        assert p.data.dtype == np.float64
+
+    def test_grad_starts_none(self):
+        assert Parameter(np.ones(3)).grad is None
+
+    def test_accumulate_grad_creates_then_adds(self):
+        p = Parameter(np.zeros(3))
+        p.accumulate_grad(np.ones(3))
+        p.accumulate_grad(np.ones(3) * 2)
+        np.testing.assert_array_equal(p.grad, np.full(3, 3.0))
+
+    def test_accumulate_does_not_alias_input(self):
+        p = Parameter(np.zeros(2))
+        g = np.ones(2)
+        p.accumulate_grad(g)
+        g[0] = 99.0
+        assert p.grad[0] == 1.0
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        p.accumulate_grad(np.ones(2))
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_shape_and_size(self):
+        p = Parameter(np.zeros((2, 3)))
+        assert p.shape == (2, 3)
+        assert p.size == 6
+
+
+class TestModuleDiscovery:
+    def _model(self):
+        rng = np.random.default_rng(0)
+        return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+
+    def test_children_of_sequential(self):
+        model = self._model()
+        assert len(list(model.children())) == 3
+
+    def test_modules_includes_self(self):
+        model = self._model()
+        mods = list(model.modules())
+        assert mods[0] is model
+        assert len(mods) == 4
+
+    def test_parameters_count(self):
+        model = self._model()
+        # two Linears with weight+bias each
+        assert len(list(model.parameters())) == 4
+
+    def test_num_parameters(self):
+        model = self._model()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_parameters_unique_names(self):
+        model = self._model()
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_train_eval_propagates(self):
+        model = self._model()
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        model = self._model()
+        for p in model.parameters():
+            p.accumulate_grad(np.ones_like(p.data))
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        a = Sequential(Linear(3, 5, rng=rng))
+        b = Sequential(Linear(3, 5, rng=np.random.default_rng(1)))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(a(x), b(x))
+
+    def test_state_dict_copies(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(3, 5, rng=rng))
+        state = model.state_dict()
+        for p in model.parameters():
+            p.data += 1.0
+        reloaded = model.state_dict()
+        for key in state:
+            assert not np.allclose(state[key], reloaded[key])
+
+    def test_strict_missing_key_raises(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(3, 5, rng=rng))
+        with pytest.raises(KeyError):
+            model.load_state_dict({}, strict=True)
+
+    def test_strict_shape_mismatch_raises(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(3, 5, rng=rng))
+        state = {n: np.zeros((1, 1)) for n, _ in model.named_parameters()}
+        with pytest.raises(ValueError):
+            model.load_state_dict(state, strict=True)
+
+    def test_non_strict_skips_mismatches(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(Linear(3, 5, rng=rng))
+        before = model.state_dict()
+        model.load_state_dict({"layers.0.weight": np.zeros((1, 1))}, strict=False)
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+
+class TestSequential:
+    def test_forward_order(self):
+        class PlusOne(Module):
+            def forward(self, x):
+                return x + 1
+
+            def backward(self, g):
+                return g
+
+        class TimesTwo(Module):
+            def forward(self, x):
+                return x * 2
+
+            def backward(self, g):
+                return g * 2
+
+        model = Sequential(PlusOne(), TimesTwo())
+        np.testing.assert_array_equal(model(np.zeros(2)), np.full(2, 2.0))
+
+    def test_backward_reverses(self):
+        class TimesTwo(Module):
+            def forward(self, x):
+                return x * 2
+
+            def backward(self, g):
+                return g * 2
+
+        model = Sequential(TimesTwo(), TimesTwo())
+        np.testing.assert_array_equal(
+            model.backward(np.ones(3)), np.full(3, 4.0)
+        )
+
+    def test_len_getitem_append(self):
+        model = Sequential(ReLU())
+        model.append(ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+    def test_base_module_forward_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(np.zeros(1))
+
+    def test_base_module_backward_raises(self):
+        with pytest.raises(NotImplementedError):
+            Module().backward(np.zeros(1))

@@ -1,0 +1,75 @@
+"""Tests for table and figure rendering."""
+
+import pytest
+
+from repro.report import TableRow, ascii_histogram, render_table1, series_to_csv
+from repro.report.tables import render_markdown
+
+
+def _rows():
+    return [
+        TableRow("MobileNetV2 1.0x", "manual", 28.0, None, 11.5, 25.2, 61.9),
+        TableRow("MnasNet-A1", "nas", 24.8, 7.5, 10.9, 26.4, 51.8),
+        TableRow("HSCoNet-Edge-A", "hsconas", 25.7, 8.1, 9.9, 25.8, 34.9),
+    ]
+
+
+class TestTable:
+    def test_group_headers_present(self):
+        text = render_table1(_rows())
+        assert "Manually-Designed Models" in text
+        assert "State-of-the-art NAS Models" in text
+        assert "Hardware-Aware Models Discovered by HSCoNAS" in text
+
+    def test_missing_top5_dash(self):
+        text = render_table1(_rows())
+        line = [l for l in text.splitlines() if "MobileNetV2" in l][0]
+        assert "-" in line
+
+    def test_values_formatted(self):
+        text = render_table1(_rows())
+        assert "34.9" in text
+        assert "24.8" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            render_table1([])
+
+    def test_markdown_shape(self):
+        md = render_markdown(_rows())
+        lines = md.splitlines()
+        assert lines[0].startswith("| Model")
+        assert len(lines) == 2 + len(_rows())
+        assert all(l.startswith("|") for l in lines)
+
+
+class TestFigures:
+    def test_csv_roundtrip_shape(self):
+        csv = series_to_csv({"x": [1.0, 2.0], "y": [3.0, 4.0]})
+        lines = csv.splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,3"
+
+    def test_csv_unequal_lengths_raise(self):
+        with pytest.raises(ValueError):
+            series_to_csv({"x": [1.0], "y": [1.0, 2.0]})
+
+    def test_csv_empty_raises(self):
+        with pytest.raises(ValueError):
+            series_to_csv({})
+
+    def test_histogram_renders_all_bins(self):
+        text = ascii_histogram([1.0, 1.1, 1.2, 5.0], bins=4, label="lat")
+        lines = text.splitlines()
+        assert lines[0] == "lat"
+        assert len(lines) == 5
+
+    def test_histogram_counts_sum(self):
+        values = list(range(20))
+        text = ascii_histogram(values, bins=5)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 20
+
+    def test_histogram_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])

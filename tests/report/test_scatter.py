@@ -1,0 +1,47 @@
+"""Tests for the ASCII scatter renderer."""
+
+import pytest
+
+from repro.report import ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_dimensions(self):
+        text = ascii_scatter([1, 2, 3], [1, 4, 9], width=20, height=6)
+        lines = text.splitlines()
+        # label + height rows + axis + label
+        assert len(lines) == 1 + 6 + 2
+        assert all(len(l) == 21 for l in lines[1:7])
+
+    def test_corners_plotted(self):
+        text = ascii_scatter([0.0, 1.0], [0.0, 1.0], width=10, height=4)
+        lines = text.splitlines()
+        assert lines[1][10] == "*"  # top-right = max x, max y
+        assert lines[4][1] == "*"   # bottom-left = min x, min y
+
+    def test_overlap_marked(self):
+        text = ascii_scatter([1.0, 1.0, 2.0], [1.0, 1.0, 2.0],
+                             width=10, height=4)
+        assert "#" in text
+
+    def test_labels_and_ranges(self):
+        text = ascii_scatter([1, 2], [10, 20], x_label="flops",
+                             y_label="ms")
+        assert "flops" in text and "ms" in text
+        assert "10" in text and "20" in text
+
+    def test_constant_series_ok(self):
+        text = ascii_scatter([1.0, 1.0], [2.0, 2.0])
+        assert "*" in text or "#" in text
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([], [])
+
+    def test_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1.0], [1.0, 2.0])
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1.0], [1.0], width=2, height=2)

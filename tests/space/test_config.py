@@ -1,0 +1,80 @@
+"""Tests for space configuration presets."""
+
+import pytest
+
+from repro.space import SpaceConfig, StageSpec, imagenet_a, imagenet_b, proxy
+
+
+class TestStageSpec:
+    def test_valid(self):
+        s = StageSpec(4, 48)
+        assert s.num_blocks == 4 and s.channels == 48
+
+    def test_zero_blocks_raises(self):
+        with pytest.raises(ValueError):
+            StageSpec(0, 48)
+
+    def test_one_channel_raises(self):
+        with pytest.raises(ValueError):
+            StageSpec(4, 1)
+
+
+class TestSpaceConfig:
+    def test_imagenet_a_matches_paper(self):
+        cfg = imagenet_a()
+        assert cfg.num_layers == 20  # L = 20
+        assert cfg.num_factors == 10  # n = 10 channel factors
+        assert [s.channels for s in cfg.stages] == [48, 128, 256, 512]
+        assert cfg.input_size == 224
+        assert cfg.num_classes == 1000
+
+    def test_imagenet_b_matches_paper(self):
+        cfg = imagenet_b()
+        assert cfg.num_layers == 20
+        assert [s.channels for s in cfg.stages] == [68, 168, 336, 672]
+
+    def test_proxy_is_small_but_same_family(self):
+        cfg = proxy()
+        assert cfg.num_layers == 8
+        assert cfg.num_factors == 10
+        assert cfg.input_size == 32
+
+    def test_layer_channels(self):
+        cfg = imagenet_a()
+        channels = cfg.layer_channels()
+        assert len(channels) == 20
+        assert channels[:4] == [48] * 4
+        assert channels[-4:] == [512] * 4
+
+    def test_layer_strides_at_stage_starts(self):
+        cfg = imagenet_a()
+        strides = cfg.layer_strides()
+        assert [i for i, s in enumerate(strides) if s == 2] == [0, 4, 8, 16]
+
+    def test_stage_of_layer(self):
+        cfg = imagenet_a()
+        assert cfg.stage_of_layer(0) == 0
+        assert cfg.stage_of_layer(7) == 1
+        assert cfg.stage_of_layer(15) == 2
+        assert cfg.stage_of_layer(19) == 3
+
+    def test_stage_of_layer_out_of_range(self):
+        with pytest.raises(IndexError):
+            imagenet_a().stage_of_layer(20)
+
+    def test_no_stages_raises(self):
+        with pytest.raises(ValueError):
+            SpaceConfig(name="bad", stages=())
+
+    def test_bad_factor_raises(self):
+        with pytest.raises(ValueError):
+            SpaceConfig(
+                name="bad",
+                stages=(StageSpec(1, 8),),
+                input_size=32,
+                channel_factors=(0.0, 1.0),
+            )
+
+    def test_indivisible_input_raises(self):
+        with pytest.raises(ValueError):
+            SpaceConfig(name="bad", input_size=30, stages=(StageSpec(1, 8),))

@@ -1,0 +1,139 @@
+"""Tests for the operator set and its analytic cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.space import (
+    NUM_OPERATORS,
+    SKIP_INDEX,
+    get_operator,
+    operators,
+)
+
+
+class TestOperatorSet:
+    def test_paper_has_five_operators(self):
+        assert NUM_OPERATORS == 5  # K = 5
+
+    def test_kernel_sizes(self):
+        kernels = {op.name: op.kernel_size for op in operators()}
+        assert kernels["shuffle3x3"] == 3
+        assert kernels["shuffle5x5"] == 5
+        assert kernels["shuffle7x7"] == 7
+
+    def test_skip_index(self):
+        assert get_operator(SKIP_INDEX).is_skip
+
+    def test_indices_match_positions(self):
+        for i, op in enumerate(operators()):
+            assert op.index == i
+            assert get_operator(i) is op
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            get_operator(5)
+        with pytest.raises(IndexError):
+            get_operator(-1)
+
+
+class TestPrimitives:
+    def test_skip_stride1_is_free(self):
+        skip = get_operator(SKIP_INDEX)
+        assert skip.primitives(32, 32, 28, 1) == []
+        assert skip.flops(32, 32, 28, 1) == 0.0
+        assert skip.params(32, 32, 1) == 0.0
+
+    def test_skip_stride2_projects(self):
+        skip = get_operator(SKIP_INDEX)
+        prims = skip.primitives(32, 64, 28, 2)
+        assert any(p.kind == "conv" for p in prims)
+        # projection: 14*14*32*64 MACs
+        assert skip.flops(32, 64, 28, 2) == 14 * 14 * 32 * 64
+
+    def test_shuffle3x3_stride1_flops_hand_computed(self):
+        op = get_operator(0)
+        # cin=cout=64, hw=28: two 1x1 on 32ch halves + dw3x3 on 32
+        expected = (
+            28 * 28 * 32 * 32  # pw1
+            + 28 * 28 * 32 * 9  # dw3
+            + 28 * 28 * 32 * 32  # pw2
+        )
+        assert op.flops(64, 64, 28, 1) == expected
+
+    def test_stride2_halves_spatial(self):
+        op = get_operator(0)
+        prims = op.primitives(32, 64, 28, 2)
+        # Final memory (shuffle) op writes at 14x14.
+        shuffle = prims[-1]
+        assert shuffle.kind == "memory"
+        assert shuffle.bytes_written == 2 * 32 * 14 * 14 * 4
+
+    def test_larger_kernel_more_flops(self):
+        f3 = get_operator(0).flops(64, 64, 28, 1)
+        f5 = get_operator(1).flops(64, 64, 28, 1)
+        f7 = get_operator(2).flops(64, 64, 28, 1)
+        assert f3 < f5 < f7
+
+    def test_xception_heavier_than_basic(self):
+        fx = get_operator(3).flops(64, 64, 28, 1)
+        f3 = get_operator(0).flops(64, 64, 28, 1)
+        assert fx > f3
+
+    def test_invalid_stride_raises(self):
+        with pytest.raises(ValueError):
+            get_operator(0).primitives(8, 8, 8, 3)
+
+    def test_invalid_channels_raises(self):
+        with pytest.raises(ValueError):
+            get_operator(0).primitives(0, 8, 8, 1)
+
+    def test_params_positive_for_conv_ops(self):
+        for op in operators():
+            if op.is_skip:
+                continue
+            assert op.params(32, 32, 1) > 0
+            assert op.params(32, 64, 2) > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        op_idx=st.integers(min_value=0, max_value=4),
+        cin=st.integers(min_value=2, max_value=128),
+        cout=st.sampled_from([8, 16, 32, 64]),
+        hw=st.sampled_from([7, 14, 28]),
+        stride=st.sampled_from([1, 2]),
+    )
+    def test_costs_nonnegative_property(self, op_idx, cin, cout, hw, stride):
+        op = get_operator(op_idx)
+        for prim in op.primitives(cin, cout, hw, stride):
+            assert prim.flops >= 0
+            assert prim.bytes_read >= 0
+            assert prim.bytes_written >= 0
+        assert op.flops(cin, cout, hw, stride) >= 0
+        assert op.params(cin, cout, stride) >= 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        op_idx=st.integers(min_value=0, max_value=3),
+        hw=st.sampled_from([14, 28]),
+    )
+    def test_flops_monotone_in_channels(self, op_idx, hw):
+        op = get_operator(op_idx)
+        flops = [op.flops(c, c, hw, 1) for c in (16, 32, 64, 128)]
+        assert flops == sorted(flops)
+        assert flops[0] < flops[-1]
+
+
+class TestPrimitiveValidation:
+    def test_unknown_kind_raises(self):
+        from repro.space.operators import Primitive
+
+        with pytest.raises(ValueError):
+            Primitive("x", "gemm", 1.0, 1.0, 1.0)
+
+    def test_negative_cost_raises(self):
+        from repro.space.operators import Primitive
+
+        with pytest.raises(ValueError):
+            Primitive("x", "conv", -1.0, 1.0, 1.0)

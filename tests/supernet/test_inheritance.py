@@ -1,0 +1,110 @@
+"""Tests for weight inheritance (subnet extraction / warm start)."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader
+from repro.supernet import Supernet, copy_weights_and_stats, extract_subnet, inherit_into
+from repro.train import SupernetTrainer, TrainConfig
+
+
+@pytest.fixture()
+def trained(tiny_space, tiny_dataset, tiny_loader):
+    supernet = Supernet(tiny_space, seed=0)
+    trainer = SupernetTrainer(supernet, tiny_loader, TrainConfig(base_lr=0.1, seed=0))
+    trainer.train_epochs(tiny_space, epochs=3)
+    return supernet
+
+
+class TestCopy:
+    def test_parameters_copied(self, tiny_space, trained):
+        clone = Supernet(tiny_space, seed=77)
+        copy_weights_and_stats(trained, clone)
+        for (na, pa), (nb, pb) in zip(
+            trained.named_parameters(), clone.named_parameters()
+        ):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_running_stats_copied(self, tiny_space, trained):
+        clone = Supernet(tiny_space, seed=77)
+        copy_weights_and_stats(trained, clone)
+        from repro.nn.layers.norm import BatchNorm2d
+
+        src_bns = [m for m in trained.modules() if isinstance(m, BatchNorm2d)]
+        dst_bns = [m for m in clone.modules() if isinstance(m, BatchNorm2d)]
+        for s, d in zip(src_bns, dst_bns):
+            np.testing.assert_array_equal(s.running_mean, d.running_mean)
+            np.testing.assert_array_equal(s.running_var, d.running_var)
+
+    def test_copies_are_independent(self, tiny_space, trained):
+        clone = Supernet(tiny_space, seed=77)
+        copy_weights_and_stats(trained, clone)
+        first = next(iter(clone.parameters()))
+        first.data += 1.0
+        orig_first = next(iter(trained.parameters()))
+        assert not np.allclose(first.data, orig_first.data)
+
+    def test_structure_mismatch_raises(self, tiny_space, trained, proxy_space):
+        other = Supernet(proxy_space, seed=0)
+        with pytest.raises(ValueError):
+            copy_weights_and_stats(trained, other)
+
+
+class TestExtractSubnet:
+    def test_extracted_matches_supernet_output(self, tiny_space, trained, rng):
+        arch = tiny_space.sample(rng)
+        subnet = extract_subnet(trained, arch)
+        trained.set_architecture(arch)
+        trained.eval()
+        subnet.eval()
+        x = rng.normal(size=(2, 3, 16, 16))
+        np.testing.assert_allclose(trained(x), subnet(x))
+        trained.train()
+
+    def test_extracted_arch_active(self, tiny_space, trained, rng):
+        arch = tiny_space.sample(rng)
+        subnet = extract_subnet(trained, arch)
+        assert subnet.active_architecture == arch
+
+    def test_inherit_into_existing(self, tiny_space, trained, rng):
+        arch = tiny_space.sample(rng)
+        target = Supernet(tiny_space, seed=5)
+        inherit_into(trained, arch, target)
+        assert target.active_architecture == arch
+
+    def test_inherit_into_wrong_space_raises(self, trained, proxy_space, rng):
+        target = Supernet(proxy_space, seed=5)
+        with pytest.raises(ValueError):
+            inherit_into(trained, proxy_space.sample(rng), target)
+
+
+class TestWarmStart:
+    def test_warm_start_trains_faster(self, tiny_space, tiny_dataset, rng):
+        """Fine-tuning inherited weights reaches lower loss than training
+        from scratch in the same few epochs — the reason one-shot NAS
+        inherits at all."""
+        loader = BatchLoader(
+            tiny_dataset.train_x, tiny_dataset.train_y, batch_size=8, seed=0
+        )
+        supernet = Supernet(tiny_space, seed=0)
+        trainer = SupernetTrainer(
+            supernet, loader, TrainConfig(base_lr=0.1, seed=0)
+        )
+        trainer.train_epochs(tiny_space, epochs=5)
+        arch = tiny_space.sample(rng)
+
+        def tune(model, epochs=2):
+            t = SupernetTrainer(model, loader, TrainConfig(base_lr=0.03, seed=1))
+            single = type(tiny_space)(
+                tiny_space.config,
+                candidate_ops=[[op] for op in arch.ops],
+                candidate_factors=[[f] for f in arch.factors],
+            )
+            losses = t.train_epochs(single, epochs=epochs)
+            return losses[-1]
+
+        warm = extract_subnet(supernet, arch)
+        cold = Supernet(tiny_space, seed=9)
+        cold.set_architecture(arch)
+        assert tune(warm) < tune(cold)

@@ -1,0 +1,215 @@
+"""Tests for the weight-sharing supernet and its blocks."""
+
+import numpy as np
+import pytest
+
+from repro.space import Architecture
+from repro.space.operators import operators
+from repro.supernet import (
+    ChoiceBlock,
+    ShuffleV2Block,
+    ShuffleXceptionBlock,
+    SkipOp,
+    Supernet,
+    build_operator_module,
+)
+from tests.helpers import check_layer_gradients
+
+
+class TestShuffleV2Block:
+    def test_stride1_shape_preserved(self):
+        rng = np.random.default_rng(0)
+        block = ShuffleV2Block(8, 8, kernel_size=3, stride=1, rng=rng)
+        out = block(rng.normal(size=(2, 8, 8, 8)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_stride2_downsamples(self):
+        rng = np.random.default_rng(0)
+        block = ShuffleV2Block(4, 8, kernel_size=3, stride=2, rng=rng)
+        out = block(rng.normal(size=(2, 4, 8, 8)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_stride1_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ShuffleV2Block(4, 8, 3, stride=1, rng=np.random.default_rng(0))
+
+    def test_odd_channels_raise(self):
+        with pytest.raises(ValueError):
+            ShuffleV2Block(5, 5, 3, stride=1, rng=np.random.default_rng(0))
+
+    def test_backward_shape(self):
+        rng = np.random.default_rng(0)
+        block = ShuffleV2Block(4, 8, kernel_size=5, stride=2, rng=rng)
+        x = rng.normal(size=(2, 4, 8, 8))
+        out = block(x)
+        grad = block.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_gradients_stride1(self):
+        rng = np.random.default_rng(0)
+        block = ShuffleV2Block(4, 4, kernel_size=3, stride=1, rng=rng)
+        check_layer_gradients(block, rng.normal(size=(2, 4, 6, 6)),
+                              rtol=1e-3, check_params=False)
+
+    def test_gradients_stride2(self):
+        rng = np.random.default_rng(0)
+        block = ShuffleV2Block(4, 4, kernel_size=3, stride=2, rng=rng)
+        check_layer_gradients(block, rng.normal(size=(2, 4, 6, 6)),
+                              rtol=1e-3, check_params=False)
+
+
+class TestXceptionBlock:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        block = ShuffleXceptionBlock(8, 8, stride=1, rng=rng)
+        out = block(rng.normal(size=(1, 8, 8, 8)))
+        assert out.shape == (1, 8, 8, 8)
+        block2 = ShuffleXceptionBlock(8, 16, stride=2, rng=rng)
+        out2 = block2(rng.normal(size=(1, 8, 8, 8)))
+        assert out2.shape == (1, 16, 4, 4)
+
+    def test_gradients(self):
+        rng = np.random.default_rng(0)
+        block = ShuffleXceptionBlock(4, 4, stride=1, rng=rng)
+        check_layer_gradients(block, rng.normal(size=(1, 4, 6, 6)),
+                              rtol=1e-3, check_params=False)
+
+
+class TestSkipOp:
+    def test_identity_when_possible(self):
+        rng = np.random.default_rng(0)
+        skip = SkipOp(8, 8, stride=1, rng=rng)
+        x = rng.normal(size=(1, 8, 4, 4))
+        assert skip(x) is x
+        assert skip.backward(x) is x
+
+    def test_projection_on_stride2(self):
+        rng = np.random.default_rng(0)
+        skip = SkipOp(4, 8, stride=2, rng=rng)
+        out = skip(rng.normal(size=(1, 4, 8, 8)))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_projection_gradients(self):
+        rng = np.random.default_rng(0)
+        skip = SkipOp(2, 4, stride=2, rng=rng)
+        check_layer_gradients(skip, rng.normal(size=(1, 2, 6, 6)),
+                              rtol=1e-3, check_params=False)
+
+
+class TestBuildOperatorModule:
+    @pytest.mark.parametrize("spec", operators(), ids=lambda s: s.name)
+    def test_every_op_builds_and_runs(self, spec):
+        rng = np.random.default_rng(0)
+        module = build_operator_module(spec, 8, 8, stride=1, rng=rng)
+        out = module(rng.normal(size=(1, 8, 8, 8)))
+        assert out.shape == (1, 8, 8, 8)
+
+    @pytest.mark.parametrize("spec", operators(), ids=lambda s: s.name)
+    def test_every_op_downsamples(self, spec):
+        rng = np.random.default_rng(0)
+        module = build_operator_module(spec, 4, 8, stride=2, rng=rng)
+        out = module(rng.normal(size=(1, 4, 8, 8)))
+        assert out.shape == (1, 8, 4, 4)
+
+
+class TestChoiceBlock:
+    def test_only_active_op_executes(self, tiny_space):
+        rng = np.random.default_rng(0)
+        block = ChoiceBlock(tiny_space.geometry[1], rng)
+        x = rng.normal(size=(1, 8, 8, 8))
+        block.set_active(0, 1.0)
+        out0 = block(x)
+        block.set_active(1, 1.0)
+        out1 = block(x)
+        assert not np.allclose(out0, out1)
+
+    def test_mask_zeroes_channels(self, tiny_space):
+        rng = np.random.default_rng(0)
+        block = ChoiceBlock(tiny_space.geometry[1], rng)
+        block.set_active(0, 0.5)
+        out = block(rng.normal(size=(1, 8, 8, 8)))
+        kept = block.mask.active_channels
+        assert np.allclose(out[:, kept:], 0.0)
+        assert not np.allclose(out[:, :kept], 0.0)
+
+    def test_invalid_op_raises(self, tiny_space):
+        block = ChoiceBlock(tiny_space.geometry[0], np.random.default_rng(0))
+        with pytest.raises(IndexError):
+            block.set_active(9, 1.0)
+
+    def test_masked_channels_receive_no_gradient(self, tiny_space):
+        """The core property of the paper's masking: shared weights of
+        masked channels are untouched by a masked training step."""
+        rng = np.random.default_rng(0)
+        block = ChoiceBlock(tiny_space.geometry[1], rng)
+        block.set_active(0, 0.5)
+        x = rng.normal(size=(2, 8, 8, 8))
+        out = block(x)
+        block.backward(np.ones_like(out))
+        op = block.ops[0]
+        # The final 1x1 conv of the branch produces the masked output
+        # half: its kernels for masked output channels must have zero grad.
+        final_conv = op.branch.layers[-3]  # Conv2d before last BN/ReLU
+        kept = block.mask.active_channels
+        half = out.shape[1] // 2
+        # branch outputs channels [half:], shuffled; at least assert some
+        # weight gradients are exactly zero while others are not.
+        grads = final_conv.weight.grad
+        assert grads is not None
+        zero_rows = np.all(grads.reshape(grads.shape[0], -1) == 0.0, axis=1)
+        assert zero_rows.any()
+        assert not zero_rows.all()
+        del kept, half
+
+
+class TestSupernet:
+    def test_forward_shape(self, tiny_space, tiny_supernet, rng):
+        arch = tiny_space.sample(rng)
+        tiny_supernet.set_architecture(arch)
+        out = tiny_supernet(rng.normal(size=(2, 3, 16, 16)))
+        assert out.shape == (2, tiny_space.config.num_classes)
+
+    def test_forward_without_arch_raises(self, tiny_supernet, rng):
+        net = Supernet(tiny_supernet.space, seed=1)
+        with pytest.raises(RuntimeError):
+            net(rng.normal(size=(1, 3, 16, 16)))
+
+    def test_wrong_layer_count_raises(self, tiny_supernet):
+        with pytest.raises(ValueError):
+            tiny_supernet.set_architecture(Architecture.uniform(3))
+
+    def test_backward_runs_and_produces_grads(self, tiny_space, tiny_supernet, rng):
+        arch = tiny_space.sample(rng)
+        tiny_supernet.set_architecture(arch)
+        tiny_supernet.train()
+        out = tiny_supernet(rng.normal(size=(2, 3, 16, 16)))
+        grad_in = tiny_supernet.backward(np.ones_like(out) / out.size)
+        assert grad_in.shape == (2, 3, 16, 16)
+        assert tiny_supernet.classifier.weight.grad is not None
+
+    def test_weight_sharing_across_paths(self, tiny_space, rng):
+        """Two architectures sharing a layer op see the same weights."""
+        net = Supernet(tiny_space, seed=0)
+        a = Architecture.uniform(tiny_space.num_layers, op_index=0, factor=1.0)
+        b = a.with_op(1, 1)  # differ only at layer 1
+        net.set_architecture(a)
+        w_before = net.blocks[0].ops[0].branch.layers[0].weight.data.copy()
+        net.set_architecture(b)
+        w_after = net.blocks[0].ops[0].branch.layers[0].weight.data
+        np.testing.assert_array_equal(w_before, w_after)
+
+    def test_deterministic_construction(self, tiny_space, rng):
+        a = Supernet(tiny_space, seed=3)
+        b = Supernet(tiny_space, seed=3)
+        arch = tiny_space.sample(rng)
+        a.set_architecture(arch)
+        b.set_architecture(arch)
+        a.eval()
+        b.eval()
+        x = rng.normal(size=(1, 3, 16, 16))
+        np.testing.assert_array_equal(a(x), b(x))
+
+    def test_active_architecture_tracked(self, tiny_space, tiny_supernet, rng):
+        arch = tiny_space.sample(rng)
+        tiny_supernet.set_architecture(arch)
+        assert tiny_supernet.active_architecture == arch

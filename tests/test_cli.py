@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.device == "edge"
+        assert args.target == 34.0
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--device", "tpu"])
+
+
+class TestCommands:
+    def test_predict_writes_lut(self, tmp_path, capsys):
+        rc = main(["--out", str(tmp_path), "predict", "--device", "gpu"])
+        assert rc == 0
+        lut_file = tmp_path / "lut_gpu_a.json"
+        assert lut_file.exists()
+        payload = json.loads(lut_file.read_text())
+        assert payload["device"] == "gpu"
+        out = capsys.readouterr().out
+        assert "bias B" in out
+        assert "RMSE" in out
+
+    def test_table1_baselines_only(self, tmp_path, capsys):
+        rc = main(["--out", str(tmp_path), "table1", "--baselines-only"])
+        assert rc == 0
+        text = (tmp_path / "table1.txt").read_text()
+        assert "MobileNetV2" in text
+        assert "DARTS" in text
+        md = (tmp_path / "table1.md").read_text()
+        assert md.startswith("| Model")
+
+    def test_search_writes_artifact(self, tmp_path, capsys):
+        rc = main([
+            "--out", str(tmp_path),
+            "search", "--device", "edge", "--target", "34",
+        ])
+        assert rc == 0
+        artifact = json.loads(
+            (tmp_path / "search_edge_a_34ms.json").read_text()
+        )
+        assert artifact["device"] == "edge"
+        assert 0 < artifact["top1_error"] < 100
+        assert len(artifact["generations"]) == 20
+        assert "ops" in artifact["architecture"]
+
+    def test_front_writes_csv(self, tmp_path, capsys):
+        rc = main(["--out", str(tmp_path), "front", "--device", "edge"])
+        assert rc == 0
+        csv = (tmp_path / "front_edge_a.csv").read_text()
+        header, *rows = csv.strip().splitlines()
+        assert header == "latency_ms,proxy_accuracy"
+        assert len(rows) >= 3
+        lats = [float(r.split(",")[0]) for r in rows]
+        assert lats == sorted(lats)
+
+
+class TestEnergyCommand:
+    def test_energy_writes_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "--out", str(tmp_path),
+            "energy", "--device", "edge", "--samples", "12",
+        ])
+        assert rc == 0
+        csv = (tmp_path / "energy_edge_a.csv").read_text()
+        header, *rows = csv.strip().splitlines()
+        assert header == "latency_ms,energy_mj,predicted_mj"
+        assert len(rows) == 12
+        out = capsys.readouterr().out
+        assert "bias" in out
+
+
+class TestConfigPassthrough:
+    def test_custom_shrink_schedule(self, tmp_path):
+        from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig
+        from repro.hardware import get_device
+        from repro.space import SearchSpace, proxy
+
+        space = SearchSpace(proxy())
+        cfg = HSCoNASConfig(
+            target_ms=1.3,
+            lut_samples_per_cell=1,
+            bias_calibration_archs=5,
+            quality_samples=5,
+            shrink_stage_layers=((7,), (5,)),
+            evolution=EvolutionConfig(
+                generations=2, population_size=8, num_parents=3
+            ),
+        )
+        result = HSCoNAS(space, get_device("gpu"), cfg).run()
+        assert set(result.final_space.fixed_layers()) == {7, 5}

@@ -1,0 +1,131 @@
+"""Tests for path samplers and BN recalibration."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader
+from repro.space import NUM_OPERATORS
+from repro.supernet import Supernet
+from repro.train import (
+    FairSampler,
+    SupernetTrainer,
+    TrainConfig,
+    UniformSampler,
+    recalibrate_bn,
+)
+from repro.train.bn_recalibration import eval_with_recalibrated_bn
+
+
+class TestUniformSampler:
+    def test_paths_inside_space(self, proxy_space, rng):
+        sampler = UniformSampler()
+        for _ in range(20):
+            assert proxy_space.contains(sampler.next_path(proxy_space, rng))
+
+
+class TestFairSampler:
+    def test_paths_inside_space(self, proxy_space, rng):
+        sampler = FairSampler()
+        for _ in range(20):
+            assert proxy_space.contains(sampler.next_path(proxy_space, rng))
+
+    def test_strict_fairness_per_window(self, proxy_space, rng):
+        """Within each window of K steps, every layer activates every
+        operator exactly once — FairNAS's defining property."""
+        sampler = FairSampler()
+        k = NUM_OPERATORS
+        for _ in range(3):  # three consecutive windows
+            window = [sampler.next_path(proxy_space, rng) for _ in range(k)]
+            for layer in range(proxy_space.num_layers):
+                ops = sorted(arch.ops[layer] for arch in window)
+                assert ops == sorted(proxy_space.candidate_ops[layer])
+
+    def test_fairness_counts_over_training(self, proxy_space, rng):
+        sampler = FairSampler()
+        counts = Counter()
+        steps = 25  # 5 full windows
+        for _ in range(steps):
+            arch = sampler.next_path(proxy_space, rng)
+            counts.update([(0, arch.ops[0])])
+        per_op = [counts[(0, op)] for op in range(NUM_OPERATORS)]
+        assert per_op == [5] * NUM_OPERATORS
+
+    def test_respects_shrunk_space(self, proxy_space, rng):
+        shrunk = proxy_space.fix_operator(7, 3)
+        sampler = FairSampler()
+        for _ in range(12):
+            assert sampler.next_path(shrunk, rng).ops[7] == 3
+
+    def test_trainer_accepts_fair_sampler(self, tiny_space, tiny_loader):
+        net = Supernet(tiny_space, seed=0)
+        trainer = SupernetTrainer(
+            net, tiny_loader, TrainConfig(base_lr=0.05), sampler=FairSampler()
+        )
+        losses = trainer.train_epochs(tiny_space, epochs=2)
+        assert len(losses) == 2
+
+
+class TestBNRecalibration:
+    @pytest.fixture()
+    def trained(self, tiny_space, tiny_loader):
+        net = Supernet(tiny_space, seed=0)
+        trainer = SupernetTrainer(net, tiny_loader,
+                                  TrainConfig(base_lr=0.1, seed=0))
+        trainer.train_epochs(tiny_space, epochs=3)
+        return net
+
+    def test_uses_requested_batches(self, tiny_space, trained, tiny_loader, rng):
+        arch = tiny_space.sample(rng)
+        used = recalibrate_bn(trained, arch, tiny_loader, num_batches=2)
+        assert used == 2
+
+    def test_capped_by_loader_length(self, tiny_space, trained, tiny_loader, rng):
+        arch = tiny_space.sample(rng)
+        used = recalibrate_bn(trained, arch, tiny_loader, num_batches=999)
+        assert used == len(tiny_loader)
+
+    def test_stats_change(self, tiny_space, trained, tiny_loader, rng):
+        from repro.nn.layers.norm import BatchNorm2d
+
+        arch = tiny_space.sample(rng)
+        bn = next(m for m in trained.modules() if isinstance(m, BatchNorm2d))
+        before = bn.running_mean.copy()
+        recalibrate_bn(trained, arch, tiny_loader)
+        assert not np.allclose(bn.running_mean, before)
+
+    def test_momentum_restored(self, tiny_space, trained, tiny_loader, rng):
+        from repro.nn.layers.norm import BatchNorm2d
+
+        arch = tiny_space.sample(rng)
+        bns = [m for m in trained.modules() if isinstance(m, BatchNorm2d)]
+        momenta = [bn.momentum for bn in bns]
+        recalibrate_bn(trained, arch, tiny_loader, momentum=0.9)
+        assert [bn.momentum for bn in bns] == momenta
+
+    def test_invalid_args_raise(self, tiny_space, trained, tiny_loader, rng):
+        arch = tiny_space.sample(rng)
+        with pytest.raises(ValueError):
+            recalibrate_bn(trained, arch, tiny_loader, num_batches=0)
+        with pytest.raises(ValueError):
+            recalibrate_bn(trained, arch, tiny_loader, momentum=0.0)
+
+    def test_recalibrated_eval_beats_stale_stats(self, tiny_space, trained,
+                                                 tiny_loader, tiny_dataset, rng):
+        """Eval-mode accuracy with recalibrated stats must be at least
+        as good as with the cross-path running stats."""
+        from repro.train.metrics import top_k_accuracy
+
+        arch = tiny_space.sample(rng)
+        trained.set_architecture(arch)
+        trained.eval()
+        stale = top_k_accuracy(
+            trained(tiny_dataset.test_x), tiny_dataset.test_y
+        )
+        trained.train()
+        fresh = eval_with_recalibrated_bn(
+            trained, arch, tiny_loader,
+            tiny_dataset.test_x, tiny_dataset.test_y,
+        )
+        assert fresh >= stale - 0.13  # never much worse, usually better

@@ -1,0 +1,162 @@
+"""Tests for the training harnesses (supernet + standalone)."""
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader
+from repro.nn.schedule import ConstantSchedule
+from repro.space import Architecture
+from repro.supernet import Supernet
+from repro.train import StandaloneTrainer, SupernetTrainer, TrainConfig, top_k_accuracy
+
+
+class TestTopKAccuracy:
+    def test_top1_exact(self):
+        logits = np.array([[1.0, 2.0], [3.0, 0.0]])
+        assert top_k_accuracy(logits, np.array([1, 0]), k=1) == 1.0
+        assert top_k_accuracy(logits, np.array([0, 1]), k=1) == 0.0
+
+    def test_top_k_widens(self):
+        logits = np.array([[3.0, 2.0, 1.0, 0.0]])
+        labels = np.array([2])
+        assert top_k_accuracy(logits, labels, k=1) == 0.0
+        assert top_k_accuracy(logits, labels, k=3) == 1.0
+
+    def test_top5_at_least_top1(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(50, 10))
+        labels = rng.integers(0, 10, size=50)
+        t1 = top_k_accuracy(logits, labels, k=1)
+        t5 = top_k_accuracy(logits, labels, k=5)
+        assert t5 >= t1
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), k=4)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+class TestSupernetTrainer:
+    @pytest.fixture()
+    def trainer(self, tiny_supernet, tiny_loader):
+        return SupernetTrainer(
+            tiny_supernet, tiny_loader, TrainConfig(base_lr=0.05, seed=0)
+        )
+
+    def test_training_reduces_loss(self, trainer, tiny_space):
+        losses = trainer.train_epochs(tiny_space, epochs=6)
+        assert losses[-1] < losses[0]
+
+    def test_loss_history_grows(self, trainer, tiny_space, tiny_loader):
+        trainer.train_epochs(tiny_space, epochs=2)
+        assert len(trainer.loss_history) == 2 * len(tiny_loader)
+        assert trainer.global_step == 2 * len(tiny_loader)
+
+    def test_invalid_epochs_raises(self, trainer, tiny_space):
+        with pytest.raises(ValueError):
+            trainer.train_epochs(tiny_space, epochs=0)
+
+    def test_tune_epochs_uses_constant_lr(self, trainer, tiny_space):
+        losses = trainer.tune_epochs(tiny_space, epochs=1, lr=0.01)
+        assert len(losses) == 1
+        assert trainer.optimizer.lr == pytest.approx(0.01)
+
+    def test_evaluate_arch_returns_fraction(self, trainer, tiny_space,
+                                            tiny_dataset, rng):
+        arch = tiny_space.sample(rng)
+        acc = trainer.evaluate_arch(arch, tiny_dataset.test_x, tiny_dataset.test_y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_supernet_accuracy_mean_of_samples(self, trainer, tiny_space,
+                                               tiny_dataset):
+        acc = trainer.supernet_accuracy(
+            tiny_space, tiny_dataset.test_x, tiny_dataset.test_y,
+            num_archs=4, seed=0,
+        )
+        assert 0.0 <= acc <= 1.0
+
+    def test_training_respects_shrunk_space(self, tiny_supernet, tiny_loader,
+                                            tiny_space):
+        """Paths sampled during training must come from the given
+        (possibly shrunk) space."""
+        shrunk = tiny_space.fix_operator(3, 2)
+        sampled = []
+        original_set = tiny_supernet.set_architecture
+
+        def spy(arch):
+            sampled.append(arch)
+            original_set(arch)
+
+        tiny_supernet.set_architecture = spy
+        trainer = SupernetTrainer(tiny_supernet, tiny_loader,
+                                  TrainConfig(base_lr=0.01))
+        trainer.train_epochs(shrunk, epochs=1)
+        assert sampled and all(a.ops[3] == 2 for a in sampled)
+
+
+class TestStandaloneTrainer:
+    def test_loss_decreases(self, tiny_space, tiny_loader, rng):
+        arch = Architecture.uniform(tiny_space.num_layers, op_index=0, factor=1.0)
+        trainer = StandaloneTrainer(tiny_space, arch, tiny_loader,
+                                    TrainConfig(base_lr=0.05), seed=0)
+        losses = trainer.train(epochs=6, warmup_epochs=1)
+        assert losses[-1] < losses[0]
+
+    def test_learns_better_than_chance(self, tiny_space, tiny_dataset):
+        loader = BatchLoader(tiny_dataset.train_x, tiny_dataset.train_y,
+                             batch_size=8, seed=0)
+        arch = Architecture.uniform(tiny_space.num_layers, op_index=0, factor=1.0)
+        trainer = StandaloneTrainer(tiny_space, arch, loader,
+                                    TrainConfig(base_lr=0.08), seed=0)
+        trainer.train(epochs=10, warmup_epochs=1)
+        acc = trainer.evaluate(tiny_dataset.train_x, tiny_dataset.train_y)
+        assert acc > 1.5 / tiny_dataset.num_classes  # clearly above chance
+
+    def test_invalid_epochs_raises(self, tiny_space, tiny_loader):
+        arch = Architecture.uniform(tiny_space.num_layers)
+        trainer = StandaloneTrainer(tiny_space, arch, tiny_loader)
+        with pytest.raises(ValueError):
+            trainer.train(epochs=0)
+
+    def test_evaluate_topk(self, tiny_space, tiny_loader, tiny_dataset):
+        arch = Architecture.uniform(tiny_space.num_layers)
+        trainer = StandaloneTrainer(tiny_space, arch, tiny_loader)
+        t1 = trainer.evaluate(tiny_dataset.test_x, tiny_dataset.test_y, k=1)
+        t3 = trainer.evaluate(tiny_dataset.test_x, tiny_dataset.test_y, k=3)
+        assert t3 >= t1
+
+
+class TestChunkedEvaluation:
+    def test_chunked_matches_whole_without_bn_batch_stats(
+        self, tiny_space, tiny_loader, tiny_dataset, rng
+    ):
+        net = Supernet(tiny_space, seed=0)
+        trainer = SupernetTrainer(net, tiny_loader, TrainConfig(base_lr=0.05))
+        trainer.train_epochs(tiny_space, epochs=1)
+        arch = tiny_space.sample(rng)
+        whole = trainer.evaluate_arch(
+            arch, tiny_dataset.test_x, tiny_dataset.test_y,
+            bn_batch_stats=False,
+        )
+        chunked = trainer.evaluate_arch(
+            arch, tiny_dataset.test_x, tiny_dataset.test_y,
+            bn_batch_stats=False, chunk_size=5,
+        )
+        assert chunked == pytest.approx(whole)
+
+    def test_invalid_chunk_raises(self, tiny_space, tiny_loader,
+                                  tiny_dataset, rng):
+        net = Supernet(tiny_space, seed=0)
+        trainer = SupernetTrainer(net, tiny_loader)
+        with pytest.raises(ValueError):
+            trainer.evaluate_arch(
+                tiny_space.sample(rng),
+                tiny_dataset.test_x, tiny_dataset.test_y, chunk_size=0,
+            )
