@@ -1,0 +1,235 @@
+"""Hot-path micro-benchmarks: loop reference vs. vectorized rewrite.
+
+Standalone script (not collected by pytest — ``testpaths`` excludes
+``benchmarks/``); run it as::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py [--quick] [--out PATH]
+
+Three hot paths are timed, each against the loop implementation the
+vectorized code replaced:
+
+1. **Depthwise/grouped convolution** — per-group Python loop
+   (``grouped_conv2d_loop`` + ``grouped_conv2d_loop_backward``) vs. the
+   single batched GEMM in :class:`repro.nn.layers.Conv2d`, forward and
+   backward together.
+2. **Batch latency prediction** — per-architecture
+   :meth:`LatencyLUT.sum_ops_ms` over 5 000 sampled architectures vs.
+   one :meth:`LatencyLUT.sum_ops_ms_batch` gather on the paper-scale
+   ``imagenet_a`` space.
+3. **Eq. 4 subspace quality** — one-at-a-time ``Objective.evaluate``
+   over the N=100 sample vs. :meth:`SubspaceQuality.estimate` backed by
+   ``Objective.evaluate_many`` with a batched latency predictor.
+
+Results (times, speedups, equivalence deltas) are written to
+``BENCH_hotpaths.json``. Expected on the CI container: >=5x on the
+depthwise conv and >=20x on batch latency prediction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.accuracy import AccuracySurrogate
+from repro.core.objective import Objective
+from repro.core.quality import SubspaceQuality
+from repro.hardware.calibration import calibrated_devices
+from repro.hardware.lut import LatencyLUT
+from repro.hardware.predictor import LatencyPredictor
+from repro.nn.functional import grouped_conv2d_loop, grouped_conv2d_loop_backward
+from repro.nn.layers.conv import Conv2d
+from repro.space import SearchSpace, imagenet_a
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-N wall time in seconds (minimum is the least noisy)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- 1. depthwise conv forward+backward ---------------------------------------
+
+
+def bench_depthwise_conv(quick: bool) -> dict:
+    # Full size mirrors the deepest depthwise layers of ``imagenet_a``
+    # (320 channels at 7x7), where the per-group Python loop hurts most.
+    n, c, hw, k = (2, 32, 16, 3) if quick else (4, 320, 7, 3)
+    repeats = 3 if quick else 5
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((n, c, hw, hw))
+    conv = Conv2d(c, c, k, stride=1, padding=k // 2, groups=c, rng=rng)
+    conv.train()
+    weight = conv.weight.data
+    grad_out = rng.standard_normal((n, c, hw, hw))
+
+    def loop_path():
+        out, cols = grouped_conv2d_loop(x, weight, 1, k // 2, c)
+        grouped_conv2d_loop_backward(
+            grad_out.reshape(n, c, -1), cols, weight, x.shape, 1, k // 2, c
+        )
+        return out
+
+    def vec_path():
+        out = conv.forward(x)
+        conv.backward(grad_out)
+        return out
+
+    # Correctness guard before timing anything.
+    out_loop, cols = grouped_conv2d_loop(x, weight, 1, k // 2, c)
+    gx_loop, gw_loop = grouped_conv2d_loop_backward(
+        grad_out.reshape(n, c, -1), cols, weight, x.shape, 1, k // 2, c
+    )
+    out_vec = conv.forward(x)
+    conv.weight.grad = None
+    gx_vec = conv.backward(grad_out)
+    max_delta = max(
+        float(np.abs(out_loop.reshape(out_vec.shape) - out_vec).max()),
+        float(np.abs(gx_loop - gx_vec).max()),
+        float(np.abs(gw_loop - conv.weight.grad).max()),
+    )
+    assert max_delta < 1e-6, f"loop/vectorized mismatch: {max_delta}"
+
+    t_loop = _best_of(loop_path, repeats)
+    t_vec = _best_of(vec_path, repeats)
+    return {
+        "shape": [n, c, hw, hw],
+        "groups": c,
+        "kernel": k,
+        "loop_s": t_loop,
+        "vectorized_s": t_vec,
+        "speedup": t_loop / t_vec,
+        "max_abs_delta": max_delta,
+    }
+
+
+# -- 2. batch latency prediction ----------------------------------------------
+
+
+def bench_latency_batch(quick: bool) -> dict:
+    space = SearchSpace(imagenet_a())
+    device = calibrated_devices()["cpu"]
+    lut = LatencyLUT.build(space, device, samples_per_cell=2, seed=0)
+    predictor = LatencyPredictor(lut, space)
+
+    num_archs = 500 if quick else 5000
+    repeats = 2 if quick else 5
+    rng = np.random.default_rng(7)
+    archs = [space.sample(rng) for _ in range(num_archs)]
+
+    scalar = [lut.sum_ops_ms(a, space) for a in archs]
+    batch = lut.sum_ops_ms_batch(archs, space)
+    max_delta = float(np.abs(np.asarray(scalar) - batch).max())
+    assert max_delta == 0.0, f"batch/scalar latency mismatch: {max_delta}"
+    pm_delta = max(
+        abs(predictor.predict(a) - p)
+        for a, p in zip(archs, predictor.predict_many(archs))
+    )
+    assert pm_delta == 0.0, f"predict_many mismatch: {pm_delta}"
+
+    t_loop = _best_of(lambda: [lut.sum_ops_ms(a, space) for a in archs], repeats)
+    t_vec = _best_of(lambda: lut.sum_ops_ms_batch(archs, space), repeats)
+    return {
+        "space": "imagenet_a",
+        "num_archs": num_archs,
+        "loop_s": t_loop,
+        "vectorized_s": t_vec,
+        "speedup": t_loop / t_vec,
+        "max_abs_delta": max_delta,
+    }
+
+
+# -- 3. Eq. 4 subspace quality ------------------------------------------------
+
+
+def bench_quality(quick: bool) -> dict:
+    space = SearchSpace(imagenet_a())
+    device = calibrated_devices()["cpu"]
+    lut = LatencyLUT.build(space, device, samples_per_cell=2, seed=0)
+    predictor = LatencyPredictor(lut, space)
+    surrogate = AccuracySurrogate.for_space(space)
+
+    scalar_obj = Objective(
+        accuracy_fn=surrogate.proxy_accuracy,
+        latency_fn=predictor.predict,
+        target_ms=22.5,
+        beta=-0.5,
+    )
+    batched_obj = Objective(
+        accuracy_fn=surrogate.proxy_accuracy,
+        latency_fn=predictor.predict,
+        target_ms=22.5,
+        beta=-0.5,
+        latency_many_fn=predictor.predict_many,
+    )
+    num_samples = 50 if quick else 100
+    repeats = 2 if quick else 5
+
+    def run_estimate(obj):
+        q = SubspaceQuality(obj, num_samples=num_samples, seed=3)
+        return q.estimate(space)
+
+    q_scalar = run_estimate(scalar_obj)
+    q_batched = run_estimate(batched_obj)
+    delta = abs(q_scalar - q_batched)
+    assert delta == 0.0, f"quality estimate mismatch: {delta}"
+
+    t_loop = _best_of(lambda: run_estimate(scalar_obj), repeats)
+    t_vec = _best_of(lambda: run_estimate(batched_obj), repeats)
+    return {
+        "space": "imagenet_a",
+        "num_samples": num_samples,
+        "loop_s": t_loop,
+        "vectorized_s": t_vec,
+        "speedup": t_loop / t_vec,
+        "max_abs_delta": delta,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller problem sizes / fewer repeats (CI smoke run)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).resolve().parent.parent
+        / "BENCH_hotpaths.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+    # Fail on an unwritable --out before minutes of timing, not after.
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+
+    results = {"quick": args.quick}
+    for name, fn in (
+        ("depthwise_conv_fwd_bwd", bench_depthwise_conv),
+        ("latency_batch_5k", bench_latency_batch),
+        ("eq4_quality_estimate", bench_quality),
+    ):
+        results[name] = fn(args.quick)
+        r = results[name]
+        print(
+            f"{name:>24s}: loop {r['loop_s'] * 1e3:9.2f} ms   "
+            f"vectorized {r['vectorized_s'] * 1e3:9.2f} ms   "
+            f"speedup {r['speedup']:6.1f}x"
+        )
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.quick:
+        # Targets from the perf-opt issue; only enforced at full size.
+        assert results["depthwise_conv_fwd_bwd"]["speedup"] >= 5.0
+        assert results["latency_batch_5k"]["speedup"] >= 20.0
+
+
+if __name__ == "__main__":
+    main()

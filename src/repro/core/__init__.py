@@ -13,6 +13,7 @@
   hardware modeling, channel scaling, shrinking, and the EA together.
 """
 
+from repro.core.cache import EvaluationCache
 from repro.core.objective import EvaluatedArch, Objective
 from repro.core.quality import SubspaceQuality
 from repro.core.shrinking import (
@@ -38,6 +39,7 @@ from repro.core.channel_scaling import (
 from repro.core.search import HSCoNAS, HSCoNASConfig, HSCoNASResult
 
 __all__ = [
+    "EvaluationCache",
     "Objective",
     "EvaluatedArch",
     "SubspaceQuality",

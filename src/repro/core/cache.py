@@ -1,0 +1,103 @@
+"""Shared memoization of architecture evaluations.
+
+Every search component re-visits architectures: the EA's elitism keeps
+parents across generations, progressive shrinking estimates overlapping
+subspaces, and the NSGA-II front carries survivors forward. Before this
+module each component kept its own private ``Dict[key, value]``; an
+:class:`EvaluationCache` replaces those copies with one object that can
+also be *shared* across pipeline phases (shrinking and the EA evaluate
+the same ``Objective``, so a hit in one phase is a hit in the other).
+
+The cache is only sound while the evaluation function is deterministic
+and fixed. If the underlying model changes — e.g. the supernet is tuned
+between shrinking stages — call :meth:`EvaluationCache.clear`;
+:class:`~repro.core.shrinking.ProgressiveSpaceShrinking` does this
+automatically around its ``tune_hook``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+
+from repro.space.architecture import Architecture
+
+T = TypeVar("T")
+
+
+class EvaluationCache:
+    """Memo of ``arch.key() -> evaluation result`` with hit accounting.
+
+    One cache instance must only ever be fed by a single evaluation
+    function (mixing, say, ``Objective.evaluate`` and a ``BiObjective``
+    factory in the same cache would hand one component the other's
+    value type).
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, arch: Architecture) -> bool:
+        return arch.key() in self._store
+
+    def get_or_eval(
+        self, arch: Architecture, eval_fn: Callable[[Architecture], T]
+    ) -> T:
+        """Return the cached evaluation of ``arch``, computing on a miss."""
+        key = arch.key()
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            value = self._store[key] = eval_fn(arch)
+            return value
+        self.hits += 1
+        return value
+
+    def get_or_eval_many(
+        self,
+        archs: Sequence[Architecture],
+        eval_many_fn: Callable[[List[Architecture]], Sequence[T]],
+    ) -> List[T]:
+        """Batched :meth:`get_or_eval`: one ``eval_many_fn`` call covers
+        every miss (duplicates within the batch are evaluated once)."""
+        archs = list(archs)
+        keys = [a.key() for a in archs]
+        pending: Dict[Tuple, Architecture] = {}
+        for arch, key in zip(archs, keys):
+            if key not in self._store and key not in pending:
+                pending[key] = arch
+        if pending:
+            fresh = eval_many_fn(list(pending.values()))
+            if len(fresh) != len(pending):
+                raise ValueError(
+                    f"eval_many_fn returned {len(fresh)} results for "
+                    f"{len(pending)} architectures"
+                )
+            for key, value in zip(pending, fresh):
+                self._store[key] = value
+        self.misses += len(pending)
+        self.hits += len(archs) - len(pending)
+        return [self._store[key] for key in keys]
+
+    def clear(self) -> None:
+        """Drop all memoized results (hit/miss counters are kept).
+
+        Required whenever the evaluation function's result for a given
+        architecture may have changed — e.g. after supernet tuning.
+        """
+        self._store.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for logs: size, hits, misses."""
+        return {"size": len(self._store), "hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EvaluationCache(size={len(self._store)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -11,10 +11,11 @@ also on the channel level".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
+from repro.core.cache import EvaluationCache
 from repro.core.objective import EvaluatedArch, Objective
 from repro.space.architecture import Architecture
 from repro.space.search_space import SearchSpace
@@ -106,18 +107,32 @@ class SearchResult:
 
 
 class EvolutionarySearch:
-    """Regularized-evolution-style search over a :class:`SearchSpace`."""
+    """Regularized-evolution-style search over a :class:`SearchSpace`.
+
+    Parameters
+    ----------
+    space, objective, config:
+        The (shrunk) search space, the Eq. 1 objective, and the EA
+        hyper-parameters.
+    cache:
+        Optional shared :class:`~repro.core.cache.EvaluationCache`. The
+        pipeline passes the same cache it used during space shrinking so
+        architectures already scored there are free; by default the
+        search memoizes privately (weight sharing makes re-evaluation
+        cheap but the predictor result is deterministic anyway).
+    """
 
     def __init__(
         self,
         space: SearchSpace,
         objective: Objective,
         config: Optional[EvolutionConfig] = None,
+        cache: Optional[EvaluationCache] = None,
     ):
         self.space = space
         self.objective = objective
         self.config = config if config is not None else EvolutionConfig()
-        self._cache: Dict[Tuple, EvaluatedArch] = {}
+        self.cache = cache if cache is not None else EvaluationCache()
 
     # -- genetic operators ------------------------------------------------------
 
@@ -163,14 +178,10 @@ class EvolutionarySearch:
             child = self._mutate(child, rng)
         return child
 
-    # -- evaluation (with memoization: weight sharing makes re-eval free
-    #    but the latency predictor result is deterministic anyway) -------------
+    # -- evaluation --------------------------------------------------------------
 
     def _evaluate(self, arch: Architecture) -> EvaluatedArch:
-        key = arch.key()
-        if key not in self._cache:
-            self._cache[key] = self.objective.evaluate(arch)
-        return self._cache[key]
+        return self.cache.get_or_eval(arch, self.objective.evaluate)
 
     # -- main loop ---------------------------------------------------------------
 
@@ -178,6 +189,7 @@ class EvolutionarySearch:
         """Run the EA; deterministic for a fixed config seed."""
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
+        misses_before = self.cache.misses
 
         population = [
             self._evaluate(self.space.sample(rng))
@@ -213,7 +225,10 @@ class EvolutionarySearch:
             if record.best.score > result.best.score:
                 result.best = record.best
 
-        result.num_evaluations = len(self._cache)
+        # Fresh objective evaluations this run — identical to the old
+        # ``len(private_dict)`` accounting when the cache is private, and
+        # still meaningful when a shared cache arrives pre-warmed.
+        result.num_evaluations = self.cache.misses - misses_before
         return result
 
 

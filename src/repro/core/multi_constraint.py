@@ -14,7 +14,7 @@ budget is free, exceeding it is penalized proportionally.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, List, Sequence
 
 from repro.core.objective import EvaluatedArch, Objective
 from repro.space.architecture import Architecture
@@ -71,3 +71,18 @@ class MultiConstraintObjective(Objective):
         return EvaluatedArch(
             arch=arch, accuracy=accuracy, latency_ms=latency, score=score
         )
+
+    def evaluate_many(self, archs: Sequence[Architecture]) -> List[EvaluatedArch]:
+        """Batched evaluation with the energy penalty re-applied on top
+        of the base objective's (possibly LUT-batched) latency terms."""
+        archs = list(archs)
+        base = Objective.evaluate_many(self, archs)
+        return [
+            EvaluatedArch(
+                arch=e.arch,
+                accuracy=e.accuracy,
+                latency_ms=e.latency_ms,
+                score=e.score + self.energy_penalty(self.energy_fn(arch)),
+            )
+            for arch, e in zip(archs, base)
+        ]

@@ -13,10 +13,11 @@ evaluations (see ``benchmarks/bench_nsga2_front.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.core.cache import EvaluationCache
 from repro.space.architecture import Architecture
 from repro.space.search_space import SearchSpace
 
@@ -141,24 +142,28 @@ class Nsga2Search:
         accuracy_fn: Callable[[Architecture], float],
         latency_fn: Callable[[Architecture], float],
         config: Nsga2Config = Nsga2Config(),
+        cache: Optional[EvaluationCache] = None,
     ):
         self.space = space
         self.accuracy_fn = accuracy_fn
         self.latency_fn = latency_fn
         self.config = config
-        self._cache: Dict[Tuple, BiObjective] = {}
+        # The shared-cache contract: a cache passed in here must only
+        # ever hold BiObjective values (i.e. be private to NSGA-II runs
+        # over the same accuracy/latency functions).
+        self.cache = cache if cache is not None else EvaluationCache()
 
     # -- evaluation -------------------------------------------------------------
 
     def _evaluate(self, arch: Architecture) -> BiObjective:
-        key = arch.key()
-        if key not in self._cache:
-            self._cache[key] = BiObjective(
-                arch=arch,
-                latency_ms=self.latency_fn(arch),
-                accuracy=self.accuracy_fn(arch),
-            )
-        return self._cache[key]
+        return self.cache.get_or_eval(
+            arch,
+            lambda a: BiObjective(
+                arch=a,
+                latency_ms=self.latency_fn(a),
+                accuracy=self.accuracy_fn(a),
+            ),
+        )
 
     # -- genetic operators (same shapes as the Sec. III-D EA) -------------------
 
@@ -228,6 +233,7 @@ class Nsga2Search:
     def run(self) -> Nsga2Result:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
+        misses_before = self.cache.misses
         seeds: List[Architecture] = (
             self._corner_architectures() if cfg.seed_corners else []
         )
@@ -268,5 +274,5 @@ class Nsga2Search:
         return Nsga2Result(
             front=front,
             population=population,
-            num_evaluations=len(self._cache),
+            num_evaluations=self.cache.misses - misses_before,
         )

@@ -9,7 +9,7 @@ EA's population concentrates *at* the constraint (paper Fig. 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, List, Optional, Sequence
 
 from repro.space.architecture import Architecture
 
@@ -61,6 +61,11 @@ class Objective:
         The latency constraint ``T``.
     beta:
         Trade-off coefficient; must be negative.
+    accuracy_many_fn, latency_many_fn:
+        Optional batched counterparts ``archs -> [value]``. When given,
+        :meth:`evaluate_many` routes whole populations through them
+        (e.g. :meth:`repro.hardware.LatencyPredictor.predict_many`'s
+        fancy-indexed LUT sum) instead of looping per architecture.
     """
 
     def __init__(
@@ -69,6 +74,12 @@ class Objective:
         latency_fn: Callable[[Architecture], float],
         target_ms: float,
         beta: float = -0.5,
+        accuracy_many_fn: Optional[
+            Callable[[List[Architecture]], Sequence[float]]
+        ] = None,
+        latency_many_fn: Optional[
+            Callable[[List[Architecture]], Sequence[float]]
+        ] = None,
     ):
         if target_ms <= 0:
             raise ValueError("target_ms must be positive")
@@ -78,6 +89,8 @@ class Objective:
         self.latency_fn = latency_fn
         self.target_ms = target_ms
         self.beta = beta
+        self.accuracy_many_fn = accuracy_many_fn
+        self.latency_many_fn = latency_many_fn
 
     def score_parts(self, accuracy: float, latency_ms: float) -> float:
         """Eq. 1 from precomputed accuracy/latency."""
@@ -93,6 +106,33 @@ class Objective:
             latency_ms=latency,
             score=self.score_parts(accuracy, latency),
         )
+
+    def evaluate_many(self, archs: Sequence[Architecture]) -> List[EvaluatedArch]:
+        """Batched :meth:`evaluate`; identical results, one pass.
+
+        Accuracy/latency go through their ``*_many`` functions when
+        configured (falling back to per-architecture loops), so a
+        population evaluation costs one LUT batch sum instead of ``P``
+        predictor calls.
+        """
+        archs = list(archs)
+        if self.accuracy_many_fn is not None:
+            accuracies = list(self.accuracy_many_fn(archs))
+        else:
+            accuracies = [self.accuracy_fn(a) for a in archs]
+        if self.latency_many_fn is not None:
+            latencies = list(self.latency_many_fn(archs))
+        else:
+            latencies = [self.latency_fn(a) for a in archs]
+        return [
+            EvaluatedArch(
+                arch=arch,
+                accuracy=accuracy,
+                latency_ms=latency,
+                score=self.score_parts(accuracy, latency),
+            )
+            for arch, accuracy, latency in zip(archs, accuracies, latencies)
+        ]
 
     def __call__(self, arch: Architecture) -> float:
         return self.evaluate(arch).score

@@ -21,6 +21,7 @@ from typing import Optional
 import numpy as np
 
 from repro.accuracy.surrogate import AccuracySurrogate
+from repro.core.cache import EvaluationCache
 from repro.core.evolution import EvolutionConfig, EvolutionarySearch, SearchResult
 from repro.core.objective import Objective
 from repro.core.quality import SubspaceQuality
@@ -167,7 +168,13 @@ class HSCoNAS:
             latency_fn=predictor.predict,
             target_ms=cfg.target_ms,
             beta=cfg.beta,
+            latency_many_fn=predictor.predict_many,
         )
+        # One cache spans shrinking and the EA: the proxy accuracy and
+        # the predictor are both frozen for the whole run, so a score
+        # computed during shrinking is still valid when the EA re-visits
+        # the same architecture.
+        eval_cache = EvaluationCache()
 
         # From here until the final verification measurement the search
         # is measurement-free — the property Eq. 2-3 buys. The frozen
@@ -178,7 +185,10 @@ class HSCoNAS:
         search_space = self.space
         if cfg.enable_shrinking:
             quality = SubspaceQuality(
-                objective, num_samples=cfg.quality_samples, seed=cfg.seed + 2
+                objective,
+                num_samples=cfg.quality_samples,
+                seed=cfg.seed + 2,
+                cache=eval_cache,
             )
             shrinker = ProgressiveSpaceShrinking(
                 quality, stage_layers=cfg.shrink_stage_layers
@@ -199,7 +209,9 @@ class HSCoNAS:
             per_layer_mutation_prob=cfg.evolution.per_layer_mutation_prob,
             seed=cfg.seed + 3,
         )
-        search = EvolutionarySearch(search_space, objective, evolution_cfg)
+        search = EvolutionarySearch(
+            search_space, objective, evolution_cfg, cache=eval_cache
+        )
         search_result = search.run()
 
         self.ledger.thaw_measurements()

@@ -94,7 +94,11 @@ class ProgressiveSpaceShrinking:
     tune_hook:
         Optional callback invoked *between* stages with the shrunk
         space — the paper tunes the supernet 15 epochs here; the
-        pipeline passes the supernet trainer through this hook.
+        pipeline passes the supernet trainer through this hook. If the
+        quality estimator carries a shared
+        :class:`~repro.core.cache.EvaluationCache`, it is cleared after
+        every hook invocation: tuning changes the proxy accuracy, so
+        memoized objective values from earlier stages would be stale.
     """
 
     def __init__(
@@ -140,6 +144,9 @@ class ProgressiveSpaceShrinking:
             result.stage_log10_sizes.append(space.log10_size())
             if self.tune_hook is not None and stage_idx < len(stage_layers) - 1:
                 self.tune_hook(space, stage_idx)
+                cache = getattr(self.quality, "cache", None)
+                if cache is not None:
+                    cache.clear()
         result.final_space = space
         result.quality_evaluations = self.quality.evaluations - evals_before
         return result

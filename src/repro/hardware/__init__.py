@@ -17,7 +17,7 @@ latency lookup table plus calibrated bias ``B``
 from repro.hardware.spec import DeviceSpec, cpu_spec, edge_spec, gpu_spec
 from repro.hardware.device import DeviceModel, get_device
 from repro.hardware.profiler import OnDeviceProfiler
-from repro.hardware.lut import LatencyLUT
+from repro.hardware.lut import DenseLatencyTable, LatencyLUT
 from repro.hardware.predictor import LatencyPredictor, PredictorReport
 from repro.hardware.metrics import pearson, rmse, spearman
 from repro.hardware.calibration import calibrate_time_scale
@@ -35,6 +35,7 @@ __all__ = [
     "DeviceModel",
     "get_device",
     "OnDeviceProfiler",
+    "DenseLatencyTable",
     "LatencyLUT",
     "LatencyPredictor",
     "PredictorReport",

@@ -55,8 +55,10 @@ class MeasurementLedger:
             raise ValueError("cell count must be non-negative")
         self.lut_cells += cells
 
-    def record_prediction(self) -> None:
-        self.predictor_queries += 1
+    def record_prediction(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("prediction count must be non-negative")
+        self.predictor_queries += count
 
     # -- measurement-free sections ----------------------------------------------
 

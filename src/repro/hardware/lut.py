@@ -13,20 +13,49 @@ framework entry costs — is exactly the systematic gap the bias term
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from itertools import chain
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.hardware.device import DeviceModel
 from repro.nn.layers.mask import channels_kept
 from repro.space.architecture import Architecture
+from repro.space.operators import NUM_OPERATORS, get_operator
 from repro.space.search_space import SearchSpace
 
 _Key = Tuple[int, int, int, float]
 
 
+def _quantize_factor(factor: float) -> float:
+    """Channel factors live on a one-decimal grid; quantizing at key
+    construction makes cell identity immune to float-arithmetic drift
+    (``0.1 * 3 != 0.3``) on both the build and the lookup side."""
+    return round(float(factor), 1)
+
+
 def _cell_key(layer: int, op: int, cin: int, factor: float) -> _Key:
-    return (layer, op, cin, round(factor, 6))
+    return (layer, op, cin, _quantize_factor(factor))
+
+
+@dataclass(frozen=True, eq=False)
+class DenseLatencyTable:
+    """Array view of a :class:`LatencyLUT` for fancy-indexed batch sums.
+
+    ``cells[layer, op, cin, decile]`` holds the cell latency in ms
+    (``NaN`` for cells the LUT does not contain); ``decile`` is the
+    quantized factor times ten. ``head[cin]`` holds the head cell for a
+    final active width (``NaN`` when absent).
+    """
+
+    cells: np.ndarray  # (L, num_ops, max_cin + 1, 11)
+    head: np.ndarray  # (max_head_cin + 1,)
+    stem_ms: float
+
+    @property
+    def num_layers(self) -> int:
+        return self.cells.shape[0]
 
 
 def layer_cin_choices(space: SearchSpace, layer: int) -> List[int]:
@@ -60,6 +89,7 @@ class LatencyLUT:
         self.entries = dict(entries)
         self.stem_ms = stem_ms
         self.head_ms = dict(head_ms) if head_ms else {}
+        self._dense = (-1, None)  # (entry count at build, DenseLatencyTable)
 
     # -- construction -----------------------------------------------------------
 
@@ -117,14 +147,41 @@ class LatencyLUT:
     # -- queries -----------------------------------------------------------------
 
     def lookup(self, layer: int, op: int, cin: int, factor: float) -> float:
-        """Latency (ms) of one operator cell."""
+        """Latency (ms) of one operator cell.
+
+        Factors are quantized to the one-decimal grid before the lookup,
+        so values that drifted through float arithmetic still hit their
+        cell. A genuine miss raises a ``KeyError`` naming the nearest
+        existing cell to make the mismatch diagnosable.
+        """
         key = _cell_key(layer, op, cin, factor)
         if key not in self.entries:
-            raise KeyError(
-                f"LUT has no cell for layer={layer} op={op} "
-                f"cin={cin} factor={factor}"
-            )
+            raise KeyError(self._miss_message(layer, op, cin, factor))
         return self.entries[key]
+
+    def _miss_message(self, layer: int, op: int, cin: int, factor: float) -> str:
+        qf = _quantize_factor(factor)
+        nearest = min(
+            self.entries,
+            key=lambda k: (
+                abs(k[0] - layer),
+                abs(k[1] - op),
+                abs(k[2] - cin),
+                abs(k[3] - qf),
+            ),
+            default=None,
+        )
+        msg = (
+            f"LUT has no cell for layer={layer} op={op} cin={cin} "
+            f"factor={factor} (quantized to {qf})"
+        )
+        if nearest is None:
+            return msg + "; the LUT is empty"
+        return (
+            msg
+            + f"; nearest existing cell is layer={nearest[0]} "
+            f"op={nearest[1]} cin={nearest[2]} factor={nearest[3]}"
+        )
 
     def sum_ops_ms(self, arch: Architecture, space: SearchSpace) -> float:
         """``sum_l LAT(op^l)`` — Eq. 2 without the bias term.
@@ -143,6 +200,131 @@ class LatencyLUT:
             if last_c not in self.head_ms:
                 raise KeyError(f"LUT has no head cell for cin={last_c}")
             total += self.head_ms[last_c]
+        return total
+
+    # -- batched queries ---------------------------------------------------------
+
+    def as_table(self) -> DenseLatencyTable:
+        """Dense :class:`DenseLatencyTable` view of the LUT.
+
+        Built lazily and memoized (rebuilt if the entry count changed);
+        this is what makes :meth:`sum_ops_ms_batch` a handful of numpy
+        fancy-indexing operations instead of ``P x L`` dict lookups.
+        """
+        cached_len, cached = self._dense
+        if cached is not None and cached_len == len(self.entries):
+            return cached
+        num_layers = 1 + max((k[0] for k in self.entries), default=-1)
+        num_ops = max(
+            NUM_OPERATORS, 1 + max((k[1] for k in self.entries), default=0)
+        )
+        max_cin = max((k[2] for k in self.entries), default=0)
+        cells = np.full((num_layers, num_ops, max_cin + 1, 11), np.nan)
+        for (layer, op, cin, factor), ms in self.entries.items():
+            cells[layer, op, cin, int(round(factor * 10))] = ms
+        max_head = max(self.head_ms, default=0)
+        head = np.full(max_head + 1, np.nan)
+        for cin, ms in self.head_ms.items():
+            head[cin] = ms
+        table = DenseLatencyTable(cells=cells, head=head, stem_ms=self.stem_ms)
+        self._dense = (len(self.entries), table)
+        return table
+
+    def sum_ops_ms_batch(
+        self, archs: Sequence[Architecture], space: SearchSpace
+    ) -> np.ndarray:
+        """Vectorized :meth:`sum_ops_ms` over a whole population.
+
+        Resolves every architecture's active-channel chain with one
+        vectorized scan over layers, then gathers all ``P x L`` operator
+        cells from the dense table in a single fancy-indexed read.
+        Bit-identical to mapping :meth:`sum_ops_ms` over ``archs`` (the
+        accumulation order per architecture is the same).
+        """
+        archs = list(archs)
+        if not archs:
+            return np.zeros(0, dtype=np.float64)
+        table = self.as_table()
+        num_layers = space.num_layers
+        pop = len(archs)
+        count = pop * num_layers
+        ops = np.fromiter(
+            chain.from_iterable(a.ops for a in archs),
+            dtype=np.int64,
+            count=count,
+        ).reshape(pop, num_layers)
+        factors = np.fromiter(
+            chain.from_iterable(a.factors for a in archs),
+            dtype=np.float64,
+            count=count,
+        ).reshape(pop, num_layers)
+        deciles = np.rint(np.round(factors, 1) * 10).astype(np.int64)
+
+        # Active input channels per (arch, layer): the scalar path walks
+        # the chain through ``space.active_channels``; here the same
+        # recurrence runs once per layer over the whole population.
+        max_out = np.array([g.max_out_channels for g in space.geometry])
+        strides = np.array([g.stride for g in space.geometry])
+        is_skip = np.array(
+            [get_operator(i).is_skip for i in range(NUM_OPERATORS)]
+        )
+        cins = np.empty((pop, num_layers), dtype=np.int64)
+        cin = np.full(pop, space.config.stem_channels, dtype=np.int64)
+        for layer in range(num_layers):
+            cins[:, layer] = cin
+            cout = np.floor(max_out[layer] * factors[:, layer] + 0.5).astype(
+                np.int64
+            )
+            np.clip(cout, 1, max_out[layer], out=cout)
+            if strides[layer] == 1:
+                skip = is_skip[ops[:, layer]]
+                cout = np.where(skip, np.minimum(cin, cout), cout)
+            cin = cout
+
+        in_range = (
+            (ops < table.cells.shape[1])
+            & (cins < table.cells.shape[2])
+            & (deciles >= 0)
+            & (deciles < 11)
+        )
+        if not in_range.all():
+            pos, layer = np.argwhere(~in_range)[0]
+            raise KeyError(
+                self._miss_message(
+                    int(layer),
+                    int(ops[pos, layer]),
+                    int(cins[pos, layer]),
+                    float(factors[pos, layer]),
+                )
+            )
+        layer_idx = np.arange(num_layers)[None, :]
+        gathered = table.cells[layer_idx, ops, cins, deciles]  # (P, L)
+        if np.isnan(gathered).any():
+            pos, layer = np.argwhere(np.isnan(gathered))[0]
+            raise KeyError(
+                self._miss_message(
+                    int(layer),
+                    int(ops[pos, layer]),
+                    int(cins[pos, layer]),
+                    float(factors[pos, layer]),
+                )
+            )
+        # Left-to-right accumulation reproduces the scalar sum order
+        # exactly (stem + layer 0 + ... + head), keeping the batch path
+        # bit-identical to sum_ops_ms.
+        total = np.full(pop, self.stem_ms, dtype=np.float64)
+        for layer in range(num_layers):
+            total += gathered[:, layer]
+        if self.head_ms:
+            last_c = cin
+            missing = (last_c >= len(table.head)) | np.isnan(
+                table.head[np.minimum(last_c, len(table.head) - 1)]
+            )
+            if missing.any():
+                raise KeyError(
+                    f"LUT has no head cell for cin={int(last_c[missing.argmax()])}"
+                )
+            total += table.head[last_c]
         return total
 
     def __len__(self) -> int:

@@ -83,7 +83,16 @@ class LatencyPredictor:
         return self.lut.sum_ops_ms(arch, self.space) + self.bias_ms
 
     def predict_many(self, archs: Sequence[Architecture]) -> List[float]:
-        return [self.predict(a) for a in archs]
+        """Batched :meth:`predict` via the dense LUT table.
+
+        One fancy-indexed gather replaces ``P x L`` dict lookups;
+        returns exactly what ``[self.predict(a) for a in archs]`` would.
+        """
+        archs = list(archs)
+        if self.ledger is not None:
+            self.ledger.record_prediction(count=len(archs))
+        sums = self.lut.sum_ops_ms_batch(archs, self.space)
+        return [float(s) + self.bias_ms for s in sums]
 
     def breakdown(self, arch: Architecture) -> List[Tuple[str, float]]:
         """Per-component predicted latency: stem, each layer, head, B.

@@ -8,7 +8,7 @@ numpy for supernet training.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,12 +32,18 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kernel: int, stride: int, padding: int
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, int, int]:
     """Unfold NCHW input into columns.
 
     Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
-    ``(N, C * kernel * kernel, out_h * out_w)``.
+    ``(N, C * kernel * kernel, out_h * out_w)``. ``out`` may supply a
+    preallocated ``(N, C, kernel, kernel, out_h, out_w)`` buffer (see
+    :class:`Im2colWorkspace`); it is filled and returned reshaped.
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel, stride, padding)
@@ -47,13 +53,120 @@ def im2col(
     # Gather kernel*kernel strided views, then reshape into the column
     # matrix. Using slicing (rather than fancy indexing) keeps this
     # memory-bandwidth bound instead of allocation bound.
-    cols = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=x.dtype)
+    shape = (n, c, kernel, kernel, out_h, out_w)
+    if out is not None and out.shape == shape and out.dtype == x.dtype:
+        cols = out
+    else:
+        cols = np.empty(shape, dtype=x.dtype)
     for ki in range(kernel):
         hi_end = ki + stride * out_h
         for kj in range(kernel):
             wj_end = kj + stride * out_w
             cols[:, :, ki, kj, :, :] = x[:, :, ki:hi_end:stride, kj:wj_end:stride]
     return cols.reshape(n, c * kernel * kernel, out_h * out_w), out_h, out_w
+
+
+class Im2colWorkspace:
+    """Reusable im2col output buffers keyed on the unfold geometry.
+
+    Supernet training calls the same convolution with the same input
+    shape every step; reusing the column buffer avoids a fresh
+    ``C * k * k * OH * OW``-sized allocation per call. Each layer owns
+    its own workspace (a shared one would alias the column buffers that
+    the training forward caches for backward).
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def get(
+        self,
+        x_shape: Tuple[int, int, int, int],
+        kernel: int,
+        stride: int,
+        padding: int,
+        dtype: np.dtype,
+    ) -> np.ndarray:
+        """Buffer of shape ``(N, C, k, k, out_h, out_w)`` for this geometry."""
+        key = (tuple(x_shape), kernel, stride, padding, np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            n, c, h, w = x_shape
+            out_h = conv_output_size(h, kernel, stride, padding)
+            out_w = conv_output_size(w, kernel, stride, padding)
+            buf = np.empty((n, c, kernel, kernel, out_h, out_w), dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+
+def grouped_conv2d_loop(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    padding: int,
+    groups: int,
+) -> Tuple[np.ndarray, list]:
+    """Per-group Python-loop reference forward (pre-vectorization path).
+
+    Kept as the ground truth for the equivalence tests and the
+    ``bench_hotpaths`` speedup baseline. Returns ``(out, cols_per_group)``
+    so :func:`grouped_conv2d_loop_backward` can mirror the old training
+    cache exactly.
+    """
+    n = x.shape[0]
+    cout, cin_g, k, _ = weight.shape
+    cout_g = cout // groups
+    out = None
+    cols_per_group = []
+    out_h = out_w = 0
+    for gi in range(groups):
+        xg = x[:, gi * cin_g : (gi + 1) * cin_g]
+        cols, out_h, out_w = im2col(xg, k, stride, padding)
+        wmat = weight[gi * cout_g : (gi + 1) * cout_g].reshape(cout_g, -1)
+        yg = np.einsum("oc,ncp->nop", wmat, cols, optimize=True)
+        if out is None:
+            out = np.empty((n, cout, out_h * out_w), dtype=x.dtype)
+        out[:, gi * cout_g : (gi + 1) * cout_g] = yg
+        cols_per_group.append(cols)
+    return out.reshape(n, cout, out_h, out_w), cols_per_group
+
+
+def grouped_conv2d_loop_backward(
+    grad_out: np.ndarray,
+    cols_per_group: list,
+    weight: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    stride: int,
+    padding: int,
+    groups: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-group loop reference backward; returns ``(grad_x, grad_weight)``."""
+    n = grad_out.shape[0]
+    cout, cin_g, k, _ = weight.shape
+    cout_g = cout // groups
+    grad_flat = grad_out.reshape(n, cout, -1)
+    grad_weight = np.zeros_like(weight)
+    grad_x = np.empty(x_shape, dtype=grad_out.dtype)
+    group_shape = (n, cin_g, x_shape[2], x_shape[3])
+    for gi in range(groups):
+        gyg = grad_flat[:, gi * cout_g : (gi + 1) * cout_g]
+        cols = cols_per_group[gi]
+        gw = np.einsum("nop,ncp->oc", gyg, cols, optimize=True)
+        grad_weight[gi * cout_g : (gi + 1) * cout_g] = gw.reshape(
+            cout_g, cin_g, k, k
+        )
+        wmat = weight[gi * cout_g : (gi + 1) * cout_g].reshape(cout_g, -1)
+        gcols = np.einsum("oc,nop->ncp", wmat, gyg, optimize=True)
+        grad_x[:, gi * cin_g : (gi + 1) * cin_g] = col2im(
+            gcols, group_shape, k, stride, padding
+        )
+    return grad_x, grad_weight
 
 
 def col2im(

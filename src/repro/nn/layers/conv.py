@@ -2,8 +2,13 @@
 
 ShuffleNetV2 blocks — the paper's operator family — only need dense 1x1
 convolutions and depthwise kxk convolutions, both of which are covered by
-``Conv2d(groups=...)``. The implementation lowers each group to a GEMM
-via im2col.
+``Conv2d(groups=...)``. The implementation lowers the whole convolution
+to one batched GEMM: the input is unfolded once with im2col, the columns
+are viewed as ``(N, g, C_g*k*k, OH*OW)``, and a single broadcasted
+``np.matmul`` against the ``(g, Cout_g, C_g*k*k)`` weight view covers
+all groups — no per-group Python loop, which matters enormously for
+depthwise convs where ``g == C``. Column buffers are reused across steps
+via a per-layer :class:`~repro.nn.functional.Im2colWorkspace`.
 """
 
 from __future__ import annotations
@@ -12,7 +17,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.functional import col2im, im2col
+from repro.nn.functional import Im2colWorkspace, col2im, im2col
 from repro.nn.initializers import kaiming_normal, zeros_init
 from repro.nn.module import Module, Parameter
 
@@ -74,6 +79,7 @@ class Conv2d(Module):
             )
 
         self._cache: Optional[dict] = None
+        self._workspace = Im2colWorkspace()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
@@ -84,26 +90,20 @@ class Conv2d(Module):
         cout_g = self.out_channels // g
         k = self.kernel_size
 
-        out = None
-        cols_per_group = []
-        out_h = out_w = 0
-        for gi in range(g):
-            xg = x[:, gi * cin_g : (gi + 1) * cin_g]
-            cols, out_h, out_w = im2col(xg, k, self.stride, self.padding)
-            # (cout_g, cin_g*k*k) @ (N, cin_g*k*k, OHW) -> (N, cout_g, OHW)
-            wmat = self.weight.data[gi * cout_g : (gi + 1) * cout_g].reshape(cout_g, -1)
-            yg = np.einsum("oc,ncp->nop", wmat, cols, optimize=True)
-            if out is None:
-                out = np.empty((n, self.out_channels, out_h * out_w), dtype=x.dtype)
-            out[:, gi * cout_g : (gi + 1) * cout_g] = yg
-            cols_per_group.append(cols)
+        buf = self._workspace.get(x.shape, k, self.stride, self.padding, x.dtype)
+        cols, out_h, out_w = im2col(x, k, self.stride, self.padding, out=buf)
+        # One batched GEMM over all groups:
+        # (1, g, cout_g, cin_g*k*k) @ (N, g, cin_g*k*k, OHW) -> (N, g, cout_g, OHW)
+        colsg = cols.reshape(n, g, cin_g * k * k, out_h * out_w)
+        wmat = self.weight.data.reshape(g, cout_g, cin_g * k * k)
+        out = np.matmul(wmat[None], colsg)
 
         out = out.reshape(n, self.out_channels, out_h, out_w)
         if self.bias is not None:
             out = out + self.bias.data[None, :, None, None]
 
         if self.training:
-            self._cache = {"cols": cols_per_group, "x_shape": x.shape}
+            self._cache = {"cols": cols, "x_shape": x.shape}
         else:
             self._cache = None
         return out
@@ -111,7 +111,7 @@ class Conv2d(Module):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called without a cached training forward")
-        cols_per_group = self._cache["cols"]
+        cols = self._cache["cols"]  # (N, C*k*k, OHW)
         x_shape = self._cache["x_shape"]
         n = grad_out.shape[0]
         g = self.groups
@@ -123,23 +123,22 @@ class Conv2d(Module):
         if self.bias is not None:
             self.bias.accumulate_grad(grad_flat.sum(axis=(0, 2)))
 
-        grad_weight = np.zeros_like(self.weight.data)
-        grad_x = np.empty(x_shape, dtype=grad_out.dtype)
-        group_shape = (n, cin_g, x_shape[2], x_shape[3])
-        for gi in range(g):
-            gyg = grad_flat[:, gi * cout_g : (gi + 1) * cout_g]  # (N, cout_g, OHW)
-            cols = cols_per_group[gi]  # (N, cin_g*k*k, OHW)
-            # dW: sum over batch and positions.
-            gw = np.einsum("nop,ncp->oc", gyg, cols, optimize=True)
-            grad_weight[gi * cout_g : (gi + 1) * cout_g] = gw.reshape(
-                cout_g, cin_g, k, k
-            )
-            # dX: backproject columns.
-            wmat = self.weight.data[gi * cout_g : (gi + 1) * cout_g].reshape(cout_g, -1)
-            gcols = np.einsum("oc,nop->ncp", wmat, gyg, optimize=True)
-            grad_x[:, gi * cin_g : (gi + 1) * cin_g] = col2im(
-                gcols, group_shape, k, self.stride, self.padding
-            )
+        gy = grad_flat.reshape(n, g, cout_g, -1)  # (N, g, cout_g, OHW)
+        colsg = cols.reshape(n, g, cin_g * k * k, gy.shape[-1])
+        # dW: contract positions with one batched GEMM, then sum the
+        # batch axis (measurably faster than the equivalent einsum).
+        gw = np.matmul(gy, colsg.transpose(0, 1, 3, 2)).sum(axis=0)
+        grad_weight = gw.reshape(self.out_channels, cin_g, k, k)
+        # dX: backproject columns with one batched GEMM, then fold.
+        wmat = self.weight.data.reshape(g, cout_g, cin_g * k * k)
+        gcols = np.matmul(wmat.transpose(0, 2, 1)[None], gy)  # (N, g, C_g*k*k, OHW)
+        grad_x = col2im(
+            gcols.reshape(n, self.in_channels * k * k, -1),
+            x_shape,
+            k,
+            self.stride,
+            self.padding,
+        )
 
         self.weight.accumulate_grad(grad_weight)
         self._cache = None

@@ -1,0 +1,180 @@
+"""The shared :class:`EvaluationCache` and batched objective evaluation.
+
+Covers the cache's accounting contract (``num_evaluations`` must stay
+identical to the old private-dict counting), batch/scalar equivalence of
+``Objective.evaluate_many``, and the pipeline invalidation rule (tuning
+between shrinking stages clears the cache).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvaluationCache,
+    EvolutionConfig,
+    EvolutionarySearch,
+    MultiConstraintObjective,
+    Objective,
+    ProgressiveSpaceShrinking,
+    SubspaceQuality,
+)
+from repro.space import Architecture, SearchSpace, proxy
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace(proxy())
+
+
+def flops_objective(space, **kwargs):
+    return Objective(
+        accuracy_fn=lambda a: 0.5 + 0.01 * sum(a.ops),
+        latency_fn=lambda a: space.arch_flops(a) / 1e7,
+        target_ms=20.0,
+        beta=-0.5,
+        **kwargs,
+    )
+
+
+class TestEvaluationCache:
+    def test_miss_then_hit(self):
+        cache = EvaluationCache()
+        arch = Architecture.uniform(3)
+        calls = []
+        fn = lambda a: calls.append(a) or 42
+        assert cache.get_or_eval(arch, fn) == 42
+        assert cache.get_or_eval(arch, fn) == 42
+        assert len(calls) == 1
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+        assert arch in cache and len(cache) == 1
+
+    def test_get_or_eval_many_dedups_batch(self):
+        cache = EvaluationCache()
+        a = Architecture((0,), (1.0,))
+        b = Architecture((1,), (1.0,))
+        batches = []
+
+        def eval_many(archs):
+            batches.append(list(archs))
+            return [sum(x.ops) for x in archs]
+
+        out = cache.get_or_eval_many([a, b, a, a], eval_many)
+        assert out == [0, 1, 0, 0]
+        assert batches == [[a, b]]  # one batch, duplicates collapsed
+        assert cache.misses == 2 and cache.hits == 2
+
+    def test_get_or_eval_many_mixes_cached_and_fresh(self):
+        cache = EvaluationCache()
+        a = Architecture((0,), (1.0,))
+        b = Architecture((1,), (1.0,))
+        cache.get_or_eval(a, lambda x: "cached-a")
+        out = cache.get_or_eval_many([a, b], lambda archs: ["fresh-b"])
+        assert out == ["cached-a", "fresh-b"]
+
+    def test_eval_many_result_count_validated(self):
+        cache = EvaluationCache()
+        with pytest.raises(ValueError, match="returned 0 results"):
+            cache.get_or_eval_many(
+                [Architecture.uniform(2)], lambda archs: []
+            )
+
+    def test_clear_drops_values_keeps_counters(self):
+        cache = EvaluationCache()
+        arch = Architecture.uniform(2)
+        cache.get_or_eval(arch, lambda a: 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.misses == 1
+        cache.get_or_eval(arch, lambda a: 2)
+        assert cache.misses == 2  # re-evaluated after clear
+
+
+class TestEvaluateMany:
+    def test_matches_scalar_evaluate(self, space):
+        rng = np.random.default_rng(11)
+        archs = [space.sample(rng) for _ in range(200)]
+        obj = flops_objective(space)
+        batched = flops_objective(
+            space,
+            latency_many_fn=lambda xs: [space.arch_flops(a) / 1e7 for a in xs],
+        )
+        scalar = [obj.evaluate(a) for a in archs]
+        for many in (obj.evaluate_many(archs), batched.evaluate_many(archs)):
+            assert [e.score for e in many] == [e.score for e in scalar]
+            assert [e.latency_ms for e in many] == [
+                e.latency_ms for e in scalar
+            ]
+
+    def test_multi_constraint_matches_scalar(self, space):
+        rng = np.random.default_rng(12)
+        archs = [space.sample(rng) for _ in range(50)]
+        obj = MultiConstraintObjective(
+            accuracy_fn=lambda a: 0.6,
+            latency_fn=lambda a: space.arch_flops(a) / 1e7,
+            target_ms=20.0,
+            energy_fn=lambda a: space.arch_flops(a) / 1e6,
+            energy_budget_mj=40.0,
+        )
+        many = obj.evaluate_many(archs)
+        assert [e.score for e in many] == [obj.evaluate(a).score for a in archs]
+
+
+class TestSharedCacheSemantics:
+    def test_ea_num_evaluations_unchanged_by_private_cache(self, space):
+        cfg = EvolutionConfig(generations=3, population_size=8, num_parents=3, seed=5)
+        r1 = EvolutionarySearch(space, flops_objective(space), cfg).run()
+        r2 = EvolutionarySearch(
+            space, flops_objective(space), cfg, cache=EvaluationCache()
+        ).run()
+        assert r1.num_evaluations == r2.num_evaluations
+        assert r1.best.score == r2.best.score
+
+    def test_ea_prewarmed_shared_cache_counts_only_fresh(self, space):
+        cfg = EvolutionConfig(generations=2, population_size=6, num_parents=2, seed=5)
+        obj = flops_objective(space)
+        baseline = EvolutionarySearch(space, obj, cfg).run()
+
+        cache = EvaluationCache()
+        warm = EvolutionarySearch(space, obj, cfg, cache=cache)
+        # Pre-warm with the architectures the run will draw first.
+        rng = np.random.default_rng(cfg.seed)
+        for _ in range(cfg.population_size):
+            cache.get_or_eval(space.sample(rng), obj.evaluate)
+        result = warm.run()
+        assert result.best.score == baseline.best.score
+        assert (
+            result.num_evaluations
+            == baseline.num_evaluations - cfg.population_size
+        )
+
+    def test_quality_estimate_identical_with_cache(self, space):
+        obj = flops_objective(space)
+        plain = SubspaceQuality(obj, num_samples=40, seed=9)
+        cached = SubspaceQuality(
+            obj, num_samples=40, seed=9, cache=EvaluationCache()
+        )
+        assert plain.estimate(space) == cached.estimate(space)
+        assert plain.evaluations == cached.evaluations == 40
+
+    def test_quality_evaluations_counts_cache_hits_too(self, space):
+        """The paper's complexity accounting counts every F() draw."""
+        obj = flops_objective(space)
+        q = SubspaceQuality(obj, num_samples=30, seed=2, cache=EvaluationCache())
+        q.estimate(space)
+        q.estimate(space)
+        assert q.evaluations == 60
+
+    def test_shrinking_clears_cache_after_tune_hook(self, space):
+        obj = flops_objective(space)
+        cache = EvaluationCache()
+        quality = SubspaceQuality(obj, num_samples=10, seed=3, cache=cache)
+        sizes = []
+        shrinker = ProgressiveSpaceShrinking(
+            quality,
+            stage_layers=[(space.num_layers - 1,), (space.num_layers - 2,)],
+            tune_hook=lambda s, i: sizes.append(len(cache)),
+        )
+        shrinker.run(space)
+        assert sizes and sizes[0] > 0  # populated during stage 1...
+        # ...but stage 2 started from an empty cache (cleared post-hook),
+        # and whatever is in there now came from stage 2 alone.
+        assert len(cache) <= cache.misses - sizes[0]

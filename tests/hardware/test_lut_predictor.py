@@ -46,8 +46,17 @@ class TestLUTBuild:
 
     def test_missing_cell_raises(self, small_space, lut):
         cin = small_space.config.stem_channels
-        with pytest.raises(KeyError):
-            lut.lookup(0, 0, cin, 0.55)
+        with pytest.raises(KeyError, match="nearest existing cell"):
+            lut.lookup(0, 0, cin + 999, 1.0)
+        with pytest.raises(KeyError, match="nearest existing cell"):
+            lut.lookup(0, 0, cin, 0.04)  # quantizes to 0.0: off the grid
+
+    def test_lookup_quantizes_drifted_factors(self, small_space, lut):
+        """0.1 * 3 style float drift must still hit the 0.3 cell."""
+        cin = small_space.config.stem_channels
+        drifted = 0.1 * 3  # 0.30000000000000004
+        assert lut.lookup(0, 0, cin, drifted) == lut.lookup(0, 0, cin, 0.3)
+        assert lut.lookup(0, 0, cin, 0.5000001) == lut.lookup(0, 0, cin, 0.5)
 
     def test_layer0_single_cin(self, small_space):
         from repro.hardware.lut import layer_cin_choices
