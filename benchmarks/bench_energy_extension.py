@@ -9,7 +9,6 @@ rail), and the EA searches under latency target *and* energy budget
 simultaneously.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

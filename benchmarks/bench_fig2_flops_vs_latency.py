@@ -9,7 +9,6 @@ spread is large (same FLOPs, >=1.5x latency differences).
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import bucket_spread
 from repro.hardware.metrics import pearson, spearman

@@ -11,7 +11,6 @@ and the RMSE ordering CPU < GPU < edge holds.
 """
 
 import numpy as np
-import pytest
 
 from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
 

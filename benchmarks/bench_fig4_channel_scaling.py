@@ -9,7 +9,6 @@ same accuracy model — the dynamic scheme must find a better
 accuracy/latency trade-off, which is the figure's point.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -8,7 +8,6 @@ extrapolating the 4-layer arithmetic, plus checking that the cheap
 procedure reaches a near-equal-quality subspace.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

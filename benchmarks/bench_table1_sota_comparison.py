@@ -16,7 +16,6 @@ Absolute numbers come from a simulator; the assertions check the
 its constraint on its target device.
 """
 
-import pytest
 
 from repro.baselines import all_baselines
 from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig

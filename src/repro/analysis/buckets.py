@@ -9,7 +9,7 @@ measuring the within-bucket latency spread.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
 
 from repro.accuracy.surrogate import AccuracySurrogate
 from repro.core.cache import EvaluationCache

@@ -20,7 +20,7 @@ search under a latency target *and* an energy budget simultaneously.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -9,7 +9,6 @@ from repro.core import (
     MultiConstraintObjective,
 )
 from repro.hardware import EnergyModel, EnergyPredictor, get_device
-from repro.space import Architecture
 
 
 def _objective(space, energy_budget, beta_energy=-1.0):

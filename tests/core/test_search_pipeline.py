@@ -1,6 +1,5 @@
 """Tests for the end-to-end HSCoNAS pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig

@@ -1,6 +1,5 @@
 """Tests for the wall-clock search-cost model and predictor breakdown."""
 
-import numpy as np
 import pytest
 
 from repro.hardware import (

@@ -6,7 +6,6 @@ gradients*, plus convolution shapes the basic tests skip.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

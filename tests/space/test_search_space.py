@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.layers.mask import channels_kept
-from repro.space import Architecture, SearchSpace, imagenet_a, proxy
+from repro.space import Architecture, SearchSpace, proxy
 from repro.space.geometry import build_layer_geometry
 
 

@@ -11,7 +11,7 @@ the same channel plan are.
 import numpy as np
 import pytest
 
-from repro.space import Architecture, SearchSpace, SpaceConfig, StageSpec, imagenet_a
+from repro.space import Architecture, SearchSpace, SpaceConfig, StageSpec
 from repro.supernet import Supernet
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.space import SearchSpace, SpaceConfig, StageSpec
 from repro.space.encoding import space_cardinality
-from repro.tabular import TableEntry, TabularBenchmark
+from repro.tabular import TabularBenchmark
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,6 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from repro.data import BatchLoader
 from repro.space import NUM_OPERATORS
 from repro.supernet import Supernet
 from repro.train import (

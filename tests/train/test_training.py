@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data import BatchLoader
-from repro.nn.schedule import ConstantSchedule
 from repro.space import Architecture
 from repro.supernet import Supernet
 from repro.train import StandaloneTrainer, SupernetTrainer, TrainConfig, top_k_accuracy
