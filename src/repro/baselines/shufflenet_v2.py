@@ -6,12 +6,13 @@ from typing import Dict, Tuple
 
 from repro.baselines.blocks import NetBuilder
 
-# width multiplier -> (stage channels, head channels) — Table 5 of the paper.
-_WIDTHS: Dict[float, Tuple[Tuple[int, int, int], int]] = {
-    0.5: ((48, 96, 192), 1024),
-    1.0: ((116, 232, 464), 1024),
-    1.5: ((176, 352, 704), 1024),
-    2.0: ((244, 488, 976), 2048),
+# Width multiplier (in tenths, so keys stay exact integers) ->
+# (stage channels, head channels) — Table 5 of the paper.
+_WIDTH_DECILES: Dict[int, Tuple[Tuple[int, int, int], int]] = {
+    5: ((48, 96, 192), 1024),
+    10: ((116, 232, 464), 1024),
+    15: ((176, 352, 704), 1024),
+    20: ((244, 488, 976), 2048),
 }
 
 _STAGE_REPEATS = (4, 8, 4)
@@ -19,9 +20,11 @@ _STAGE_REPEATS = (4, 8, 4)
 
 def build(width: float = 1.5, input_size: int = 224) -> NetBuilder:
     """Construct ShuffleNetV2 at one of the published width multipliers."""
-    if width not in _WIDTHS:
-        raise ValueError(f"width {width} not in {sorted(_WIDTHS)}")
-    stage_channels, head = _WIDTHS[width]
+    decile = int(round(width * 10))
+    if decile not in _WIDTH_DECILES or abs(width * 10 - decile) > 1e-9:
+        known = [d / 10 for d in sorted(_WIDTH_DECILES)]
+        raise ValueError(f"width {width} not in {known}")
+    stage_channels, head = _WIDTH_DECILES[decile]
     net = NetBuilder(input_size=input_size, input_channels=3)
     net.conv_bn(24, k=3, stride=2)
     net.maxpool(k=3, stride=2)

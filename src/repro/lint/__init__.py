@@ -1,0 +1,73 @@
+"""Static consistency checking for the HSCoNAS search stack.
+
+Two halves, one report format, one CLI (``python -m repro.lint``):
+
+* an **AST code lint** (``repro.lint.ast_rules``, rules ``RL1xx``) with
+  repo-specific rules — global-RNG usage, raw float cache keys, shared
+  workspace/cache buffer mutation, mutable defaults, bare except;
+* **domain checkers** (rules ``RD2xx``) that statically validate search
+  artifacts: LUT coverage of a space's reachable cells
+  (``lut_check``), space/encoding/shrink-plan consistency
+  (``space_check``), and objective/EA configuration sanity
+  (``config_check``).
+
+See ``docs/static_analysis.md`` for the full rule catalog and
+suppression syntax.
+"""
+
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+    sort_findings,
+)
+from repro.lint.rules import CODE_RULES, DOMAIN_RULES, Rule
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "Rule",
+    "CODE_RULES",
+    "DOMAIN_RULES",
+    "sort_findings",
+    "render_text",
+    "render_json",
+    "exit_code",
+    "lint_source",
+    "lint_paths",
+    "check_lut_coverage",
+    "check_encoding",
+    "check_space",
+    "check_shrink_plan",
+    "check_objective_config",
+    "check_evolution_config",
+    "check_pipeline_config",
+]
+
+
+def __getattr__(name):
+    # Lazy re-exports: the AST lint must import without numpy, and the
+    # domain checkers pull in the full search stack only when used.
+    if name in ("lint_source", "lint_paths"):
+        from repro.lint import ast_rules
+
+        return getattr(ast_rules, name)
+    if name == "check_lut_coverage":
+        from repro.lint.lut_check import check_lut_coverage
+
+        return check_lut_coverage
+    if name in ("check_encoding", "check_space", "check_shrink_plan"):
+        from repro.lint import space_check
+
+        return getattr(space_check, name)
+    if name in (
+        "check_objective_config",
+        "check_evolution_config",
+        "check_pipeline_config",
+    ):
+        from repro.lint import config_check
+
+        return getattr(config_check, name)
+    raise AttributeError(f"module 'repro.lint' has no attribute {name!r}")

@@ -1,0 +1,470 @@
+"""AST-based code lint rules (stdlib ``ast``, no third-party deps).
+
+Repo-specific rules distilled from bugs this codebase has actually had
+or is structurally prone to:
+
+* **RL101 global-rng** — calls into the legacy global RNG
+  (``np.random.rand`` & friends, stdlib ``random``) make supernet
+  training and EA runs non-reproducible; every draw must flow through an
+  injected ``np.random.Generator`` seeded once per run.
+* **RL102 float-key** — raw floats as dict/cache keys are the
+  ``_cell_key`` bug class from PR 1: ``0.1 * 3 != 0.3`` silently misses
+  LUT cells. Keys must be quantized (``round``/``_quantize_factor``).
+* **RL103 workspace-mutation** — arrays handed out by cache/workspace
+  accessors (``Im2colWorkspace.get``, ``LatencyLUT.as_table``,
+  ``EvaluationCache.get_or_eval``) are shared; mutating them in place
+  corrupts every other alias (the im2col aliasing hazard).
+* **RL104 mutable-default** — mutable default arguments alias across
+  calls.
+* **RL105 bare-except** — a bare ``except:`` swallows
+  ``KeyboardInterrupt``/``SystemExit`` and hides real failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import CODE_RULES, Rule
+
+RL101 = CODE_RULES.register(
+    Rule(
+        "RL101",
+        "global-rng",
+        Severity.ERROR,
+        "global RNG call; thread an injected, seeded np.random.Generator "
+        "instead so runs are bit-reproducible under a single seed",
+    )
+)
+RL102 = CODE_RULES.register(
+    Rule(
+        "RL102",
+        "float-key",
+        Severity.ERROR,
+        "raw float used as a dict/cache key; quantize first "
+        "(round / _quantize_factor) so float drift cannot miss the cell",
+    )
+)
+RL103 = CODE_RULES.register(
+    Rule(
+        "RL103",
+        "workspace-mutation",
+        Severity.ERROR,
+        "in-place mutation of an array returned by a cache/workspace "
+        "accessor; copy it (or write through the accessor's API) — the "
+        "buffer is shared with other call sites",
+    )
+)
+RL104 = CODE_RULES.register(
+    Rule(
+        "RL104",
+        "mutable-default",
+        Severity.ERROR,
+        "mutable default argument; use None and construct inside the body",
+    )
+)
+RL105 = CODE_RULES.register(
+    Rule(
+        "RL105",
+        "bare-except",
+        Severity.ERROR,
+        "bare except swallows SystemExit/KeyboardInterrupt; "
+        "catch a concrete exception type",
+    )
+)
+
+# np.random attributes that are part of the Generator-based API and
+# therefore fine to touch from module scope.
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+# stdlib ``random`` module functions that draw from the global state.
+_GLOBAL_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+    "triangular",
+    "seed",
+    "getrandbits",
+    "randbytes",
+}
+
+# Accessor method names whose return value is a shared buffer (RL103).
+_SHARED_ACCESSORS = {"as_table", "get_or_eval", "get_or_eval_many"}
+# ``.get(...)`` only counts when the receiver looks like a workspace or
+# cache object — plain dict.get is not a shared-buffer accessor.
+_SHARED_RECEIVER_HINTS = ("workspace", "cache")
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class _ModuleImports(ast.NodeVisitor):
+    """Aliases under which numpy/numpy.random/random are visible."""
+
+    def __init__(self) -> None:
+        self.numpy_aliases: Set[str] = set()
+        self.np_random_aliases: Set[str] = set()
+        self.stdlib_random_aliases: Set[str] = set()
+        # from numpy.random import rand  /  from random import shuffle
+        self.direct_global_fns: Dict[str, str] = {}  # alias -> origin
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            name = alias.asname or alias.name
+            if alias.name == "numpy":
+                self.numpy_aliases.add(name)
+            elif alias.name == "numpy.random":
+                if alias.asname is None:
+                    # visible as ``numpy.random.<fn>`` — the 3-part form
+                    self.numpy_aliases.add("numpy")
+                else:
+                    self.np_random_aliases.add(alias.asname)
+            elif alias.name == "random":
+                self.stdlib_random_aliases.add(name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.np_random_aliases.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _ALLOWED_NP_RANDOM:
+                    self.direct_global_fns[alias.asname or alias.name] = (
+                        f"numpy.random.{alias.name}"
+                    )
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name in _GLOBAL_RANDOM_FNS:
+                    self.direct_global_fns[alias.asname or alias.name] = (
+                        f"random.{alias.name}"
+                    )
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-pass visitor emitting findings for all five rules."""
+
+    def __init__(self, path: str, imports: _ModuleImports) -> None:
+        self.path = path
+        self.imports = imports
+        self.findings: List[Finding] = []
+        # Names bound (in any scope; conservatively flat) to shared
+        # accessor results, for RL103.
+        self._shared_names: Set[str] = set()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _emit(self, rule: Rule, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule_id=rule.rule_id,
+                severity=rule.severity,
+                message=message,
+                file=self.path,
+                line=getattr(node, "lineno", None),
+                column=getattr(node, "col_offset", None),
+            )
+        )
+
+    # -- RL101: global RNG -----------------------------------------------------
+
+    def _check_global_rng(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return
+        # np.random.<fn>(...) / numpy.random.<fn>(...)
+        if (
+            len(chain) >= 3
+            and chain[0] in self.imports.numpy_aliases
+            and chain[1] == "random"
+            and chain[2] not in _ALLOWED_NP_RANDOM
+        ):
+            self._emit(
+                RL101, node,
+                f"call to global numpy RNG 'np.random.{chain[2]}'",
+            )
+            return
+        # npr.<fn>(...) with `import numpy.random as npr` or
+        # `from numpy import random as npr`
+        if (
+            len(chain) == 2
+            and chain[0] in self.imports.np_random_aliases
+            and chain[1] not in _ALLOWED_NP_RANDOM
+        ):
+            self._emit(
+                RL101, node,
+                f"call to global numpy RNG 'numpy.random.{chain[1]}'",
+            )
+            return
+        # random.<fn>(...) from the stdlib module
+        if (
+            len(chain) == 2
+            and chain[0] in self.imports.stdlib_random_aliases
+            and chain[1] in _GLOBAL_RANDOM_FNS
+        ):
+            self._emit(
+                RL101, node, f"call to global stdlib RNG 'random.{chain[1]}'"
+            )
+            return
+        # directly imported global fn: shuffle(...) after
+        # `from random import shuffle`
+        if (
+            len(chain) == 1
+            and chain[0] in self.imports.direct_global_fns
+        ):
+            origin = self.imports.direct_global_fns[chain[0]]
+            self._emit(RL101, node, f"call to global RNG '{origin}'")
+
+    # -- RL102: raw float keys ---------------------------------------------------
+
+    @staticmethod
+    def _float_constants(node: ast.AST) -> List[ast.Constant]:
+        """Float literals appearing directly in a key expression
+        (the expression itself, or elements of a tuple key)."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return [node]
+        if isinstance(node, ast.Tuple):
+            return [
+                e
+                for e in node.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, float)
+            ]
+        return []
+
+    def _check_float_key_subscript(self, node: ast.Subscript) -> None:
+        # Slices on ndarrays are integer/slice expressions; a float
+        # literal in a subscript is a dict-style key either way and is
+        # a bug on ndarrays too.
+        target = node.slice
+        for const in self._float_constants(target):
+            self._emit(
+                RL102, const,
+                f"float literal {const.value!r} used as a subscript key",
+            )
+
+    def _check_float_key_dict(self, node: ast.Dict) -> None:
+        for key in node.keys:
+            if key is None:  # **spread
+                continue
+            for const in self._float_constants(key):
+                self._emit(
+                    RL102, const,
+                    f"float literal {const.value!r} used as a dict key",
+                )
+
+    # -- RL103: shared-buffer mutation ------------------------------------------
+
+    def _is_shared_accessor_call(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr in _SHARED_ACCESSORS:
+            return True
+        if func.attr == "get":
+            chain = _attr_chain(func.value)
+            if chain is None:
+                return False
+            receiver = chain[-1].lower()
+            return any(h in receiver for h in _SHARED_RECEIVER_HINTS)
+        return False
+
+    def _track_shared_assign(self, node: ast.Assign) -> None:
+        if self._is_shared_accessor_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._shared_names.add(target.id)
+        else:
+            # Rebinding a tracked name to something else clears it.
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._shared_names.discard(target.id)
+
+    def _root_shared_name(self, node: ast.AST) -> Optional[str]:
+        """The tracked name at the root of a target like ``buf[i]`` or
+        ``table.cells[i]``; None when the target is not tracked."""
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        if isinstance(node, ast.Name) and node.id in self._shared_names:
+            return node.id
+        return None
+
+    def _check_shared_mutation_assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                name = self._root_shared_name(target)
+                if name is not None:
+                    self._emit(
+                        RL103, node,
+                        f"in-place store into '{name}', which aliases a "
+                        "shared cache/workspace buffer",
+                    )
+
+    def _check_shared_mutation_augassign(self, node: ast.AugAssign) -> None:
+        name = self._root_shared_name(node.target)
+        if name is None and isinstance(node.target, ast.Name):
+            if node.target.id in self._shared_names:
+                name = node.target.id
+        if name is not None:
+            self._emit(
+                RL103, node,
+                f"augmented assignment mutates '{name}', which aliases a "
+                "shared cache/workspace buffer",
+            )
+
+    def _check_shared_mutation_call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in {"fill", "sort", "resize", "partition"}
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._shared_names
+        ):
+            self._emit(
+                RL103, node,
+                f"'{func.value.id}.{func.attr}()' mutates a shared "
+                "cache/workspace buffer in place",
+            )
+
+    # -- RL104 / RL105 -----------------------------------------------------------
+
+    def _check_mutable_default(self, node: ast.arguments) -> None:
+        for default in list(node.defaults) + [
+            d for d in node.kw_defaults if d is not None
+        ]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self._emit(RL104, default, "mutable default argument")
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in {"list", "dict", "set", "bytearray"}
+            ):
+                self._emit(
+                    RL104, default,
+                    f"mutable default argument ({default.func.id}())",
+                )
+
+    # -- visitor plumbing --------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_global_rng(node)
+        self._check_shared_mutation_call(node)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        self._check_float_key_subscript(node)
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._check_float_key_dict(node)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._track_shared_assign(node)
+        self._check_shared_mutation_assign(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_shared_mutation_augassign(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_mutable_default(node.args)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_mutable_default(node.args)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(RL105, node, "bare 'except:' clause")
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    active_rules: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    from repro.lint.rules import filter_suppressed
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="RL100",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                file=path,
+                line=exc.lineno,
+                column=exc.offset,
+            )
+        ]
+    imports = _ModuleImports()
+    imports.visit(tree)
+    checker = _Checker(path, imports)
+    checker.visit(tree)
+    findings = checker.findings
+    if active_rules is not None:
+        findings = [f for f in findings if f.rule_id in active_rules]
+    return filter_suppressed(findings, source.splitlines())
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    import os
+
+    active = CODE_RULES.resolve(select, ignore)
+    findings: List[Finding] = []
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            files.append(path)
+    for file_path in sorted(files):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(lint_source(source, file_path, active))
+    return findings

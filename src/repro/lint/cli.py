@@ -1,0 +1,184 @@
+"""``python -m repro.lint`` — run the code lint and/or domain checkers.
+
+Code lint (AST rules, RL1xx)::
+
+    python -m repro.lint src                 # lint a tree
+    python -m repro.lint src --strict        # warnings fail too
+    python -m repro.lint src --format json
+
+Domain checks (RD2xx) over the bundled presets::
+
+    python -m repro.lint --domain                          # all presets
+    python -m repro.lint --domain --preset imagenet_a      # one preset
+    python -m repro.lint --domain --preset imagenet_a \\
+        --build-lut --device edge                          # + LUT coverage
+    python -m repro.lint --domain --lut results/lut.json \\
+        --preset imagenet_a                                # saved LUT
+
+Exit status: 0 when clean, 1 when any error (or, with ``--strict``, any
+finding at all) is reported, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.findings import Finding, exit_code, render_json, render_text
+
+_PRESETS = ("imagenet_a", "imagenet_b", "mini", "proxy")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="static consistency checks for the HSCoNAS search stack",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to run the AST code lint over",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="only run these code-rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip these code-rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--domain", action="store_true",
+        help="run the domain checkers (space/shrink-plan/config validity)",
+    )
+    parser.add_argument(
+        "--preset", action="append", choices=_PRESETS, metavar="NAME",
+        help=f"presets to check (default: all of {', '.join(_PRESETS)})",
+    )
+    parser.add_argument(
+        "--build-lut", action="store_true",
+        help="build the preset's LUT on --device and check full coverage",
+    )
+    parser.add_argument(
+        "--lut", metavar="FILE",
+        help="check coverage of a saved LUT JSON instead of building one",
+    )
+    parser.add_argument(
+        "--device", choices=("gpu", "cpu", "edge"), default="edge",
+        help="device for --build-lut (default: edge)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    # Importing the rule modules populates the registries.
+    import repro.lint.ast_rules  # noqa: F401
+    import repro.lint.config_check  # noqa: F401
+    import repro.lint.lut_check  # noqa: F401
+    import repro.lint.space_check  # noqa: F401
+    from repro.lint.rules import CODE_RULES, DOMAIN_RULES
+
+    lines = []
+    for title, registry in (
+        ("code rules", CODE_RULES),
+        ("domain rules", DOMAIN_RULES),
+    ):
+        lines.append(f"{title}:")
+        for rule in registry.all():
+            lines.append(
+                f"  {rule.rule_id} {rule.name} [{rule.severity}] — "
+                f"{rule.description}"
+            )
+    return "\n".join(lines)
+
+
+def _domain_findings(args: argparse.Namespace) -> List[Finding]:
+    # Imports are deferred so that plain code-lint runs do not pay for
+    # the numpy-backed search stack.
+    from repro.core.search import HSCoNASConfig
+    from repro.core.shrinking import default_stage_layers
+    from repro.lint.config_check import check_pipeline_config
+    from repro.lint.lut_check import check_lut_coverage
+    from repro.lint.space_check import check_shrink_plan, check_space
+    from repro.space import config as space_config
+    from repro.space.search_space import SearchSpace
+
+    findings: List[Finding] = []
+    presets = args.preset or list(_PRESETS)
+    findings.extend(
+        check_pipeline_config(HSCoNASConfig(), component="pipeline:defaults")
+    )
+    for preset in presets:
+        space = SearchSpace(getattr(space_config, preset)())
+        findings.extend(check_space(space))
+        findings.extend(
+            check_shrink_plan(space, default_stage_layers(space.num_layers))
+        )
+        if args.lut:
+            from repro.hardware.lut import LatencyLUT
+
+            with open(args.lut, "r", encoding="utf-8") as handle:
+                lut = LatencyLUT.from_json(handle.read())
+            findings.extend(check_lut_coverage(space, lut))
+        elif args.build_lut:
+            from repro.hardware.calibration import calibrated_devices
+            from repro.hardware.lut import LatencyLUT
+
+            device = calibrated_devices()[args.device]
+            lut = LatencyLUT.build(space, device, samples_per_cell=1)
+            findings.extend(
+                check_lut_coverage(
+                    space, lut, expected_device=device.spec.key
+                )
+            )
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths and not args.domain:
+        parser.error("nothing to do: pass paths to lint and/or --domain")
+    if args.lut and args.build_lut:
+        parser.error("--lut and --build-lut are mutually exclusive")
+
+    findings: List[Finding] = []
+    if args.paths:
+        from repro.lint.ast_rules import lint_paths
+
+        try:
+            findings.extend(
+                lint_paths(args.paths, select=args.select, ignore=args.ignore)
+            )
+        except KeyError as exc:
+            parser.error(str(exc))
+    if args.domain:
+        findings.extend(_domain_findings(args))
+
+    if args.format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    else:
+        print("repro.lint: no findings")
+    return exit_code(findings, strict=args.strict)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,246 @@
+"""Objective / EA / pipeline configuration validation (RD206–RD210).
+
+These checkers accept plain mappings *or* the dataclass configs, so an
+artifact (a JSON run config, a preset) can be validated before any
+runtime object — which would raise mid-construction, one field at a
+time — is built. Every problem in the artifact is reported at once.
+
+Rules follow the paper: Eq. 5's trade-off only penalizes (rather than
+rewards) constraint violations when ``beta < 0``; the latency target
+``T`` must be positive for ``LAT/T`` to mean anything; the EA needs
+``population >= parents`` and probabilities in ``[0, 1]``; and Eq. 4's
+Monte-Carlo quality uses ``N = 100`` samples — far smaller budgets make
+the subspace ranking noise-dominated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Mapping, Optional, Union
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import DOMAIN_RULES, Rule
+
+RD206 = DOMAIN_RULES.register(
+    Rule(
+        "RD206",
+        "objective-beta",
+        Severity.ERROR,
+        "Eq. 5 trade-off coefficient beta must be negative",
+    )
+)
+RD207 = DOMAIN_RULES.register(
+    Rule(
+        "RD207",
+        "objective-target",
+        Severity.ERROR,
+        "latency target T must be positive",
+    )
+)
+RD208 = DOMAIN_RULES.register(
+    Rule(
+        "RD208",
+        "ea-population",
+        Severity.ERROR,
+        "EA population/parent/generation counts are inconsistent",
+    )
+)
+RD209 = DOMAIN_RULES.register(
+    Rule(
+        "RD209",
+        "ea-probability",
+        Severity.ERROR,
+        "EA crossover/mutation probabilities must lie in [0, 1]",
+    )
+)
+RD210 = DOMAIN_RULES.register(
+    Rule(
+        "RD210",
+        "quality-samples",
+        Severity.WARNING,
+        "Eq. 4 Monte-Carlo sampling budget is far below the paper's N=100",
+    )
+)
+
+ConfigLike = Union[Mapping[str, Any], Any]
+
+# Below this, the Eq. 4 subspace-quality estimate is too noisy to rank
+# operators reliably (the paper justifies N=100 via Radosavovic et al.).
+_QUALITY_SAMPLES_FLOOR = 25
+
+
+def _as_mapping(config: ConfigLike) -> Mapping[str, Any]:
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    if isinstance(config, Mapping):
+        return config
+    raise TypeError(
+        f"expected a mapping or dataclass config, got {type(config).__name__}"
+    )
+
+
+def _number(value: Any) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def check_objective_config(
+    config: ConfigLike, component: str = "objective"
+) -> List[Finding]:
+    """Validate Eq. 5 parameters (``target_ms``, ``beta``) and the Eq. 4
+    sampling budget (``quality_samples``/``num_samples``) if present."""
+    cfg = _as_mapping(config)
+    findings: List[Finding] = []
+
+    if "beta" in cfg:
+        beta = _number(cfg["beta"])
+        if beta is None or beta >= 0:
+            findings.append(
+                Finding(
+                    rule_id=RD206.rule_id,
+                    severity=RD206.severity,
+                    message=(
+                        f"beta = {cfg['beta']!r}; Eq. 5 requires beta < 0 "
+                        "(it is a penalty weight)"
+                    ),
+                    component=component,
+                )
+            )
+    if "target_ms" in cfg:
+        target = _number(cfg["target_ms"])
+        if target is None or target <= 0:
+            findings.append(
+                Finding(
+                    rule_id=RD207.rule_id,
+                    severity=RD207.severity,
+                    message=(
+                        f"target_ms = {cfg['target_ms']!r}; the latency "
+                        "constraint T must be positive"
+                    ),
+                    component=component,
+                )
+            )
+    samples = cfg.get("quality_samples", cfg.get("num_samples"))
+    if samples is not None:
+        n = _number(samples)
+        if n is None or n < 1 or int(n) != n:
+            findings.append(
+                Finding(
+                    rule_id=RD210.rule_id,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"quality sampling budget N = {samples!r} is not a "
+                        "positive integer"
+                    ),
+                    component=component,
+                )
+            )
+        elif n < _QUALITY_SAMPLES_FLOOR:
+            findings.append(
+                Finding(
+                    rule_id=RD210.rule_id,
+                    severity=RD210.severity,
+                    message=(
+                        f"quality sampling budget N = {int(n)} is far below "
+                        "the paper's N = 100; the Eq. 4 subspace ranking "
+                        "will be noise-dominated"
+                    ),
+                    component=component,
+                )
+            )
+    return findings
+
+
+def check_evolution_config(
+    config: ConfigLike, component: str = "evolution"
+) -> List[Finding]:
+    """Validate EA hyper-parameters (Sec. III-D)."""
+    cfg = _as_mapping(config)
+    findings: List[Finding] = []
+
+    generations = _number(cfg.get("generations", 1))
+    population = _number(cfg.get("population_size", 2))
+    parents = _number(cfg.get("num_parents", 1))
+    if generations is None or generations < 1:
+        findings.append(
+            Finding(
+                rule_id=RD208.rule_id,
+                severity=RD208.severity,
+                message=f"generations = {cfg.get('generations')!r}; need >= 1",
+                component=component,
+            )
+        )
+    if population is None or population < 2:
+        findings.append(
+            Finding(
+                rule_id=RD208.rule_id,
+                severity=RD208.severity,
+                message=(
+                    f"population_size = {cfg.get('population_size')!r}; "
+                    "need >= 2"
+                ),
+                component=component,
+            )
+        )
+    if (
+        parents is None
+        or population is None
+        or not 1 <= parents <= population
+    ):
+        findings.append(
+            Finding(
+                rule_id=RD208.rule_id,
+                severity=RD208.severity,
+                message=(
+                    f"num_parents = {cfg.get('num_parents')!r} must lie in "
+                    f"[1, population_size = {cfg.get('population_size')!r}]"
+                ),
+                component=component,
+            )
+        )
+    for field in ("crossover_prob", "mutation_prob", "per_layer_mutation_prob"):
+        if field not in cfg:
+            continue
+        p = _number(cfg[field])
+        if p is None or not 0.0 <= p <= 1.0:
+            findings.append(
+                Finding(
+                    rule_id=RD209.rule_id,
+                    severity=RD209.severity,
+                    message=f"{field} = {cfg[field]!r} outside [0, 1]",
+                    component=component,
+                )
+            )
+    return findings
+
+
+def check_pipeline_config(
+    config: ConfigLike, component: str = "pipeline"
+) -> List[Finding]:
+    """Validate a full HSCoNAS pipeline configuration artifact.
+
+    Dispatches the objective and EA sub-configs to their checkers and
+    validates the hardware-modeling sampling counts.
+    """
+    cfg = _as_mapping(config)
+    findings = check_objective_config(cfg, component=component)
+    evolution = cfg.get("evolution")
+    if evolution is not None:
+        findings.extend(
+            check_evolution_config(evolution, component=f"{component}.evolution")
+        )
+    for field in ("lut_samples_per_cell", "bias_calibration_archs"):
+        if field not in cfg:
+            continue
+        n = _number(cfg[field])
+        if n is None or n < 1:
+            findings.append(
+                Finding(
+                    rule_id=RD208.rule_id,
+                    severity=RD208.severity,
+                    message=f"{field} = {cfg[field]!r}; need >= 1",
+                    component=component,
+                )
+            )
+    return findings

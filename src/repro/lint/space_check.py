@@ -1,0 +1,261 @@
+"""Space, encoding, and shrink-plan validity (rules RD203–RD205).
+
+Static checks on the search-space artifacts the runtime otherwise trusts:
+
+* **RD203 encoding-out-of-space** — an architecture encoding whose op or
+  factor falls outside its (possibly shrunk) space's candidate sets.
+* **RD204 stage-plan-inconsistent** — a space whose derived per-layer
+  geometry contradicts its stage plan (stride-2 anywhere but a stage
+  start, wrong layer count, factors off the config grid).
+* **RD205 shrink-plan-invalid** — a progressive-shrinking schedule that
+  is not monotone back-to-front (paper Fig. 5: stage 1 fixes the last
+  layers, stage 2 the block before them), repeats a layer, or indexes
+  out of range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import DOMAIN_RULES, Rule
+from repro.space.architecture import Architecture
+from repro.space.search_space import SearchSpace
+
+RD203 = DOMAIN_RULES.register(
+    Rule(
+        "RD203",
+        "encoding-out-of-space",
+        Severity.ERROR,
+        "architecture encoding uses an op/factor outside the space's "
+        "candidate sets",
+    )
+)
+RD204 = DOMAIN_RULES.register(
+    Rule(
+        "RD204",
+        "stage-plan-inconsistent",
+        Severity.ERROR,
+        "space geometry contradicts its stage plan",
+    )
+)
+RD205 = DOMAIN_RULES.register(
+    Rule(
+        "RD205",
+        "shrink-plan-invalid",
+        Severity.ERROR,
+        "progressive-shrinking schedule is not monotone back-to-front",
+    )
+)
+
+_FACTOR_TOL = 1e-9
+
+
+def check_encoding(space: SearchSpace, arch: Architecture) -> List[Finding]:
+    """Findings for one architecture encoding against ``space``."""
+    component = f"encoding:{space.config.name}"
+    findings: List[Finding] = []
+    if arch.num_layers != space.num_layers:
+        findings.append(
+            Finding(
+                rule_id=RD203.rule_id,
+                severity=RD203.severity,
+                message=(
+                    f"encoding has {arch.num_layers} layers; the space "
+                    f"has {space.num_layers}"
+                ),
+                component=component,
+            )
+        )
+        return findings
+    for layer, (op, factor) in enumerate(zip(arch.ops, arch.factors)):
+        if op not in space.candidate_ops[layer]:
+            findings.append(
+                Finding(
+                    rule_id=RD203.rule_id,
+                    severity=RD203.severity,
+                    message=(
+                        f"layer {layer}: op {op} is not a candidate "
+                        f"(allowed: {list(space.candidate_ops[layer])})"
+                    ),
+                    component=component,
+                )
+            )
+        if not any(
+            abs(factor - f) < _FACTOR_TOL
+            for f in space.candidate_factors[layer]
+        ):
+            findings.append(
+                Finding(
+                    rule_id=RD203.rule_id,
+                    severity=RD203.severity,
+                    message=(
+                        f"layer {layer}: factor {factor} is not a candidate "
+                        f"(allowed: {list(space.candidate_factors[layer])})"
+                    ),
+                    component=component,
+                )
+            )
+    return findings
+
+
+def check_space(space: SearchSpace) -> List[Finding]:
+    """Internal-consistency findings for a space's derived geometry."""
+    component = f"space:{space.config.name}"
+    config = space.config
+    findings: List[Finding] = []
+
+    expected_layers = sum(s.num_blocks for s in config.stages)
+    if len(space.geometry) != expected_layers:
+        findings.append(
+            Finding(
+                rule_id=RD204.rule_id,
+                severity=RD204.severity,
+                message=(
+                    f"geometry has {len(space.geometry)} layers but the "
+                    f"stage plan sums to {expected_layers}"
+                ),
+                component=component,
+            )
+        )
+        return findings
+
+    stage_starts = []
+    offset = 0
+    for stage in config.stages:
+        stage_starts.append(offset)
+        offset += stage.num_blocks
+    for geom in space.geometry:
+        expected_stride = 2 if geom.layer in stage_starts else 1
+        if geom.stride != expected_stride:
+            findings.append(
+                Finding(
+                    rule_id=RD204.rule_id,
+                    severity=RD204.severity,
+                    message=(
+                        f"layer {geom.layer}: stride {geom.stride} but the "
+                        f"stage plan requires {expected_stride}"
+                    ),
+                    component=component,
+                )
+            )
+        max_ch = config.layer_channels()[geom.layer]
+        if geom.max_out_channels != max_ch:
+            findings.append(
+                Finding(
+                    rule_id=RD204.rule_id,
+                    severity=RD204.severity,
+                    message=(
+                        f"layer {geom.layer}: max_out_channels "
+                        f"{geom.max_out_channels} contradicts the stage "
+                        f"plan's {max_ch}"
+                    ),
+                    component=component,
+                )
+            )
+
+    declared = tuple(float(f) for f in config.channel_factors)
+    for layer, factors in enumerate(space.candidate_factors):
+        off_grid = [
+            f
+            for f in factors
+            if not any(abs(float(f) - d) < _FACTOR_TOL for d in declared)
+        ]
+        if off_grid:
+            findings.append(
+                Finding(
+                    rule_id=RD204.rule_id,
+                    severity=RD204.severity,
+                    message=(
+                        f"layer {layer}: candidate factors {off_grid} are "
+                        "not on the config's factor grid"
+                    ),
+                    component=component,
+                )
+            )
+    return findings
+
+
+def check_shrink_plan(
+    space: SearchSpace, stage_layers: Sequence[Sequence[int]]
+) -> List[Finding]:
+    """Findings for a progressive-shrinking schedule.
+
+    The paper's procedure (Sec. III-C, Fig. 5) fixes layers strictly
+    back-to-front: within a stage, layers descend; across stages, every
+    layer of stage ``s+1`` precedes every layer already fixed in stage
+    ``s``. A repeated layer would re-fix an already-pinned operator.
+    """
+    component = f"shrink-plan:{space.config.name}"
+    num_layers = space.num_layers
+    findings: List[Finding] = []
+
+    seen = set()
+    prev_min = num_layers  # layers of stage s+1 must all be < this
+    for stage_idx, layers in enumerate(stage_layers):
+        layers = list(layers)
+        if not layers:
+            findings.append(
+                Finding(
+                    rule_id=RD205.rule_id,
+                    severity=RD205.severity,
+                    message=f"stage {stage_idx} fixes no layers",
+                    component=component,
+                )
+            )
+            continue
+        for layer in layers:
+            if not 0 <= layer < num_layers:
+                findings.append(
+                    Finding(
+                        rule_id=RD205.rule_id,
+                        severity=RD205.severity,
+                        message=(
+                            f"stage {stage_idx}: layer {layer} outside "
+                            f"[0, {num_layers})"
+                        ),
+                        component=component,
+                    )
+                )
+            elif layer in seen:
+                findings.append(
+                    Finding(
+                        rule_id=RD205.rule_id,
+                        severity=RD205.severity,
+                        message=(
+                            f"stage {stage_idx}: layer {layer} is fixed "
+                            "twice"
+                        ),
+                        component=component,
+                    )
+                )
+            seen.add(layer)
+        if any(b >= a for a, b in zip(layers, layers[1:])):
+            findings.append(
+                Finding(
+                    rule_id=RD205.rule_id,
+                    severity=RD205.severity,
+                    message=(
+                        f"stage {stage_idx}: layers {layers} are not "
+                        "strictly descending (back-to-front)"
+                    ),
+                    component=component,
+                )
+            )
+        in_range = [l for l in layers if 0 <= l < num_layers]
+        if in_range and max(in_range) >= prev_min:
+            findings.append(
+                Finding(
+                    rule_id=RD205.rule_id,
+                    severity=RD205.severity,
+                    message=(
+                        f"stage {stage_idx} fixes layer {max(in_range)}, "
+                        f"which does not precede the previous stage's "
+                        f"earliest fixed layer {prev_min}"
+                    ),
+                    component=component,
+                )
+            )
+        if in_range:
+            prev_min = min(prev_min, min(in_range))
+    return findings

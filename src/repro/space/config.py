@@ -78,6 +78,22 @@ class SpaceConfig:
         for f in self.channel_factors:
             if not 0.0 < f <= 1.0:
                 raise ValueError(f"channel factor {f} outside (0, 1]")
+        # The latency LUT keys factors on a one-decimal grid
+        # (hardware.lut._quantize_factor), so factors that collide after
+        # quantization would silently share a LUT cell.
+        quantized = [round(float(f), 1) for f in self.channel_factors]
+        if len(set(quantized)) != len(quantized):
+            dupes = sorted(
+                {q for q in quantized if quantized.count(q) > 1}
+            )
+            raise ValueError(
+                "channel factors collide after one-decimal quantization: "
+                f"{self.channel_factors} -> duplicates at {dupes}"
+            )
+        if list(self.channel_factors) != sorted(self.channel_factors):
+            raise ValueError(
+                f"channel factors must be sorted ascending: {self.channel_factors}"
+            )
         if self.input_size % (2 ** (1 + len(self.stages))):
             # stem stride 2 plus one stride-2 block per stage
             raise ValueError(

@@ -1,0 +1,260 @@
+"""Each AST rule must fire on a seeded violation and stay silent on the
+equivalent clean code."""
+
+import textwrap
+
+from repro.lint.ast_rules import lint_source
+from repro.lint.findings import Severity
+
+
+def _lint(code: str):
+    return lint_source(textwrap.dedent(code), path="fixture.py")
+
+
+def _rule_ids(code: str):
+    return [f.rule_id for f in _lint(code)]
+
+
+class TestGlobalRng:
+    def test_np_random_call_fires(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RL101"]
+        assert findings[0].line == 5
+        assert "np.random.rand" in findings[0].message
+
+    def test_np_random_seed_fires(self):
+        assert _rule_ids(
+            """
+            import numpy as np
+            np.random.seed(0)
+            """
+        ) == ["RL101"]
+
+    def test_stdlib_random_fires(self):
+        assert _rule_ids(
+            """
+            import random
+            x = random.choice([1, 2, 3])
+            """
+        ) == ["RL101"]
+
+    def test_from_import_fires(self):
+        assert _rule_ids(
+            """
+            from random import shuffle
+            shuffle([1, 2])
+            """
+        ) == ["RL101"]
+
+    def test_numpy_random_submodule_alias_fires(self):
+        assert _rule_ids(
+            """
+            import numpy.random as npr
+            npr.normal(0.0, 1.0)
+            """
+        ) == ["RL101"]
+
+    def test_generator_api_is_clean(self):
+        assert _rule_ids(
+            """
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                seq = np.random.SeedSequence(seed)
+                gen = np.random.Generator(np.random.PCG64(seed))
+                return rng.normal(), seq, gen
+            """
+        ) == []
+
+    def test_unrelated_random_attribute_is_clean(self):
+        # A local object that happens to have a .random() method.
+        assert _rule_ids(
+            """
+            def draw(rng):
+                return rng.random()
+            """
+        ) == []
+
+
+class TestFloatKey:
+    def test_dict_literal_float_key_fires(self):
+        findings = _lint("TABLE = {0.5: 'a', 1: 'b'}")
+        assert [f.rule_id for f in findings] == ["RL102"]
+
+    def test_subscript_float_key_fires(self):
+        assert _rule_ids(
+            """
+            cache = {}
+            cache[0.3] = 1
+            """
+        ) == ["RL102"]
+
+    def test_tuple_key_with_float_element_fires(self):
+        assert _rule_ids(
+            """
+            entries = {}
+            entries[(3, 0.1)] = 2.5
+            """
+        ) == ["RL102"]
+
+    def test_quantized_key_is_clean(self):
+        assert _rule_ids(
+            """
+            entries = {}
+
+            def put(layer, factor, ms):
+                entries[(layer, round(factor, 1))] = ms
+            """
+        ) == []
+
+    def test_int_keys_are_clean(self):
+        assert _rule_ids("TABLE = {5: 'a', 10: 'b'}") == []
+
+    def test_float_values_are_clean(self):
+        assert _rule_ids("TABLE = {'a': 0.5}") == []
+
+
+class TestWorkspaceMutation:
+    def test_augassign_on_workspace_buffer_fires(self):
+        findings = _lint(
+            """
+            def forward(self, x):
+                buf = self._workspace.get(x.shape)
+                buf += 1.0
+                return buf
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RL103"]
+
+    def test_subscript_store_on_as_table_fires(self):
+        assert _rule_ids(
+            """
+            def patch(lut):
+                table = lut.as_table()
+                table.cells[0, 0, 0, 0] = 0.0
+            """
+        ) == ["RL103"]
+
+    def test_fill_on_cache_result_fires(self):
+        assert _rule_ids(
+            """
+            def reset(cache, arch, fn):
+                value = cache.get_or_eval(arch, fn)
+                value.fill(0.0)
+            """
+        ) == ["RL103"]
+
+    def test_copy_then_mutate_is_clean(self):
+        assert _rule_ids(
+            """
+            def forward(self, x):
+                buf = self._workspace.get(x.shape).copy()
+                local = buf + 1.0
+                return local
+            """
+        ) == []
+
+    def test_rebinding_clears_tracking(self):
+        assert _rule_ids(
+            """
+            def forward(self, x, y):
+                buf = self._workspace.get(x.shape)
+                out = compute(buf)
+                buf = y.copy()
+                buf += 1.0
+                return out
+            """
+        ) == []
+
+    def test_plain_dict_get_is_clean(self):
+        assert _rule_ids(
+            """
+            def read(options):
+                value = options.get("mode")
+                value += "x"
+                return value
+            """
+        ) == []
+
+
+class TestMutableDefaultAndBareExcept:
+    def test_mutable_default_fires(self):
+        assert _rule_ids("def f(x, acc=[]):\n    return acc") == ["RL104"]
+
+    def test_dict_call_default_fires(self):
+        assert _rule_ids("def f(x, acc=dict()):\n    return acc") == ["RL104"]
+
+    def test_none_default_is_clean(self):
+        assert _rule_ids("def f(x, acc=None):\n    return acc") == []
+
+    def test_bare_except_fires(self):
+        findings = _lint(
+            """
+            try:
+                risky()
+            except:
+                pass
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RL105"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_typed_except_is_clean(self):
+        assert _rule_ids(
+            """
+            try:
+                risky()
+            except ValueError:
+                pass
+            """
+        ) == []
+
+
+class TestSuppression:
+    def test_named_suppression_silences_rule(self):
+        assert _rule_ids(
+            """
+            import numpy as np
+            np.random.seed(0)  # repro-lint: disable=RL101
+            """
+        ) == []
+
+    def test_bare_suppression_silences_everything(self):
+        assert _rule_ids(
+            """
+            TABLE = {0.5: 'a'}  # repro-lint: disable
+            """
+        ) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        assert _rule_ids(
+            """
+            import numpy as np
+            np.random.seed(0)  # repro-lint: disable=RL102
+            """
+        ) == ["RL101"]
+
+
+class TestHarness:
+    def test_syntax_error_reported_not_raised(self):
+        findings = _lint("def broken(:\n    pass")
+        assert [f.rule_id for f in findings] == ["RL100"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_findings_carry_file_and_line(self):
+        findings = _lint(
+            """
+            import numpy as np
+            np.random.seed(0)
+            """
+        )
+        assert findings[0].file == "fixture.py"
+        assert findings[0].line == 3

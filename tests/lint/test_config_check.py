@@ -1,0 +1,89 @@
+"""Objective/EA config checkers: every Eq. 5 / Sec. III-D invariant is
+validated on raw artifacts (dicts) and on the dataclass configs."""
+
+from repro.core.evolution import EvolutionConfig
+from repro.core.search import HSCoNASConfig
+from repro.lint.config_check import (
+    check_evolution_config,
+    check_objective_config,
+    check_pipeline_config,
+)
+from repro.lint.findings import Severity
+
+
+class TestObjectiveConfig:
+    def test_paper_defaults_are_clean(self):
+        cfg = {"target_ms": 34.0, "beta": -0.5, "quality_samples": 100}
+        assert check_objective_config(cfg) == []
+
+    def test_nonnegative_beta_fires_rd206(self):
+        findings = check_objective_config({"beta": 0.5})
+        assert [f.rule_id for f in findings] == ["RD206"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_zero_beta_fires(self):
+        assert [
+            f.rule_id for f in check_objective_config({"beta": 0.0})
+        ] == ["RD206"]
+
+    def test_nonpositive_target_fires_rd207(self):
+        findings = check_objective_config({"target_ms": -3.0})
+        assert [f.rule_id for f in findings] == ["RD207"]
+
+    def test_tiny_sampling_budget_warns_rd210(self):
+        findings = check_objective_config({"quality_samples": 5})
+        assert [f.rule_id for f in findings] == ["RD210"]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_non_integer_budget_is_error(self):
+        findings = check_objective_config({"quality_samples": 0})
+        assert [f.rule_id for f in findings] == ["RD210"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_all_problems_reported_at_once(self):
+        findings = check_objective_config(
+            {"target_ms": 0, "beta": 1.0, "num_samples": 2}
+        )
+        assert {f.rule_id for f in findings} == {"RD206", "RD207", "RD210"}
+
+
+class TestEvolutionConfig:
+    def test_paper_defaults_are_clean(self):
+        assert check_evolution_config(EvolutionConfig()) == []
+
+    def test_parents_exceeding_population_fires_rd208(self):
+        findings = check_evolution_config(
+            {"population_size": 10, "num_parents": 20}
+        )
+        assert [f.rule_id for f in findings] == ["RD208"]
+
+    def test_zero_generations_fires(self):
+        findings = check_evolution_config({"generations": 0})
+        assert [f.rule_id for f in findings] == ["RD208"]
+
+    def test_probability_out_of_range_fires_rd209(self):
+        findings = check_evolution_config({"mutation_prob": 1.5})
+        assert [f.rule_id for f in findings] == ["RD209"]
+
+    def test_negative_probability_fires(self):
+        findings = check_evolution_config({"crossover_prob": -0.1})
+        assert [f.rule_id for f in findings] == ["RD209"]
+
+
+class TestPipelineConfig:
+    def test_defaults_are_clean(self):
+        assert check_pipeline_config(HSCoNASConfig()) == []
+
+    def test_nested_evolution_is_checked(self):
+        cfg = {
+            "target_ms": 34.0,
+            "beta": -0.5,
+            "evolution": {"population_size": 4, "num_parents": 10},
+        }
+        findings = check_pipeline_config(cfg)
+        assert [f.rule_id for f in findings] == ["RD208"]
+        assert findings[0].component == "pipeline.evolution"
+
+    def test_bad_sampling_counts_fire(self):
+        findings = check_pipeline_config({"lut_samples_per_cell": 0})
+        assert [f.rule_id for f in findings] == ["RD208"]

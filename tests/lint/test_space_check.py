@@ -1,0 +1,97 @@
+"""Space/encoding/shrink-plan checkers: seeded violations fire with the
+right rule id; the bundled presets and the paper's schedule are clean."""
+
+import pytest
+
+from repro.core.shrinking import default_stage_layers
+from repro.lint.space_check import (
+    check_encoding,
+    check_shrink_plan,
+    check_space,
+)
+from repro.space import Architecture, SearchSpace, imagenet_a, mini, proxy
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace(proxy())
+
+
+class TestEncoding:
+    def test_member_architecture_is_clean(self, space, rng):
+        arch = space.sample(rng)
+        assert check_encoding(space, arch) == []
+
+    def test_wrong_layer_count_fires(self, space):
+        arch = Architecture.uniform(space.num_layers + 1)
+        findings = check_encoding(space, arch)
+        assert [f.rule_id for f in findings] == ["RD203"]
+
+    def test_shrink_plan_violation_fires(self, space, rng):
+        # Pin the last layer to op 1, then encode an arch using op 2
+        # there — valid in the full space, invalid after shrinking.
+        last = space.num_layers - 1
+        shrunk = space.fix_operator(last, 1)
+        arch = space.sample(rng)
+        arch = arch.with_op(last, 2)
+        findings = check_encoding(shrunk, arch)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "RD203"
+        assert f"layer {last}: op 2" in findings[0].message
+
+    def test_off_grid_factor_fires(self, space, rng):
+        arch = space.sample(rng).with_factor(0, 0.55)
+        findings = check_encoding(space, arch)
+        assert [f.rule_id for f in findings] == ["RD203"]
+        assert "factor 0.55" in findings[0].message
+
+
+class TestSpaceConsistency:
+    @pytest.mark.parametrize("factory", [imagenet_a, mini, proxy])
+    def test_presets_are_clean(self, factory):
+        assert check_space(SearchSpace(factory())) == []
+
+    def test_shrunk_space_is_still_clean(self, space):
+        assert check_space(space.fix_operator(0, 3)) == []
+
+    def test_off_grid_candidate_factor_fires(self):
+        tampered = SearchSpace(proxy())
+        tampered.candidate_factors[2] = (0.25, 1.0)
+        findings = check_space(tampered)
+        assert [f.rule_id for f in findings] == ["RD204"]
+        assert "layer 2" in findings[0].message
+
+
+class TestShrinkPlan:
+    def test_paper_schedule_is_clean(self, space):
+        plan = default_stage_layers(space.num_layers)
+        assert check_shrink_plan(space, plan) == []
+
+    def test_imagenet_a_schedule_is_clean(self):
+        space_a = SearchSpace(imagenet_a())
+        plan = default_stage_layers(space_a.num_layers)
+        assert plan[0] == (19, 18, 17, 16)  # the paper's stage 1
+        assert check_shrink_plan(space_a, plan) == []
+
+    def test_ascending_stage_fires(self, space):
+        findings = check_shrink_plan(space, [(5, 6, 7)])
+        assert "RD205" in {f.rule_id for f in findings}
+        assert any("descending" in f.message for f in findings)
+
+    def test_front_to_back_stages_fire(self, space):
+        # Stage 2 must precede stage 1's earliest fixed layer.
+        findings = check_shrink_plan(space, [(5, 4), (7, 6)])
+        assert [f.rule_id for f in findings] == ["RD205"]
+        assert "does not precede" in findings[0].message
+
+    def test_duplicate_layer_fires(self, space):
+        findings = check_shrink_plan(space, [(7, 6), (6, 5)])
+        assert any("fixed twice" in f.message for f in findings)
+
+    def test_out_of_range_layer_fires(self, space):
+        findings = check_shrink_plan(space, [(space.num_layers,)])
+        assert any("outside" in f.message for f in findings)
+
+    def test_empty_stage_fires(self, space):
+        findings = check_shrink_plan(space, [()])
+        assert [f.rule_id for f in findings] == ["RD205"]

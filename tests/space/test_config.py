@@ -78,3 +78,44 @@ class TestSpaceConfig:
     def test_indivisible_input_raises(self):
         with pytest.raises(ValueError):
             SpaceConfig(name="bad", input_size=30, stages=(StageSpec(1, 8),))
+
+
+class TestChannelFactorValidation:
+    @staticmethod
+    def _config(factors):
+        return SpaceConfig(
+            name="factors",
+            stages=(StageSpec(1, 8),),
+            input_size=32,
+            channel_factors=factors,
+        )
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one channel factor"):
+            self._config(())
+
+    def test_zero_factor_raises(self):
+        with pytest.raises(ValueError, match=r"outside \(0, 1\]"):
+            self._config((0.0, 0.5))
+
+    def test_factor_above_one_raises(self):
+        with pytest.raises(ValueError, match=r"outside \(0, 1\]"):
+            self._config((0.5, 1.1))
+
+    def test_quantization_collision_raises(self):
+        # 0.75 and 0.8 both quantize to 0.8 on the LUT's one-decimal grid.
+        with pytest.raises(ValueError, match="one-decimal quantization"):
+            self._config((0.5, 0.75, 0.8, 1.0))
+
+    def test_exact_duplicate_raises(self):
+        with pytest.raises(ValueError, match="one-decimal quantization"):
+            self._config((0.5, 0.5, 1.0))
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError, match="sorted ascending"):
+            self._config((1.0, 0.5))
+
+    def test_off_grid_but_distinct_factors_accepted(self):
+        # mini() uses 0.75; quantizes to 0.8 without colliding.
+        cfg = self._config((0.5, 0.75, 1.0))
+        assert cfg.num_factors == 3
