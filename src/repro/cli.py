@@ -1,16 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the workflows a downstream user runs most:
+The subcommands cover the workflows a downstream user runs most:
 
 * ``search``  — one HSCoNAS pipeline run; prints the summary and writes
   a JSON artifact (architecture, metrics, per-generation history).
+* ``shrink``  — progressive space shrinking only (Sec. III-C); writes
+  the full decision trace with cache statistics.
 * ``predict`` — build and evaluate the latency predictor on a device;
   writes the LUT JSON next to the report.
 * ``table1``  — regenerate the Table-I comparison (baselines +
   HSCoNets) and write it as text and CSV.
 * ``front``   — NSGA-II accuracy/latency Pareto front; writes CSV.
 
-All artifacts land in ``--out`` (default ``./results``).
+All artifacts land in ``--out`` (default ``./results``). The
+evaluation-heavy commands (``search``, ``shrink``, ``predict``,
+``front``) accept ``--workers N`` to fan evaluation across N worker
+processes — results are bit-identical to serial (see
+``docs/parallel.md``); the default is serial.
 """
 
 from __future__ import annotations
@@ -58,6 +64,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         target_ms=args.target,
         seed=args.seed,
         evolution=EvolutionConfig(seed=args.seed),
+        workers=args.workers,
     )
     result = HSCoNAS(space, device, config).run()
     print(result.summary())
@@ -68,12 +75,15 @@ def cmd_search(args: argparse.Namespace) -> int:
         "layout": args.layout,
         "target_ms": args.target,
         "seed": args.seed,
+        "workers": args.workers,
         "architecture": result.arch.to_dict(),
         "top1_error": result.top1_error,
         "top5_error": result.top5_error,
         "predicted_latency_ms": result.predicted_latency_ms,
         "measured_latency_ms": result.measured_latency_ms,
         "bias_ms": result.bias_ms,
+        "cache_stats": result.search.cache_stats,
+        "shrink": result.shrink.to_dict() if result.shrink else None,
         "generations": [
             {
                 "index": g.index,
@@ -89,10 +99,85 @@ def cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shrink(args: argparse.Namespace) -> int:
+    from repro.core import (
+        EvaluationCache,
+        Objective,
+        ProgressiveSpaceShrinking,
+        SubspaceQuality,
+    )
+    from repro.parallel import ParallelEvaluator
+
+    space = _space(args.layout)
+    device = calibrated_devices()[args.device]
+    surrogate = AccuracySurrogate(space)
+    lut = LatencyLUT.build(
+        space, device, samples_per_cell=3, seed=args.seed, workers=args.workers
+    )
+    predictor = LatencyPredictor(lut, space)
+    profiler = OnDeviceProfiler(device, seed=args.seed)
+    predictor.calibrate_bias(space, profiler, num_archs=25, seed=args.seed + 1)
+    objective = Objective(
+        accuracy_fn=surrogate.proxy_accuracy,
+        latency_fn=predictor.predict,
+        target_ms=args.target,
+        latency_many_fn=predictor.predict_many,
+    )
+
+    cache = EvaluationCache()
+    with ParallelEvaluator(
+        objective.evaluate_many, workers=args.workers, cache=cache
+    ) as evaluator:
+        quality = SubspaceQuality(
+            objective,
+            num_samples=args.quality_samples,
+            seed=args.seed + 2,
+            cache=cache,
+            evaluator=evaluator,
+        )
+        result = ProgressiveSpaceShrinking(quality).run(space)
+        dispatch_stats = evaluator.stats()
+
+    removed = sum(result.orders_of_magnitude_removed())
+    print(
+        f"shrunk 10^{result.initial_log10_size:.1f} -> "
+        f"10^{result.stage_log10_sizes[-1]:.1f} architectures "
+        f"(-{removed:.1f} orders of magnitude, "
+        f"{result.quality_evaluations} quality evaluations)"
+    )
+    for stage in result.stages:
+        for d in stage:
+            print(
+                f"  layer {d.layer:2d}: fixed op {d.chosen_op} "
+                f"(margin {d.margin():.4f})"
+            )
+    if result.cache_stats is not None:
+        print(f"cache: {result.cache_stats}")
+
+    out = _ensure_out(args.out)
+    artifact = result.to_dict()
+    artifact.update(
+        {
+            "device": args.device,
+            "layout": args.layout,
+            "target_ms": args.target,
+            "seed": args.seed,
+            "workers": args.workers,
+            "dispatch_stats": dispatch_stats,
+        }
+    )
+    path = out / f"shrink_{args.device}_{args.layout}_{args.target:g}ms.json"
+    path.write_text(json.dumps(artifact, indent=2))
+    print(f"\ntrace written to {path}")
+    return 0
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
     space = _space(args.layout)
     device = calibrated_devices()[args.device]
-    lut = LatencyLUT.build(space, device, samples_per_cell=3, seed=args.seed)
+    lut = LatencyLUT.build(
+        space, device, samples_per_cell=3, seed=args.seed, workers=args.workers
+    )
     predictor = LatencyPredictor(lut, space)
     profiler = OnDeviceProfiler(device, seed=args.seed + 1)
     bias = predictor.calibrate_bias(space, profiler, num_archs=40,
@@ -182,6 +267,7 @@ def cmd_front(args: argparse.Namespace) -> int:
         accuracy_fn=surrogate.proxy_accuracy,
         latency_fn=predictor.predict,
         config=Nsga2Config(seed=args.seed),
+        workers=args.workers,
     ).run()
 
     print(f"{len(result.front)} Pareto points "
@@ -250,18 +336,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="artifact output directory (default: results)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_workers(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers", type=int, default=0,
+            help="evaluation worker processes; 0 = serial (the default), "
+                 "results are identical for any value",
+        )
+
     p = sub.add_parser("search", help="run one HSCoNAS pipeline")
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
     p.add_argument("--layout", choices=("a", "b"), default="a")
     p.add_argument("--target", type=float, default=34.0,
                    help="latency constraint T in ms")
     p.add_argument("--seed", type=int, default=0)
+    add_workers(p)
     p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("shrink",
+                       help="progressive space shrinking trace (Sec. III-C)")
+    p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
+    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--target", type=float, default=34.0,
+                   help="latency constraint T in ms")
+    p.add_argument("--quality-samples", type=int, default=100,
+                   help="N in the Eq. 4 quality estimate")
+    p.add_argument("--seed", type=int, default=0)
+    add_workers(p)
+    p.set_defaults(func=cmd_shrink)
 
     p = sub.add_parser("predict", help="build + evaluate the latency predictor")
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
     p.add_argument("--layout", choices=("a", "b"), default="a")
     p.add_argument("--seed", type=int, default=0)
+    add_workers(p)
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("table1", help="regenerate the Table-I comparison")
@@ -274,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
     p.add_argument("--layout", choices=("a", "b"), default="a")
     p.add_argument("--seed", type=int, default=0)
+    add_workers(p)
     p.set_defaults(func=cmd_front)
 
     p = sub.add_parser("energy",

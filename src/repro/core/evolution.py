@@ -68,6 +68,9 @@ class SearchResult:
     best: EvaluatedArch
     generations: List[GenerationRecord] = field(default_factory=list)
     num_evaluations: int = 0
+    # Hit/miss/size counters of the evaluation cache at the end of the
+    # run — how much of the search the memo actually absorbed.
+    cache_stats: Optional[dict] = None
 
     def all_evaluated(self) -> List[EvaluatedArch]:
         return [e for g in self.generations for e in g.population]
@@ -81,6 +84,7 @@ class SearchResult:
         return {
             "best": self.best.to_dict(),
             "num_evaluations": self.num_evaluations,
+            "cache_stats": self.cache_stats,
             "generations": [
                 {
                     "index": g.index,
@@ -94,6 +98,7 @@ class SearchResult:
     def from_dict(cls, payload: dict) -> "SearchResult":
         result = cls(best=EvaluatedArch.from_dict(payload["best"]))
         result.num_evaluations = int(payload["num_evaluations"])
+        result.cache_stats = payload.get("cache_stats")
         result.generations = [
             GenerationRecord(
                 index=int(g["index"]),
@@ -120,6 +125,11 @@ class EvolutionarySearch:
         architectures already scored there are free; by default the
         search memoizes privately (weight sharing makes re-evaluation
         cheap but the predictor result is deterministic anyway).
+    evaluator:
+        Optional :class:`~repro.parallel.ParallelEvaluator` that fans
+        each generation's evaluations across worker processes. Breeding
+        (all rng use) stays in the parent, so results are bit-identical
+        with or without it.
     """
 
     def __init__(
@@ -128,11 +138,13 @@ class EvolutionarySearch:
         objective: Objective,
         config: Optional[EvolutionConfig] = None,
         cache: Optional[EvaluationCache] = None,
+        evaluator=None,
     ):
         self.space = space
         self.objective = objective
         self.config = config if config is not None else EvolutionConfig()
         self.cache = cache if cache is not None else EvaluationCache()
+        self.evaluator = evaluator
 
     # -- genetic operators ------------------------------------------------------
 
@@ -183,18 +195,39 @@ class EvolutionarySearch:
     def _evaluate(self, arch: Architecture) -> EvaluatedArch:
         return self.cache.get_or_eval(arch, self.objective.evaluate)
 
+    def _eval_batch(self, archs: List[Architecture]) -> List[EvaluatedArch]:
+        """Score a batch through the cache (misses fan out if parallel).
+
+        Batched semantics are bit-identical to mapping :meth:`_evaluate`:
+        misses are evaluated in first-occurrence order, duplicate and
+        already-cached architectures cost the same hits, and
+        ``Objective.evaluate_many`` matches ``evaluate`` per item.
+        """
+        eval_many = (
+            self.evaluator.map
+            if self.evaluator is not None
+            else self.objective.evaluate_many
+        )
+        return self.cache.get_or_eval_many(archs, eval_many)
+
     # -- main loop ---------------------------------------------------------------
 
     def run(self) -> SearchResult:
-        """Run the EA; deterministic for a fixed config seed."""
+        """Run the EA; deterministic for a fixed config seed.
+
+        Each generation *breeds* first (every rng draw, dedup, and
+        containment check — parent-side, sequential) and *evaluates*
+        second (one batch). Evaluation consumes no randomness, so the
+        reordering leaves the rng stream — and therefore the whole
+        run — identical to evaluating each child as it is bred.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         misses_before = self.cache.misses
 
-        population = [
-            self._evaluate(self.space.sample(rng))
-            for _ in range(cfg.population_size)
-        ]
+        population = self._eval_batch(
+            [self.space.sample(rng) for _ in range(cfg.population_size)]
+        )
         result = SearchResult(best=max(population, key=lambda e: e.score))
         result.generations.append(GenerationRecord(0, list(population)))
 
@@ -203,11 +236,11 @@ class EvolutionarySearch:
             parents = ranked[: cfg.num_parents]
             # Elitism: parents survive; the rest of the population is
             # regenerated from them.
-            children: List[EvaluatedArch] = []
+            child_archs: List[Architecture] = []
             seen = {p.arch.key() for p in parents}
             attempts = 0
             needed = cfg.population_size - len(parents)
-            while len(children) < needed and attempts < needed * 40:
+            while len(child_archs) < needed and attempts < needed * 40:
                 attempts += 1
                 child = self._make_child(parents, rng)
                 if child.key() in seen:
@@ -215,10 +248,11 @@ class EvolutionarySearch:
                 if not self.space.contains(child):
                     continue
                 seen.add(child.key())
-                children.append(self._evaluate(child))
+                child_archs.append(child)
             # If dedup starved us (tiny shrunk spaces), fill with samples.
-            while len(children) < needed:
-                children.append(self._evaluate(self.space.sample(rng)))
+            while len(child_archs) < needed:
+                child_archs.append(self.space.sample(rng))
+            children = self._eval_batch(child_archs)
             population = parents + children
             record = GenerationRecord(gen, list(population))
             result.generations.append(record)
@@ -229,6 +263,7 @@ class EvolutionarySearch:
         # ``len(private_dict)`` accounting when the cache is private, and
         # still meaningful when a shared cache arrives pre-warmed.
         result.num_evaluations = self.cache.misses - misses_before
+        result.cache_stats = self.cache.stats()
         return result
 
 

@@ -143,6 +143,7 @@ class Nsga2Search:
         latency_fn: Callable[[Architecture], float],
         config: Nsga2Config = Nsga2Config(),
         cache: Optional[EvaluationCache] = None,
+        workers: int = 0,
     ):
         self.space = space
         self.accuracy_fn = accuracy_fn
@@ -152,6 +153,9 @@ class Nsga2Search:
         # ever hold BiObjective values (i.e. be private to NSGA-II runs
         # over the same accuracy/latency functions).
         self.cache = cache if cache is not None else EvaluationCache()
+        # Worker processes for population evaluation; 0/1 = serial.
+        # Results are identical either way (see docs/parallel.md).
+        self.workers = workers
 
     # -- evaluation -------------------------------------------------------------
 
@@ -164,6 +168,17 @@ class Nsga2Search:
                 accuracy=self.accuracy_fn(a),
             ),
         )
+
+    def eval_many(self, archs: List[Architecture]) -> List[BiObjective]:
+        """Uncached batch scoring (the worker-pool chunk function)."""
+        return [
+            BiObjective(
+                arch=a,
+                latency_ms=self.latency_fn(a),
+                accuracy=self.accuracy_fn(a),
+            )
+            for a in archs
+        ]
 
     # -- genetic operators (same shapes as the Sec. III-D EA) -------------------
 
@@ -231,41 +246,59 @@ class Nsga2Search:
         return corners
 
     def run(self) -> Nsga2Result:
+        """Run NSGA-II; deterministic for a fixed config seed.
+
+        As in :class:`~repro.core.evolution.EvolutionarySearch`, each
+        generation breeds first (all rng use, parent-side) and scores
+        the offspring in one cached batch — with ``workers >= 2`` the
+        batch fans out across processes, with identical results.
+        """
+        from repro.parallel.pool import WorkerPool
+
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         misses_before = self.cache.misses
-        seeds: List[Architecture] = (
-            self._corner_architectures() if cfg.seed_corners else []
-        )
-        seeds = seeds[: cfg.population_size // 2]
-        population = [self._evaluate(arch) for arch in seeds]
-        population += [
-            self._evaluate(self.space.sample(rng))
-            for _ in range(cfg.population_size - len(population))
-        ]
+        with WorkerPool(self.eval_many, workers=self.workers) as pool:
 
-        for _ in range(cfg.generations - 1):
-            ranked = self._rank_population(population)
-            parents = [population[i] for i in ranked[: cfg.population_size // 2]]
-            children: List[BiObjective] = []
-            seen = {p.arch.key() for p in parents}
-            attempts = 0
-            needed = cfg.population_size - len(parents)
-            while len(children) < needed and attempts < needed * 40:
-                attempts += 1
-                child = parents[int(rng.integers(len(parents)))].arch
-                if rng.random() < cfg.crossover_prob and len(parents) > 1:
-                    other = parents[int(rng.integers(len(parents)))].arch
-                    child = self._crossover(child, other, rng)
-                if rng.random() < cfg.mutation_prob:
-                    child = self._mutate(child, rng)
-                if child.key() in seen or not self.space.contains(child):
-                    continue
-                seen.add(child.key())
-                children.append(self._evaluate(child))
-            while len(children) < needed:
-                children.append(self._evaluate(self.space.sample(rng)))
-            population = parents + children
+            def eval_batch(archs: List[Architecture]) -> List[BiObjective]:
+                return self.cache.get_or_eval_many(archs, pool.map)
+
+            seeds: List[Architecture] = (
+                self._corner_architectures() if cfg.seed_corners else []
+            )
+            seeds = seeds[: cfg.population_size // 2]
+            population = eval_batch(
+                seeds
+                + [
+                    self.space.sample(rng)
+                    for _ in range(cfg.population_size - len(seeds))
+                ]
+            )
+
+            for _ in range(cfg.generations - 1):
+                ranked = self._rank_population(population)
+                parents = [
+                    population[i] for i in ranked[: cfg.population_size // 2]
+                ]
+                child_archs: List[Architecture] = []
+                seen = {p.arch.key() for p in parents}
+                attempts = 0
+                needed = cfg.population_size - len(parents)
+                while len(child_archs) < needed and attempts < needed * 40:
+                    attempts += 1
+                    child = parents[int(rng.integers(len(parents)))].arch
+                    if rng.random() < cfg.crossover_prob and len(parents) > 1:
+                        other = parents[int(rng.integers(len(parents)))].arch
+                        child = self._crossover(child, other, rng)
+                    if rng.random() < cfg.mutation_prob:
+                        child = self._mutate(child, rng)
+                    if child.key() in seen or not self.space.contains(child):
+                        continue
+                    seen.add(child.key())
+                    child_archs.append(child)
+                while len(child_archs) < needed:
+                    child_archs.append(self.space.sample(rng))
+                population = parents + eval_batch(child_archs)
 
         fronts = non_dominated_sort(population)
         front = sorted(

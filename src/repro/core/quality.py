@@ -12,11 +12,21 @@ gather; an optional shared :class:`~repro.core.cache.EvaluationCache`
 additionally makes architectures re-drawn across overlapping subspaces
 free. Neither changes the estimate: draws, per-architecture scores, and
 the accumulation order are identical to the one-at-a-time loop.
+
+Seeding is keyed by an explicit **estimate index**, not by call order:
+estimate ``i`` always draws from ``SeedSequence(seed, spawn_key=(i,))``
+— the same stream the i-th ``spawn()`` child of ``SeedSequence(seed)``
+would produce, so historical results are unchanged — which makes a
+subspace's draw independent of *when* it is evaluated. That is both a
+reproducibility fix (inserting an extra estimate no longer perturbs
+every later one) and the property that lets :meth:`estimate_many` hand
+a batch of subspaces to a :class:`~repro.parallel.ParallelEvaluator`
+in any dispatch order and still match the serial loop bit for bit.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -35,13 +45,19 @@ class SubspaceQuality:
     num_samples:
         ``N`` in Eq. 4; the paper fixes 100.
     seed:
-        Base seed; every :meth:`estimate` call advances an internal
-        counter so repeated estimates of *different* subspaces use
-        independent draws while a fresh estimator is fully reproducible.
+        Base seed. Estimate ``i`` uses the stream
+        ``SeedSequence(seed, spawn_key=(i,))``; callers may pass ``i``
+        explicitly, otherwise an internal counter allocates the next
+        index — so a fresh estimator remains fully reproducible while
+        explicit indices decouple draws from evaluation order.
     cache:
         Optional shared evaluation cache. ``evaluations`` still counts
         every F() draw (the paper's complexity accounting), even when a
         draw is served from cache.
+    evaluator:
+        Optional :class:`~repro.parallel.ParallelEvaluator` that fans
+        the N objective evaluations out across worker processes.
+        Results are bit-identical with or without it.
     """
 
     def __init__(
@@ -50,28 +66,116 @@ class SubspaceQuality:
         num_samples: int = 100,
         seed: int = 0,
         cache: Optional[EvaluationCache] = None,
+        evaluator=None,
     ):
         if num_samples < 1:
             raise ValueError("num_samples must be >= 1")
         self.objective = objective
         self.num_samples = num_samples
-        self._seed_seq = np.random.SeedSequence(seed)
+        self._entropy = seed
+        self._next_index = 0
         self.evaluations = 0  # total F() calls, for the complexity claim
         self.cache = cache
+        self.evaluator = evaluator
 
-    def estimate(self, subspace: SearchSpace, rng: Optional[np.random.Generator] = None) -> float:
-        """``Q(subspace)`` — the mean objective of N uniform samples."""
+    # -- seeding -----------------------------------------------------------------
+
+    def rng_for(self, index: int) -> np.random.Generator:
+        """The generator estimate ``index`` draws its N samples from."""
+        if index < 0:
+            raise ValueError("estimate index must be >= 0")
+        return np.random.default_rng(
+            np.random.SeedSequence(self._entropy, spawn_key=(index,))
+        )
+
+    def reserve_indices(self, count: int) -> List[int]:
+        """Claim the next ``count`` estimate indices (for batched calls)."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        start = self._next_index
+        self._next_index += count
+        return list(range(start, start + count))
+
+    # -- estimation --------------------------------------------------------------
+
+    def _eval_many_fn(self):
+        if self.evaluator is not None:
+            return self.evaluator.map
+        return self.objective.evaluate_many
+
+    def estimate(
+        self,
+        subspace: SearchSpace,
+        rng: Optional[np.random.Generator] = None,
+        index: Optional[int] = None,
+    ) -> float:
+        """``Q(subspace)`` — the mean objective of N uniform samples.
+
+        ``index`` pins the sample stream regardless of call order;
+        without it the internal counter assigns the next index. An
+        explicit ``rng`` bypasses indexed seeding entirely (the caller
+        owns the stream).
+        """
         if rng is None:
-            rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
+            if index is None:
+                (index,) = self.reserve_indices(1)
+            rng = self.rng_for(index)
         archs = [subspace.sample(rng) for _ in range(self.num_samples)]
+        eval_many = self._eval_many_fn()
         if self.cache is not None:
-            evaluated = self.cache.get_or_eval_many(
-                archs, self.objective.evaluate_many
-            )
+            evaluated = self.cache.get_or_eval_many(archs, eval_many)
         else:
-            evaluated = self.objective.evaluate_many(archs)
+            evaluated = eval_many(archs)
         self.evaluations += self.num_samples
         total = 0.0
         for e in evaluated:
             total += e.score
         return total / self.num_samples
+
+    def estimate_many(
+        self,
+        subspaces: Sequence[SearchSpace],
+        indices: Optional[Sequence[int]] = None,
+    ) -> List[float]:
+        """``Q`` for several subspaces with one batched evaluation.
+
+        Sampling happens up front (per-subspace, from each subspace's
+        indexed stream), then the concatenated sample is scored in a
+        single ``evaluate_many``/cache call — with a parallel evaluator
+        the whole ``len(subspaces) x N`` batch fans out at once instead
+        of subspace by subspace. Bit-identical to calling
+        :meth:`estimate` per subspace with the same indices: draws and
+        per-architecture scores match, and a shared cache sees the same
+        first-occurrence evaluation order, so hit/miss totals agree.
+        """
+        subspaces = list(subspaces)
+        if not subspaces:
+            return []
+        if indices is None:
+            indices = self.reserve_indices(len(subspaces))
+        indices = list(indices)
+        if len(indices) != len(subspaces):
+            raise ValueError(
+                f"got {len(indices)} indices for {len(subspaces)} subspaces"
+            )
+        all_archs = []
+        for subspace, index in zip(subspaces, indices):
+            rng = self.rng_for(index)
+            all_archs.extend(
+                subspace.sample(rng) for _ in range(self.num_samples)
+            )
+        eval_many = self._eval_many_fn()
+        if self.cache is not None:
+            evaluated = self.cache.get_or_eval_many(all_archs, eval_many)
+        else:
+            evaluated = eval_many(all_archs)
+        self.evaluations += self.num_samples * len(subspaces)
+        qualities = []
+        for group in range(len(subspaces)):
+            total = 0.0
+            for e in evaluated[
+                group * self.num_samples : (group + 1) * self.num_samples
+            ]:
+                total += e.score
+            qualities.append(total / self.num_samples)
+        return qualities

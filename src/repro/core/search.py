@@ -30,6 +30,7 @@ from repro.hardware.ledger import MeasurementLedger
 from repro.hardware.lut import LatencyLUT
 from repro.hardware.predictor import LatencyPredictor
 from repro.hardware.profiler import OnDeviceProfiler
+from repro.parallel.evaluator import ParallelEvaluator
 from repro.space.architecture import Architecture
 from repro.space.search_space import SearchSpace
 
@@ -50,6 +51,10 @@ class HSCoNASConfig:
     # Evolutionary search (Sec. III-D).
     evolution: EvolutionConfig = field(default_factory=EvolutionConfig)
     seed: int = 0
+    # Worker processes for LUT profiling, quality estimates, and EA
+    # population scoring; 0/1 = serial. A pure wall-clock knob: results
+    # are bit-identical for any value (see docs/parallel.md).
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.target_ms <= 0:
@@ -58,6 +63,8 @@ class HSCoNASConfig:
             raise ValueError("beta must be negative")
         if self.lut_samples_per_cell < 1 or self.bias_calibration_archs < 1:
             raise ValueError("LUT/bias sampling counts must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
 
 
 @dataclass
@@ -145,6 +152,7 @@ class HSCoNAS:
             samples_per_cell=cfg.lut_samples_per_cell,
             seed=cfg.seed,
             ledger=self.ledger,
+            workers=cfg.workers,
         )
         predictor = LatencyPredictor(lut, self.space, ledger=self.ledger)
         predictor.calibrate_bias(
@@ -174,44 +182,64 @@ class HSCoNAS:
         # computed during shrinking is still valid when the EA re-visits
         # the same architecture.
         eval_cache = EvaluationCache()
+        # One set of worker processes likewise serves both phases; with
+        # workers <= 1 the evaluator degrades to calling evaluate_many
+        # inline, so the serial pipeline is untouched. Worker-side
+        # evaluations query the predictor in the workers' address space,
+        # where its ledger increments are lost — the hook replays them
+        # (one query per architecture) so search-cost accounting matches
+        # the serial run.
+        evaluator = ParallelEvaluator(
+            objective.evaluate_many,
+            workers=cfg.workers,
+            on_worker_items=self.ledger.record_prediction,
+        )
 
         # From here until the final verification measurement the search
         # is measurement-free — the property Eq. 2-3 buys. The frozen
         # ledger turns an accidental on-device call into a hard error.
         self.ledger.freeze_measurements()
 
-        shrink_result: Optional[ShrinkResult] = None
-        search_space = self.space
-        if cfg.enable_shrinking:
-            quality = SubspaceQuality(
-                objective,
-                num_samples=cfg.quality_samples,
-                seed=cfg.seed + 2,
-                cache=eval_cache,
-            )
-            shrinker = ProgressiveSpaceShrinking(
-                quality, stage_layers=cfg.shrink_stage_layers
-            )
-            shrink_result = shrinker.run(search_space)
-            assert shrink_result.final_space is not None
-            search_space = shrink_result.final_space
+        try:
+            shrink_result: Optional[ShrinkResult] = None
+            search_space = self.space
+            if cfg.enable_shrinking:
+                quality = SubspaceQuality(
+                    objective,
+                    num_samples=cfg.quality_samples,
+                    seed=cfg.seed + 2,
+                    cache=eval_cache,
+                    evaluator=evaluator,
+                )
+                shrinker = ProgressiveSpaceShrinking(
+                    quality, stage_layers=cfg.shrink_stage_layers
+                )
+                shrink_result = shrinker.run(search_space)
+                assert shrink_result.final_space is not None
+                search_space = shrink_result.final_space
 
-        # The EA seed is always derived from the pipeline seed so that
-        # one knob controls the whole run's determinism; the rest of the
-        # EvolutionConfig (budgets, probabilities) is honoured as given.
-        evolution_cfg = EvolutionConfig(
-            generations=cfg.evolution.generations,
-            population_size=cfg.evolution.population_size,
-            num_parents=cfg.evolution.num_parents,
-            crossover_prob=cfg.evolution.crossover_prob,
-            mutation_prob=cfg.evolution.mutation_prob,
-            per_layer_mutation_prob=cfg.evolution.per_layer_mutation_prob,
-            seed=cfg.seed + 3,
-        )
-        search = EvolutionarySearch(
-            search_space, objective, evolution_cfg, cache=eval_cache
-        )
-        search_result = search.run()
+            # The EA seed is always derived from the pipeline seed so that
+            # one knob controls the whole run's determinism; the rest of the
+            # EvolutionConfig (budgets, probabilities) is honoured as given.
+            evolution_cfg = EvolutionConfig(
+                generations=cfg.evolution.generations,
+                population_size=cfg.evolution.population_size,
+                num_parents=cfg.evolution.num_parents,
+                crossover_prob=cfg.evolution.crossover_prob,
+                mutation_prob=cfg.evolution.mutation_prob,
+                per_layer_mutation_prob=cfg.evolution.per_layer_mutation_prob,
+                seed=cfg.seed + 3,
+            )
+            search = EvolutionarySearch(
+                search_space,
+                objective,
+                evolution_cfg,
+                cache=eval_cache,
+                evaluator=evaluator,
+            )
+            search_result = search.run()
+        finally:
+            evaluator.close()
 
         self.ledger.thaw_measurements()
         best = search_result.best.arch

@@ -51,6 +51,10 @@ class ShrinkResult:
     stage_log10_sizes: List[float] = field(default_factory=list)
     quality_evaluations: int = 0
     final_space: Optional[SearchSpace] = None
+    # Shared-cache effectiveness: cumulative counters snapshotted after
+    # each stage, and at the end of the run (None without a cache).
+    stage_cache_stats: List[Dict[str, int]] = field(default_factory=list)
+    cache_stats: Optional[Dict[str, int]] = None
 
     def decisions(self) -> List[ShrinkDecision]:
         return [d for stage in self.stages for d in stage]
@@ -63,6 +67,28 @@ class ShrinkResult:
             out.append(prev - size)
             prev = size
         return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready trace of the run (for CLI artifacts)."""
+        return {
+            "initial_log10_size": self.initial_log10_size,
+            "stage_log10_sizes": list(self.stage_log10_sizes),
+            "quality_evaluations": self.quality_evaluations,
+            "stages": [
+                [
+                    {
+                        "layer": d.layer,
+                        "qualities": {str(op): q for op, q in d.qualities.items()},
+                        "chosen_op": d.chosen_op,
+                        "margin": d.margin(),
+                    }
+                    for d in stage
+                ]
+                for stage in self.stages
+            ],
+            "stage_cache_stats": list(self.stage_cache_stats),
+            "cache_stats": self.cache_stats,
+        }
 
 
 def default_stage_layers(num_layers: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
@@ -116,11 +142,22 @@ class ProgressiveSpaceShrinking:
     def shrink_layer(
         self, space: SearchSpace, layer: int
     ) -> Tuple[SearchSpace, ShrinkDecision]:
-        """Fix the best operator for one layer (later layers already fixed)."""
-        qualities: Dict[int, float] = {}
-        for op in space.candidate_ops[layer]:
-            subspace = space.restrict_to_operator_subspace(layer, op)
-            qualities[op] = self.quality.estimate(subspace)
+        """Fix the best operator for one layer (later layers already fixed).
+
+        The K candidate-operator subspaces are scored in one
+        :meth:`~repro.core.quality.SubspaceQuality.estimate_many` call —
+        with a parallel evaluator all ``K x N`` objective evaluations
+        fan out together. Estimate indices are reserved up front in
+        candidate order, so the draws (and therefore every Q value and
+        the insertion-order tie-break) match the sequential loop.
+        """
+        ops = list(space.candidate_ops[layer])
+        subspaces = [
+            space.restrict_to_operator_subspace(layer, op) for op in ops
+        ]
+        indices = self.quality.reserve_indices(len(ops))
+        estimates = self.quality.estimate_many(subspaces, indices)
+        qualities: Dict[int, float] = dict(zip(ops, estimates))
         chosen = max(qualities, key=lambda op: qualities[op])
         return space.fix_operator(layer, chosen), ShrinkDecision(
             layer=layer, qualities=qualities, chosen_op=chosen
@@ -135,6 +172,7 @@ class ProgressiveSpaceShrinking:
         )
         evals_before = self.quality.evaluations
         result = ShrinkResult(initial_log10_size=space.log10_size())
+        cache = getattr(self.quality, "cache", None)
         for stage_idx, layers in enumerate(stage_layers):
             decisions: List[ShrinkDecision] = []
             for layer in layers:
@@ -142,13 +180,22 @@ class ProgressiveSpaceShrinking:
                 decisions.append(decision)
             result.stages.append(decisions)
             result.stage_log10_sizes.append(space.log10_size())
+            if cache is not None:
+                result.stage_cache_stats.append(cache.stats())
             if self.tune_hook is not None and stage_idx < len(stage_layers) - 1:
                 self.tune_hook(space, stage_idx)
-                cache = getattr(self.quality, "cache", None)
                 if cache is not None:
                     cache.clear()
+                # Tuning changed the weights the evaluation function
+                # reads; a parallel evaluator must propagate that to its
+                # workers (shared-memory refresh or pool restart).
+                evaluator = getattr(self.quality, "evaluator", None)
+                if evaluator is not None:
+                    evaluator.sync()
         result.final_space = space
         result.quality_evaluations = self.quality.evaluations - evals_before
+        if cache is not None:
+            result.cache_stats = cache.stats()
         return result
 
 

@@ -101,45 +101,75 @@ class LatencyLUT:
         samples_per_cell: int = 4,
         seed: int = 0,
         ledger=None,
+        workers: int = 0,
     ) -> "LatencyLUT":
         """Micro-benchmark every operator cell on the device.
 
         Each cell averages ``samples_per_cell`` noisy measurements, as a
         real micro-benchmark would. With a ``ledger``, the number of
         profiled cells is recorded for search-cost accounting.
+
+        Cells are enumerated once (stem, head widths, then operator
+        cells in layer/cin/op/factor order) and cell ``i`` draws its
+        measurement noise from ``SeedSequence(seed, spawn_key=(i,))`` —
+        every cell's value depends only on its own identity, never on
+        profiling order. That is what lets ``workers >= 2`` fan the
+        profiling out across processes with bit-identical results;
+        ``workers=0`` (default) profiles serially in-process.
         """
         if samples_per_cell < 1:
             raise ValueError("samples_per_cell must be >= 1")
-        rng = np.random.default_rng(seed)
-        entries: Dict[_Key, float] = {}
         sigma = device.spec.noise_sigma
 
-        def measured(base: float) -> float:
-            if sigma > 0 and base > 0:
-                times = base * np.exp(
-                    rng.normal(0.0, sigma, size=samples_per_cell)
-                )
-                return float(np.mean(times))
-            return base
-
-        stem_ms = measured(device.primitives_time_ms(space.stem_primitives()))
-        head_ms: Dict[int, float] = {}
+        # Deterministic cell enumeration; the position in this list is
+        # the cell's seed index.
+        tasks: List[Tuple] = [("stem", 0, 0, 0, 0.0)]
+        head_cins: List[int] = []
         last_max = space.geometry[-1].max_out_channels
         for factor in space.candidate_factors[-1]:
             cin = channels_kept(last_max, factor)
-            if cin not in head_ms:
-                head_ms[cin] = measured(
-                    device.primitives_time_ms(space.head_primitives(cin))
-                )
-
+            if cin not in head_cins:
+                head_cins.append(cin)
+                tasks.append(("head", 0, 0, cin, 0.0))
         for layer in range(space.num_layers):
             for cin in layer_cin_choices(space, layer):
                 for op in space.candidate_ops[layer]:
                     for factor in space.candidate_factors[layer]:
-                        base = device.operator_time_ms(
-                            space, layer, op, factor, cin
-                        )
-                        entries[_cell_key(layer, op, cin, factor)] = measured(base)
+                        tasks.append(("cell", layer, op, cin, factor))
+
+        def profile_chunk(chunk: List[Tuple[int, Tuple]]) -> List[float]:
+            out = []
+            for index, (kind, layer, op, cin, factor) in chunk:
+                if kind == "stem":
+                    base = device.primitives_time_ms(space.stem_primitives())
+                elif kind == "head":
+                    base = device.primitives_time_ms(space.head_primitives(cin))
+                else:
+                    base = device.operator_time_ms(space, layer, op, factor, cin)
+                if sigma > 0 and base > 0:
+                    rng = np.random.default_rng(
+                        np.random.SeedSequence(seed, spawn_key=(index,))
+                    )
+                    times = base * np.exp(
+                        rng.normal(0.0, sigma, size=samples_per_cell)
+                    )
+                    base = float(np.mean(times))
+                out.append(base)
+            return out
+
+        from repro.parallel.pool import WorkerPool
+
+        with WorkerPool(profile_chunk, workers=workers) as pool:
+            values = pool.map(list(enumerate(tasks)))
+
+        stem_ms = values[0]
+        head_ms: Dict[int, float] = {}
+        entries: Dict[_Key, float] = {}
+        for (kind, layer, op, cin, factor), ms in zip(tasks[1:], values[1:]):
+            if kind == "head":
+                head_ms[cin] = ms
+            else:
+                entries[_cell_key(layer, op, cin, factor)] = ms
         if ledger is not None:
             ledger.record_lut_cells(len(entries) + 1 + len(head_ms))
         return cls(device.spec.key, entries, stem_ms=stem_ms, head_ms=head_ms)

@@ -12,8 +12,10 @@ or is structurally prone to:
   LUT cells. Keys must be quantized (``round``/``_quantize_factor``).
 * **RL103 workspace-mutation** — arrays handed out by cache/workspace
   accessors (``Im2colWorkspace.get``, ``LatencyLUT.as_table``,
-  ``EvaluationCache.get_or_eval``) are shared; mutating them in place
-  corrupts every other alias (the im2col aliasing hazard).
+  ``EvaluationCache.get_or_eval``, ``SharedWeightStore.shared_view``)
+  are shared; mutating them in place corrupts every other alias (the
+  im2col aliasing hazard — or, for shared-memory views, every worker
+  process at once).
 * **RL104 mutable-default** — mutable default arguments alias across
   calls.
 * **RL105 bare-except** — a bare ``except:`` swallows
@@ -109,7 +111,15 @@ _GLOBAL_RANDOM_FNS = {
 }
 
 # Accessor method names whose return value is a shared buffer (RL103).
-_SHARED_ACCESSORS = {"as_table", "get_or_eval", "get_or_eval_many"}
+# ``shared_view`` is the SharedWeightStore accessor: its arrays alias
+# memory mapped into every worker process, so in-place mutation corrupts
+# concurrent evaluations (not just other call sites).
+_SHARED_ACCESSORS = {
+    "as_table",
+    "get_or_eval",
+    "get_or_eval_many",
+    "shared_view",
+}
 # ``.get(...)`` only counts when the receiver looks like a workspace or
 # cache object — plain dict.get is not a shared-buffer accessor.
 _SHARED_RECEIVER_HINTS = ("workspace", "cache")

@@ -1,0 +1,29 @@
+"""Process-pool evaluation engine: parallel search, bit-exact with serial.
+
+Layers, bottom to top:
+
+* :class:`~repro.parallel.pool.WorkerPool` — forked workers, chunked
+  order-preserving dispatch, crash retry with serial fallback.
+* :class:`~repro.parallel.shared_weights.SharedWeightStore` — supernet
+  parameters in shared memory; workers mount read-only views, the owner
+  refreshes after tuning.
+* :class:`~repro.parallel.evaluator.ParallelEvaluator` — the object the
+  search stack talks to: batched evaluation with parent-side caching
+  and worker-state synchronization.
+
+See ``docs/parallel.md`` for the architecture and determinism
+guarantees.
+"""
+
+from repro.parallel.evaluator import ParallelEvaluator
+from repro.parallel.pool import WorkerPool, fork_available, resolve_workers
+from repro.parallel.shared_weights import SharedWeightHandle, SharedWeightStore
+
+__all__ = [
+    "ParallelEvaluator",
+    "SharedWeightHandle",
+    "SharedWeightStore",
+    "WorkerPool",
+    "fork_available",
+    "resolve_workers",
+]

@@ -1,0 +1,172 @@
+"""Cache- and weight-store-aware front end over :class:`WorkerPool`.
+
+One :class:`ParallelEvaluator` wraps one batched evaluation function
+(typically :meth:`~repro.core.objective.Objective.evaluate_many`) and is
+shared by every search phase that scores architectures — subspace
+quality, progressive shrinking, and the evolutionary search — so a
+single set of forked workers serves the whole run.
+
+The division of labour that keeps parallel runs bit-exact with serial:
+
+* **All randomness stays in the parent.** Architectures are sampled (or
+  bred) before dispatch; the evaluation function draws nothing.
+* **The cache stays in the parent.** Callers route batches through
+  :meth:`~repro.core.cache.EvaluationCache.get_or_eval_many` with
+  :meth:`map` as the miss evaluator, so deduplication, hit/miss
+  accounting, and insertion order are byte-for-byte the serial
+  semantics; only the deduplicated misses fan out to workers.
+* **Order survives dispatch.** :class:`WorkerPool` reassembles chunk
+  results by index, independent of worker scheduling.
+
+With ``workers <= 1`` (the default) every call degrades to invoking the
+evaluation function inline — the evaluator is then pure plumbing, which
+is what makes ``workers`` a wall-clock-only knob.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.cache import EvaluationCache
+from repro.parallel.pool import WorkerPool
+from repro.parallel.shared_weights import SharedWeightStore
+
+
+class ParallelEvaluator:
+    """Fan a batched evaluation function out across worker processes.
+
+    Parameters
+    ----------
+    eval_many_fn:
+        ``archs -> results``, one result per architecture, deterministic
+        per architecture. Captured by the workers at fork time (never
+        pickled), so closures over objectives/predictors/trainers work.
+    workers:
+        Worker process count; ``<= 1`` evaluates inline in the parent.
+    cache:
+        Optional :class:`EvaluationCache` consulted by
+        :meth:`evaluate_many`. Lives in the parent only — workers never
+        see it — so cache semantics are identical to serial runs.
+    weight_store, source_module:
+        Optional shared-memory weight block and the live module it
+        mirrors. When both are set, :meth:`sync` refreshes the block in
+        place (running workers observe the update); otherwise
+        :meth:`sync` restarts the pool so the next fork snapshots
+        current parent state.
+    on_worker_items:
+        Optional ``count -> None`` callback invoked after each
+        :meth:`map` with the number of items that were evaluated in
+        worker processes (parent-side evaluations are excluded). Side
+        effects the evaluation function performs on parent state —
+        ledger accounting, most relevantly — happen in the workers'
+        address space and vanish with them; this hook lets the owner
+        replay them, keeping cost accounting identical to serial runs.
+    chunk_size, max_retries:
+        Forwarded to :class:`WorkerPool`.
+    """
+
+    def __init__(
+        self,
+        eval_many_fn: Callable[[List], Sequence],
+        workers: int = 0,
+        cache: Optional[EvaluationCache] = None,
+        weight_store: Optional[SharedWeightStore] = None,
+        source_module=None,
+        on_worker_items: Optional[Callable[[int], None]] = None,
+        chunk_size: Optional[int] = None,
+        max_retries: int = 1,
+    ):
+        self._pool = WorkerPool(
+            eval_many_fn,
+            workers=workers,
+            chunk_size=chunk_size,
+            max_retries=max_retries,
+        )
+        self.cache = cache
+        self.weight_store = weight_store
+        self.source_module = source_module
+        self.on_worker_items = on_worker_items
+        self.batches = 0
+
+    # -- evaluation --------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    @property
+    def parallel(self) -> bool:
+        """Whether evaluations actually run in worker processes."""
+        return self._pool.parallel
+
+    def map(self, archs: Sequence) -> List:
+        """Evaluate ``archs`` (no caching), preserving input order."""
+        archs = list(archs)
+        self.batches += 1
+        parent_before = self._pool.items_run_in_parent
+        results = self._pool.map(archs)
+        if self.on_worker_items is not None:
+            in_parent = self._pool.items_run_in_parent - parent_before
+            if len(archs) > in_parent:
+                self.on_worker_items(len(archs) - in_parent)
+        return results
+
+    def evaluate_many(self, archs: Sequence) -> List:
+        """Evaluate ``archs`` through the shared cache, if one is set.
+
+        Cache lookups, dedup, and bookkeeping happen parent-side; only
+        the missing architectures are dispatched to workers.
+        """
+        if self.cache is not None:
+            return self.cache.get_or_eval_many(archs, self.map)
+        return self.map(archs)
+
+    # -- state synchronization ----------------------------------------------------
+
+    def sync(self, module=None) -> str:
+        """Make workers see the parent's current evaluation state.
+
+        Call after anything the evaluation function depends on mutates
+        (e.g. supernet tuning between shrinking stages). With a weight
+        store, the shared block is refreshed in place and running
+        workers pick the new weights up immediately; without one, the
+        worker processes are restarted so the next dispatch re-forks
+        from current parent memory. Returns which strategy ran
+        (``"refreshed"`` / ``"restarted"``) for logging.
+        """
+        source = module if module is not None else self.source_module
+        if self.weight_store is not None and source is not None:
+            self.weight_store.refresh_from(source)
+            return "refreshed"
+        self._pool.restart()
+        return "restarted"
+
+    # -- observability -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Dispatch/fault counters for run artifacts and logs."""
+        out = {
+            "workers": self._pool.workers,
+            "parallel": self._pool.parallel,
+            "batches": self.batches,
+            "chunks_dispatched": self._pool.chunks_dispatched,
+            "chunk_retries": self._pool.chunk_retries,
+            "serial_fallbacks": self._pool.serial_fallbacks,
+            "pool_rebuilds": self._pool.pool_rebuilds,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut worker processes down (the weight store is not closed:
+        the evaluator borrows it, the creator owns its lifecycle)."""
+        self._pool.close()
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

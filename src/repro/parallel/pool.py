@@ -1,0 +1,254 @@
+"""Fork-based worker pool: chunked, order-preserving parallel map.
+
+The pool is the machinery under :class:`~repro.parallel.ParallelEvaluator`
+and the parallel LUT build. Design constraints, in order:
+
+1. **Determinism** — results are keyed by chunk index and reassembled in
+   submission order, so the output is independent of worker scheduling.
+   The chunk function itself must be deterministic per item (every
+   search-stack evaluation function is); the pool adds no randomness.
+2. **No pickling of the work function** — the pool only starts under the
+   ``fork`` start method, where the chunk function (typically a closure
+   over an :class:`~repro.core.objective.Objective`, a device model, or
+   a trainer) is inherited by reference at fork time. Only the *items*
+   and *results* cross the process boundary and must be picklable.
+3. **Crash containment** — a worker dying (OOM kill, segfault, explicit
+   ``SIGKILL``) breaks the executor; the pool rebuilds it and retries
+   the in-flight chunks, and any chunk that keeps failing is evaluated
+   serially in the parent. A crashed worker can therefore never change
+   results — only cost wall-clock.
+4. **Bounded in-flight work** — at most ``inflight_per_worker`` chunks
+   per worker are submitted at a time, bounding parent-side memory for
+   pickled tasks and pending results.
+
+Platforms without ``fork`` (Windows, macOS under spawn) degrade to the
+serial path — same results, no processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+# Worker-side chunk function, installed once per worker process by the
+# pool initializer. Module-level so the task sent through the call queue
+# is just ``(_run_chunk, chunk_id, items)`` — always picklable.
+_WORKER_CHUNK_FN: Optional[Callable] = None
+
+
+def _init_worker(chunk_fn: Callable) -> None:
+    global _WORKER_CHUNK_FN
+    _WORKER_CHUNK_FN = chunk_fn
+
+
+def _run_chunk(chunk_id: int, items: List) -> tuple:
+    assert _WORKER_CHUNK_FN is not None, "worker initializer did not run"
+    return chunk_id, list(_WORKER_CHUNK_FN(items))
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count knob: ``None``/``0``/``1`` mean serial."""
+    if workers is None or workers <= 1:
+        return 0
+    return int(workers)
+
+
+class WorkerPool:
+    """Apply a chunk function over items across forked worker processes.
+
+    Parameters
+    ----------
+    chunk_fn:
+        ``items -> results`` over a *list* of items, returning one result
+        per item in order (e.g. ``Objective.evaluate_many``). Runs in the
+        workers — and in the parent, for the serial path and the crash
+        fallback — so it must be deterministic per item. It is captured
+        by reference at fork time and never pickled.
+    workers:
+        Number of worker processes; ``<= 1`` disables the pool (pure
+        serial execution in the parent).
+    chunk_size:
+        Items per dispatched chunk. Defaults to splitting the input into
+        ``~4`` chunks per worker, balancing scheduling slack against
+        per-chunk IPC overhead.
+    max_retries:
+        How many times a chunk is re-dispatched after a worker crash
+        before the parent evaluates it serially.
+    inflight_per_worker:
+        Bound on submitted-but-unfinished chunks per worker.
+    """
+
+    _CHUNKS_PER_WORKER = 4
+
+    def __init__(
+        self,
+        chunk_fn: Callable[[List[Item]], Sequence[Result]],
+        workers: int = 0,
+        chunk_size: Optional[int] = None,
+        max_retries: int = 1,
+        inflight_per_worker: int = 2,
+    ):
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if inflight_per_worker < 1:
+            raise ValueError("inflight_per_worker must be >= 1")
+        self._chunk_fn = chunk_fn
+        self.workers = resolve_workers(workers)
+        self._chunk_size = chunk_size
+        self._max_retries = max_retries
+        self._max_inflight = max(1, self.workers) * inflight_per_worker
+        self._executor: Optional[ProcessPoolExecutor] = None
+        # Observability counters (surfaced by ParallelEvaluator.stats()).
+        self.chunks_dispatched = 0
+        self.chunk_retries = 0
+        self.serial_fallbacks = 0
+        self.pool_rebuilds = 0
+        # Items chunk_fn evaluated in the parent (serial path + crash
+        # fallback). Lets callers split parent-side from worker-side
+        # work — worker-side chunk_fn calls can't reach parent state,
+        # so e.g. ledger accounting they'd normally do is lost and must
+        # be replayed by the caller.
+        self.items_run_in_parent = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """Whether map() will actually use worker processes."""
+        return self.workers >= 2 and fork_available()
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_init_worker,
+                initargs=(self._chunk_fn,),
+            )
+        return self._executor
+
+    def _discard_executor(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def restart(self) -> None:
+        """Drop the worker processes; the next map() re-forks them.
+
+        Forked workers snapshot the parent's memory at creation time, so
+        a caller that mutates evaluation state (e.g. tunes the supernet
+        between shrinking stages) must either restart the pool or route
+        the mutable state through a
+        :class:`~repro.parallel.SharedWeightStore`.
+        """
+        self._discard_executor()
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        self._discard_executor()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- mapping -----------------------------------------------------------------
+
+    def _resolve_chunk_size(self, num_items: int) -> int:
+        if self._chunk_size is not None:
+            return self._chunk_size
+        target_chunks = max(1, self.workers) * self._CHUNKS_PER_WORKER
+        return max(1, -(-num_items // target_chunks))
+
+    def _run_serial(self, items: List[Item]) -> List[Result]:
+        results = list(self._chunk_fn(items))
+        if len(results) != len(items):
+            raise ValueError(
+                f"chunk_fn returned {len(results)} results for "
+                f"{len(items)} items"
+            )
+        self.items_run_in_parent += len(items)
+        return results
+
+    def map(self, items: Sequence[Item]) -> List[Result]:
+        """``chunk_fn`` over ``items``; order-preserving, crash-tolerant."""
+        items = list(items)
+        if not items:
+            return []
+        if not self.parallel:
+            return self._run_serial(items)
+
+        size = self._resolve_chunk_size(len(items))
+        chunks = [items[i : i + size] for i in range(0, len(items), size)]
+        results: Dict[int, List[Result]] = {}
+        attempts = [0] * len(chunks)
+        remaining = deque(range(len(chunks)))
+
+        while len(results) < len(chunks):
+            window: Dict[int, object] = {}
+            try:
+                executor = self._ensure_executor()
+                while remaining and len(window) < self._max_inflight:
+                    cid = remaining.popleft()
+                    window[cid] = executor.submit(_run_chunk, cid, chunks[cid])
+                    self.chunks_dispatched += 1
+                while window:
+                    done, _ = wait(
+                        list(window.values()), return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        cid = next(
+                            c for c, f in window.items() if f is future
+                        )
+                        returned_id, values = future.result()
+                        del window[cid]
+                        if len(values) != len(chunks[returned_id]):
+                            raise ValueError(
+                                f"chunk_fn returned {len(values)} results "
+                                f"for {len(chunks[returned_id])} items"
+                            )
+                        results[returned_id] = values
+                    while remaining and len(window) < self._max_inflight:
+                        cid = remaining.popleft()
+                        window[cid] = executor.submit(
+                            _run_chunk, cid, chunks[cid]
+                        )
+                        self.chunks_dispatched += 1
+            except BrokenProcessPool:
+                # A worker died. Every chunk still in the window is
+                # unaccounted for: retry each a bounded number of times
+                # on a fresh pool, then fall back to evaluating it in
+                # the parent — results are identical either way because
+                # chunk_fn is deterministic.
+                self.pool_rebuilds += 1
+                self._discard_executor()
+                for cid in sorted(window):
+                    attempts[cid] += 1
+                    if attempts[cid] > self._max_retries:
+                        self.serial_fallbacks += 1
+                        results[cid] = self._run_serial(chunks[cid])
+                    else:
+                        self.chunk_retries += 1
+                        remaining.append(cid)
+
+        return [value for cid in range(len(chunks)) for value in results[cid]]

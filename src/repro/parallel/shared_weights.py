@@ -1,0 +1,234 @@
+"""Supernet weights in POSIX shared memory, visible to worker processes.
+
+A trained supernet's parameters are the one large piece of state every
+evaluation worker needs. Pickling them per task would dominate dispatch
+cost; fork's copy-on-write snapshot is free but *frozen* — a worker
+forked before supernet tuning keeps evaluating the stale weights. A
+:class:`SharedWeightStore` solves both: the parent packs every parameter
+into one ``multiprocessing.shared_memory`` block, workers map the same
+physical pages and rebuild their module tree around **read-only** views
+(:meth:`install`), and a parent-side :meth:`refresh_from` after tuning
+is immediately visible to already-running workers — no restart, no
+copies.
+
+Read-only is load-bearing, not cosmetic: a worker that accidentally ran
+an optimizer step against shared views would corrupt every sibling's
+evaluations. Views handed out by :meth:`shared_view` have
+``writeable=False``, so ``p.data -= lr * g`` raises in the worker
+instead.
+
+Lifecycle: exactly one process owns the block (the creator). Workers
+:meth:`attach` by name and :meth:`close` their mapping; the owner
+:meth:`unlink` s the block when evaluation is done. Attaching on
+CPython < 3.13 spuriously re-registers the segment with the resource
+tracker (bpo-39959), which this module compensates for so worker exits
+do not unlink the owner's memory or warn about leaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+_DTYPE = np.float64
+
+# (dotted parameter name, byte offset, shape) — the layout contract
+# between the owner and every attached worker.
+_SpecEntry = Tuple[str, int, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class SharedWeightHandle:
+    """Picklable pointer to a live store: block name + layout."""
+
+    shm_name: str
+    spec: Tuple[_SpecEntry, ...]
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(int(np.prod(shape)) for _, _, shape in self.spec)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without resource-tracker ownership.
+
+    CPython 3.13+ supports ``track=False`` directly; earlier versions
+    register every attach with the resource tracker as if it were a new
+    allocation, so the spurious registration is reverted by hand.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(getattr(shm, "_name", shm.name), "shared_memory")
+    except Exception:
+        # Losing the unregister only risks a benign tracker warning at
+        # interpreter exit; attaching must not fail over it.
+        pass
+    return shm
+
+
+class SharedWeightStore:
+    """One shared-memory block holding every parameter of a module tree.
+
+    Create with :meth:`create_from` (owner side), or :meth:`attach` from
+    a :class:`SharedWeightHandle` (worker side). All parameters are
+    stored as ``float64``, matching :class:`repro.nn.module.Parameter`.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        spec: Tuple[_SpecEntry, ...],
+        owner: bool,
+    ):
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self._spec: Dict[str, Tuple[int, Tuple[int, ...]]] = {
+            name: (offset, tuple(shape)) for name, offset, shape in spec
+        }
+        self._spec_entries = tuple(
+            (name, int(offset), tuple(shape)) for name, offset, shape in spec
+        )
+        self._owner = owner
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def create_from(cls, module, name: Optional[str] = None) -> "SharedWeightStore":
+        """Allocate a block sized for ``module`` and copy its weights in."""
+        spec = []
+        offset = 0
+        for pname, param in module.named_parameters():
+            shape = tuple(param.data.shape)
+            spec.append((pname, offset, shape))
+            offset += int(np.prod(shape, dtype=np.int64)) * _DTYPE().itemsize
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, offset), name=name
+        )
+        store = cls(shm, tuple(spec), owner=True)
+        store.refresh_from(module)
+        return store
+
+    @classmethod
+    def attach(cls, handle: SharedWeightHandle) -> "SharedWeightStore":
+        """Map an existing store from its handle (worker side)."""
+        return cls(_attach_untracked(handle.shm_name), handle.spec, owner=False)
+
+    def handle(self) -> SharedWeightHandle:
+        """A picklable handle workers can :meth:`attach` from."""
+        if self._shm is None:
+            raise RuntimeError("store is closed")
+        return SharedWeightHandle(
+            shm_name=self._shm.name, spec=self._spec_entries
+        )
+
+    # -- views -------------------------------------------------------------------
+
+    def _buffer_view(self, name: str) -> np.ndarray:
+        if self._shm is None:
+            raise RuntimeError("store is closed")
+        try:
+            offset, shape = self._spec[name]
+        except KeyError:
+            raise KeyError(
+                f"store has no parameter {name!r} "
+                f"({len(self._spec)} parameters in layout)"
+            ) from None
+        return np.ndarray(
+            shape, dtype=_DTYPE, buffer=self._shm.buf, offset=offset
+        )
+
+    def shared_view(self, name: str) -> np.ndarray:
+        """Read-only array over one parameter's shared storage.
+
+        The view aliases memory owned by the store and visible to every
+        attached process; it must never be mutated in place (enforced by
+        ``writeable=False`` at runtime and lint rule RL103 statically).
+        Copy before modifying.
+        """
+        view = self._buffer_view(name)
+        view.flags.writeable = False
+        return view
+
+    def parameter_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _, _ in self._spec_entries)
+
+    # -- module integration --------------------------------------------------------
+
+    def install(self, module) -> int:
+        """Point every parameter of ``module`` at its shared storage.
+
+        Worker-side: after this, forward passes read the owner's current
+        weights with zero copies, and any in-place write to a parameter
+        raises (the views are read-only). Returns the number of
+        parameters rebound. Names and shapes must match the layout the
+        store was created from.
+        """
+        count = 0
+        for pname, param in module.named_parameters():
+            view = self.shared_view(pname)
+            if view.shape != tuple(param.data.shape):
+                raise ValueError(
+                    f"shape mismatch for {pname}: store has {view.shape}, "
+                    f"module has {tuple(param.data.shape)}"
+                )
+            param.data = view
+            count += 1
+        return count
+
+    def refresh_from(self, module) -> None:
+        """Copy ``module``'s current weights into the shared block.
+
+        Owner-side, e.g. after a supernet tuning stage: attached workers
+        observe the new values on their next read, without restarting.
+        """
+        for pname, param in module.named_parameters():
+            target = self._buffer_view(pname)
+            if target.shape != tuple(param.data.shape):
+                raise ValueError(
+                    f"shape mismatch for {pname}: store has {target.shape}, "
+                    f"module has {tuple(param.data.shape)}"
+                )
+            np.copyto(target, np.asarray(param.data, dtype=_DTYPE))
+
+    def export_state(self) -> Dict[str, np.ndarray]:
+        """A detached copy of every stored parameter (state-dict shaped)."""
+        return {
+            name: np.array(self.shared_view(name))
+            for name in self.parameter_names()
+        }
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._shm is None
+
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent); owner also unlinks."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        if self._owner:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedWeightStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,184 @@
+"""WorkerPool mechanics: dispatch, ordering, crash containment.
+
+The fault-injection tests arrange for worker processes to SIGKILL
+themselves mid-chunk (guarded by a pid check so the parent never dies)
+and assert the pool's retry / serial-fallback machinery returns exactly
+the results an undisturbed run would.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.parallel import WorkerPool, fork_available, resolve_workers
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+PARENT_PID = os.getpid()
+
+
+def square_chunk(items):
+    return [x * x for x in items]
+
+
+def slow_square_chunk(items):
+    time.sleep(0.01)
+    return [x * x for x in items]
+
+
+def short_chunk(items):
+    return [x * x for x in items[:-1]] if len(items) > 1 else []
+
+
+def _die_if_worker():
+    if os.getpid() != PARENT_PID:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def make_kill_once_chunk(sentinel_path):
+    """Chunk fn whose first worker execution kills its process.
+
+    Removing the sentinel is the atomic claim: exactly one worker wins
+    the removal and dies; racers get ``FileNotFoundError`` and proceed.
+    """
+
+    def chunk(items):
+        try:
+            os.remove(sentinel_path)
+        except FileNotFoundError:
+            pass
+        else:
+            _die_if_worker()
+        return [x * x for x in items]
+
+    return chunk
+
+
+def make_kill_always_chunk(sentinel_path):
+    """Chunk fn that kills every worker that ever runs it."""
+
+    def chunk(items):
+        if os.path.exists(sentinel_path):
+            _die_if_worker()
+        return [x * x for x in items]
+
+    return chunk
+
+
+class TestSerialPath:
+    def test_workers_zero_and_one_run_inline(self):
+        for workers in (0, 1):
+            with WorkerPool(square_chunk, workers=workers) as pool:
+                assert not pool.parallel
+                assert pool.map(range(7)) == [x * x for x in range(7)]
+                assert pool.chunks_dispatched == 0
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 0
+        assert resolve_workers(0) == 0
+        assert resolve_workers(1) == 0
+        assert resolve_workers(-3) == 0
+        assert resolve_workers(4) == 4
+
+    def test_empty_input(self):
+        with WorkerPool(square_chunk, workers=2) as pool:
+            assert pool.map([]) == []
+
+    def test_serial_length_mismatch_raises(self):
+        with WorkerPool(short_chunk, workers=0) as pool:
+            with pytest.raises(ValueError, match="results"):
+                pool.map([1, 2, 3])
+
+
+class TestParallelDispatch:
+    def test_order_preserved(self):
+        items = list(range(37))
+        with WorkerPool(square_chunk, workers=2, chunk_size=3) as pool:
+            assert pool.map(items) == [x * x for x in items]
+            assert pool.chunks_dispatched == 13
+
+    def test_matches_serial(self):
+        items = list(range(101))
+        with WorkerPool(square_chunk, workers=2) as pool:
+            parallel = pool.map(items)
+        with WorkerPool(square_chunk, workers=0) as pool:
+            assert parallel == pool.map(items)
+
+    def test_pool_reusable_across_maps(self):
+        with WorkerPool(square_chunk, workers=2, chunk_size=5) as pool:
+            for _ in range(3):
+                assert pool.map(range(11)) == [x * x for x in range(11)]
+
+    def test_inflight_window_bounds_dispatch(self):
+        # 20 chunks, window = 2 workers x 1 chunk: the pool must drain
+        # and refill rather than submitting everything at once.
+        with WorkerPool(
+            slow_square_chunk, workers=2, chunk_size=1, inflight_per_worker=1
+        ) as pool:
+            assert pool.map(range(20)) == [x * x for x in range(20)]
+            assert pool.chunks_dispatched == 20
+
+    def test_parallel_length_mismatch_raises(self):
+        with WorkerPool(short_chunk, workers=2, chunk_size=2) as pool:
+            with pytest.raises(ValueError, match="results"):
+                pool.map([1, 2, 3, 4])
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(square_chunk, workers=2, chunk_size=0)
+        with pytest.raises(ValueError):
+            WorkerPool(square_chunk, workers=2, max_retries=-1)
+        with pytest.raises(ValueError):
+            WorkerPool(square_chunk, workers=2, inflight_per_worker=0)
+
+
+class TestCrashContainment:
+    def test_killed_worker_retried_with_identical_results(self, tmp_path):
+        sentinel = tmp_path / "kill-once"
+        sentinel.touch()
+        items = list(range(24))
+        with WorkerPool(
+            make_kill_once_chunk(str(sentinel)), workers=2, chunk_size=4
+        ) as pool:
+            assert pool.map(items) == [x * x for x in items]
+            assert pool.pool_rebuilds >= 1
+            assert pool.chunk_retries >= 1
+            assert pool.serial_fallbacks == 0
+        assert not sentinel.exists()
+
+    def test_always_killed_chunk_falls_back_to_parent(self, tmp_path):
+        # The sentinel stays, so every retry dies too; after max_retries
+        # the parent must evaluate the chunks itself (the pid guard makes
+        # the chunk fn harmless in-parent) — results still identical.
+        sentinel = tmp_path / "kill-always"
+        sentinel.touch()
+        items = list(range(10))
+        with WorkerPool(
+            make_kill_always_chunk(str(sentinel)),
+            workers=2,
+            chunk_size=5,
+            max_retries=1,
+        ) as pool:
+            assert pool.map(items) == [x * x for x in items]
+            assert pool.serial_fallbacks >= 1
+
+    def test_restart_refreshes_forked_state(self):
+        # Workers snapshot parent memory at fork; restart() must pick up
+        # parent-side mutations for the next map().
+        state = {"offset": 0}
+
+        def chunk(items):
+            return [x + state["offset"] for x in items]
+
+        with WorkerPool(chunk, workers=2, chunk_size=2) as pool:
+            assert pool.map(range(6)) == list(range(6))
+            state["offset"] = 100
+            # Without a restart, live workers keep the old snapshot (the
+            # parent-side serial path would see the new value, so only
+            # assert the restart contract, not the stale read).
+            pool.restart()
+            assert pool.map(range(6)) == [x + 100 for x in range(6)]

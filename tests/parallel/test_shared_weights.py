@@ -1,0 +1,180 @@
+"""SharedWeightStore: layout, read-only views, cross-process visibility."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    SharedWeightStore,
+    WorkerPool,
+    fork_available,
+)
+from repro.supernet import Supernet
+
+
+@pytest.fixture()
+def store(tiny_supernet):
+    with SharedWeightStore.create_from(tiny_supernet) as s:
+        yield s
+
+
+class TestLayoutAndViews:
+    def test_roundtrip_matches_state_dict(self, tiny_supernet, store):
+        state = tiny_supernet.state_dict()
+        exported = store.export_state()
+        assert set(exported) == set(state)
+        for name, value in state.items():
+            np.testing.assert_array_equal(exported[name], value)
+
+    def test_shared_view_is_read_only(self, store):
+        name = store.parameter_names()[0]
+        view = store.shared_view(name)
+        assert not view.flags.writeable
+        # The writes RL103 warns about are exactly what this test proves
+        # impossible at runtime.
+        with pytest.raises(ValueError):
+            view[...] = 0.0  # repro-lint: disable=RL103
+        with pytest.raises(ValueError):
+            view -= 1.0  # repro-lint: disable=RL103
+
+    def test_unknown_parameter_raises(self, store):
+        with pytest.raises(KeyError, match="no parameter"):
+            store.shared_view("not.a.parameter")
+
+    def test_handle_is_picklable(self, store):
+        import pickle
+
+        handle = pickle.loads(pickle.dumps(store.handle()))
+        assert handle.shm_name == store.handle().shm_name
+        assert handle.num_parameters == sum(
+            store.shared_view(n).size for n in store.parameter_names()
+        )
+
+
+class TestModuleIntegration:
+    def test_install_rebinds_every_parameter(self, tiny_space, store):
+        other = Supernet(tiny_space, seed=99)
+        count = store.install(other)
+        assert count == sum(1 for _ in other.named_parameters())
+        for name, param in other.named_parameters():
+            assert not param.data.flags.writeable
+            np.testing.assert_array_equal(
+                param.data, store.shared_view(name)
+            )
+
+    def test_installed_forward_matches_source(
+        self, tiny_space, tiny_supernet, store, rng
+    ):
+        # A differently-initialized supernet, once installed, must
+        # compute exactly what the source supernet computes.
+        other = Supernet(tiny_space, seed=99)
+        store.install(other)
+        x = rng.standard_normal((4, 3, 16, 16))
+        for _ in range(3):
+            arch = tiny_space.sample(rng)
+            tiny_supernet.set_architecture(arch)
+            other.set_architecture(arch)
+            np.testing.assert_array_equal(
+                tiny_supernet.train()(x), other.train()(x)
+            )
+
+    def test_installed_weights_reject_optimizer_writes(
+        self, tiny_space, store
+    ):
+        # The protection the read-only views buy: a worker accidentally
+        # running a training step fails loudly instead of corrupting
+        # every sibling's evaluations.
+        other = Supernet(tiny_space, seed=99)
+        store.install(other)
+        param = next(iter(dict(other.named_parameters()).values()))
+        with pytest.raises(ValueError):
+            param.data -= 0.1 * np.ones_like(param.data)
+
+    def test_install_shape_mismatch_raises(self, store):
+        class Wrong:
+            def named_parameters(self):
+                from repro.nn.module import Parameter
+
+                name = store.parameter_names()[0]
+                yield name, Parameter(np.zeros(7))
+
+        with pytest.raises(ValueError, match="shape mismatch"):
+            store.install(Wrong())
+
+    def test_refresh_from_propagates_updates(self, tiny_space, tiny_supernet, store):
+        name, param = next(iter(tiny_supernet.named_parameters()))
+        param.data = param.data + 1.5
+        store.refresh_from(tiny_supernet)
+        np.testing.assert_array_equal(store.shared_view(name), param.data)
+
+
+@pytest.mark.skipif(not fork_available(), reason="requires fork")
+class TestCrossProcess:
+    def test_worker_rebuilds_module_from_handle(
+        self, tiny_space, tiny_supernet, store, rng
+    ):
+        # The spawn-style worker path: attach by handle, rebuild the
+        # module tree around the shared buffers, forward — no inherited
+        # weights involved (the worker net is seeded differently).
+        handle = store.handle()
+        x = rng.standard_normal((4, 3, 16, 16))
+        archs = [tiny_space.sample(rng) for _ in range(4)]
+
+        def eval_chunk(chunk_archs):
+            worker_store = SharedWeightStore.attach(handle)
+            try:
+                net = Supernet(tiny_space, seed=1234)
+                worker_store.install(net)
+                out = []
+                for arch in chunk_archs:
+                    net.set_architecture(arch)
+                    out.append(net.train()(x))
+                return out
+            finally:
+                worker_store.close()
+
+        with WorkerPool(eval_chunk, workers=2, chunk_size=2) as pool:
+            results = pool.map(archs)
+        for arch, logits in zip(archs, results):
+            tiny_supernet.set_architecture(arch)
+            np.testing.assert_array_equal(tiny_supernet.train()(x), logits)
+
+    def test_refresh_is_visible_to_live_workers(self, tiny_supernet, store):
+        # Workers forked *before* a weight update must read the new
+        # values through shared memory — the property that lets tuning
+        # between shrinking stages skip a pool restart.
+        name = store.parameter_names()[0]
+
+        def read_chunk(items):
+            return [float(np.sum(store.shared_view(name))) for _ in items]
+
+        with WorkerPool(read_chunk, workers=2, chunk_size=1) as pool:
+            before = pool.map([0])[0]
+            pname, param = next(iter(tiny_supernet.named_parameters()))
+            assert pname == name
+            param.data = param.data + 1.0
+            store.refresh_from(tiny_supernet)
+            after = pool.map([0])[0]
+        assert before == pytest.approx(float(np.sum(param.data)) - param.data.size)
+        assert after == pytest.approx(float(np.sum(param.data)))
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_owner_unlinks(self, tiny_supernet):
+        store = SharedWeightStore.create_from(tiny_supernet)
+        handle = store.handle()
+        store.close()
+        store.close()
+        assert store.closed
+        with pytest.raises(RuntimeError):
+            store.handle()
+        with pytest.raises(FileNotFoundError):
+            SharedWeightStore.attach(handle)
+
+    def test_attached_store_does_not_unlink(self, tiny_supernet):
+        owner = SharedWeightStore.create_from(tiny_supernet)
+        worker = SharedWeightStore.attach(owner.handle())
+        worker.close()
+        # The owner's block must survive a worker detach.
+        again = SharedWeightStore.attach(owner.handle())
+        again.close()
+        owner.close()
