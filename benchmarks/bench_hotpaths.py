@@ -36,7 +36,6 @@ parallel quality estimate when the host has >=4 cores.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import time
 from pathlib import Path
@@ -53,6 +52,7 @@ from repro.hardware.predictor import LatencyPredictor
 from repro.nn.functional import grouped_conv2d_loop, grouped_conv2d_loop_backward
 from repro.nn.layers.conv import Conv2d
 from repro.parallel import ParallelEvaluator
+from repro.runstate.atomic import atomic_write_json
 from repro.space import SearchSpace, imagenet_a
 
 
@@ -377,7 +377,7 @@ def main() -> None:
             f"{r['cpu_count']} cores)"
         )
 
-    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    atomic_write_json(args.out, results)
     print(f"wrote {args.out}")
 
     if not args.quick:

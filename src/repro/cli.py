@@ -12,20 +12,27 @@ The subcommands cover the workflows a downstream user runs most:
   HSCoNets) and write it as text and CSV.
 * ``front``   — NSGA-II accuracy/latency Pareto front; writes CSV.
 
-All artifacts land in ``--out`` (default ``./results``). The
-evaluation-heavy commands (``search``, ``shrink``, ``predict``,
+All artifacts land in ``--out`` (default ``./results``) and are written
+atomically (write-then-rename), so a crash never leaves a torn file.
+The evaluation-heavy commands (``search``, ``shrink``, ``predict``,
 ``front``) accept ``--workers N`` to fan evaluation across N worker
 processes — results are bit-identical to serial (see
 ``docs/parallel.md``); the default is serial.
+
+``search``, ``shrink``, and ``front`` additionally accept ``--run-dir
+DIR`` (start a new crash-safe checkpointed run) and ``--resume DIR``
+(continue a killed one, bit-exact); see ``docs/robustness.md``. Run-
+state problems — a corrupt checkpoint, a ``--resume`` directory that
+does not exist or was started under different settings — exit with
+code 2 and a one-line actionable message, never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +47,13 @@ from repro.core import (
 from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
 from repro.hardware.calibration import calibrated_devices
 from repro.report.figures import series_to_csv
+from repro.runstate import (
+    PhaseCheckpoint,
+    RunDir,
+    RunStateError,
+    atomic_write_json,
+    atomic_write_text,
+)
 from repro.space import SearchSpace, imagenet_a, imagenet_b
 
 
@@ -57,6 +71,67 @@ def _ensure_out(path: str) -> Path:
     return out
 
 
+def _run_state(
+    args: argparse.Namespace,
+    kind: str,
+    config: dict,
+    phase_order: Sequence[str],
+) -> Optional[RunDir]:
+    """The run directory for a checkpointed invocation, or ``None``.
+
+    ``--run-dir`` starts a fresh directory (refusing to clobber an
+    existing run); ``--resume`` opens an existing one, verifying the
+    run kind and the identity-relevant config keys (``workers`` is
+    deliberately absent from ``config``: it is wall-clock-only, so a
+    run may be resumed with a different worker count).
+    """
+    run_dir = getattr(args, "run_dir", None)
+    resume = getattr(args, "resume", None)
+    if run_dir and resume:
+        raise RunStateError(
+            "pass either --run-dir (new run) or --resume (continue), not both"
+        )
+    if resume:
+        return RunDir.open(resume, expect_kind=kind, expect_config=config)
+    if run_dir:
+        return RunDir.create(run_dir, kind, config, phase_order)
+    return None
+
+
+def _checkpointed_lut_predictor(
+    run_state: Optional[RunDir],
+    space: SearchSpace,
+    build,
+) -> LatencyPredictor:
+    """Build (or restore) the ``predictor`` phase of a run directory.
+
+    ``build()`` does the actual work and returns the calibrated
+    predictor; its LUT and bias are checkpointed so a resumed run skips
+    straight past stage 1.
+    """
+    if run_state is None:
+        return build()
+    checkpoint = PhaseCheckpoint(run_state, "predictor")
+    saved = checkpoint.load()
+    if saved is not None and checkpoint.is_complete():
+        lut = LatencyLUT.from_json(saved["lut"])
+        predictor = LatencyPredictor(
+            lut, space, bias_ms=float(saved["bias_ms"])
+        )
+        predictor.calibrated = True
+        return predictor
+    predictor = build()
+    checkpoint.save(
+        {
+            "format": 1,
+            "lut": predictor.lut.to_json(),
+            "bias_ms": predictor.bias_ms,
+        },
+        complete=True,
+    )
+    return predictor
+
+
 def cmd_search(args: argparse.Namespace) -> int:
     space = _space(args.layout)
     device = calibrated_devices()[args.device]
@@ -66,7 +141,18 @@ def cmd_search(args: argparse.Namespace) -> int:
         evolution=EvolutionConfig(seed=args.seed),
         workers=args.workers,
     )
-    result = HSCoNAS(space, device, config).run()
+    run_state = _run_state(
+        args,
+        "search",
+        {
+            "device": args.device,
+            "layout": args.layout,
+            "target_ms": args.target,
+            "seed": args.seed,
+        },
+        HSCoNAS.PHASES,
+    )
+    result = HSCoNAS(space, device, config).run(run_state=run_state)
     print(result.summary())
 
     out = _ensure_out(args.out)
@@ -84,6 +170,9 @@ def cmd_search(args: argparse.Namespace) -> int:
         "bias_ms": result.bias_ms,
         "cache_stats": result.search.cache_stats,
         "shrink": result.shrink.to_dict() if result.shrink else None,
+        "degradation": (
+            result.degradation.to_dict() if result.degradation else None
+        ),
         "generations": [
             {
                 "index": g.index,
@@ -94,13 +183,14 @@ def cmd_search(args: argparse.Namespace) -> int:
         ],
     }
     path = out / f"search_{args.device}_{args.layout}_{args.target:g}ms.json"
-    path.write_text(json.dumps(artifact, indent=2))
+    atomic_write_json(path, artifact)
     print(f"\nartifact written to {path}")
     return 0
 
 
 def cmd_shrink(args: argparse.Namespace) -> int:
     from repro.core import (
+        EvaluatedArch,
         EvaluationCache,
         Objective,
         ProgressiveSpaceShrinking,
@@ -111,12 +201,32 @@ def cmd_shrink(args: argparse.Namespace) -> int:
     space = _space(args.layout)
     device = calibrated_devices()[args.device]
     surrogate = AccuracySurrogate(space)
-    lut = LatencyLUT.build(
-        space, device, samples_per_cell=3, seed=args.seed, workers=args.workers
+    run_state = _run_state(
+        args,
+        "shrink",
+        {
+            "device": args.device,
+            "layout": args.layout,
+            "target_ms": args.target,
+            "quality_samples": args.quality_samples,
+            "seed": args.seed,
+        },
+        ("predictor", "shrink"),
     )
-    predictor = LatencyPredictor(lut, space)
-    profiler = OnDeviceProfiler(device, seed=args.seed)
-    predictor.calibrate_bias(space, profiler, num_archs=25, seed=args.seed + 1)
+
+    def build_predictor() -> LatencyPredictor:
+        lut = LatencyLUT.build(
+            space, device, samples_per_cell=3, seed=args.seed,
+            workers=args.workers,
+        )
+        predictor = LatencyPredictor(lut, space)
+        profiler = OnDeviceProfiler(device, seed=args.seed)
+        predictor.calibrate_bias(
+            space, profiler, num_archs=25, seed=args.seed + 1
+        )
+        return predictor
+
+    predictor = _checkpointed_lut_predictor(run_state, space, build_predictor)
     objective = Objective(
         accuracy_fn=surrogate.proxy_accuracy,
         latency_fn=predictor.predict,
@@ -125,6 +235,18 @@ def cmd_shrink(args: argparse.Namespace) -> int:
     )
 
     cache = EvaluationCache()
+    shrink_ckpt = None
+    if run_state is not None:
+        shrink_ckpt = PhaseCheckpoint(
+            run_state,
+            "shrink",
+            extra_save=lambda: {
+                "cache": cache.snapshot(lambda e: e.to_dict())
+            },
+            extra_restore=lambda state: cache.restore(
+                state["cache"], EvaluatedArch.from_dict
+            ),
+        )
     with ParallelEvaluator(
         objective.evaluate_many, workers=args.workers, cache=cache
     ) as evaluator:
@@ -135,7 +257,9 @@ def cmd_shrink(args: argparse.Namespace) -> int:
             cache=cache,
             evaluator=evaluator,
         )
-        result = ProgressiveSpaceShrinking(quality).run(space)
+        result = ProgressiveSpaceShrinking(
+            quality, checkpoint=shrink_ckpt
+        ).run(space)
         dispatch_stats = evaluator.stats()
 
     removed = sum(result.orders_of_magnitude_removed())
@@ -167,7 +291,7 @@ def cmd_shrink(args: argparse.Namespace) -> int:
         }
     )
     path = out / f"shrink_{args.device}_{args.layout}_{args.target:g}ms.json"
-    path.write_text(json.dumps(artifact, indent=2))
+    atomic_write_json(path, artifact)
     print(f"\ntrace written to {path}")
     return 0
 
@@ -190,7 +314,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
     out = _ensure_out(args.out)
     lut_path = out / f"lut_{args.device}_{args.layout}.json"
-    lut_path.write_text(lut.to_json())
+    atomic_write_text(lut_path, lut.to_json() + "\n")
     print(f"LUT written to {lut_path}")
     return 0
 
@@ -247,27 +371,59 @@ def cmd_table1(args: argparse.Namespace) -> int:
     text = render_table1(rows)
     print(text)
     out = _ensure_out(args.out)
-    (out / "table1.txt").write_text(text + "\n")
-    (out / "table1.md").write_text(render_markdown(rows) + "\n")
+    atomic_write_text(out / "table1.txt", text + "\n")
+    atomic_write_text(out / "table1.md", render_markdown(rows) + "\n")
     print(f"\nartifacts written to {out}/table1.txt and table1.md")
     return 0
 
 
 def cmd_front(args: argparse.Namespace) -> int:
+    from repro.core import BiObjective, EvaluationCache
+
     space = _space(args.layout)
     device = calibrated_devices()[args.device]
     surrogate = AccuracySurrogate(space)
-    lut = LatencyLUT.build(space, device, samples_per_cell=2, seed=args.seed)
-    predictor = LatencyPredictor(lut, space)
-    profiler = OnDeviceProfiler(device, seed=args.seed)
-    predictor.calibrate_bias(space, profiler, num_archs=25, seed=args.seed + 1)
+    run_state = _run_state(
+        args,
+        "front",
+        {"device": args.device, "layout": args.layout, "seed": args.seed},
+        ("predictor", "front"),
+    )
+
+    def build_predictor() -> LatencyPredictor:
+        lut = LatencyLUT.build(
+            space, device, samples_per_cell=2, seed=args.seed
+        )
+        predictor = LatencyPredictor(lut, space)
+        profiler = OnDeviceProfiler(device, seed=args.seed)
+        predictor.calibrate_bias(
+            space, profiler, num_archs=25, seed=args.seed + 1
+        )
+        return predictor
+
+    predictor = _checkpointed_lut_predictor(run_state, space, build_predictor)
+    cache = EvaluationCache()
+    front_ckpt = None
+    if run_state is not None:
+        front_ckpt = PhaseCheckpoint(
+            run_state,
+            "front",
+            extra_save=lambda: {
+                "cache": cache.snapshot(lambda p: p.to_dict())
+            },
+            extra_restore=lambda state: cache.restore(
+                state["cache"], BiObjective.from_dict
+            ),
+        )
 
     result = Nsga2Search(
         space,
         accuracy_fn=surrogate.proxy_accuracy,
         latency_fn=predictor.predict,
         config=Nsga2Config(seed=args.seed),
+        cache=cache,
         workers=args.workers,
+        checkpoint=front_ckpt,
     ).run()
 
     print(f"{len(result.front)} Pareto points "
@@ -283,7 +439,7 @@ def cmd_front(args: argparse.Namespace) -> int:
         }
     )
     path = out / f"front_{args.device}_{args.layout}.csv"
-    path.write_text(csv + "\n")
+    atomic_write_text(path, csv + "\n")
     print(f"front written to {path}")
     return 0
 
@@ -322,7 +478,7 @@ def cmd_energy(args: argparse.Namespace) -> int:
         }
     )
     path = out / f"energy_{args.device}_{args.layout}.csv"
-    path.write_text(csv + "\n")
+    atomic_write_text(path, csv + "\n")
     print(f"samples written to {path}")
     return 0
 
@@ -343,6 +499,18 @@ def build_parser() -> argparse.ArgumentParser:
                  "results are identical for any value",
         )
 
+    def add_run_state(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--run-dir", default=None, metavar="DIR",
+            help="start a new crash-safe checkpointed run in DIR "
+                 "(refuses to clobber an existing run)",
+        )
+        p.add_argument(
+            "--resume", default=None, metavar="DIR",
+            help="resume a killed checkpointed run from DIR, bit-exact "
+                 "(see docs/robustness.md)",
+        )
+
     p = sub.add_parser("search", help="run one HSCoNAS pipeline")
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
     p.add_argument("--layout", choices=("a", "b"), default="a")
@@ -350,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="latency constraint T in ms")
     p.add_argument("--seed", type=int, default=0)
     add_workers(p)
+    add_run_state(p)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("shrink",
@@ -362,6 +531,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="N in the Eq. 4 quality estimate")
     p.add_argument("--seed", type=int, default=0)
     add_workers(p)
+    add_run_state(p)
     p.set_defaults(func=cmd_shrink)
 
     p = sub.add_parser("predict", help="build + evaluate the latency predictor")
@@ -382,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layout", choices=("a", "b"), default="a")
     p.add_argument("--seed", type=int, default=0)
     add_workers(p)
+    add_run_state(p)
     p.set_defaults(func=cmd_front)
 
     p = sub.add_parser("energy",
@@ -397,7 +568,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except RunStateError as exc:
+        # Operator errors (bad --resume dir, corrupt checkpoint, config
+        # mismatch) get one actionable line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

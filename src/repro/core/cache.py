@@ -13,11 +13,19 @@ and fixed. If the underlying model changes — e.g. the supernet is tuned
 between shrinking stages — call :meth:`EvaluationCache.clear`;
 :class:`~repro.core.shrinking.ProgressiveSpaceShrinking` does this
 automatically around its ``tune_hook``.
+
+For week-long searches the memo can be bounded with ``max_size``:
+entries are evicted least-recently-used and counted, so memory stays
+flat while the stats still tell you how much re-evaluation the cap
+cost. For crash-safe runs the full contents *and* counters round-trip
+through :meth:`snapshot`/:meth:`restore`, which is what keeps a resumed
+run's hit/miss accounting bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.space.architecture import Architecture
 
@@ -31,18 +39,47 @@ class EvaluationCache:
     function (mixing, say, ``Objective.evaluate`` and a ``BiObjective``
     factory in the same cache would hand one component the other's
     value type).
+
+    Parameters
+    ----------
+    max_size:
+        Optional entry cap. When set, insertions beyond the cap evict
+        the least-recently-used entry (lookups refresh recency) and
+        increment :attr:`evictions`. ``None`` (default) = unbounded,
+        the exact semantics every result before the cap existed.
     """
 
-    def __init__(self) -> None:
-        self._store: Dict[Tuple, object] = {}
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1 (or None for unbounded)")
+        self._store: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.max_size = max_size
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
     def __contains__(self, arch: Architecture) -> bool:
         return arch.key() in self._store
+
+    # -- internals ---------------------------------------------------------------
+
+    def _touch(self, key: Tuple) -> None:
+        """Mark ``key`` most-recently-used (no-op when unbounded: recency
+        only matters once eviction can happen)."""
+        if self.max_size is not None:
+            self._store.move_to_end(key)
+
+    def _insert(self, key: Tuple, value: object) -> None:
+        self._store[key] = value
+        if self.max_size is not None:
+            while len(self._store) > self.max_size:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    # -- lookup ------------------------------------------------------------------
 
     def get_or_eval(
         self, arch: Architecture, eval_fn: Callable[[Architecture], T]
@@ -53,9 +90,11 @@ class EvaluationCache:
             value = self._store[key]
         except KeyError:
             self.misses += 1
-            value = self._store[key] = eval_fn(arch)
+            value = eval_fn(arch)
+            self._insert(key, value)
             return value
         self.hits += 1
+        self._touch(key)
         return value
 
     def get_or_eval_many(
@@ -67,10 +106,18 @@ class EvaluationCache:
         every miss (duplicates within the batch are evaluated once)."""
         archs = list(archs)
         keys = [a.key() for a in archs]
+        # Hit values are captured before any insertion so a bounded
+        # cache can evict them mid-batch without corrupting the result.
+        hit_values: Dict[Tuple, object] = {}
         pending: Dict[Tuple, Architecture] = {}
         for arch, key in zip(archs, keys):
-            if key not in self._store and key not in pending:
+            if key in self._store:
+                if key not in hit_values:
+                    hit_values[key] = self._store[key]
+                    self._touch(key)
+            elif key not in pending:
                 pending[key] = arch
+        fresh_values: Dict[Tuple, object] = {}
         if pending:
             fresh = eval_many_fn(list(pending.values()))
             if len(fresh) != len(pending):
@@ -79,13 +126,17 @@ class EvaluationCache:
                     f"{len(pending)} architectures"
                 )
             for key, value in zip(pending, fresh):
-                self._store[key] = value
+                fresh_values[key] = value
+                self._insert(key, value)
         self.misses += len(pending)
         self.hits += len(archs) - len(pending)
-        return [self._store[key] for key in keys]
+        return [
+            fresh_values[key] if key in fresh_values else hit_values[key]
+            for key in keys
+        ]
 
     def clear(self) -> None:
-        """Drop all memoized results (hit/miss counters are kept).
+        """Drop all memoized results (hit/miss/eviction counters are kept).
 
         Required whenever the evaluation function's result for a given
         architecture may have changed — e.g. after supernet tuning.
@@ -93,11 +144,58 @@ class EvaluationCache:
         self._store.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Counters for logs: size, hits, misses."""
-        return {"size": len(self._store), "hits": self.hits, "misses": self.misses}
+        """Counters for logs: size, hits, misses, evictions."""
+        return {
+            "size": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self, encode_value: Callable[[T], dict]) -> dict:
+        """JSON-ready image of the cache: entries (in recency order),
+        counters, and the cap. ``encode_value`` serializes one stored
+        value (e.g. ``EvaluatedArch.to_dict``)."""
+        return {
+            "max_size": self.max_size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": [encode_value(v) for v in self._store.values()],
+        }
+
+    def restore(
+        self,
+        payload: dict,
+        decode_value: Callable[[dict], T],
+        key_fn: Optional[Callable[[T], Tuple]] = None,
+    ) -> None:
+        """Rebuild contents and counters from a :meth:`snapshot`.
+
+        Keys are re-derived from the decoded values (``key_fn``,
+        defaulting to ``value.arch.key()`` — true for every value type
+        the search stack caches), so the snapshot stays a plain value
+        list. After a restore the cache behaves bit-identically to the
+        instance that was snapshotted, including future LRU evictions
+        (entry order is preserved).
+        """
+        if key_fn is None:
+            def key_fn(value):
+                return value.arch.key()
+        self._store.clear()
+        for encoded in payload["entries"]:
+            value = decode_value(encoded)
+            self._store[key_fn(value)] = value
+        self.max_size = payload.get("max_size")
+        self.hits = int(payload["hits"])
+        self.misses = int(payload["misses"])
+        self.evictions = int(payload.get("evictions", 0))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"EvaluationCache(size={len(self._store)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
         )

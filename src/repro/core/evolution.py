@@ -17,8 +17,11 @@ import numpy as np
 
 from repro.core.cache import EvaluationCache
 from repro.core.objective import EvaluatedArch, Objective
+from repro.runstate.rng import generator_state, set_generator_state
 from repro.space.architecture import Architecture
 from repro.space.search_space import SearchSpace
+
+CHECKPOINT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -130,6 +133,14 @@ class EvolutionarySearch:
         each generation's evaluations across worker processes. Breeding
         (all rng use) stays in the parent, so results are bit-identical
         with or without it.
+    checkpoint:
+        Optional checkpoint slot (e.g.
+        :class:`~repro.runstate.PhaseCheckpoint`). When set, the search
+        saves its full resumable state — rng stream, every generation
+        evaluated so far, and the evaluation count — after each
+        generation, and :meth:`run` continues from the saved point
+        instead of starting over. A resumed run is bit-identical to an
+        uninterrupted one.
     """
 
     def __init__(
@@ -139,12 +150,14 @@ class EvolutionarySearch:
         config: Optional[EvolutionConfig] = None,
         cache: Optional[EvaluationCache] = None,
         evaluator=None,
+        checkpoint=None,
     ):
         self.space = space
         self.objective = objective
         self.config = config if config is not None else EvolutionConfig()
         self.cache = cache if cache is not None else EvaluationCache()
         self.evaluator = evaluator
+        self.checkpoint = checkpoint
 
     # -- genetic operators ------------------------------------------------------
 
@@ -210,6 +223,56 @@ class EvolutionarySearch:
         )
         return self.cache.get_or_eval_many(archs, eval_many)
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def _save_checkpoint(
+        self,
+        rng: np.random.Generator,
+        result: SearchResult,
+        misses_before: int,
+        next_generation: int,
+        complete: bool = False,
+    ) -> None:
+        if self.checkpoint is None:
+            return
+        self.checkpoint.save(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "next_generation": next_generation,
+                "rng": generator_state(rng),
+                "best": result.best.to_dict(),
+                "generations": [
+                    {
+                        "index": g.index,
+                        "population": [e.to_dict() for e in g.population],
+                    }
+                    for g in result.generations
+                ],
+                # Fresh-evaluation count relative to *this run's* cache
+                # baseline; a resumed run re-derives its baseline from
+                # it so the final ``num_evaluations`` matches exactly.
+                "evaluations_so_far": self.cache.misses - misses_before,
+            },
+            complete=complete,
+        )
+
+    def _restore(self, saved: dict) -> SearchResult:
+        if int(saved.get("format", 0)) != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"unsupported EA checkpoint format {saved.get('format')!r}"
+            )
+        result = SearchResult(best=EvaluatedArch.from_dict(saved["best"]))
+        result.generations = [
+            GenerationRecord(
+                index=int(g["index"]),
+                population=[
+                    EvaluatedArch.from_dict(e) for e in g["population"]
+                ],
+            )
+            for g in saved["generations"]
+        ]
+        return result
+
     # -- main loop ---------------------------------------------------------------
 
     def run(self) -> SearchResult:
@@ -220,18 +283,43 @@ class EvolutionarySearch:
         second (one batch). Evaluation consumes no randomness, so the
         reordering leaves the rng stream — and therefore the whole
         run — identical to evaluating each child as it is bred.
+
+        With a ``checkpoint``, a run killed at any point replays the
+        completed generations from the saved state (restoring the rng
+        stream mid-sequence) and continues; every number in the final
+        :class:`SearchResult` matches the uninterrupted run.
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         misses_before = self.cache.misses
 
-        population = self._eval_batch(
-            [self.space.sample(rng) for _ in range(cfg.population_size)]
-        )
-        result = SearchResult(best=max(population, key=lambda e: e.score))
-        result.generations.append(GenerationRecord(0, list(population)))
+        result: Optional[SearchResult] = None
+        start_gen = 1
+        if self.checkpoint is not None:
+            saved = self.checkpoint.load()
+            if saved is not None:
+                result = self._restore(saved)
+                set_generator_state(rng, saved["rng"])
+                misses_before = self.cache.misses - int(
+                    saved["evaluations_so_far"]
+                )
+                start_gen = int(saved["next_generation"])
+                if self.checkpoint.is_complete():
+                    result.num_evaluations = self.cache.misses - misses_before
+                    result.cache_stats = self.cache.stats()
+                    return result
 
-        for gen in range(1, cfg.generations):
+        if result is None:
+            population = self._eval_batch(
+                [self.space.sample(rng) for _ in range(cfg.population_size)]
+            )
+            result = SearchResult(best=max(population, key=lambda e: e.score))
+            result.generations.append(GenerationRecord(0, list(population)))
+            self._save_checkpoint(rng, result, misses_before, next_generation=1)
+        else:
+            population = list(result.generations[-1].population)
+
+        for gen in range(start_gen, cfg.generations):
             ranked = sorted(population, key=lambda e: e.score, reverse=True)
             parents = ranked[: cfg.num_parents]
             # Elitism: parents survive; the rest of the population is
@@ -258,12 +346,22 @@ class EvolutionarySearch:
             result.generations.append(record)
             if record.best.score > result.best.score:
                 result.best = record.best
+            self._save_checkpoint(
+                rng, result, misses_before, next_generation=gen + 1
+            )
 
         # Fresh objective evaluations this run — identical to the old
         # ``len(private_dict)`` accounting when the cache is private, and
         # still meaningful when a shared cache arrives pre-warmed.
         result.num_evaluations = self.cache.misses - misses_before
         result.cache_stats = self.cache.stats()
+        self._save_checkpoint(
+            rng,
+            result,
+            misses_before,
+            next_generation=cfg.generations,
+            complete=True,
+        )
         return result
 
 

@@ -18,8 +18,11 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.core.cache import EvaluationCache
+from repro.runstate.rng import generator_state, set_generator_state
 from repro.space.architecture import Architecture
 from repro.space.search_space import SearchSpace
+
+CHECKPOINT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -41,6 +44,21 @@ class BiObjective:
             or self.accuracy > other.accuracy
         )
         return no_worse and better
+
+    def to_dict(self) -> dict:
+        return {
+            "arch": self.arch.to_dict(),
+            "latency_ms": self.latency_ms,
+            "accuracy": self.accuracy,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BiObjective":
+        return cls(
+            arch=Architecture.from_dict(payload["arch"]),
+            latency_ms=float(payload["latency_ms"]),
+            accuracy=float(payload["accuracy"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -144,6 +162,7 @@ class Nsga2Search:
         config: Nsga2Config = Nsga2Config(),
         cache: Optional[EvaluationCache] = None,
         workers: int = 0,
+        checkpoint=None,
     ):
         self.space = space
         self.accuracy_fn = accuracy_fn
@@ -156,6 +175,32 @@ class Nsga2Search:
         # Worker processes for population evaluation; 0/1 = serial.
         # Results are identical either way (see docs/parallel.md).
         self.workers = workers
+        # Optional per-generation checkpoint slot (see
+        # EvolutionarySearch); a resumed run is bit-identical.
+        self.checkpoint = checkpoint
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def _save_checkpoint(
+        self,
+        rng: np.random.Generator,
+        population: List[BiObjective],
+        misses_before: int,
+        completed_generations: int,
+        complete: bool = False,
+    ) -> None:
+        if self.checkpoint is None:
+            return
+        self.checkpoint.save(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "completed_generations": completed_generations,
+                "rng": generator_state(rng),
+                "population": [p.to_dict() for p in population],
+                "evaluations_so_far": self.cache.misses - misses_before,
+            },
+            complete=complete,
+        )
 
     # -- evaluation -------------------------------------------------------------
 
@@ -258,24 +303,46 @@ class Nsga2Search:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         misses_before = self.cache.misses
+
+        population: Optional[List[BiObjective]] = None
+        done = 0
+        if self.checkpoint is not None:
+            saved = self.checkpoint.load()
+            if saved is not None:
+                if int(saved.get("format", 0)) != CHECKPOINT_FORMAT:
+                    raise ValueError(
+                        "unsupported NSGA-II checkpoint format "
+                        f"{saved.get('format')!r}"
+                    )
+                population = [
+                    BiObjective.from_dict(p) for p in saved["population"]
+                ]
+                set_generator_state(rng, saved["rng"])
+                misses_before = self.cache.misses - int(
+                    saved["evaluations_so_far"]
+                )
+                done = int(saved["completed_generations"])
+
         with WorkerPool(self.eval_many, workers=self.workers) as pool:
 
             def eval_batch(archs: List[Architecture]) -> List[BiObjective]:
                 return self.cache.get_or_eval_many(archs, pool.map)
 
-            seeds: List[Architecture] = (
-                self._corner_architectures() if cfg.seed_corners else []
-            )
-            seeds = seeds[: cfg.population_size // 2]
-            population = eval_batch(
-                seeds
-                + [
-                    self.space.sample(rng)
-                    for _ in range(cfg.population_size - len(seeds))
-                ]
-            )
+            if population is None:
+                seeds: List[Architecture] = (
+                    self._corner_architectures() if cfg.seed_corners else []
+                )
+                seeds = seeds[: cfg.population_size // 2]
+                population = eval_batch(
+                    seeds
+                    + [
+                        self.space.sample(rng)
+                        for _ in range(cfg.population_size - len(seeds))
+                    ]
+                )
+                self._save_checkpoint(rng, population, misses_before, 0)
 
-            for _ in range(cfg.generations - 1):
+            for gen in range(done, cfg.generations - 1):
                 ranked = self._rank_population(population)
                 parents = [
                     population[i] for i in ranked[: cfg.population_size // 2]
@@ -299,10 +366,14 @@ class Nsga2Search:
                 while len(child_archs) < needed:
                     child_archs.append(self.space.sample(rng))
                 population = parents + eval_batch(child_archs)
+                self._save_checkpoint(rng, population, misses_before, gen + 1)
 
         fronts = non_dominated_sort(population)
         front = sorted(
             (population[i] for i in fronts[0]), key=lambda p: p.latency_ms
+        )
+        self._save_checkpoint(
+            rng, population, misses_before, cfg.generations - 1, complete=True
         )
         return Nsga2Result(
             front=front,

@@ -96,6 +96,24 @@ class SubspaceQuality:
         self._next_index += count
         return list(range(start, start + count))
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def state(self) -> dict:
+        """Resumable state: the index counter and the F() call count.
+
+        Indexed seeding means no generator state needs saving — estimate
+        ``i`` always draws the same stream, so restoring the counter is
+        enough for a resumed run to allocate the same indices.
+        """
+        return {
+            "next_index": self._next_index,
+            "evaluations": self.evaluations,
+        }
+
+    def set_state(self, state: dict) -> None:
+        self._next_index = int(state["next_index"])
+        self.evaluations = int(state["evaluations"])
+
     # -- estimation --------------------------------------------------------------
 
     def _eval_many_fn(self):

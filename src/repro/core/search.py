@@ -22,15 +22,18 @@ from typing import Optional
 from repro.accuracy.surrogate import AccuracySurrogate
 from repro.core.cache import EvaluationCache
 from repro.core.evolution import EvolutionConfig, EvolutionarySearch, SearchResult
-from repro.core.objective import Objective
+from repro.core.objective import EvaluatedArch, Objective
 from repro.core.quality import SubspaceQuality
 from repro.core.shrinking import ProgressiveSpaceShrinking, ShrinkResult
+from repro.hardware.degradation import DegradationReport
 from repro.hardware.device import DeviceModel
+from repro.hardware.faults import RetryPolicy
 from repro.hardware.ledger import MeasurementLedger
 from repro.hardware.lut import LatencyLUT
 from repro.hardware.predictor import LatencyPredictor
 from repro.hardware.profiler import OnDeviceProfiler
 from repro.parallel.evaluator import ParallelEvaluator
+from repro.runstate import PhaseCheckpoint, RunDir
 from repro.space.architecture import Architecture
 from repro.space.search_space import SearchSpace
 
@@ -55,6 +58,15 @@ class HSCoNASConfig:
     # population scoring; 0/1 = serial. A pure wall-clock knob: results
     # are bit-identical for any value (see docs/parallel.md).
     workers: int = 0
+    # Fault tolerance (docs/robustness.md). ``retry`` fights individual
+    # probe failures during LUT building and measurement; its backoff
+    # jitter never touches the measurement-noise stream, so a healthy
+    # device's results are bit-identical with or without it.
+    # ``degraded_ok`` lets the predictor serve missing LUT cells from
+    # the nearest present cell (recorded on the degradation report)
+    # instead of raising mid-search.
+    retry: Optional[RetryPolicy] = field(default_factory=RetryPolicy)
+    degraded_ok: bool = True
 
     def __post_init__(self) -> None:
         if self.target_ms <= 0:
@@ -82,6 +94,7 @@ class HSCoNASResult:
     predictor: LatencyPredictor
     final_space: SearchSpace
     ledger: Optional[MeasurementLedger] = None
+    degradation: Optional[DegradationReport] = None
 
     def summary(self) -> str:
         lines = [
@@ -102,6 +115,8 @@ class HSCoNASResult:
             )
         if self.ledger is not None:
             lines.append(f"search cost: {self.ledger.summary()}")
+        if self.degradation is not None and self.degradation.degraded():
+            lines.append(f"measurement health: {self.degradation.summary()}")
         return "\n".join(lines)
 
 
@@ -137,8 +152,15 @@ class HSCoNAS:
             else AccuracySurrogate.for_space(space)
         )
         self.ledger = MeasurementLedger()
+        # One degradation report spans the whole run: LUT-build faults,
+        # measurement retries, and in-search fallbacks all land here.
+        self.degradation = DegradationReport()
         self.profiler = OnDeviceProfiler(
-            device, seed=self.config.seed, ledger=self.ledger
+            device,
+            seed=self.config.seed,
+            ledger=self.ledger,
+            retry=self.config.retry,
+            degradation=self.degradation,
         )
 
     # -- stage 1: hardware performance modeling ---------------------------------
@@ -153,8 +175,15 @@ class HSCoNAS:
             seed=cfg.seed,
             ledger=self.ledger,
             workers=cfg.workers,
+            retry=cfg.retry,
         )
-        predictor = LatencyPredictor(lut, self.space, ledger=self.ledger)
+        predictor = LatencyPredictor(
+            lut,
+            self.space,
+            ledger=self.ledger,
+            degraded_ok=cfg.degraded_ok,
+            degradation=self.degradation,
+        )
         predictor.calibrate_bias(
             self.space,
             self.profiler,
@@ -163,12 +192,69 @@ class HSCoNAS:
         )
         return predictor
 
+    # -- checkpoint plumbing -----------------------------------------------------
+
+    PHASES = ("predictor", "shrink", "search")
+
+    def _restore_predictor(self, saved: dict) -> LatencyPredictor:
+        lut = LatencyLUT.from_json(saved["lut"])
+        self.ledger.restore(saved["ledger"])
+        self.degradation.restore(saved["degradation"])
+        self.profiler.set_rng_state(saved["profiler_rng"])
+        predictor = LatencyPredictor(
+            lut,
+            self.space,
+            bias_ms=float(saved["bias_ms"]),
+            ledger=self.ledger,
+            degraded_ok=self.config.degraded_ok,
+            degradation=self.degradation,
+        )
+        predictor.calibrated = True
+        return predictor
+
+    def _predictor_payload(self, predictor: LatencyPredictor) -> dict:
+        return {
+            "format": 1,
+            "lut": predictor.lut.to_json(),
+            "bias_ms": predictor.bias_ms,
+            "profiler_rng": self.profiler.rng_state(),
+            "ledger": self.ledger.to_dict(),
+            "degradation": self.degradation.to_dict(),
+        }
+
+    def checkpointed_predictor(
+        self, run_state: Optional[RunDir]
+    ) -> LatencyPredictor:
+        """Stage 1, resumable: restore the LUT + bias from a completed
+        ``predictor`` phase checkpoint, or build and checkpoint them.
+
+        The profiler's measurement-noise rng state is saved *after*
+        bias calibration, so the final verification measurement of a
+        resumed run draws the same noise as an uninterrupted one.
+        """
+        if run_state is None:
+            return self.build_predictor()
+        checkpoint = PhaseCheckpoint(run_state, "predictor")
+        saved = checkpoint.load()
+        if saved is not None and checkpoint.is_complete():
+            return self._restore_predictor(saved)
+        predictor = self.build_predictor()
+        checkpoint.save(self._predictor_payload(predictor), complete=True)
+        return predictor
+
     # -- full pipeline --------------------------------------------------------------
 
-    def run(self) -> HSCoNASResult:
-        """Execute the whole pipeline and return the discovered network."""
+    def run(self, run_state: Optional[RunDir] = None) -> HSCoNASResult:
+        """Execute the whole pipeline and return the discovered network.
+
+        With a ``run_state``, every phase boundary and every unit of
+        intra-phase progress (per-layer shrink decisions, per-generation
+        EA populations) is checkpointed crash-safely, and a killed run
+        re-invoked with the same ``run_state`` resumes bit-exact — same
+        architecture, same numbers — for any ``workers`` setting.
+        """
         cfg = self.config
-        predictor = self.build_predictor()
+        predictor = self.checkpointed_predictor(run_state)
 
         objective = Objective(
             accuracy_fn=self.surrogate.proxy_accuracy,
@@ -200,6 +286,37 @@ class HSCoNAS:
         # ledger turns an accidental on-device call into a hard error.
         self.ledger.freeze_measurements()
 
+        # Shrink/search checkpoints piggyback the pipeline-owned state
+        # (shared cache, ledger, degradation report) on every save, so
+        # a resume restores the exact counters and memo the searcher
+        # saw — without the searchers knowing any of it exists.
+        def _owner_save() -> dict:
+            return {
+                "cache": eval_cache.snapshot(lambda e: e.to_dict()),
+                "ledger": self.ledger.to_dict(),
+                "degradation": self.degradation.to_dict(),
+            }
+
+        def _owner_restore(state: dict) -> None:
+            eval_cache.restore(state["cache"], EvaluatedArch.from_dict)
+            self.ledger.restore(state["ledger"])
+            self.degradation.restore(state["degradation"])
+
+        shrink_ckpt = search_ckpt = None
+        if run_state is not None:
+            shrink_ckpt = PhaseCheckpoint(
+                run_state,
+                "shrink",
+                extra_save=_owner_save,
+                extra_restore=_owner_restore,
+            )
+            search_ckpt = PhaseCheckpoint(
+                run_state,
+                "search",
+                extra_save=_owner_save,
+                extra_restore=_owner_restore,
+            )
+
         try:
             shrink_result: Optional[ShrinkResult] = None
             search_space = self.space
@@ -212,7 +329,9 @@ class HSCoNAS:
                     evaluator=evaluator,
                 )
                 shrinker = ProgressiveSpaceShrinking(
-                    quality, stage_layers=cfg.shrink_stage_layers
+                    quality,
+                    stage_layers=cfg.shrink_stage_layers,
+                    checkpoint=shrink_ckpt,
                 )
                 shrink_result = shrinker.run(search_space)
                 assert shrink_result.final_space is not None
@@ -236,6 +355,7 @@ class HSCoNAS:
                 evolution_cfg,
                 cache=eval_cache,
                 evaluator=evaluator,
+                checkpoint=search_ckpt,
             )
             search_result = search.run()
         finally:
@@ -255,4 +375,5 @@ class HSCoNAS:
             predictor=predictor,
             final_space=search_space,
             ledger=self.ledger,
+            degradation=self.degradation,
         )

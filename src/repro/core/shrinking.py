@@ -25,6 +25,8 @@ import numpy as np
 from repro.core.quality import SubspaceQuality
 from repro.space.search_space import SearchSpace
 
+CHECKPOINT_FORMAT = 1
+
 
 @dataclass(frozen=True)
 class ShrinkDecision:
@@ -125,6 +127,14 @@ class ProgressiveSpaceShrinking:
         :class:`~repro.core.cache.EvaluationCache`, it is cleared after
         every hook invocation: tuning changes the proxy accuracy, so
         memoized objective values from earlier stages would be stale.
+    checkpoint:
+        Optional checkpoint slot (e.g.
+        :class:`~repro.runstate.PhaseCheckpoint`). When set, every
+        per-layer decision (and every stage boundary and tune-hook
+        completion) is saved; :meth:`run` replays the saved decisions —
+        re-fixing operators without re-estimating — and continues from
+        the first undecided layer, bit-identical to an uninterrupted
+        run.
     """
 
     def __init__(
@@ -132,12 +142,14 @@ class ProgressiveSpaceShrinking:
         quality: SubspaceQuality,
         stage_layers: Optional[Sequence[Sequence[int]]] = None,
         tune_hook: Optional[Callable[[SearchSpace, int], None]] = None,
+        checkpoint=None,
     ):
         self.quality = quality
         self.stage_layers = (
             [tuple(s) for s in stage_layers] if stage_layers is not None else None
         )
         self.tune_hook = tune_hook
+        self.checkpoint = checkpoint
 
     def shrink_layer(
         self, space: SearchSpace, layer: int
@@ -163,8 +175,74 @@ class ProgressiveSpaceShrinking:
             layer=layer, qualities=qualities, chosen_op=chosen
         )
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def _save_checkpoint(
+        self,
+        result: ShrinkResult,
+        tuned_stages: int,
+        evals_before: int,
+        complete: bool = False,
+    ) -> None:
+        if self.checkpoint is None:
+            return
+        self.checkpoint.save(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "stages": [
+                    [
+                        {
+                            "layer": d.layer,
+                            "qualities": {
+                                str(op): q for op, q in d.qualities.items()
+                            },
+                            "chosen_op": d.chosen_op,
+                        }
+                        for d in stage
+                    ]
+                    for stage in result.stages
+                ],
+                "stage_log10_sizes": list(result.stage_log10_sizes),
+                "stage_cache_stats": list(result.stage_cache_stats),
+                "tuned_stages": tuned_stages,
+                "quality": self.quality.state(),
+                "quality_evaluations_so_far": (
+                    self.quality.evaluations - evals_before
+                ),
+            },
+            complete=complete,
+        )
+
+    @staticmethod
+    def _restore_stages(saved: dict) -> List[List[ShrinkDecision]]:
+        if int(saved.get("format", 0)) != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"unsupported shrink checkpoint format {saved.get('format')!r}"
+            )
+        return [
+            [
+                ShrinkDecision(
+                    layer=int(d["layer"]),
+                    qualities={
+                        int(op): float(q)
+                        for op, q in d["qualities"].items()
+                    },
+                    chosen_op=int(d["chosen_op"]),
+                )
+                for d in stage
+            ]
+            for stage in saved["stages"]
+        ]
+
     def run(self, space: SearchSpace) -> ShrinkResult:
-        """Execute all shrinking stages; returns the full record."""
+        """Execute all shrinking stages; returns the full record.
+
+        With a ``checkpoint``, saved per-layer decisions are *replayed*
+        (the chosen operator is re-fixed without re-estimating — the
+        estimator's indexed seeding makes that safe) and the run
+        continues from the first undecided layer. A tune hook that
+        already completed is not re-run.
+        """
         stage_layers = (
             self.stage_layers
             if self.stage_layers is not None
@@ -173,16 +251,50 @@ class ProgressiveSpaceShrinking:
         evals_before = self.quality.evaluations
         result = ShrinkResult(initial_log10_size=space.log10_size())
         cache = getattr(self.quality, "cache", None)
+
+        tuned_stages = 0
+        if self.checkpoint is not None:
+            saved = self.checkpoint.load()
+            if saved is not None:
+                result.stages = self._restore_stages(saved)
+                result.stage_log10_sizes = [
+                    float(s) for s in saved["stage_log10_sizes"]
+                ]
+                result.stage_cache_stats = [
+                    dict(s) for s in saved["stage_cache_stats"]
+                ]
+                tuned_stages = int(saved["tuned_stages"])
+                self.quality.set_state(saved["quality"])
+                evals_before = self.quality.evaluations - int(
+                    saved["quality_evaluations_so_far"]
+                )
+                for decision in (d for st in result.stages for d in st):
+                    space = space.fix_operator(
+                        decision.layer, decision.chosen_op
+                    )
+
         for stage_idx, layers in enumerate(stage_layers):
-            decisions: List[ShrinkDecision] = []
-            for layer in layers:
+            if stage_idx < len(result.stages):
+                decisions = result.stages[stage_idx]
+            else:
+                decisions = []
+                result.stages.append(decisions)
+            # Decisions are made in schedule order, so a partially
+            # restored stage is a prefix of its layer list.
+            for layer in list(layers)[len(decisions):]:
                 space, decision = self.shrink_layer(space, layer)
                 decisions.append(decision)
-            result.stages.append(decisions)
-            result.stage_log10_sizes.append(space.log10_size())
-            if cache is not None:
-                result.stage_cache_stats.append(cache.stats())
-            if self.tune_hook is not None and stage_idx < len(stage_layers) - 1:
+                self._save_checkpoint(result, tuned_stages, evals_before)
+            if stage_idx >= len(result.stage_log10_sizes):
+                result.stage_log10_sizes.append(space.log10_size())
+                if cache is not None:
+                    result.stage_cache_stats.append(cache.stats())
+                self._save_checkpoint(result, tuned_stages, evals_before)
+            if (
+                self.tune_hook is not None
+                and stage_idx < len(stage_layers) - 1
+                and tuned_stages <= stage_idx
+            ):
                 self.tune_hook(space, stage_idx)
                 if cache is not None:
                     cache.clear()
@@ -192,10 +304,15 @@ class ProgressiveSpaceShrinking:
                 evaluator = getattr(self.quality, "evaluator", None)
                 if evaluator is not None:
                     evaluator.sync()
+                tuned_stages = stage_idx + 1
+                self._save_checkpoint(result, tuned_stages, evals_before)
         result.final_space = space
         result.quality_evaluations = self.quality.evaluations - evals_before
         if cache is not None:
             result.cache_stats = cache.stats()
+        self._save_checkpoint(
+            result, tuned_stages, evals_before, complete=True
+        )
         return result
 
 

@@ -15,6 +15,7 @@ from typing import Union
 import numpy as np
 
 from repro.nn.layers.norm import BatchNorm2d
+from repro.runstate.atomic import atomic_path
 from repro.space.architecture import Architecture
 from repro.space.config import SpaceConfig, StageSpec
 from repro.space.search_space import SearchSpace
@@ -85,7 +86,10 @@ def export_bundle(
     arrays = {f"param::{k}": v for k, v in supernet.state_dict().items()}
     arrays.update(_bn_stats(supernet))
     arrays[_META_KEY] = np.array(meta)
-    np.savez(path, **arrays)
+    # np.savez needs a filename, so the atomic recipe uses a temp path
+    # in the destination directory and renames over `path` on success.
+    with atomic_path(path, suffix=".npz") as tmp:
+        np.savez(tmp, **arrays)
     return path
 
 

@@ -15,8 +15,16 @@ latency lookup table plus calibrated bias ``B``
 """
 
 from repro.hardware.spec import DeviceSpec, cpu_spec, edge_spec, gpu_spec
+from repro.hardware.degradation import DegradationReport
 from repro.hardware.device import DeviceModel, get_device
-from repro.hardware.profiler import OnDeviceProfiler
+from repro.hardware.faults import (
+    FlakyDevice,
+    ProbeError,
+    ProbeTimeout,
+    RetryPolicy,
+    run_with_retry,
+)
+from repro.hardware.profiler import OnDeviceProfiler, robust_median
 from repro.hardware.lut import DenseLatencyTable, LatencyLUT
 from repro.hardware.predictor import LatencyPredictor, PredictorReport
 from repro.hardware.metrics import pearson, rmse, spearman
@@ -34,7 +42,14 @@ __all__ = [
     "edge_spec",
     "DeviceModel",
     "get_device",
+    "DegradationReport",
+    "FlakyDevice",
+    "ProbeError",
+    "ProbeTimeout",
+    "RetryPolicy",
+    "run_with_retry",
     "OnDeviceProfiler",
+    "robust_median",
     "DenseLatencyTable",
     "LatencyLUT",
     "LatencyPredictor",

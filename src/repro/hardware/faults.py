@@ -1,0 +1,197 @@
+"""Device-probe fault model: errors, timeouts, retry with backoff.
+
+Real device farms fail constantly — probes hang, USB links drop,
+thermal throttling trips watchdogs. HW-NAS-Bench and similar efforts
+document heavy measurement variance and lost probes as the norm, not
+the exception. This module gives the measurement layer one vocabulary
+for those faults (:class:`ProbeError` / :class:`ProbeTimeout`), one
+knob for how hard to fight them (:class:`RetryPolicy` — bounded
+attempts, exponential backoff with jitter, a per-probe time budget),
+and one synthetic flaky device (:class:`FlakyDevice`) to test the whole
+stack against.
+
+Determinism note: retry jitter draws from its *own* generator, seeded
+per call site — never from the measurement-noise stream. A run on a
+healthy device therefore produces bit-identical results whether or not
+retries are configured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, TypeVar
+
+import numpy as np
+
+from repro.hardware.device import DeviceModel
+
+T = TypeVar("T")
+
+
+class ProbeError(RuntimeError):
+    """A device probe failed (link drop, device-side crash, bad read)."""
+
+
+class ProbeTimeout(ProbeError):
+    """A device probe exceeded its time budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the measurement layer fights a failing probe.
+
+    Parameters
+    ----------
+    attempts:
+        Total tries per probe (first attempt included); >= 1.
+    backoff_s:
+        Sleep before the first retry; each further retry multiplies it
+        by ``backoff_factor`` (exponential backoff).
+    backoff_factor:
+        Growth factor of the backoff series; >= 1.
+    jitter:
+        Fractional jitter on every backoff sleep: the actual delay is
+        uniform in ``[delay * (1 - jitter), delay * (1 + jitter)]``.
+        Jitter decorrelates retry storms across parallel probes.
+    timeout_s:
+        Optional per-attempt time budget. An attempt whose wall-clock
+        exceeds it counts as a :class:`ProbeTimeout` failure even if it
+        eventually returned (a real harness would have killed it).
+    """
+
+    attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter: float = 0.5
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_s must be >= 0 and backoff_factor >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def delay_s(self, retry_index: int, rng: Optional[np.random.Generator]) -> float:
+        """Backoff sleep before retry ``retry_index`` (0 = first retry)."""
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        delay = self.backoff_s * self.backoff_factor**retry_index
+        if rng is not None and self.jitter > 0 and delay > 0:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+
+def run_with_retry(
+    probe: Callable[[], T],
+    policy: RetryPolicy,
+    rng: Optional[np.random.Generator] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.perf_counter,
+) -> Tuple[T, int]:
+    """Run ``probe`` under ``policy``; returns ``(value, attempts_used)``.
+
+    Only :class:`ProbeError` (and subclasses) are retried — any other
+    exception is a bug in the probe, not a device fault, and propagates
+    immediately. After the final attempt the last fault is re-raised,
+    so callers see exactly what the device last said.
+    """
+    last_fault: Optional[ProbeError] = None
+    for attempt in range(policy.attempts):
+        if attempt > 0:
+            delay = policy.delay_s(attempt - 1, rng)
+            if delay > 0:
+                sleep(delay)
+        started = clock()
+        try:
+            value = probe()
+        except ProbeError as fault:
+            last_fault = fault
+            continue
+        if policy.timeout_s is not None and clock() - started > policy.timeout_s:
+            last_fault = ProbeTimeout(
+                f"probe exceeded its {policy.timeout_s}s budget"
+            )
+            continue
+        return value, attempt + 1
+    assert last_fault is not None
+    raise last_fault
+
+
+class FlakyDevice(DeviceModel):
+    """A device model whose probes fail or time out at configured rates.
+
+    Wraps any :class:`~repro.hardware.device.DeviceModel` (same spec,
+    same timings on success) and injects :class:`ProbeError` /
+    :class:`ProbeTimeout` from a *separate* seeded fault stream before
+    each probe entry point, so the measurement-noise stream is consumed
+    exactly as on the healthy device — a retried probe returns the same
+    value the healthy device would have.
+
+    ``fail_first`` deterministically fails the first N probes (on top
+    of the rates), which is what the fail-twice-then-succeed retry
+    tests use.
+    """
+
+    def __init__(
+        self,
+        device: DeviceModel,
+        failure_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        seed: int = 0,
+        fail_first: int = 0,
+    ):
+        if not 0.0 <= failure_rate <= 1.0 or not 0.0 <= timeout_rate <= 1.0:
+            raise ValueError("failure/timeout rates must be in [0, 1]")
+        if failure_rate + timeout_rate > 1.0:
+            raise ValueError("failure_rate + timeout_rate must be <= 1")
+        if fail_first < 0:
+            raise ValueError("fail_first must be >= 0")
+        super().__init__(device.spec)
+        self.failure_rate = failure_rate
+        self.timeout_rate = timeout_rate
+        self.fail_first = fail_first
+        self._fault_rng = np.random.default_rng(seed)
+        # Observability: how much grief the device caused.
+        self.probes = 0
+        self.injected_failures = 0
+        self.injected_timeouts = 0
+
+    def _maybe_fail(self) -> None:
+        self.probes += 1
+        if self.fail_first > 0:
+            self.fail_first -= 1
+            self.injected_failures += 1
+            raise ProbeError(
+                f"injected failure (probe #{self.probes}, fail_first)"
+            )
+        if self.timeout_rate <= 0 and self.failure_rate <= 0:
+            return
+        draw = float(self._fault_rng.random())
+        if draw < self.timeout_rate:
+            self.injected_timeouts += 1
+            raise ProbeTimeout(f"injected timeout (probe #{self.probes})")
+        if draw < self.timeout_rate + self.failure_rate:
+            self.injected_failures += 1
+            raise ProbeError(f"injected failure (probe #{self.probes})")
+
+    # Every probe entry point the measurement layer uses checks the
+    # fault stream first, then delegates to the healthy implementation.
+
+    def run_network_ms(self, layer_primitives, extra_primitives=(), batch=None, rng=None):
+        self._maybe_fail()
+        return super().run_network_ms(
+            layer_primitives, extra_primitives, batch=batch, rng=rng
+        )
+
+    def primitives_time_ms(self, prims):
+        self._maybe_fail()
+        return super().primitives_time_ms(prims)
+
+    def operator_time_ms(self, space, layer, op_index, factor, cin):
+        self._maybe_fail()
+        return super().operator_time_ms(space, layer, op_index, factor, cin)

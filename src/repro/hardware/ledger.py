@@ -73,6 +73,33 @@ class MeasurementLedger:
     def thaw_measurements(self) -> None:
         self._frozen = False
 
+    # -- checkpointing ----------------------------------------------------------
+
+    _COUNTERS = (
+        "measurement_sessions",
+        "measurement_runs",
+        "lut_cells",
+        "predictor_queries",
+    )
+
+    def to_dict(self) -> dict:
+        """Counters only — frozen-ness is a phase property, not state."""
+        return {name: getattr(self, name) for name in self._COUNTERS}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MeasurementLedger":
+        return cls(**{k: int(payload.get(k, 0)) for k in cls._COUNTERS})
+
+    def restore(self, payload: dict) -> None:
+        """Overwrite this ledger's counters in place.
+
+        Frozen-ness is untouched: whether measurements are currently
+        allowed is decided by the phase being resumed, not by the
+        checkpoint.
+        """
+        for name in self._COUNTERS:
+            setattr(self, name, int(payload.get(name, 0)))
+
     # -- reporting ------------------------------------------------------------------
 
     def summary(self) -> str:

@@ -15,11 +15,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from itertools import chain
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hardware.degradation import DegradationReport
 from repro.hardware.device import DeviceModel
+from repro.hardware.faults import ProbeError, RetryPolicy, run_with_retry
 from repro.nn.layers.mask import channels_kept
 from repro.space.architecture import Architecture
 from repro.space.operators import NUM_OPERATORS, get_operator
@@ -90,6 +92,12 @@ class LatencyLUT:
         self.stem_ms = stem_ms
         self.head_ms = dict(head_ms) if head_ms else {}
         self._dense = (-1, None)  # (entry count at build, DenseLatencyTable)
+        # Probe faults observed while building (empty for a clean build).
+        self.build_degradation = DegradationReport()
+        # Memoized nearest-cell fallback values: a missing cell resolves
+        # to the same substitute every time, scalar or batched.
+        self._fallback_memo: Dict[_Key, float] = {}
+        self._head_fallback_memo: Dict[int, float] = {}
 
     # -- construction -----------------------------------------------------------
 
@@ -102,6 +110,7 @@ class LatencyLUT:
         seed: int = 0,
         ledger=None,
         workers: int = 0,
+        retry: Optional[RetryPolicy] = None,
     ) -> "LatencyLUT":
         """Micro-benchmark every operator cell on the device.
 
@@ -116,6 +125,15 @@ class LatencyLUT:
         profiling order. That is what lets ``workers >= 2`` fan the
         profiling out across processes with bit-identical results;
         ``workers=0`` (default) profiles serially in-process.
+
+        With a :class:`~repro.hardware.faults.RetryPolicy`, each cell's
+        probe is retried under backoff (jitter drawn from a per-cell
+        stream spawn-keyed away from the noise stream, so healthy-device
+        values are unchanged). A cell that exhausts its retries is
+        *omitted* rather than fatal: the build records it in the
+        returned LUT's ``build_degradation`` report, and lookups can
+        later fall back to the nearest present cell (see
+        :meth:`lookup`).
         """
         if samples_per_cell < 1:
             raise ValueError("samples_per_cell must be >= 1")
@@ -137,15 +155,43 @@ class LatencyLUT:
                     for factor in space.candidate_factors[layer]:
                         tasks.append(("cell", layer, op, cin, factor))
 
-        def profile_chunk(chunk: List[Tuple[int, Tuple]]) -> List[float]:
+        def profile_chunk(chunk: List[Tuple[int, Tuple]]) -> List[Tuple]:
+            """Per task: ``(value | None, extra_attempts, fault message)``.
+
+            Fault accounting is *returned* rather than accumulated in
+            place so it survives the trip back from worker processes.
+            """
             out = []
             for index, (kind, layer, op, cin, factor) in chunk:
-                if kind == "stem":
-                    base = device.primitives_time_ms(space.stem_primitives())
-                elif kind == "head":
-                    base = device.primitives_time_ms(space.head_primitives(cin))
-                else:
-                    base = device.operator_time_ms(space, layer, op, factor, cin)
+
+                def probe(kind=kind, layer=layer, op=op, cin=cin, factor=factor):
+                    if kind == "stem":
+                        return device.primitives_time_ms(space.stem_primitives())
+                    if kind == "head":
+                        return device.primitives_time_ms(
+                            space.head_primitives(cin)
+                        )
+                    return device.operator_time_ms(space, layer, op, factor, cin)
+
+                extra_attempts = 0
+                try:
+                    if retry is None:
+                        base = probe()
+                    else:
+                        base, attempts = run_with_retry(
+                            probe,
+                            retry,
+                            rng=np.random.default_rng(
+                                np.random.SeedSequence(
+                                    seed, spawn_key=(index, 1)
+                                )
+                            ),
+                        )
+                        extra_attempts = attempts - 1
+                except ProbeError as fault:
+                    failed_attempts = retry.attempts - 1 if retry else 0
+                    out.append((None, failed_attempts, str(fault)))
+                    continue
                 if sigma > 0 and base > 0:
                     rng = np.random.default_rng(
                         np.random.SeedSequence(seed, spawn_key=(index,))
@@ -154,40 +200,128 @@ class LatencyLUT:
                         rng.normal(0.0, sigma, size=samples_per_cell)
                     )
                     base = float(np.mean(times))
-                out.append(base)
+                out.append((base, extra_attempts, None))
             return out
 
         from repro.parallel.pool import WorkerPool
 
         with WorkerPool(profile_chunk, workers=workers) as pool:
-            values = pool.map(list(enumerate(tasks)))
+            results = pool.map(list(enumerate(tasks)))
 
-        stem_ms = values[0]
+        degradation = DegradationReport()
+        stem_ms = 0.0
         head_ms: Dict[int, float] = {}
         entries: Dict[_Key, float] = {}
-        for (kind, layer, op, cin, factor), ms in zip(tasks[1:], values[1:]):
-            if kind == "head":
+        profiled = 0
+        for (kind, layer, op, cin, factor), (ms, extra, fault) in zip(
+            tasks, results
+        ):
+            degradation.probe_retries += extra
+            if ms is None:
+                degradation.probe_failures += 1
+                degradation.missing_cells += 1
+                degradation.record_event(
+                    f"LUT {kind} cell layer={layer} op={op} cin={cin} "
+                    f"factor={factor} failed after retries: {fault}"
+                )
+                continue
+            profiled += 1
+            if kind == "stem":
+                stem_ms = ms
+            elif kind == "head":
                 head_ms[cin] = ms
             else:
                 entries[_cell_key(layer, op, cin, factor)] = ms
         if ledger is not None:
-            ledger.record_lut_cells(len(entries) + 1 + len(head_ms))
-        return cls(device.spec.key, entries, stem_ms=stem_ms, head_ms=head_ms)
+            ledger.record_lut_cells(profiled)
+        lut = cls(device.spec.key, entries, stem_ms=stem_ms, head_ms=head_ms)
+        lut.build_degradation = degradation
+        return lut
 
     # -- queries -----------------------------------------------------------------
 
-    def lookup(self, layer: int, op: int, cin: int, factor: float) -> float:
+    def lookup(
+        self,
+        layer: int,
+        op: int,
+        cin: int,
+        factor: float,
+        fallback: bool = False,
+        report: Optional[DegradationReport] = None,
+    ) -> float:
         """Latency (ms) of one operator cell.
 
         Factors are quantized to the one-decimal grid before the lookup,
         so values that drifted through float arithmetic still hit their
         cell. A genuine miss raises a ``KeyError`` naming the nearest
-        existing cell to make the mismatch diagnosable.
+        existing cell to make the mismatch diagnosable — unless
+        ``fallback=True``, in which case the nearest present cell's
+        value is served instead (deterministically: the substitute for a
+        given key is memoized, so scalar and batched queries agree) and
+        the concession is recorded on ``report``.
         """
         key = _cell_key(layer, op, cin, factor)
         if key not in self.entries:
-            raise KeyError(self._miss_message(layer, op, cin, factor))
+            if not fallback:
+                raise KeyError(self._miss_message(layer, op, cin, factor))
+            return self._fallback_value(key, report)
         return self.entries[key]
+
+    def _fallback_value(
+        self, key: _Key, report: Optional[DegradationReport]
+    ) -> float:
+        """Nearest present cell's value for a missing key (memoized)."""
+        if key not in self._fallback_memo:
+            if not self.entries:
+                raise KeyError(
+                    f"LUT has no cell for layer={key[0]} op={key[1]} "
+                    f"cin={key[2]} factor={key[3]} and is empty — nothing "
+                    "to fall back to"
+                )
+            layer, op, cin, qf = key
+            # Distance is lexicographic (layer, op, cin, factor), with
+            # the candidate key itself as the final tiebreak so the
+            # substitute is unique and deterministic.
+            nearest = min(
+                self.entries,
+                key=lambda k: (
+                    abs(k[0] - layer),
+                    abs(k[1] - op),
+                    abs(k[2] - cin),
+                    abs(k[3] - qf),
+                    k,
+                ),
+            )
+            self._fallback_memo[key] = self.entries[nearest]
+            if report is not None:
+                report.fallback_cells += 1
+                report.record_event(
+                    f"missing LUT cell layer={layer} op={op} cin={cin} "
+                    f"factor={qf} served by nearest cell layer={nearest[0]} "
+                    f"op={nearest[1]} cin={nearest[2]} factor={nearest[3]}"
+                )
+        if report is not None:
+            report.fallback_lookups += 1
+        return self._fallback_memo[key]
+
+    def _head_fallback_value(
+        self, cin: int, report: Optional[DegradationReport]
+    ) -> float:
+        """Nearest present head cell for a missing final width."""
+        if cin not in self._head_fallback_memo:
+            if not self.head_ms:
+                raise KeyError(f"LUT has no head cell for cin={cin}")
+            nearest = min(self.head_ms, key=lambda c: (abs(c - cin), c))
+            self._head_fallback_memo[cin] = self.head_ms[nearest]
+            if report is not None:
+                report.fallback_cells += 1
+                report.record_event(
+                    f"missing LUT head cell cin={cin} served by nearest "
+                    f"head cell cin={nearest}"
+                )
+        if report is not None:
+            report.fallback_lookups += 1
+        return self._head_fallback_memo[cin]
 
     def _miss_message(self, layer: int, op: int, cin: int, factor: float) -> str:
         qf = _quantize_factor(factor)
@@ -213,23 +347,36 @@ class LatencyLUT:
             f"op={nearest[1]} cin={nearest[2]} factor={nearest[3]}"
         )
 
-    def sum_ops_ms(self, arch: Architecture, space: SearchSpace) -> float:
+    def sum_ops_ms(
+        self,
+        arch: Architecture,
+        space: SearchSpace,
+        fallback: bool = False,
+        report: Optional[DegradationReport] = None,
+    ) -> float:
         """``sum_l LAT(op^l)`` — Eq. 2 without the bias term.
 
         Walks the layer chain to resolve each layer's active input
         channel count from the previous layer's factor; the fixed stem
         and the (width-dependent) head count as operators too.
+        ``fallback``/``report`` are forwarded to :meth:`lookup` for
+        degraded LUTs with missing cells.
         """
         total = self.stem_ms
         channels = space.active_channels(arch)
         for layer, (op, factor) in enumerate(zip(arch.ops, arch.factors)):
             cin = channels[layer][0]
-            total += self.lookup(layer, op, cin, factor)
+            total += self.lookup(
+                layer, op, cin, factor, fallback=fallback, report=report
+            )
         last_c = channels[-1][1]
         if self.head_ms:
             if last_c not in self.head_ms:
-                raise KeyError(f"LUT has no head cell for cin={last_c}")
-            total += self.head_ms[last_c]
+                if not fallback:
+                    raise KeyError(f"LUT has no head cell for cin={last_c}")
+                total += self._head_fallback_value(last_c, report)
+            else:
+                total += self.head_ms[last_c]
         return total
 
     # -- batched queries ---------------------------------------------------------
@@ -261,7 +408,11 @@ class LatencyLUT:
         return table
 
     def sum_ops_ms_batch(
-        self, archs: Sequence[Architecture], space: SearchSpace
+        self,
+        archs: Sequence[Architecture],
+        space: SearchSpace,
+        fallback: bool = False,
+        report: Optional[DegradationReport] = None,
     ) -> np.ndarray:
         """Vectorized :meth:`sum_ops_ms` over a whole population.
 
@@ -269,7 +420,10 @@ class LatencyLUT:
         vectorized scan over layers, then gathers all ``P x L`` operator
         cells from the dense table in a single fancy-indexed read.
         Bit-identical to mapping :meth:`sum_ops_ms` over ``archs`` (the
-        accumulation order per architecture is the same).
+        accumulation order per architecture is the same; with
+        ``fallback=True`` the same memoized nearest-cell substitutes
+        patch the missing positions, so the equivalence holds on
+        degraded LUTs too).
         """
         archs = list(archs)
         if not archs:
@@ -317,7 +471,7 @@ class LatencyLUT:
             & (deciles >= 0)
             & (deciles < 11)
         )
-        if not in_range.all():
+        if not in_range.all() and not fallback:
             pos, layer = np.argwhere(~in_range)[0]
             raise KeyError(
                 self._miss_message(
@@ -328,17 +482,34 @@ class LatencyLUT:
                 )
             )
         layer_idx = np.arange(num_layers)[None, :]
-        gathered = table.cells[layer_idx, ops, cins, deciles]  # (P, L)
-        if np.isnan(gathered).any():
-            pos, layer = np.argwhere(np.isnan(gathered))[0]
-            raise KeyError(
-                self._miss_message(
+        # Out-of-range indices (possible only on the fallback path) are
+        # clamped for the gather and patched below with the rest of the
+        # missing positions.
+        safe_ops = np.minimum(ops, table.cells.shape[1] - 1)
+        safe_cins = np.minimum(cins, table.cells.shape[2] - 1)
+        safe_deciles = np.clip(deciles, 0, 10)
+        gathered = table.cells[layer_idx, safe_ops, safe_cins, safe_deciles]
+        missing = ~in_range | np.isnan(gathered)
+        if missing.any():
+            if not fallback:
+                pos, layer = np.argwhere(missing)[0]
+                raise KeyError(
+                    self._miss_message(
+                        int(layer),
+                        int(ops[pos, layer]),
+                        int(cins[pos, layer]),
+                        float(factors[pos, layer]),
+                    )
+                )
+            for pos, layer in np.argwhere(missing):
+                gathered[pos, layer] = self.lookup(
                     int(layer),
                     int(ops[pos, layer]),
                     int(cins[pos, layer]),
                     float(factors[pos, layer]),
+                    fallback=True,
+                    report=report,
                 )
-            )
         # Left-to-right accumulation reproduces the scalar sum order
         # exactly (stem + layer 0 + ... + head), keeping the batch path
         # bit-identical to sum_ops_ms.
@@ -347,14 +518,20 @@ class LatencyLUT:
             total += gathered[:, layer]
         if self.head_ms:
             last_c = cin
-            missing = (last_c >= len(table.head)) | np.isnan(
-                table.head[np.minimum(last_c, len(table.head) - 1)]
-            )
-            if missing.any():
-                raise KeyError(
-                    f"LUT has no head cell for cin={int(last_c[missing.argmax()])}"
-                )
-            total += table.head[last_c]
+            head_vals = table.head[np.minimum(last_c, len(table.head) - 1)]
+            head_missing = (last_c >= len(table.head)) | np.isnan(head_vals)
+            if head_missing.any():
+                if not fallback:
+                    raise KeyError(
+                        "LUT has no head cell for "
+                        f"cin={int(last_c[head_missing.argmax()])}"
+                    )
+                head_vals = head_vals.copy()
+                for pos in np.flatnonzero(head_missing):
+                    head_vals[pos] = self._head_fallback_value(
+                        int(last_c[pos]), report
+                    )
+            total += head_vals
         return total
 
     def __len__(self) -> int:

@@ -17,6 +17,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.hardware.degradation import DegradationReport
+from repro.hardware.faults import ProbeError
 from repro.hardware.lut import LatencyLUT
 from repro.space.operators import get_operator
 from repro.hardware.metrics import mean_bias, pearson, rmse, spearman
@@ -63,12 +65,29 @@ class LatencyPredictor:
         space: SearchSpace,
         bias_ms: float = 0.0,
         ledger=None,
+        degraded_ok: bool = False,
+        regression_fallback=None,
+        degradation: Optional[DegradationReport] = None,
     ):
         self.lut = lut
         self.space = space
         self.bias_ms = bias_ms
         self.calibrated = False
         self.ledger = ledger
+        # Graceful-degradation policy: with degraded_ok, a missing LUT
+        # cell is served by the nearest present cell (or, for a LUT too
+        # empty to interpolate, by the regression predictor when one is
+        # supplied) and recorded on the degradation report — instead of
+        # a mid-search KeyError.
+        self.degraded_ok = degraded_ok
+        self.regression_fallback = regression_fallback
+        self.degradation = (
+            degradation if degradation is not None else DegradationReport()
+        )
+        # Faults observed while the LUT was built belong to this
+        # predictor's story too.
+        if lut.build_degradation.degraded():
+            self.degradation.merge(lut.build_degradation)
 
     @property
     def device_key(self) -> str:
@@ -76,22 +95,54 @@ class LatencyPredictor:
 
     # -- Eq. 2 ----------------------------------------------------------------
 
+    def _regression_predict(self, arch: Architecture) -> float:
+        self.degradation.regression_fallbacks += 1
+        self.degradation.record_event(
+            "LUT could not answer; prediction served by the regression "
+            "fallback predictor"
+        )
+        return float(self.regression_fallback.predict(arch))
+
     def predict(self, arch: Architecture) -> float:
         """Predicted end-to-end latency in milliseconds."""
         if self.ledger is not None:
             self.ledger.record_prediction()
-        return self.lut.sum_ops_ms(arch, self.space) + self.bias_ms
+        if not self.degraded_ok:
+            return self.lut.sum_ops_ms(arch, self.space) + self.bias_ms
+        try:
+            return (
+                self.lut.sum_ops_ms(
+                    arch, self.space, fallback=True, report=self.degradation
+                )
+                + self.bias_ms
+            )
+        except KeyError:
+            if self.regression_fallback is None:
+                raise
+            return self._regression_predict(arch) + self.bias_ms
 
     def predict_many(self, archs: Sequence[Architecture]) -> List[float]:
         """Batched :meth:`predict` via the dense LUT table.
 
         One fancy-indexed gather replaces ``P x L`` dict lookups;
-        returns exactly what ``[self.predict(a) for a in archs]`` would.
+        returns exactly what ``[self.predict(a) for a in archs]`` would
+        — including on degraded LUTs, where both paths consult the same
+        memoized nearest-cell substitutes.
         """
         archs = list(archs)
         if self.ledger is not None:
             self.ledger.record_prediction(count=len(archs))
-        sums = self.lut.sum_ops_ms_batch(archs, self.space)
+        if not self.degraded_ok:
+            sums = self.lut.sum_ops_ms_batch(archs, self.space)
+            return [float(s) + self.bias_ms for s in sums]
+        try:
+            sums = self.lut.sum_ops_ms_batch(
+                archs, self.space, fallback=True, report=self.degradation
+            )
+        except KeyError:
+            if self.regression_fallback is None:
+                raise
+            return [self._regression_predict(a) + self.bias_ms for a in archs]
         return [float(s) + self.bias_ms for s in sums]
 
     def breakdown(self, arch: Architecture) -> List[Tuple[str, float]]:
@@ -134,8 +185,35 @@ class LatencyPredictor:
             archs = [space.sample(rng) for _ in range(num_archs)]
         if not archs:
             raise ValueError("bias calibration needs at least one architecture")
-        measured = profiler.measure_many_ms(space, list(archs))
-        summed = [self.lut.sum_ops_ms(a, self.space) for a in archs]
+        archs = list(archs)
+        if self.degraded_ok:
+            # Graceful path: a session whose probes exhausted their
+            # retries is dropped from *both* Eq. 3 means (the pairing
+            # must stay aligned), and the concession is recorded.
+            measured = profiler.measure_many_ms(space, archs, on_failure="skip")
+            kept = [
+                (m, a) for m, a in zip(measured, archs) if not np.isnan(m)
+            ]
+            if not kept:
+                raise ProbeError(
+                    "bias calibration failed: every measurement session "
+                    "was dropped after retries"
+                )
+            if len(kept) < len(archs):
+                self.degradation.record_event(
+                    f"bias calibration degraded: {len(archs) - len(kept)} of "
+                    f"{len(archs)} sessions dropped"
+                )
+            measured = [m for m, _ in kept]
+            summed = [
+                self.lut.sum_ops_ms(
+                    a, self.space, fallback=True, report=self.degradation
+                )
+                for _, a in kept
+            ]
+        else:
+            measured = profiler.measure_many_ms(space, archs)
+            summed = [self.lut.sum_ops_ms(a, self.space) for a in archs]
         self.bias_ms = float(np.mean(measured) - np.mean(summed))
         self.calibrated = True
         return self.bias_ms

@@ -8,8 +8,9 @@ Two halves, one report format, one CLI (``python -m repro.lint``):
 * **domain checkers** (rules ``RD2xx``) that statically validate search
   artifacts: LUT coverage of a space's reachable cells
   (``lut_check``), space/encoding/shrink-plan consistency
-  (``space_check``), and objective/EA configuration sanity
-  (``config_check``).
+  (``space_check``), objective/EA configuration sanity
+  (``config_check``), and crash-safe run-directory integrity
+  (``runstate_check``).
 
 See ``docs/static_analysis.md`` for the full rule catalog and
 suppression syntax.
@@ -44,6 +45,7 @@ __all__ = [
     "check_objective_config",
     "check_evolution_config",
     "check_pipeline_config",
+    "check_run_dir",
 ]
 
 
@@ -70,4 +72,8 @@ def __getattr__(name):
         from repro.lint import config_check
 
         return getattr(config_check, name)
+    if name == "check_run_dir":
+        from repro.lint.runstate_check import check_run_dir
+
+        return check_run_dir
     raise AttributeError(f"module 'repro.lint' has no attribute {name!r}")

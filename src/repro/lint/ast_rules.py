@@ -20,6 +20,11 @@ or is structurally prone to:
   calls.
 * **RL105 bare-except** — a bare ``except:`` swallows
   ``KeyboardInterrupt``/``SystemExit`` and hides real failures.
+* **RL106 raw-json-write** — JSON artifacts written via
+  ``json.dump``/``handle.write(json.dumps(...))``/``Path.write_text``
+  can be torn in half by a crash; every JSON artifact must go through
+  :mod:`repro.runstate.atomic` (``atomic_write_json``/``_text``) so
+  readers only ever see a complete old or complete new file.
 """
 
 from __future__ import annotations
@@ -73,6 +78,16 @@ RL105 = CODE_RULES.register(
         Severity.ERROR,
         "bare except swallows SystemExit/KeyboardInterrupt; "
         "catch a concrete exception type",
+    )
+)
+RL106 = CODE_RULES.register(
+    Rule(
+        "RL106",
+        "raw-json-write",
+        Severity.WARNING,
+        "JSON artifact written without the atomic helper; use "
+        "atomic_write_json/atomic_write_text from repro.runstate.atomic "
+        "so a crash cannot leave a torn half-file",
     )
 )
 
@@ -145,8 +160,11 @@ class _ModuleImports(ast.NodeVisitor):
         self.numpy_aliases: Set[str] = set()
         self.np_random_aliases: Set[str] = set()
         self.stdlib_random_aliases: Set[str] = set()
+        self.json_aliases: Set[str] = set()
         # from numpy.random import rand  /  from random import shuffle
         self.direct_global_fns: Dict[str, str] = {}  # alias -> origin
+        # from json import dump, dumps — alias -> original name
+        self.direct_json_fns: Dict[str, str] = {}
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
@@ -161,9 +179,17 @@ class _ModuleImports(ast.NodeVisitor):
                     self.np_random_aliases.add(alias.asname)
             elif alias.name == "random":
                 self.stdlib_random_aliases.add(name)
+            elif alias.name == "json":
+                self.json_aliases.add(name)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module == "numpy":
+        if node.module == "json":
+            for alias in node.names:
+                if alias.name in ("dump", "dumps"):
+                    self.direct_json_fns[alias.asname or alias.name] = (
+                        alias.name
+                    )
+        elif node.module == "numpy":
             for alias in node.names:
                 if alias.name == "random":
                     self.np_random_aliases.add(alias.asname or alias.name)
@@ -367,6 +393,66 @@ class _Checker(ast.NodeVisitor):
                 "cache/workspace buffer in place",
             )
 
+    # -- RL106: raw JSON artifact writes -----------------------------------------
+
+    def _is_json_dumps_call(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        chain = _attr_chain(node.func)
+        if chain is None:
+            return False
+        if (
+            len(chain) == 2
+            and chain[0] in self.imports.json_aliases
+            and chain[1] == "dumps"
+        ):
+            return True
+        return (
+            len(chain) == 1
+            and self.imports.direct_json_fns.get(chain[0]) == "dumps"
+        )
+
+    def _contains_json_dumps(self, node: ast.AST) -> bool:
+        return any(self._is_json_dumps_call(sub) for sub in ast.walk(node))
+
+    def _check_raw_json_write(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        # json.dump(obj, handle): streams JSON straight into an open
+        # handle — a crash mid-stream leaves a prefix on disk.
+        if chain is not None and (
+            (
+                len(chain) == 2
+                and chain[0] in self.imports.json_aliases
+                and chain[1] == "dump"
+            )
+            or (
+                len(chain) == 1
+                and self.imports.direct_json_fns.get(chain[0]) == "dump"
+            )
+        ):
+            self._emit(
+                RL106, node,
+                "json.dump streams JSON into an open handle; "
+                "use atomic_write_json so a crash cannot tear the artifact",
+            )
+            return
+        # path.write_text(json.dumps(...) [+ "\n"]) and
+        # handle.write(json.dumps(...)): the serialized payload goes
+        # straight to the destination path instead of through
+        # write-then-rename.
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("write_text", "write")
+            and any(self._contains_json_dumps(arg) for arg in node.args)
+        ):
+            self._emit(
+                RL106, node,
+                f"'{func.attr}' of a json.dumps payload bypasses the "
+                "atomic writer; use atomic_write_json/atomic_write_text "
+                "from repro.runstate.atomic",
+            )
+
     # -- RL104 / RL105 -----------------------------------------------------------
 
     def _check_mutable_default(self, node: ast.arguments) -> None:
@@ -390,6 +476,7 @@ class _Checker(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_global_rng(node)
         self._check_shared_mutation_call(node)
+        self._check_raw_json_write(node)
         self.generic_visit(node)
 
     def visit_Subscript(self, node: ast.Subscript) -> None:

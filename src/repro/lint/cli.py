@@ -15,13 +15,19 @@ Domain checks (RD2xx) over the bundled presets::
     python -m repro.lint --domain --lut results/lut.json \\
         --preset imagenet_a                                # saved LUT
 
+Run-directory validation (RD211) over a crash-safe run directory::
+
+    python -m repro.lint --run-dir results/run1
+
 Exit status: 0 when clean, 1 when any error (or, with ``--strict``, any
-finding at all) is reported, 2 on usage errors.
+finding at all) is reported, 2 on usage errors (including a ``--lut``
+or ``--run-dir`` path that does not exist).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -76,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="device for --build-lut (default: edge)",
     )
     parser.add_argument(
+        "--run-dir", action="append", metavar="DIR",
+        help="validate a crash-safe run directory (RD211; repeatable)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -87,6 +97,7 @@ def _list_rules() -> str:
     import repro.lint.ast_rules  # noqa: F401
     import repro.lint.config_check  # noqa: F401
     import repro.lint.lut_check  # noqa: F401
+    import repro.lint.runstate_check  # noqa: F401
     import repro.lint.space_check  # noqa: F401
     from repro.lint.rules import CODE_RULES, DOMAIN_RULES
 
@@ -153,10 +164,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
-    if not args.paths and not args.domain:
-        parser.error("nothing to do: pass paths to lint and/or --domain")
+    if not args.paths and not args.domain and not args.run_dir:
+        parser.error(
+            "nothing to do: pass paths to lint, --domain, and/or --run-dir"
+        )
     if args.lut and args.build_lut:
         parser.error("--lut and --build-lut are mutually exclusive")
+    if args.lut and not os.path.exists(args.lut):
+        print(
+            f"error: LUT file {args.lut} does not exist; point --lut at a "
+            "saved LUT JSON (written by 'repro predict') or use --build-lut",
+            file=sys.stderr,
+        )
+        return 2
 
     findings: List[Finding] = []
     if args.paths:
@@ -170,6 +190,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(str(exc))
     if args.domain:
         findings.extend(_domain_findings(args))
+    if args.run_dir:
+        from repro.lint.runstate_check import check_run_dir
+
+        for run_dir in args.run_dir:
+            if not os.path.isdir(run_dir):
+                print(
+                    f"error: run directory {run_dir} does not exist",
+                    file=sys.stderr,
+                )
+                return 2
+            findings.extend(check_run_dir(run_dir))
 
     if args.format == "json":
         print(render_json(findings))

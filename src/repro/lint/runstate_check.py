@@ -1,0 +1,104 @@
+"""Run-directory validation (domain checker, rule RD211).
+
+Proves — without resuming anything — that a crash-safe run directory
+(:mod:`repro.runstate`) is internally consistent: the manifest parses
+against the current schema version, phase progress is monotone along
+``phase_order``, and every checkpoint file passes its embedded SHA-256
+self-checksum. Validation reuses
+:func:`repro.runstate.manifest.validate_manifest_dict` and
+:meth:`repro.runstate.rundir.RunDir.load_checkpoint`, so the lint check
+and ``--resume`` can never disagree about what a valid run directory is
+— anything RD211 accepts, resume will read, and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import DOMAIN_RULES, Rule
+from repro.runstate.manifest import (
+    MANIFEST_NAME,
+    PHASE_COMPLETE,
+    validate_manifest_dict,
+)
+from repro.runstate.rundir import CorruptCheckpointError, RunDir, RunStateError
+
+RD211 = DOMAIN_RULES.register(
+    Rule(
+        "RD211",
+        "run-dir-invalid",
+        Severity.ERROR,
+        "a run directory's manifest or checkpoints fail validation "
+        "(schema version, checksum, phase ordering) — resuming it "
+        "would fail or silently lose progress",
+    )
+)
+
+
+def check_run_dir(path: Union[str, Path]) -> List[Finding]:
+    """All RD211 findings for one run directory (empty = resumable)."""
+    path = Path(path)
+    component = f"run-dir:{path}"
+    findings: List[Finding] = []
+
+    def emit(message: str) -> None:
+        findings.append(
+            Finding(
+                rule_id=RD211.rule_id,
+                severity=RD211.severity,
+                message=message,
+                component=component,
+            )
+        )
+
+    manifest_path = path / MANIFEST_NAME
+    if not path.exists():
+        emit("run directory does not exist")
+        return findings
+    if not manifest_path.exists():
+        emit(f"no {MANIFEST_NAME} found — not a run directory")
+        return findings
+    try:
+        payload = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        emit(f"manifest is unreadable: {exc}")
+        return findings
+    problems = validate_manifest_dict(payload)
+    if problems:
+        for problem in problems:
+            emit(f"manifest: {problem}")
+        return findings
+
+    try:
+        run = RunDir.open(path)
+    except RunStateError as exc:  # pragma: no cover - validated above
+        emit(str(exc))
+        return findings
+    for phase in run.manifest.phase_order:
+        status = run.manifest.status(phase)
+        try:
+            record = run.load_checkpoint(phase)
+        except CorruptCheckpointError as exc:
+            emit(str(exc))
+            continue
+        if record is None:
+            if status == PHASE_COMPLETE:
+                emit(
+                    f"phase {phase!r} is marked complete but its "
+                    "checkpoint file is missing"
+                )
+            continue
+        if record.get("phase") != phase:
+            emit(
+                f"checkpoint for phase {phase!r} claims to belong to "
+                f"phase {record.get('phase')!r}"
+            )
+        if status == PHASE_COMPLETE and not record.get("complete", False):
+            emit(
+                f"phase {phase!r} is marked complete in the manifest but "
+                "its checkpoint says the phase is still in progress"
+            )
+    return findings

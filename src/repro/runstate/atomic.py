@@ -1,0 +1,106 @@
+"""Atomic file emission: write-then-rename with fsync.
+
+Every artifact the stack emits — checkpoints, run manifests, search
+traces, benchmark results — goes through this module so an interrupt
+(SIGKILL, power loss, full disk) can never leave a torn half-file
+behind: readers either see the complete old content or the complete new
+content, never a prefix.
+
+The recipe is the standard one: write to a temporary file *in the same
+directory* (so the final rename is within one filesystem), flush and
+fsync it, then ``os.replace`` over the destination. The directory entry
+is fsynced best-effort afterwards; on filesystems without directory
+fsync the rename itself is still atomic, only its durability window
+widens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Union
+
+PathLike = Union[str, Path]
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of a text payload (the checkpoint checksum)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_path(path: PathLike, suffix: str = ".tmp") -> Iterator[Path]:
+    """Yield a temporary path that atomically becomes ``path`` on success.
+
+    For writers that need a *filename* rather than a handle
+    (``np.savez``, external tools). The temporary file lives in the
+    destination directory; on an exception it is removed and the
+    destination is untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=suffix
+    )
+    os.close(fd)
+    tmp = Path(tmp_name)
+    try:
+        yield tmp
+        with open(tmp, "rb") as handle:
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Atomically replace ``path`` with ``data``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: PathLike, obj, indent: int = 2) -> Path:
+    """Serialize ``obj`` as JSON and atomically replace ``path``.
+
+    The trailing newline keeps the artifacts friendly to text tools.
+    """
+    return atomic_write_text(path, json.dumps(obj, indent=indent) + "\n")

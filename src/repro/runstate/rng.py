@@ -1,0 +1,46 @@
+"""Capture and restore numpy ``Generator`` state for checkpoints.
+
+The determinism contract of the search stack is that every random draw
+happens in the parent process from generators with known seeds (see
+``docs/parallel.md``). Resuming a run bit-exactly therefore reduces to
+restoring each generator to the state it had at the checkpoint — numpy
+exposes that state as a JSON-serializable dict of Python ints, and JSON
+round-trips Python ints exactly, so the captured state survives the trip
+through a checkpoint file without loss.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+
+def generator_state(rng: np.random.Generator) -> dict:
+    """The generator's full bit-generator state (JSON-serializable)."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def restore_generator(state: dict) -> np.random.Generator:
+    """A fresh ``Generator`` positioned exactly at ``state``."""
+    name = state["bit_generator"]
+    try:
+        bit_generator_cls = getattr(np.random, name)
+    except AttributeError as exc:
+        raise ValueError(
+            f"unknown bit generator {name!r} in checkpointed rng state"
+        ) from exc
+    bit_generator = bit_generator_cls()
+    bit_generator.state = copy.deepcopy(state)
+    return np.random.Generator(bit_generator)
+
+
+def set_generator_state(rng: np.random.Generator, state: dict) -> None:
+    """Rewind an existing generator in place to ``state``."""
+    if rng.bit_generator.state["bit_generator"] != state["bit_generator"]:
+        raise ValueError(
+            "cannot restore state: bit generator kind mismatch "
+            f"({rng.bit_generator.state['bit_generator']} vs "
+            f"{state['bit_generator']})"
+        )
+    rng.bit_generator.state = copy.deepcopy(state)

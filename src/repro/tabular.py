@@ -20,6 +20,7 @@ from typing import Callable, Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.runstate.atomic import atomic_write_text
 from repro.space.architecture import Architecture
 from repro.space.encoding import (
     architecture_to_index,
@@ -175,9 +176,7 @@ class TabularBenchmark:
         return cls(space, entries, exhaustive=bool(payload["exhaustive"]))
 
     def save(self, path: Union[str, Path]) -> Path:
-        path = Path(path)
-        path.write_text(self.to_json())
-        return path
+        return atomic_write_text(Path(path), self.to_json() + "\n")
 
     @classmethod
     def load(cls, space: SearchSpace, path: Union[str, Path]) -> "TabularBenchmark":

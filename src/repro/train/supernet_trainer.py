@@ -19,11 +19,14 @@ from repro.data.loader import BatchLoader
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.optim import SGD, clip_grad_norm
 from repro.nn.schedule import ConstantSchedule, CosineSchedule, Schedule
+from repro.runstate.rng import generator_state, set_generator_state
 from repro.space.architecture import Architecture
 from repro.space.search_space import SearchSpace
 from repro.supernet.model import Supernet
 from repro.train.metrics import top_k_accuracy
 from repro.train.sampling import PathSampler, UniformSampler
+
+CHECKPOINT_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -63,6 +66,64 @@ class SupernetTrainer:
         self.global_step = 0
         self.loss_history: List[float] = []
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def _bn_modules(self):
+        """Modules with running statistics, in stable discovery order."""
+        return [
+            m for m in self.supernet.modules() if hasattr(m, "running_mean")
+        ]
+
+    def state_dict(self) -> dict:
+        """Everything a bit-exact training resume needs, JSON-ready.
+
+        Weights and optimizer velocity go through ``.tolist()`` — JSON
+        round-trips Python floats exactly, so a restored trainer
+        produces the same update sequence to the last bit. (At proxy
+        scale the arrays are small; full-scale runs would swap this for
+        an ``npz`` written through :func:`repro.runstate.atomic_path`.)
+        """
+        return {
+            "weights": {
+                k: v.tolist() for k, v in self.supernet.state_dict().items()
+            },
+            "bn_running": [
+                {"mean": m.running_mean.tolist(), "var": m.running_var.tolist()}
+                for m in self._bn_modules()
+            ],
+            "velocity": [v.tolist() for v in self.optimizer._velocity],
+            "optimizer_lr": self.optimizer.lr,
+            "rng": generator_state(self._rng),
+            "loader_rng": generator_state(self.loader._rng),
+            "global_step": self.global_step,
+            "loss_history": list(self.loss_history),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (weights, optimizer
+        velocity, BN running stats, both rng streams, step counters)."""
+        self.supernet.load_state_dict(
+            {k: np.asarray(v) for k, v in state["weights"].items()}
+        )
+        bn = self._bn_modules()
+        if len(bn) != len(state["bn_running"]):
+            raise ValueError("BN module count mismatch in trainer state")
+        for module, saved in zip(bn, state["bn_running"]):
+            module.running_mean = np.asarray(saved["mean"])
+            module.running_var = np.asarray(saved["var"])
+        self.optimizer.load_state_dict(
+            {
+                "lr": float(state["optimizer_lr"]),
+                "momentum": self.optimizer.momentum,
+                "weight_decay": self.optimizer.weight_decay,
+                "velocity": [np.asarray(v) for v in state["velocity"]],
+            }
+        )
+        set_generator_state(self._rng, state["rng"])
+        set_generator_state(self.loader._rng, state["loader_rng"])
+        self.global_step = int(state["global_step"])
+        self.loss_history = [float(x) for x in state["loss_history"]]
+
     # -- training ---------------------------------------------------------------
 
     def train_epochs(
@@ -70,19 +131,40 @@ class SupernetTrainer:
         space: SearchSpace,
         epochs: int,
         schedule: Optional[Schedule] = None,
+        checkpoint=None,
     ) -> List[float]:
         """Train for ``epochs`` over the loader, sampling paths from
-        ``space``. Returns per-epoch mean losses."""
+        ``space``. Returns per-epoch mean losses.
+
+        With a ``checkpoint`` (e.g.
+        :class:`~repro.runstate.PhaseCheckpoint`), the full trainer
+        state is saved after every epoch and a killed run resumes from
+        the last completed epoch, bit-identical to an uninterrupted one.
+        """
         if epochs < 1:
             raise ValueError("epochs must be >= 1")
         if schedule is None:
             schedule = CosineSchedule(
                 self.config.base_lr, total_steps=epochs * len(self.loader)
             )
-        self.supernet.train()
+        start_epoch = 0
         epoch_losses: List[float] = []
-        step_in_run = 0
-        for _ in range(epochs):
+        if checkpoint is not None:
+            saved = checkpoint.load()
+            if saved is not None:
+                if int(saved.get("format", 0)) != CHECKPOINT_FORMAT:
+                    raise ValueError(
+                        "unsupported trainer checkpoint format "
+                        f"{saved.get('format')!r}"
+                    )
+                self.load_state_dict(saved["trainer"])
+                epoch_losses = [float(x) for x in saved["epoch_losses"]]
+                start_epoch = int(saved["completed_epochs"])
+                if checkpoint.is_complete() or start_epoch >= epochs:
+                    return epoch_losses
+        self.supernet.train()
+        step_in_run = start_epoch * len(self.loader)
+        for epoch in range(start_epoch, epochs):
             losses = []
             for batch, labels in self.loader.epoch(augment=True):
                 arch = self.sampler.next_path(space, self._rng)
@@ -90,12 +172,30 @@ class SupernetTrainer:
                                          schedule.lr_at(step_in_run)))
                 step_in_run += 1
             epoch_losses.append(float(np.mean(losses)))
+            if checkpoint is not None:
+                checkpoint.save(
+                    {
+                        "format": CHECKPOINT_FORMAT,
+                        "completed_epochs": epoch + 1,
+                        "epoch_losses": list(epoch_losses),
+                        "trainer": self.state_dict(),
+                    },
+                    complete=(epoch + 1 == epochs),
+                )
         return epoch_losses
 
-    def tune_epochs(self, space: SearchSpace, epochs: int, lr: float) -> List[float]:
+    def tune_epochs(
+        self,
+        space: SearchSpace,
+        epochs: int,
+        lr: float,
+        checkpoint=None,
+    ) -> List[float]:
         """Post-shrinking tuning at a fixed small learning rate (the
         paper uses 0.01 after stage 1 and 0.0035 after stage 2)."""
-        return self.train_epochs(space, epochs, schedule=ConstantSchedule(lr))
+        return self.train_epochs(
+            space, epochs, schedule=ConstantSchedule(lr), checkpoint=checkpoint
+        )
 
     def _step(
         self, arch: Architecture, batch: np.ndarray, labels: np.ndarray, lr: float

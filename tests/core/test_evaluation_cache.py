@@ -45,8 +45,61 @@ class TestEvaluationCache:
         assert cache.get_or_eval(arch, fn) == 42
         assert cache.get_or_eval(arch, fn) == 42
         assert len(calls) == 1
-        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "size": 1, "hits": 1, "misses": 1, "evictions": 0,
+        }
         assert arch in cache and len(cache) == 1
+
+    def test_lru_cap_evicts_oldest_and_counts(self):
+        cache = EvaluationCache(max_size=2)
+        a = Architecture((0,), (1.0,))
+        b = Architecture((1,), (1.0,))
+        c = Architecture((2,), (1.0,))
+        for arch in (a, b):
+            cache.get_or_eval(arch, lambda x: sum(x.ops))
+        # Touch a so b becomes the least-recently-used entry.
+        cache.get_or_eval(a, lambda x: -1)
+        cache.get_or_eval(c, lambda x: sum(x.ops))
+        assert len(cache) == 2 and cache.evictions == 1
+        assert a in cache and c in cache and b not in cache
+        # b was evicted: looking it up again is a fresh miss.
+        assert cache.get_or_eval(b, lambda x: 99) == 99
+        assert cache.stats()["evictions"] == 2
+
+    def test_lru_cap_batch_smaller_than_batch_size(self):
+        """A batch larger than the cap still returns correct values."""
+        cache = EvaluationCache(max_size=2)
+        archs = [Architecture((op,), (1.0,)) for op in range(5)]
+        out = cache.get_or_eval_many(
+            archs + [archs[0]], lambda xs: [sum(x.ops) for x in xs]
+        )
+        assert out == [0, 1, 2, 3, 4, 0]
+        assert len(cache) == 2 and cache.evictions == 3
+
+    def test_max_size_validated(self):
+        with pytest.raises(ValueError, match="max_size"):
+            EvaluationCache(max_size=0)
+
+    def test_snapshot_restore_round_trip(self):
+        cache = EvaluationCache(max_size=8)
+        archs = [Architecture((op,), (1.0,)) for op in range(3)]
+        for arch in archs:
+            cache.get_or_eval(arch, lambda x: {"v": sum(x.ops), "arch": x})
+        cache.get_or_eval(archs[0], lambda x: None)  # one hit
+        snap = cache.snapshot(lambda v: {"v": v["v"], "arch": v["arch"].to_dict()})
+
+        other = EvaluationCache()
+        other.restore(
+            snap,
+            lambda d: {"v": d["v"], "arch": Architecture.from_dict(d["arch"])},
+            key_fn=lambda v: v["arch"].key(),
+        )
+        assert other.stats() == cache.stats()
+        assert other.max_size == 8
+        for arch in archs:
+            assert arch in other
+        # Restored entries are hits, not re-evaluations.
+        assert other.get_or_eval(archs[1], lambda x: "fresh")["v"] == 1
 
     def test_get_or_eval_many_dedups_batch(self):
         cache = EvaluationCache()

@@ -1,0 +1,116 @@
+"""Kill the pipeline process at checkpoint boundaries and resume.
+
+These are the subprocess versions of tests/runstate/test_component_resume.py:
+a real process receives SIGKILL or SIGTERM right after a checkpoint save
+lands, then a second invocation with the same run directory must finish
+the run and produce a fingerprint identical to an uninterrupted one.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+DRIVER = Path(__file__).with_name("_crash_driver.py")
+TIMEOUT_S = 600
+
+
+def _run_driver(run_dir, out, workers=0, crash=None, check=True):
+    cmd = [
+        sys.executable,
+        str(DRIVER),
+        str(run_dir),
+        str(out),
+        "--workers",
+        str(workers),
+    ]
+    if crash:
+        cmd += ["--crash", crash]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    # Output goes to a file, not a pipe: when the driver SIGKILLs itself
+    # its orphaned fork-workers inherit the output fds, and a pipe would
+    # keep subprocess.run blocked until they too exit.
+    log = Path(str(out) + ".log")
+    with log.open("w") as sink:
+        code = subprocess.run(
+            cmd, env=env, timeout=TIMEOUT_S, stdout=sink, stderr=sink
+        ).returncode
+    if check and code != 0:
+        raise AssertionError(
+            f"driver failed ({code}):\n{log.read_text()[-2000:]}"
+        )
+    return code
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Fingerprint of an uninterrupted serial run."""
+    root = tmp_path_factory.mktemp("baseline")
+    out = root / "result.json"
+    _run_driver(root / "run", out)
+    return json.loads(out.read_text())
+
+
+def _crash_then_resume(tmp_path, crash, expected_signal, workers=0):
+    run_dir = tmp_path / "run"
+    out = tmp_path / "result.json"
+    code = _run_driver(run_dir, out, workers=workers, crash=crash, check=False)
+    assert code == -expected_signal, Path(str(out) + ".log").read_text()[-2000:]
+    assert not out.exists()  # died before the final artifact
+    assert (run_dir / "checkpoints").is_dir()
+    _run_driver(run_dir, out, workers=workers)
+    return json.loads(out.read_text())
+
+
+class TestCrashResume:
+    def test_sigkill_mid_ea_generation_serial(self, tmp_path, baseline):
+        resumed = _crash_then_resume(
+            tmp_path, "search:2:SIGKILL", signal.SIGKILL
+        )
+        assert resumed == baseline
+
+    def test_sigkill_mid_ea_generation_workers(self, tmp_path, baseline):
+        """workers=2 must not change results or resumability."""
+        resumed = _crash_then_resume(
+            tmp_path, "search:2:SIGKILL", signal.SIGKILL, workers=2
+        )
+        assert resumed == baseline
+
+    def test_sigterm_mid_shrink_stage(self, tmp_path, baseline):
+        resumed = _crash_then_resume(
+            tmp_path, "shrink:2:SIGTERM", signal.SIGTERM
+        )
+        assert resumed == baseline
+
+    def test_sigkill_right_after_predictor_phase(self, tmp_path, baseline):
+        """Crash on the phase-boundary checkpoint, not just mid-phase."""
+        resumed = _crash_then_resume(
+            tmp_path, "predictor:1:SIGKILL", signal.SIGKILL
+        )
+        assert resumed == baseline
+
+    def test_double_crash_still_converges(self, tmp_path, baseline):
+        """Crash during shrink, resume, crash again during search."""
+        run_dir = tmp_path / "run"
+        out = tmp_path / "result.json"
+        first = _run_driver(run_dir, out, crash="shrink:1:SIGKILL", check=False)
+        assert first == -signal.SIGKILL
+        second = _run_driver(
+            run_dir, out, crash="search:1:SIGTERM", check=False
+        )
+        assert second == -signal.SIGTERM
+        _run_driver(run_dir, out)
+        assert json.loads(out.read_text()) == baseline
+
+    def test_resume_of_finished_run_is_idempotent(self, tmp_path, baseline):
+        run_dir = tmp_path / "run"
+        out = tmp_path / "result.json"
+        _run_driver(run_dir, out)
+        out.unlink()
+        _run_driver(run_dir, out)  # everything served from checkpoints
+        assert json.loads(out.read_text()) == baseline

@@ -248,6 +248,90 @@ class TestMutableDefaultAndBareExcept:
         ) == []
 
 
+class TestRawJsonWrite:
+    def test_json_dump_fires(self):
+        findings = _lint(
+            """
+            import json
+
+            def save(obj, handle):
+                json.dump(obj, handle)
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RL106"]
+        assert findings[0].severity is Severity.WARNING
+        assert "atomic_write_json" in findings[0].message
+
+    def test_direct_dump_import_fires(self):
+        assert _rule_ids(
+            """
+            from json import dump
+
+            def save(obj, handle):
+                dump(obj, handle)
+            """
+        ) == ["RL106"]
+
+    def test_write_text_of_dumps_fires(self):
+        assert _rule_ids(
+            """
+            import json
+
+            def save(path, obj):
+                path.write_text(json.dumps(obj, indent=2) + "\\n")
+            """
+        ) == ["RL106"]
+
+    def test_handle_write_of_dumps_fires(self):
+        assert _rule_ids(
+            """
+            import json
+
+            def save(handle, obj):
+                handle.write(json.dumps(obj))
+            """
+        ) == ["RL106"]
+
+    def test_atomic_helper_is_clean(self):
+        assert _rule_ids(
+            """
+            from repro.runstate.atomic import atomic_write_json, atomic_write_text
+
+            def save(path, obj, text):
+                atomic_write_json(path, obj)
+                atomic_write_text(path, text)
+            """
+        ) == []
+
+    def test_non_json_write_is_clean(self):
+        assert _rule_ids(
+            """
+            def save(path, text):
+                path.write_text(text)
+            """
+        ) == []
+
+    def test_json_loads_is_clean(self):
+        assert _rule_ids(
+            """
+            import json
+
+            def load(path):
+                return json.loads(path.read_text())
+            """
+        ) == []
+
+    def test_suppression_works(self):
+        assert _rule_ids(
+            """
+            import json
+
+            def save(obj, handle):
+                json.dump(obj, handle)  # repro-lint: disable=RL106
+            """
+        ) == []
+
+
 class TestSuppression:
     def test_named_suppression_silences_rule(self):
         assert _rule_ids(

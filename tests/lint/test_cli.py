@@ -111,6 +111,45 @@ class TestDomainCli:
             main(["--domain", "--lut", "x.json", "--build-lut"])
         assert exc.value.code == 2
 
+    def test_missing_lut_file_is_one_line_error(self, capsys):
+        assert main(["--domain", "--lut", "no/such/lut.json"]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
+
+class TestRunDirCli:
+    def _make_run(self, tmp_path):
+        from repro.runstate import RunDir
+
+        return RunDir.create(
+            tmp_path / "run",
+            kind="search",
+            config={"seed": 0},
+            phase_order=("predictor", "shrink", "search"),
+        )
+
+    def test_valid_run_dir_exits_zero(self, tmp_path, capsys):
+        run = self._make_run(tmp_path)
+        run.save_checkpoint("predictor", {"x": 1}, complete=True)
+        assert main(["--run-dir", str(run.path)]) == 0
+
+    def test_tampered_run_dir_fails_with_rd211(self, tmp_path, capsys):
+        run = self._make_run(tmp_path)
+        run.save_checkpoint("search", {"gen": 1})
+        target = run._checkpoint_path("search")
+        envelope = json.loads(target.read_text())
+        envelope["record"]["payload"]["gen"] = 2
+        target.write_text(json.dumps(envelope))  # repro-lint: disable=RL106
+        assert main(["--run-dir", str(run.path)]) == 1
+        assert "RD211" in capsys.readouterr().out
+
+    def test_missing_run_dir_is_one_line_error(self, capsys):
+        assert main(["--run-dir", "no/such/run"]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "Traceback" not in err
+
 
 class TestStrictMode:
     def test_warning_passes_without_strict(self):

@@ -1,0 +1,81 @@
+"""Tests for the atomic write-then-rename helpers."""
+
+import json
+import os
+
+import pytest
+
+from repro.runstate import (
+    atomic_path,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    sha256_text,
+)
+
+
+class TestAtomicWrite:
+    def test_write_text_creates_file(self, tmp_path):
+        target = tmp_path / "a.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_write_replaces_existing(self, tmp_path):
+        target = tmp_path / "a.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "a.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        target = tmp_path / "a.json"
+        atomic_write_json(target, {"k": 1})
+        assert os.listdir(tmp_path) == ["a.json"]
+
+    def test_write_json_round_trips_with_newline(self, tmp_path):
+        target = tmp_path / "a.json"
+        payload = {"floats": [0.1, 1e-300], "ints": [2**63 - 1], "s": "é"}
+        atomic_write_json(target, payload)
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == payload
+
+    def test_write_bytes(self, tmp_path):
+        target = tmp_path / "a.bin"
+        atomic_write_bytes(target, b"\x00\xff")
+        assert target.read_bytes() == b"\x00\xff"
+
+
+class TestAtomicPath:
+    def test_success_renames_over_target(self, tmp_path):
+        target = tmp_path / "out.npz"
+        with atomic_path(target, suffix=".npz") as tmp:
+            assert tmp.parent == tmp_path  # same fs -> atomic rename
+            tmp.write_text("data")
+            assert not target.exists()
+        assert target.read_text() == "data"
+        assert os.listdir(tmp_path) == ["out.npz"]
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("good")
+        with pytest.raises(RuntimeError):
+            with atomic_path(target) as tmp:
+                tmp.write_text("half-written")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "good"
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestSha256Text:
+    def test_known_digest(self):
+        assert sha256_text("") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_sensitive_to_content(self):
+        assert sha256_text("a") != sha256_text("b")
