@@ -16,20 +16,35 @@ vectorized code replaced:
    :meth:`LatencyLUT.sum_ops_ms` over 5 000 sampled architectures vs.
    one :meth:`LatencyLUT.sum_ops_ms_batch` gather on the paper-scale
    ``imagenet_a`` space.
-3. **Eq. 4 subspace quality** — one-at-a-time ``Objective.evaluate``
-   over the N=100 sample vs. :meth:`SubspaceQuality.estimate` backed by
-   ``Objective.evaluate_many`` with a batched latency predictor.
+3. **Eq. 4 quality estimate on the real supernet**
+   (``eq4_quality_estimate``) — the pre-PR path (one training-style
+   supernet forward per candidate via
+   :meth:`SupernetTrainer.evaluate_arch`) vs. the single-core fast path
+   of :class:`repro.supernet.SupernetFastEval`: no-grad eval forwards,
+   all N candidates batched into one forward per layer, and opt-in int8
+   GEMMs on the deployment weight grid. The entry records per-stage
+   wall-time attribution (im2col / GEMM / scoring / other) for both the
+   float and int8 fast paths, the float path's exactness delta against
+   per-arch eval-mode forwards (must be 0.0), and the int8 path's
+   ranking-fidelity gate (Kendall tau and top-K overlap against fp32).
+4. **Batched objective** (``eq4_objective_batch``) — one-at-a-time
+   ``Objective.evaluate`` over the N=100 sample vs.
+   :meth:`SubspaceQuality.estimate` backed by ``evaluate_many`` with a
+   batched latency predictor (the surrogate-based analytic path).
 
-Three more entries time the multi-process evaluation engine against the
+Three more entries time the multi-process evaluation backend against the
 same work run serially (``--workers``, default 4): an Eq. 4 quality
 estimate, one progressive-shrinking stage, and one EA search. Every
 parallel entry records ``max_abs_delta`` against the serial result — the
 engine's contract is bit-exactness, so the delta must be 0.0 — plus the
 host ``cpu_count``, because worker speedup is meaningless without it.
+``--backend serial`` (or ``auto`` with ``--workers`` < 2) skips these
+entries: there is no second backend to compare against.
 
 Results (times, speedups, equivalence deltas) are written to
 ``BENCH_hotpaths.json``. Expected on the CI container: >=5x on the
-depthwise conv and >=20x on batch latency prediction; >=2x on the
+depthwise conv, >=20x on batch latency prediction, and >=3x on the
+supernet Eq. 4 estimate via no-grad + batched + int8; >=2x on the
 parallel quality estimate when the host has >=4 cores.
 """
 
@@ -49,11 +64,16 @@ from repro.core.quality import SubspaceQuality
 from repro.hardware.calibration import calibrated_devices
 from repro.hardware.lut import LatencyLUT
 from repro.hardware.predictor import LatencyPredictor
+from repro.data import BatchLoader
+from repro.data.synthetic import SyntheticImageDataset
 from repro.nn.functional import grouped_conv2d_loop, grouped_conv2d_loop_backward
 from repro.nn.layers.conv import Conv2d
-from repro.parallel import ParallelEvaluator
+from repro.nn.quantized import ranking_fidelity
+from repro.parallel import create_backend, resolve_backend_name
 from repro.runstate.atomic import atomic_write_json
-from repro.space import SearchSpace, imagenet_a
+from repro.space import SearchSpace, imagenet_a, proxy
+from repro.supernet import Supernet, SupernetFastEval
+from repro.train.supernet_trainer import SupernetTrainer, TrainConfig
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -157,10 +177,112 @@ def bench_latency_batch(quick: bool) -> dict:
     }
 
 
-# -- 3. Eq. 4 subspace quality ------------------------------------------------
+# -- 3. Eq. 4 quality estimate on the real supernet ---------------------------
 
 
-def bench_quality(quick: bool) -> dict:
+def bench_supernet_quality(quick: bool) -> dict:
+    """Per-arch training-style forwards vs the no-grad+batched+int8 path.
+
+    The baseline is exactly what the search stack ran before the fast
+    path existed: one :meth:`SupernetTrainer.evaluate_arch` call per
+    candidate. The fast path batches all candidates through
+    :class:`SupernetFastEval`; its float flavour must be bit-exact with
+    per-arch eval-mode forwards, its int8 flavour must pass the
+    ranking-fidelity gate against the float scores.
+    """
+    cfg = proxy()
+    space = SearchSpace(cfg)
+    net = Supernet(space, seed=0)
+    ds = SyntheticImageDataset.generate(
+        num_classes=cfg.num_classes,
+        train_per_class=16,
+        test_per_class=4,
+        image_size=cfg.input_size,
+        channels=cfg.input_channels,
+        seed=0,
+    )
+    loader = BatchLoader(ds.train_x, ds.train_y, batch_size=16, seed=0)
+    trainer = SupernetTrainer(net, loader, TrainConfig(base_lr=0.1, seed=0))
+    epochs = 1 if quick else 3
+    trainer.train_epochs(space, epochs=epochs)
+
+    num_archs = 20 if quick else 100
+    repeats = 2 if quick else 3
+    rng = np.random.default_rng(7)
+    archs = [space.sample(rng) for _ in range(num_archs)]
+    images, labels = ds.test_x[:16], ds.test_y[:16]
+
+    fast_float = SupernetFastEval(net, precision="float")
+    fast_int8 = SupernetFastEval(net, precision="int8")
+
+    # Exactness guard: the float batched forward must be bit-identical
+    # to one eval-mode supernet forward per architecture.
+    ref_logits = []
+    net.eval()
+    for arch in archs:
+        net.set_architecture(arch)
+        ref_logits.append(net.forward(images))
+    ref_logits = np.stack(ref_logits)
+    net.train()
+    float_logits = fast_float.forward_many(archs, images)
+    max_delta = float(np.abs(ref_logits - float_logits).max())
+    assert max_delta == 0.0, f"fast float path not bit-exact: {max_delta}"
+
+    # Ranking-fidelity gate for int8: per-arch mean true-class logit.
+    int8_logits = fast_int8.forward_many(archs, images)
+    sample_idx = np.arange(images.shape[0])
+    ref_scores = [float(l[sample_idx, labels].mean()) for l in float_logits]
+    int8_scores = [float(l[sample_idx, labels].mean()) for l in int8_logits]
+    fidelity = ranking_fidelity(
+        ref_scores, int8_scores, top_k=max(1, num_archs // 10)
+    )
+    if not quick:
+        assert fidelity["passed"], f"int8 ranking fidelity failed: {fidelity}"
+
+    def per_arch_path():
+        return [trainer.evaluate_arch(a, images, labels) for a in archs]
+
+    t_base = _best_of(per_arch_path, repeats)
+    t_float = _best_of(
+        lambda: fast_float.accuracy_many(archs, images, labels), repeats
+    )
+    t_int8 = _best_of(
+        lambda: fast_int8.accuracy_many(archs, images, labels), repeats
+    )
+
+    # Per-stage attribution for one representative run of each flavour.
+    fast_float.reset_stage_times()
+    fast_float.accuracy_many(archs, images, labels)
+    stages_float = fast_float.stage_times()
+    fast_int8.reset_stage_times()
+    fast_int8.accuracy_many(archs, images, labels)
+    stages_int8 = fast_int8.stage_times()
+
+    return {
+        "space": "proxy_supernet",
+        "num_archs": num_archs,
+        "num_images": int(images.shape[0]),
+        "train_epochs": epochs,
+        "per_arch_s": t_base,
+        "no_grad_batched_s": t_float,
+        "int8_batched_s": t_int8,
+        # loop_s/vectorized_s mirror the other entries' schema; the
+        # headline speedup is the full no-grad + batched + int8 path.
+        "loop_s": t_base,
+        "vectorized_s": t_int8,
+        "speedup": t_base / t_int8,
+        "speedup_float": t_base / t_float,
+        "max_abs_delta": max_delta,
+        "fidelity_int8": fidelity,
+        "stages_float": stages_float,
+        "stages_int8": stages_int8,
+    }
+
+
+# -- 4. batched objective (surrogate path) ------------------------------------
+
+
+def bench_objective_batch(quick: bool) -> dict:
     space = SearchSpace(imagenet_a())
     device = calibrated_devices()["cpu"]
     lut = LatencyLUT.build(space, device, samples_per_cell=2, seed=0)
@@ -225,7 +347,7 @@ def _engine_objective() -> tuple[SearchSpace, Objective]:
     return space, obj
 
 
-def bench_quality_parallel(quick: bool, workers: int) -> dict:
+def bench_quality_parallel(quick: bool, workers: int, backend: str) -> dict:
     space, obj = _engine_objective()
     num_samples = 50 if quick else 400
     repeats = 2 if quick else 5
@@ -237,7 +359,7 @@ def bench_quality_parallel(quick: bool, workers: int) -> dict:
         return q.estimate(space)
 
     q_serial = run(None)
-    with ParallelEvaluator(obj.evaluate_many, workers=workers) as evaluator:
+    with create_backend(backend, obj.evaluate_many, workers=workers) as evaluator:
         q_parallel = run(evaluator)  # also warms the pool before timing
         delta = abs(q_serial - q_parallel)
         assert delta == 0.0, f"parallel quality mismatch: {delta}"
@@ -255,7 +377,7 @@ def bench_quality_parallel(quick: bool, workers: int) -> dict:
     }
 
 
-def bench_shrink_stage_parallel(quick: bool, workers: int) -> dict:
+def bench_shrink_stage_parallel(quick: bool, workers: int, backend: str) -> dict:
     # One progressive-shrinking stage: K candidate subspaces for the last
     # layer, each scored with an indexed Eq. 4 estimate (Sec. III-C).
     space, obj = _engine_objective()
@@ -274,7 +396,7 @@ def bench_shrink_stage_parallel(quick: bool, workers: int) -> dict:
         return q.estimate_many(subspaces, indices=indices)
 
     serial = run(None)
-    with ParallelEvaluator(obj.evaluate_many, workers=workers) as evaluator:
+    with create_backend(backend, obj.evaluate_many, workers=workers) as evaluator:
         parallel = run(evaluator)
         delta = max(abs(a - b) for a, b in zip(serial, parallel))
         assert delta == 0.0, f"parallel shrink-stage mismatch: {delta}"
@@ -293,7 +415,7 @@ def bench_shrink_stage_parallel(quick: bool, workers: int) -> dict:
     }
 
 
-def bench_ea_generation_parallel(quick: bool, workers: int) -> dict:
+def bench_ea_generation_parallel(quick: bool, workers: int, backend: str) -> dict:
     # A short EA run (init population + breeding generations); every
     # evaluation batch routes through the worker pool when parallel.
     space, obj = _engine_objective()
@@ -311,7 +433,7 @@ def bench_ea_generation_parallel(quick: bool, workers: int) -> dict:
         return EvolutionarySearch(space, obj, cfg, evaluator=evaluator).run()
 
     serial = run(None)
-    with ParallelEvaluator(obj.evaluate_many, workers=workers) as evaluator:
+    with create_backend(backend, obj.evaluate_many, workers=workers) as evaluator:
         parallel = run(evaluator)
         assert parallel.to_dict() == serial.to_dict(), "parallel EA mismatch"
         delta = abs(parallel.best.score - serial.best.score)
@@ -345,15 +467,27 @@ def main() -> None:
         "--workers", type=int, default=4,
         help="worker processes for the parallel-engine entries",
     )
+    parser.add_argument(
+        "--backend", choices=("auto", "serial", "multiprocess"),
+        default="auto",
+        help="evaluation backend for the engine entries; a serial "
+             "resolution skips the serial-vs-parallel comparisons",
+    )
     args = parser.parse_args()
     # Fail on an unwritable --out before minutes of timing, not after.
     args.out.parent.mkdir(parents=True, exist_ok=True)
+    resolved = resolve_backend_name(args.backend, args.workers)
 
-    results = {"quick": args.quick, "cpu_count": os.cpu_count()}
+    results = {
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "backend": resolved,
+    }
     for name, fn in (
         ("depthwise_conv_fwd_bwd", bench_depthwise_conv),
         ("latency_batch_5k", bench_latency_batch),
-        ("eq4_quality_estimate", bench_quality),
+        ("eq4_quality_estimate", bench_supernet_quality),
+        ("eq4_objective_batch", bench_objective_batch),
     ):
         results[name] = fn(args.quick)
         r = results[name]
@@ -362,13 +496,25 @@ def main() -> None:
             f"vectorized {r['vectorized_s'] * 1e3:9.2f} ms   "
             f"speedup {r['speedup']:6.1f}x"
         )
+    eq4 = results["eq4_quality_estimate"]
+    print(
+        f"{'':>24s}  per-arch {eq4['per_arch_s'] * 1e3:9.2f} ms   "
+        f"no-grad batched {eq4['no_grad_batched_s'] * 1e3:9.2f} ms   "
+        f"int8 {eq4['int8_batched_s'] * 1e3:9.2f} ms   "
+        f"(tau {eq4['fidelity_int8']['kendall_tau']:.4f}, "
+        f"top-K overlap {eq4['fidelity_int8']['top_k_overlap']:.2f})"
+    )
 
     for name, fn in (
         ("eq4_quality_parallel", bench_quality_parallel),
         ("shrink_stage_parallel", bench_shrink_stage_parallel),
         ("ea_generation_parallel", bench_ea_generation_parallel),
     ):
-        results[name] = fn(args.quick, args.workers)
+        if resolved == "serial":
+            results[name] = {"skipped": "serial backend selected"}
+            print(f"{name:>24s}: skipped (serial backend)")
+            continue
+        results[name] = fn(args.quick, args.workers, args.backend)
         r = results[name]
         print(
             f"{name:>24s}: serial {r['serial_s'] * 1e3:7.2f} ms   "
@@ -384,10 +530,20 @@ def main() -> None:
         # Targets from the perf-opt issues; only enforced at full size.
         assert results["depthwise_conv_fwd_bwd"]["speedup"] >= 5.0
         assert results["latency_batch_5k"]["speedup"] >= 20.0
+        # The single-core fast path must beat the pre-PR per-arch path
+        # by >=3x (no-grad + batched + int8), stay bit-exact in float,
+        # and pass the int8 ranking-fidelity gate.
+        assert eq4["speedup"] >= 3.0
+        assert eq4["max_abs_delta"] == 0.0
+        assert eq4["fidelity_int8"]["passed"]
         # Worker speedup needs actual cores: the bit-exactness deltas are
         # asserted unconditionally (inside each bench), the wall-clock
         # target only where the host can physically deliver it.
-        if (os.cpu_count() or 1) >= 4 and args.workers >= 4:
+        if (
+            resolved != "serial"
+            and (os.cpu_count() or 1) >= 4
+            and args.workers >= 4
+        ):
             assert results["eq4_quality_parallel"]["speedup"] >= 2.0
 
 

@@ -16,8 +16,10 @@ All artifacts land in ``--out`` (default ``./results``) and are written
 atomically (write-then-rename), so a crash never leaves a torn file.
 The evaluation-heavy commands (``search``, ``shrink``, ``predict``,
 ``front``) accept ``--workers N`` to fan evaluation across N worker
-processes — results are bit-identical to serial (see
-``docs/parallel.md``); the default is serial.
+processes and ``--backend`` to pick the evaluation backend explicitly
+(``auto``, the default, resolves from ``--workers``) — results are
+bit-identical either way (see ``docs/parallel.md`` and
+``docs/performance.md``).
 
 ``search``, ``shrink``, and ``front`` additionally accept ``--run-dir
 DIR`` (start a new crash-safe checkpointed run) and ``--resume DIR``
@@ -140,6 +142,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         evolution=EvolutionConfig(seed=args.seed),
         workers=args.workers,
+        backend=args.backend,
     )
     run_state = _run_state(
         args,
@@ -162,6 +165,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         "target_ms": args.target,
         "seed": args.seed,
         "workers": args.workers,
+        "backend": args.backend,
         "architecture": result.arch.to_dict(),
         "top1_error": result.top1_error,
         "top5_error": result.top5_error,
@@ -196,7 +200,7 @@ def cmd_shrink(args: argparse.Namespace) -> int:
         ProgressiveSpaceShrinking,
         SubspaceQuality,
     )
-    from repro.parallel import ParallelEvaluator
+    from repro.parallel import create_backend
 
     space = _space(args.layout)
     device = calibrated_devices()[args.device]
@@ -217,7 +221,7 @@ def cmd_shrink(args: argparse.Namespace) -> int:
     def build_predictor() -> LatencyPredictor:
         lut = LatencyLUT.build(
             space, device, samples_per_cell=3, seed=args.seed,
-            workers=args.workers,
+            workers=args.workers, backend=args.backend,
         )
         predictor = LatencyPredictor(lut, space)
         profiler = OnDeviceProfiler(device, seed=args.seed)
@@ -247,8 +251,9 @@ def cmd_shrink(args: argparse.Namespace) -> int:
                 state["cache"], EvaluatedArch.from_dict
             ),
         )
-    with ParallelEvaluator(
-        objective.evaluate_many, workers=args.workers, cache=cache
+    with create_backend(
+        args.backend, objective.evaluate_many, workers=args.workers,
+        cache=cache,
     ) as evaluator:
         quality = SubspaceQuality(
             objective,
@@ -287,6 +292,7 @@ def cmd_shrink(args: argparse.Namespace) -> int:
             "target_ms": args.target,
             "seed": args.seed,
             "workers": args.workers,
+            "backend": args.backend,
             "dispatch_stats": dispatch_stats,
         }
     )
@@ -300,7 +306,8 @@ def cmd_predict(args: argparse.Namespace) -> int:
     space = _space(args.layout)
     device = calibrated_devices()[args.device]
     lut = LatencyLUT.build(
-        space, device, samples_per_cell=3, seed=args.seed, workers=args.workers
+        space, device, samples_per_cell=3, seed=args.seed,
+        workers=args.workers, backend=args.backend,
     )
     predictor = LatencyPredictor(lut, space)
     profiler = OnDeviceProfiler(device, seed=args.seed + 1)
@@ -423,6 +430,7 @@ def cmd_front(args: argparse.Namespace) -> int:
         config=Nsga2Config(seed=args.seed),
         cache=cache,
         workers=args.workers,
+        backend=args.backend,
         checkpoint=front_ckpt,
     ).run()
 
@@ -497,6 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=0,
             help="evaluation worker processes; 0 = serial (the default), "
                  "results are identical for any value",
+        )
+        p.add_argument(
+            "--backend", choices=("auto", "serial", "multiprocess"),
+            default="auto",
+            help="evaluation backend; auto picks multiprocess when "
+                 "--workers >= 2, serial otherwise — results are "
+                 "identical either way (see docs/performance.md)",
         )
 
     def add_run_state(p: argparse.ArgumentParser) -> None:

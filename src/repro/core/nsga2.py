@@ -162,6 +162,7 @@ class Nsga2Search:
         config: Nsga2Config = Nsga2Config(),
         cache: Optional[EvaluationCache] = None,
         workers: int = 0,
+        backend: str = "auto",
         checkpoint=None,
     ):
         self.space = space
@@ -174,7 +175,10 @@ class Nsga2Search:
         self.cache = cache if cache is not None else EvaluationCache()
         # Worker processes for population evaluation; 0/1 = serial.
         # Results are identical either way (see docs/parallel.md).
+        # ``backend`` picks the evaluation backend explicitly; "auto"
+        # resolves from ``workers`` (docs/performance.md).
         self.workers = workers
+        self.backend = backend
         # Optional per-generation checkpoint slot (see
         # EvolutionarySearch); a resumed run is bit-identical.
         self.checkpoint = checkpoint
@@ -298,7 +302,7 @@ class Nsga2Search:
         the offspring in one cached batch — with ``workers >= 2`` the
         batch fans out across processes, with identical results.
         """
-        from repro.parallel.pool import WorkerPool
+        from repro.parallel.backend import create_backend
 
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -323,7 +327,9 @@ class Nsga2Search:
                 )
                 done = int(saved["completed_generations"])
 
-        with WorkerPool(self.eval_many, workers=self.workers) as pool:
+        with create_backend(
+            self.backend, self.eval_many, workers=self.workers
+        ) as pool:
 
             def eval_batch(archs: List[Architecture]) -> List[BiObjective]:
                 return self.cache.get_or_eval_many(archs, pool.map)

@@ -32,7 +32,7 @@ from repro.hardware.ledger import MeasurementLedger
 from repro.hardware.lut import LatencyLUT
 from repro.hardware.predictor import LatencyPredictor
 from repro.hardware.profiler import OnDeviceProfiler
-from repro.parallel.evaluator import ParallelEvaluator
+from repro.parallel.backend import BACKEND_NAMES, create_backend
 from repro.runstate import PhaseCheckpoint, RunDir
 from repro.space.architecture import Architecture
 from repro.space.search_space import SearchSpace
@@ -58,6 +58,12 @@ class HSCoNASConfig:
     # population scoring; 0/1 = serial. A pure wall-clock knob: results
     # are bit-identical for any value (see docs/parallel.md).
     workers: int = 0
+    # Evaluation backend (docs/performance.md): "auto" picks
+    # multiprocess when workers >= 2, serial otherwise — the historical
+    # behaviour of the workers knob. "serial"/"multiprocess" force a
+    # backend; forcing multiprocess with workers <= 1 still evaluates
+    # inline. Results are bit-identical across backends.
+    backend: str = "auto"
     # Fault tolerance (docs/robustness.md). ``retry`` fights individual
     # probe failures during LUT building and measurement; its backoff
     # jitter never touches the measurement-noise stream, so a healthy
@@ -77,6 +83,16 @@ class HSCoNASConfig:
             raise ValueError("LUT/bias sampling counts must be >= 1")
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
+            )
+        if self.backend == "tabular":
+            raise ValueError(
+                "the pipeline has no lookup table to replay; construct a "
+                "TabularBackend via repro.parallel.create_backend and use "
+                "it with the searchers directly"
+            )
 
 
 @dataclass
@@ -175,6 +191,7 @@ class HSCoNAS:
             seed=cfg.seed,
             ledger=self.ledger,
             workers=cfg.workers,
+            backend=cfg.backend,
             retry=cfg.retry,
         )
         predictor = LatencyPredictor(
@@ -268,14 +285,15 @@ class HSCoNAS:
         # computed during shrinking is still valid when the EA re-visits
         # the same architecture.
         eval_cache = EvaluationCache()
-        # One set of worker processes likewise serves both phases; with
-        # workers <= 1 the evaluator degrades to calling evaluate_many
-        # inline, so the serial pipeline is untouched. Worker-side
-        # evaluations query the predictor in the workers' address space,
-        # where its ledger increments are lost — the hook replays them
-        # (one query per architecture) so search-cost accounting matches
-        # the serial run.
-        evaluator = ParallelEvaluator(
+        # One evaluation backend likewise serves both phases; "auto"
+        # resolves to multiprocess when workers >= 2, serial otherwise.
+        # Worker-side evaluations query the predictor in the workers'
+        # address space, where its ledger increments are lost — the hook
+        # replays them (one query per architecture) so search-cost
+        # accounting matches the serial run. The serial backend performs
+        # those increments inline and ignores the hook.
+        evaluator = create_backend(
+            cfg.backend,
             objective.evaluate_many,
             workers=cfg.workers,
             on_worker_items=self.ledger.record_prediction,

@@ -18,6 +18,7 @@ import numpy as np
 from repro.nn.layers.conv import Conv2d
 from repro.nn.layers.linear import Linear
 from repro.nn.module import Module
+from repro.nn.quantized import symmetric_scales
 
 
 @dataclass(frozen=True)
@@ -45,24 +46,21 @@ def fake_quantize_array(
 
     ``per_channel_axis >= 0`` computes one scale per slice along that
     axis (the output-channel axis for conv/linear weights); ``-1`` uses
-    a single per-tensor scale.
+    a single per-tensor scale. Scales come from
+    :func:`repro.nn.quantized.symmetric_scales`, the same helper the
+    search-time int8 eval kernels use, so deployment quantization and
+    the eval fast path land on the identical grid.
     """
-    if bits < 2 or bits > 16:
-        raise ValueError("bits must be in [2, 16]")
-    qmax = 2 ** (bits - 1) - 1
+    scales = symmetric_scales(values, bits=bits,
+                              per_channel_axis=per_channel_axis)
     if per_channel_axis >= 0:
         moved = np.moveaxis(values, per_channel_axis, 0)
         flat = moved.reshape(moved.shape[0], -1)
-        scales = np.abs(flat).max(axis=1) / qmax
-        scales[scales == 0.0] = 1.0
         quantized = np.round(flat / scales[:, None]) * scales[:, None]
         return np.moveaxis(
             quantized.reshape(moved.shape), 0, per_channel_axis
         )
-    scale = float(np.abs(values).max()) / qmax
-    if scale == 0.0:
-        return values.copy()
-    return np.round(values / scale) * scale
+    return np.round(values / float(scales)) * float(scales)
 
 
 def quantize_model_weights(model: Module, bits: int = 8) -> QuantizationReport:

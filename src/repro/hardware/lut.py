@@ -110,6 +110,7 @@ class LatencyLUT:
         seed: int = 0,
         ledger=None,
         workers: int = 0,
+        backend: str = "auto",
         retry: Optional[RetryPolicy] = None,
     ) -> "LatencyLUT":
         """Micro-benchmark every operator cell on the device.
@@ -203,9 +204,11 @@ class LatencyLUT:
                 out.append((base, extra_attempts, None))
             return out
 
-        from repro.parallel.pool import WorkerPool
+        from repro.parallel.backend import create_backend
 
-        with WorkerPool(profile_chunk, workers=workers) as pool:
+        with create_backend(
+            backend, profile_chunk, workers=workers
+        ) as pool:
             results = pool.map(list(enumerate(tasks)))
 
         degradation = DegradationReport()

@@ -25,6 +25,11 @@ or is structurally prone to:
   can be torn in half by a crash; every JSON artifact must go through
   :mod:`repro.runstate.atomic` (``atomic_write_json``/``_text``) so
   readers only ever see a complete old or complete new file.
+* **RL107 direct-worker-pool** — constructing ``WorkerPool`` directly
+  hard-wires the multiprocess dispatch path; call sites must go through
+  ``repro.parallel.create_backend`` so ``--backend serial`` (and future
+  tabular replay) keeps working everywhere. The backend layer itself
+  (``repro/parallel/``) and its tests (``tests/parallel/``) are exempt.
 """
 
 from __future__ import annotations
@@ -90,6 +95,25 @@ RL106 = CODE_RULES.register(
         "so a crash cannot leave a torn half-file",
     )
 )
+RL107 = CODE_RULES.register(
+    Rule(
+        "RL107",
+        "direct-worker-pool",
+        Severity.ERROR,
+        "direct WorkerPool construction bypasses the backend factory; "
+        "use repro.parallel.create_backend so the serial/multiprocess/"
+        "tabular choice stays a config knob",
+    )
+)
+
+# Paths where constructing WorkerPool directly is the point: the backend
+# layer that wraps it, and the tests that exercise the pool itself.
+_RL107_EXEMPT_PATH_PARTS = ("repro/parallel/", "tests/parallel/")
+
+
+def _rl107_exempt(path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(part in normalized for part in _RL107_EXEMPT_PATH_PARTS)
 
 # np.random attributes that are part of the Generator-based API and
 # therefore fine to touch from module scope.
@@ -393,6 +417,19 @@ class _Checker(ast.NodeVisitor):
                 "cache/workspace buffer in place",
             )
 
+    # -- RL107: direct WorkerPool construction ------------------------------------
+
+    def _check_worker_pool(self, node: ast.Call) -> None:
+        if _rl107_exempt(self.path):
+            return
+        chain = _attr_chain(node.func)
+        if chain is not None and chain[-1] == "WorkerPool":
+            self._emit(
+                RL107, node,
+                "direct 'WorkerPool(...)' construction; build the "
+                "evaluator via repro.parallel.create_backend instead",
+            )
+
     # -- RL106: raw JSON artifact writes -----------------------------------------
 
     def _is_json_dumps_call(self, node: ast.AST) -> bool:
@@ -477,6 +514,7 @@ class _Checker(ast.NodeVisitor):
         self._check_global_rng(node)
         self._check_shared_mutation_call(node)
         self._check_raw_json_write(node)
+        self._check_worker_pool(node)
         self.generic_visit(node)
 
     def visit_Subscript(self, node: ast.Subscript) -> None:

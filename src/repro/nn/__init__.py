@@ -25,6 +25,15 @@ from repro.nn.layers.activation import HSwish, Identity, ReLU, Sigmoid
 from repro.nn.layers.pool import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from repro.nn.layers.shuffle import ChannelShuffle, channel_concat, channel_split
 from repro.nn.layers.mask import ChannelMask
+from repro.nn.inference import assert_no_eval_caches, eval_no_grad, find_eval_caches
+from repro.nn.quantized import (
+    QuantizedTensor,
+    kendall_tau,
+    quantize_activation,
+    quantize_weight,
+    ranking_fidelity,
+    symmetric_scales,
+)
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.optim import SGD, clip_grad_norm
 from repro.nn.schedule import ConstantSchedule, CosineSchedule, WarmupCosineSchedule
@@ -51,6 +60,15 @@ __all__ = [
     "channel_split",
     "channel_concat",
     "ChannelMask",
+    "eval_no_grad",
+    "assert_no_eval_caches",
+    "find_eval_caches",
+    "QuantizedTensor",
+    "symmetric_scales",
+    "quantize_weight",
+    "quantize_activation",
+    "kendall_tau",
+    "ranking_fidelity",
     "CrossEntropyLoss",
     "SGD",
     "clip_grad_norm",

@@ -80,6 +80,8 @@ class Conv2d(Module):
 
         self._cache: Optional[dict] = None
         self._workspace = Im2colWorkspace()
+        # 1x1/stride-1/unpadded convs skip im2col entirely (see forward).
+        self._is_pointwise = kernel_size == 1 and stride == 1 and padding == 0
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
@@ -90,8 +92,18 @@ class Conv2d(Module):
         cout_g = self.out_channels // g
         k = self.kernel_size
 
-        buf = self._workspace.get(x.shape, k, self.stride, self.padding, x.dtype)
-        cols, out_h, out_w = im2col(x, k, self.stride, self.padding, out=buf)
+        if self._is_pointwise:
+            # 1x1 stride-1 unpadded convolutions (the dense convs in every
+            # ShuffleNetV2 block) need no unfold at all: the column matrix
+            # is the input itself, viewed as (N, C, H*W). Skipping im2col
+            # here removes a full activation-sized copy per call and is
+            # bit-exact (the GEMM consumes identical values either way).
+            cols, out_h, out_w = x.reshape(n, c, h * w), h, w
+        else:
+            buf = self._workspace.get(
+                x.shape, k, self.stride, self.padding, x.dtype
+            )
+            cols, out_h, out_w = im2col(x, k, self.stride, self.padding, out=buf)
         # One batched GEMM over all groups:
         # (1, g, cout_g, cin_g*k*k) @ (N, g, cin_g*k*k, OHW) -> (N, g, cout_g, OHW)
         colsg = cols.reshape(n, g, cin_g * k * k, out_h * out_w)
@@ -132,13 +144,18 @@ class Conv2d(Module):
         # dX: backproject columns with one batched GEMM, then fold.
         wmat = self.weight.data.reshape(g, cout_g, cin_g * k * k)
         gcols = np.matmul(wmat.transpose(0, 2, 1)[None], gy)  # (N, g, C_g*k*k, OHW)
-        grad_x = col2im(
-            gcols.reshape(n, self.in_channels * k * k, -1),
-            x_shape,
-            k,
-            self.stride,
-            self.padding,
-        )
+        if self._is_pointwise:
+            # Inverse of the forward's reshape view: every input position
+            # contributes to exactly one column, so folding is a reshape.
+            grad_x = gcols.reshape(x_shape)
+        else:
+            grad_x = col2im(
+                gcols.reshape(n, self.in_channels * k * k, -1),
+                x_shape,
+                k,
+                self.stride,
+                self.padding,
+            )
 
         self.weight.accumulate_grad(grad_weight)
         self._cache = None

@@ -1,0 +1,207 @@
+"""Int8 evaluation kernels and ranking-fidelity checks.
+
+The search-time fast path (see ``docs/performance.md``) can optionally
+run eval forwards on an int8 grid: weights get one symmetric scale per
+output channel (the same scales :mod:`repro.deploy.quantize` uses for
+deployment fake-quantization — :func:`symmetric_scales` is the single
+source of truth both import), activations get one dynamic per-tensor
+scale per call, and the GEMM contracts the integer-grid values.
+
+numpy has no int8 BLAS: ``np.matmul`` on integer dtypes falls back to a
+slow non-BLAS loop. The kernels therefore store the integer-grid values
+in ``float32`` and use the float32 BLAS GEMM (sgemm), which on this
+workload is ~2x the fp64 path by halving memory traffic. float32
+accumulation is *exact* as long as every partial sum stays below
+``2**24``: with int8 products bounded by ``127**2`` that holds for
+reduction depths up to ~1000, far above the ``C_in/groups * k * k``
+depths in the ShuffleNetV2 operator family. The result is then scaled
+back to float64 output.
+
+Int8 eval is an approximation of the fp32 forward, so it ships with a
+gate: :func:`ranking_fidelity` compares fast scores against reference
+scores and passes only if Kendall's tau-b >= ``min_tau`` and the top-K
+sets agree. Search code must check the gate before trusting int8
+rankings (the bench and tests do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+INT8_EXACT_ACCUM_DEPTH = (2**24) // (127 * 127)  # 1040 columns
+
+
+def symmetric_scales(
+    values: np.ndarray, bits: int = 8, per_channel_axis: int = -1
+) -> np.ndarray:
+    """Symmetric quantization scales for one tensor.
+
+    ``per_channel_axis >= 0`` returns one scale per slice along that axis
+    (the output-channel axis for conv/linear weights); ``-1`` returns a
+    single per-tensor scale as a 0-d array. Zero slices get scale 1.0 so
+    dequantization is well defined.
+    """
+    if bits < 2 or bits > 16:
+        raise ValueError("bits must be in [2, 16]")
+    qmax = 2 ** (bits - 1) - 1
+    if per_channel_axis >= 0:
+        moved = np.moveaxis(values, per_channel_axis, 0)
+        flat = moved.reshape(moved.shape[0], -1)
+        scales = np.abs(flat).max(axis=1) / qmax
+        scales[scales == 0.0] = 1.0
+        return scales
+    scale = np.abs(values).max() / qmax
+    return np.asarray(1.0 if scale == 0.0 else scale, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Integer-grid values (stored as float32 for BLAS) plus their scale.
+
+    ``q * scale`` (with ``scale`` broadcast along the channel axis for
+    per-channel tensors) recovers the fake-quantized float value — the
+    exact tensor :func:`repro.deploy.quantize.fake_quantize_array` would
+    produce from the same input.
+    """
+
+    q: np.ndarray
+    scale: Union[np.ndarray, float]
+    bits: int = 8
+
+    def dequantize(self) -> np.ndarray:
+        scale = np.asarray(self.scale, dtype=np.float64)
+        if scale.ndim == 1:  # per-output-channel weights
+            shape = [1] * self.q.ndim
+            shape[0] = scale.shape[0]
+            scale = scale.reshape(shape)
+        return self.q.astype(np.float64) * scale
+
+
+def quantize_weight(weight: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Per-output-channel symmetric quantization of a weight tensor.
+
+    Axis 0 is the output-channel axis for both conv ``(Cout, Cin_g, k,
+    k)`` and linear ``(out, in)`` weights. Done once per candidate-free
+    layer and cached — weights do not change during search evaluation.
+    """
+    scales = symmetric_scales(weight, bits=bits, per_channel_axis=0)
+    shape = [1] * weight.ndim
+    shape[0] = scales.shape[0]
+    q = np.round(weight / scales.reshape(shape)).astype(np.float32)
+    return QuantizedTensor(q=q, scale=scales, bits=bits)
+
+
+def quantize_activation(x: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Dynamic per-tensor symmetric quantization of an activation."""
+    qmax = 2 ** (bits - 1) - 1
+    scale = float(symmetric_scales(x, bits=bits, per_channel_axis=-1))
+    q = np.clip(np.round(x / scale), -qmax, qmax).astype(np.float32, copy=False)
+    return QuantizedTensor(q=q, scale=scale, bits=bits)
+
+
+def int8_conv_gemm(
+    cols: np.ndarray,
+    qweight: QuantizedTensor,
+    groups: int,
+    bits: int = 8,
+) -> np.ndarray:
+    """Grouped conv GEMM on the int8 grid.
+
+    ``cols`` is the im2col matrix ``(N, C_g*k*k*g, OHW)`` the float path
+    would feed to ``np.matmul``; ``qweight`` is the cached
+    :func:`quantize_weight` of the conv weight ``(Cout, Cin_g, k, k)``.
+    Returns ``(N, g, cout_g, OHW)`` in float64, already rescaled.
+    """
+    n = cols.shape[0]
+    cout = qweight.q.shape[0]
+    cout_g = cout // groups
+    ckk = int(qweight.q[0].size)  # cin_g * k * k
+    if ckk > INT8_EXACT_ACCUM_DEPTH:
+        raise ValueError(
+            f"reduction depth {ckk} exceeds exact float32 accumulation "
+            f"bound {INT8_EXACT_ACCUM_DEPTH}"
+        )
+    qx = quantize_activation(cols, bits=bits)
+    qcols = qx.q.reshape(n, groups, ckk, -1)
+    qw = qweight.q.reshape(groups, cout_g, ckk)
+    acc = np.matmul(qw[None], qcols)  # float32 sgemm over integer grids
+    wscale = np.asarray(qweight.scale).reshape(groups, cout_g)
+    return acc.astype(np.float64) * (qx.scale * wscale)[None, :, :, None]
+
+
+def int8_linear_gemm(
+    x: np.ndarray, qweight: QuantizedTensor, bits: int = 8
+) -> np.ndarray:
+    """Linear GEMM ``x @ W.T`` on the int8 grid, rescaled to float64."""
+    if qweight.q.shape[1] > INT8_EXACT_ACCUM_DEPTH:
+        raise ValueError(
+            f"reduction depth {qweight.q.shape[1]} exceeds exact float32 "
+            f"accumulation bound {INT8_EXACT_ACCUM_DEPTH}"
+        )
+    qx = quantize_activation(x, bits=bits)
+    acc = qx.q @ qweight.q.T
+    return acc.astype(np.float64) * (qx.scale * np.asarray(qweight.scale))[None, :]
+
+
+# -- ranking fidelity ---------------------------------------------------------
+
+
+def kendall_tau(a: Sequence[float], b: Sequence[float]) -> float:
+    """Exact Kendall tau-b rank correlation (ties handled), in numpy.
+
+    O(n^2) pairwise comparison — fine for the candidate-batch sizes
+    (N=100 per Eq.-4 subspace) this gate runs on; avoids a scipy
+    dependency the container may not carry.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be equal-length 1-D sequences")
+    if a.size < 2:
+        raise ValueError("need at least 2 items to rank")
+    da = np.sign(a[:, None] - a[None, :])
+    db = np.sign(b[:, None] - b[None, :])
+    iu = np.triu_indices(a.size, k=1)
+    da, db = da[iu], db[iu]
+    concordant_minus_discordant = float(np.sum(da * db))
+    ties_a = float(np.sum(da == 0))
+    ties_b = float(np.sum(db == 0))
+    n_pairs = float(da.size)
+    denom = np.sqrt((n_pairs - ties_a) * (n_pairs - ties_b))
+    if denom == 0.0:
+        return 0.0
+    return concordant_minus_discordant / denom
+
+
+def ranking_fidelity(
+    reference: Sequence[float],
+    fast: Sequence[float],
+    top_k: int = 10,
+    min_tau: float = 0.99,
+) -> Dict[str, object]:
+    """Gate an approximate scorer against a reference scorer.
+
+    Passes only if Kendall's tau-b >= ``min_tau`` AND the top-``top_k``
+    candidate *sets* are identical (order within the set may differ —
+    search keeps the top-K pool, it does not care about order inside it).
+    """
+    reference = np.asarray(reference, dtype=np.float64)
+    fast = np.asarray(fast, dtype=np.float64)
+    if reference.shape != fast.shape:
+        raise ValueError("score arrays must have equal shape")
+    if not 1 <= top_k <= reference.size:
+        raise ValueError(f"top_k={top_k} out of range for {reference.size} scores")
+    tau = kendall_tau(reference, fast)
+    ref_top = set(np.argsort(-reference, kind="stable")[:top_k].tolist())
+    fast_top = set(np.argsort(-fast, kind="stable")[:top_k].tolist())
+    overlap = len(ref_top & fast_top) / top_k
+    return {
+        "kendall_tau": tau,
+        "top_k": top_k,
+        "top_k_overlap": overlap,
+        "min_tau": min_tau,
+        "passed": bool(tau >= min_tau and overlap == 1.0),
+    }

@@ -7,23 +7,40 @@ Layers, bottom to top:
 * :class:`~repro.parallel.shared_weights.SharedWeightStore` — supernet
   parameters in shared memory; workers mount read-only views, the owner
   refreshes after tuning.
-* :class:`~repro.parallel.evaluator.ParallelEvaluator` — the object the
-  search stack talks to: batched evaluation with parent-side caching
+* :class:`~repro.parallel.evaluator.ParallelEvaluator` — the
+  multiprocess backend: batched evaluation with parent-side caching
   and worker-state synchronization.
+* :mod:`~repro.parallel.backend` — the :class:`EvaluationBackend`
+  interface the search stack talks to, with serial / multiprocess /
+  tabular implementations behind the :func:`create_backend` factory.
 
 See ``docs/parallel.md`` for the architecture and determinism
-guarantees.
+guarantees, and ``docs/performance.md`` for backend selection.
 """
 
+from repro.parallel.backend import (
+    BACKEND_NAMES,
+    EvaluationBackend,
+    SerialBackend,
+    TabularBackend,
+    create_backend,
+    resolve_backend_name,
+)
 from repro.parallel.evaluator import ParallelEvaluator
 from repro.parallel.pool import WorkerPool, fork_available, resolve_workers
 from repro.parallel.shared_weights import SharedWeightHandle, SharedWeightStore
 
 __all__ = [
+    "BACKEND_NAMES",
+    "EvaluationBackend",
     "ParallelEvaluator",
+    "SerialBackend",
     "SharedWeightHandle",
     "SharedWeightStore",
+    "TabularBackend",
     "WorkerPool",
+    "create_backend",
     "fork_available",
+    "resolve_backend_name",
     "resolve_workers",
 ]

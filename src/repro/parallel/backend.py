@@ -1,0 +1,191 @@
+"""Pluggable evaluation backends behind one search-facing interface.
+
+Every consumer of architecture evaluations — subspace quality (Eq. 4),
+progressive shrinking, the Sec. III-D EA, NSGA-II, LUT builds — talks to
+an :class:`EvaluationBackend`:
+
+* :meth:`~EvaluationBackend.map` — evaluate a batch, order-preserving,
+  no caching;
+* :meth:`~EvaluationBackend.evaluate_many` — the same through the
+  backend's :class:`~repro.core.cache.EvaluationCache`, if one is set;
+* :meth:`~EvaluationBackend.sync` — make the backend observe parent
+  state mutated since construction (supernet tuning between shrink
+  stages); a no-op wherever evaluation already runs in-process;
+* :meth:`~EvaluationBackend.stats`, :meth:`~EvaluationBackend.close`,
+  and context-manager support.
+
+Three implementations ship: :class:`SerialBackend` (inline calls — the
+default, bit-exact with the historical serial path), the multiprocess
+backend (:class:`~repro.parallel.evaluator.ParallelEvaluator`, which
+*is* the backend for forked workers), and :class:`TabularBackend`
+(per-architecture lookup against a recorded table, the replay path of
+:class:`repro.tabular.TabularBenchmark`).
+
+Construction goes through :func:`create_backend` — the only sanctioned
+place that instantiates :class:`~repro.parallel.pool.WorkerPool`-backed
+evaluation outside this package (lint rule RL107 enforces this). Name
+``"auto"`` keeps the historical behaviour of the ``workers`` knob:
+``workers >= 2`` selects multiprocess, anything else serial, and results
+are bit-identical either way (see ``docs/parallel.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+BACKEND_NAMES = ("auto", "serial", "multiprocess", "tabular")
+
+
+class EvaluationBackend:
+    """Interface every evaluation backend implements.
+
+    The base class provides cache plumbing, trivial lifecycle, and
+    context-manager support; subclasses supply :meth:`map` and override
+    whatever else is non-trivial for them.
+    """
+
+    name = "base"
+
+    def __init__(self, cache=None):
+        self.cache = cache
+        self.batches = 0
+
+    # -- evaluation --------------------------------------------------------------
+
+    def map(self, archs: Sequence) -> List:
+        """Evaluate ``archs`` (no caching), preserving input order."""
+        raise NotImplementedError
+
+    def evaluate_many(self, archs: Sequence) -> List:
+        """Evaluate ``archs`` through the backend's cache, if set.
+
+        Lookups, dedup, and bookkeeping happen in the caller's process;
+        only misses reach :meth:`map` — byte-for-byte the established
+        cache semantics regardless of backend.
+        """
+        if self.cache is not None:
+            return self.cache.get_or_eval_many(archs, self.map)
+        return self.map(archs)
+
+    # -- state synchronization ----------------------------------------------------
+
+    def sync(self, module=None) -> str:
+        """Observe parent-state mutations; returns the strategy used."""
+        return "noop"
+
+    # -- observability / lifecycle -----------------------------------------------
+
+    def stats(self) -> dict:
+        """Dispatch counters for run artifacts and logs."""
+        out = {"backend": self.name, "batches": self.batches}
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+    def close(self) -> None:
+        """Release any resources (processes, shared memory views)."""
+
+    def __enter__(self) -> "EvaluationBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialBackend(EvaluationBackend):
+    """Evaluate inline in the calling process.
+
+    The default backend, and the reference for bit-exactness: its
+    :meth:`map` is a direct call to the evaluation function, exactly
+    what the pre-backend code path did with ``workers <= 1``.
+    """
+
+    name = "serial"
+
+    def __init__(self, eval_many_fn: Callable[[List], Sequence], cache=None):
+        super().__init__(cache=cache)
+        self.eval_many_fn = eval_many_fn
+
+    def map(self, archs: Sequence) -> List:
+        self.batches += 1
+        return list(self.eval_many_fn(list(archs)))
+
+
+class TabularBackend(EvaluationBackend):
+    """Replay recorded per-architecture results instead of evaluating.
+
+    ``lookup_fn`` maps one architecture to its recorded result — e.g.
+    ``table.lookup`` of a :class:`repro.tabular.TabularBenchmark`, or
+    any closure assembling the search stack's expected result type from
+    a table row. Missing architectures raise ``KeyError`` (a tabular
+    run that silently falls back to live evaluation would not be a
+    replay).
+    """
+
+    name = "tabular"
+
+    def __init__(self, lookup_fn: Callable[[object], object], cache=None):
+        super().__init__(cache=cache)
+        self.lookup_fn = lookup_fn
+
+    def map(self, archs: Sequence) -> List:
+        self.batches += 1
+        return [self.lookup_fn(arch) for arch in archs]
+
+
+def resolve_backend_name(name: str, workers: int = 0) -> str:
+    """Resolve ``"auto"`` to a concrete backend for a worker count."""
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if name == "auto":
+        return "multiprocess" if workers >= 2 else "serial"
+    return name
+
+
+def create_backend(
+    name: str = "auto",
+    eval_many_fn: Optional[Callable[[List], Sequence]] = None,
+    workers: int = 0,
+    cache=None,
+    weight_store=None,
+    source_module=None,
+    on_worker_items: Optional[Callable[[int], None]] = None,
+    chunk_size: Optional[int] = None,
+    max_retries: int = 1,
+    lookup_fn: Optional[Callable[[object], object]] = None,
+) -> EvaluationBackend:
+    """Build an evaluation backend by name — the single factory.
+
+    ``"auto"`` resolves via :func:`resolve_backend_name`, preserving the
+    historical meaning of ``workers``. ``"serial"`` and
+    ``"multiprocess"`` require ``eval_many_fn``; ``"tabular"`` requires
+    ``lookup_fn``. The multiprocess-only options (``weight_store``,
+    ``source_module``, ``on_worker_items``, ``chunk_size``,
+    ``max_retries``) are accepted and ignored by the in-process backends
+    so call sites don't need to branch.
+    """
+    resolved = resolve_backend_name(name, workers=workers)
+    if resolved == "tabular":
+        if lookup_fn is None:
+            raise ValueError("tabular backend requires lookup_fn")
+        return TabularBackend(lookup_fn, cache=cache)
+    if eval_many_fn is None:
+        raise ValueError(f"{resolved} backend requires eval_many_fn")
+    if resolved == "serial":
+        return SerialBackend(eval_many_fn, cache=cache)
+    # Import here: evaluator -> pool has fork machinery the in-process
+    # backends never need.
+    from repro.parallel.evaluator import ParallelEvaluator
+
+    return ParallelEvaluator(
+        eval_many_fn,
+        workers=workers,
+        cache=cache,
+        weight_store=weight_store,
+        source_module=source_module,
+        on_worker_items=on_worker_items,
+        chunk_size=chunk_size,
+        max_retries=max_retries,
+    )

@@ -65,6 +65,8 @@ class ParallelEvaluator:
         Forwarded to :class:`WorkerPool`.
     """
 
+    name = "multiprocess"
+
     def __init__(
         self,
         eval_many_fn: Callable[[List], Sequence],
@@ -146,6 +148,7 @@ class ParallelEvaluator:
     def stats(self) -> dict:
         """Dispatch/fault counters for run artifacts and logs."""
         out = {
+            "backend": self.name,
             "workers": self._pool.workers,
             "parallel": self._pool.parallel,
             "batches": self.batches,

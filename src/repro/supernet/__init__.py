@@ -15,6 +15,7 @@ from repro.supernet.blocks import (
     build_operator_module,
 )
 from repro.supernet.choice_block import ChoiceBlock
+from repro.supernet.fast_eval import SupernetFastEval
 from repro.supernet.inheritance import (
     copy_weights_and_stats,
     extract_subnet,
@@ -32,4 +33,5 @@ __all__ = [
     "build_operator_module",
     "ChoiceBlock",
     "Supernet",
+    "SupernetFastEval",
 ]

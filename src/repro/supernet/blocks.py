@@ -92,7 +92,9 @@ class ShuffleV2Block(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.stride == 1:
             split = x.shape[1] // 2
-            self._left_channels = split
+            # Only training forwards may retain per-call state: eval
+            # forwards must leave no caches behind (docs/performance.md).
+            self._left_channels = split if self.training else None
             left, right = x[:, :split], x[:, split:]
             out = np.concatenate([left, self.branch(right)], axis=1)
         else:
@@ -103,6 +105,10 @@ class ShuffleV2Block(Module):
         grad = self.shuffle.backward(grad_out)
         if self.stride == 1:
             split = self._left_channels
+            if split is None:
+                raise RuntimeError(
+                    "backward called without a cached training forward"
+                )
             grad_left = grad[:, :split]
             grad_right = self.branch.backward(grad[:, split:])
             return np.concatenate([grad_left, grad_right], axis=1)
@@ -178,7 +184,9 @@ class ShuffleXceptionBlock(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.stride == 1:
             split = x.shape[1] // 2
-            self._left_channels = split
+            # Only training forwards may retain per-call state: eval
+            # forwards must leave no caches behind (docs/performance.md).
+            self._left_channels = split if self.training else None
             left, right = x[:, :split], x[:, split:]
             out = np.concatenate([left, self.branch(right)], axis=1)
         else:
@@ -189,6 +197,10 @@ class ShuffleXceptionBlock(Module):
         grad = self.shuffle.backward(grad_out)
         if self.stride == 1:
             split = self._left_channels
+            if split is None:
+                raise RuntimeError(
+                    "backward called without a cached training forward"
+                )
             grad_left = grad[:, :split]
             grad_right = self.branch.backward(grad[:, split:])
             return np.concatenate([grad_left, grad_right], axis=1)

@@ -1,0 +1,420 @@
+"""Single-core fast evaluation path for the weight-sharing supernet.
+
+Search-time evaluation (the Eq.-4 quality estimate, EA/NSGA-II fitness,
+LUT validation) only ever runs forward passes, and on the 1-core target
+host the per-arch training-style forward is the wall (ROADMAP item 5).
+:class:`SupernetFastEval` attacks it three ways:
+
+* **No-grad forwards** — the whole pass runs under
+  :func:`repro.nn.eval_no_grad`, so no layer allocates backward caches
+  (asserted by ``tests/nn/test_eval_caches.py``), and 1x1 convolutions
+  skip im2col entirely.
+* **Batched candidate evaluation** — :meth:`forward_many` stacks all N
+  candidate architectures into one activation tensor and runs *one*
+  forward per distinct operator per layer (at most 5) instead of N
+  per-arch passes, so the GEMMs see batch ``N_archs x N_images`` and the
+  Python/layer-dispatch overhead is paid once per layer, not per arch.
+  Channel masks are applied vectorized across the arch axis.
+* **Opt-in int8 GEMMs** — ``precision="int8"`` runs every conv/linear
+  GEMM against the *deployment* int8 weight grid (the per-output-channel
+  scales of :mod:`repro.deploy.quantize`, via
+  :func:`repro.nn.quantized.quantize_weight`), with float32 activations
+  and fused eval-mode BN, all through float32 sgemm. This is an
+  approximation of the float64 forward: gate it with
+  :func:`repro.nn.quantized.ranking_fidelity` before trusting rankings.
+
+The default ``precision="float"`` path is **bit-exact** with per-arch
+eval-mode forwards through ``Supernet.forward`` — it performs the
+identical numpy operations in the identical order, just batched — which
+the equivalence tests assert byte-for-byte.
+
+Per-stage wall-time attribution (im2col / GEMM / scoring / other) is
+accumulated in :meth:`stage_times` for ``benchmarks/bench_hotpaths.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size, im2col, pad_nchw
+from repro.nn.inference import eval_no_grad
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.mask import make_mask
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.module import Module, Sequential
+from repro.nn.quantized import QuantizedTensor, quantize_weight
+from repro.space.architecture import Architecture
+from repro.supernet.blocks import ShuffleV2Block, ShuffleXceptionBlock, SkipOp
+from repro.supernet.model import Supernet
+from repro.train.metrics import top_k_accuracy
+
+PRECISIONS = ("float", "int8")
+
+
+class SupernetFastEval:
+    """Evaluation-only forward engine over a shared :class:`Supernet`.
+
+    Parameters
+    ----------
+    supernet:
+        The weight-sharing supernet. Its weights are read, never
+        written; its train/eval mode is restored after every call.
+    precision:
+        ``"float"`` (default) for the bit-exact float64 path, or
+        ``"int8"`` for quantized GEMMs (see module docstring).
+    bits:
+        Quantization width for the int8 path (kept at 8 in practice).
+    """
+
+    def __init__(self, supernet: Supernet, precision: str = "float", bits: int = 8):
+        if precision not in PRECISIONS:
+            raise ValueError(f"precision must be one of {PRECISIONS}")
+        self.supernet = supernet
+        self.precision = precision
+        self.bits = bits
+        # One column buffer per conv layer, replaced when the input
+        # geometry changes — persistent across candidates, bounded in
+        # count by the number of conv layers.
+        self._col_buffers: Dict[int, np.ndarray] = {}
+        self._qweights: Dict[int, QuantizedTensor] = {}
+        self._bn_fused: Dict[int, tuple] = {}
+        self._times: Dict[str, float] = {}
+        self.reset_stage_times()
+
+    # -- timing ----------------------------------------------------------------
+
+    def reset_stage_times(self) -> None:
+        """Zero the per-stage wall-time accumulators."""
+        self._times = {
+            "im2col_s": 0.0,
+            "gemm_s": 0.0,
+            "scoring_s": 0.0,
+            "other_s": 0.0,
+            "total_s": 0.0,
+        }
+
+    def stage_times(self) -> Dict[str, float]:
+        """Accumulated wall time per stage since the last reset.
+
+        ``gemm_s`` includes int8 quantize/rescale when running at int8;
+        ``other_s`` is everything not otherwise attributed (BN,
+        activations, pooling, concat/shuffle, mask application).
+        """
+        times = dict(self._times)
+        attributed = times["im2col_s"] + times["gemm_s"] + times["scoring_s"]
+        times["other_s"] = max(0.0, times["total_s"] - attributed)
+        return times
+
+    # -- kernels ---------------------------------------------------------------
+
+    def invalidate_weights(self) -> None:
+        """Drop cached int8 weights and fused BN constants.
+
+        Call after mutating supernet weights or BN running statistics
+        (e.g. between training epochs); the caches are rebuilt lazily.
+        """
+        self._qweights.clear()
+        self._bn_fused.clear()
+
+    def _qweight(self, layer: Module) -> QuantizedTensor:
+        cached = self._qweights.get(id(layer))
+        if cached is None:
+            cached = quantize_weight(layer.weight.data, bits=self.bits)
+            self._qweights[id(layer)] = cached
+        return cached
+
+    def _conv(self, conv: Conv2d, x: np.ndarray) -> np.ndarray:
+        if self.precision == "int8":
+            return self._conv_int8(conv, x)
+        n, c, h, w = x.shape
+        g = conv.groups
+        k = conv.kernel_size
+        cin_g = conv.in_channels // g
+        cout_g = conv.out_channels // g
+
+        t0 = time.perf_counter()
+        if conv._is_pointwise:
+            cols, out_h, out_w = x.reshape(n, c, h * w), h, w
+        else:
+            cols, out_h, out_w = self._im2col(conv, x)
+        t1 = time.perf_counter()
+        self._times["im2col_s"] += t1 - t0
+
+        colsg = cols.reshape(n, g, cin_g * k * k, out_h * out_w)
+        wmat = conv.weight.data.reshape(g, cout_g, cin_g * k * k)
+        out = np.matmul(wmat[None], colsg)
+        self._times["gemm_s"] += time.perf_counter() - t1
+
+        out = out.reshape(n, conv.out_channels, out_h, out_w)
+        if conv.bias is not None:
+            out = out + conv.bias.data[None, :, None, None]
+        return out
+
+    def _im2col(self, conv: Conv2d, x: np.ndarray):
+        """im2col through this conv's persistent column buffer."""
+        buf = self._col_buffers.get(id(conv))
+        if buf is not None and (
+            buf.shape[:4] != (x.shape[0], x.shape[1], conv.kernel_size,
+                              conv.kernel_size)
+            or buf.dtype != x.dtype
+        ):
+            buf = None
+        cols, out_h, out_w = im2col(
+            x, conv.kernel_size, conv.stride, conv.padding, out=buf
+        )
+        self._col_buffers[id(conv)] = cols.base if cols.base is not None else cols
+        return cols, out_h, out_w
+
+    def _conv_int8(self, conv: Conv2d, x: np.ndarray) -> np.ndarray:
+        """Convolution against the deployment int8 weight grid, float32.
+
+        The weight enters the GEMM as its int8 integer codes (one
+        symmetric scale per output channel — the identical grid
+        :func:`repro.deploy.quantize.quantize_model_weights` ships);
+        activations stay float32, as deployment keeps biases and norm
+        parameters in float. The sgemm halves memory traffic against
+        the float64 path, and depthwise kernels skip im2col entirely: a
+        grouped GEMM with one input channel per group is block-diagonal,
+        so a direct k*k tap accumulation over strided views does
+        strictly less work.
+        """
+        x = x.astype(np.float32, copy=False)
+        n, c, h, w = x.shape
+        g = conv.groups
+        k = conv.kernel_size
+        cin_g = conv.in_channels // g
+        cout_g = conv.out_channels // g
+        qw = self._qweight(conv)
+        wscale = np.asarray(qw.scale, dtype=np.float32)
+
+        if g == conv.in_channels and cout_g == 1:  # depthwise, direct
+            t0 = time.perf_counter()
+            out_h = conv_output_size(h, k, conv.stride, conv.padding)
+            out_w = conv_output_size(w, k, conv.stride, conv.padding)
+            xp = pad_nchw(x, conv.padding)
+            taps = qw.q.reshape(c, k * k, 1, 1)
+            out = np.empty((n, c, out_h, out_w), dtype=np.float32)
+            tmp = np.empty_like(out)
+            for ki in range(k):
+                hi_end = ki + conv.stride * out_h
+                for kj in range(k):
+                    wj_end = kj + conv.stride * out_w
+                    view = xp[:, :, ki:hi_end:conv.stride, kj:wj_end:conv.stride]
+                    if ki == 0 and kj == 0:
+                        np.multiply(view, taps[None, :, 0], out=out)
+                    else:
+                        np.multiply(view, taps[None, :, ki * k + kj], out=tmp)
+                        out += tmp
+            out *= wscale[None, :, None, None]
+            self._times["gemm_s"] += time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            if conv._is_pointwise:
+                cols, out_h, out_w = x.reshape(n, c, h * w), h, w
+            else:
+                cols, out_h, out_w = self._im2col(conv, x)
+            t1 = time.perf_counter()
+            self._times["im2col_s"] += t1 - t0
+            colsg = cols.reshape(n, g, cin_g * k * k, out_h * out_w)
+            qwmat = qw.q.reshape(g, cout_g, cin_g * k * k)
+            out = np.matmul(qwmat[None], colsg)
+            out *= wscale.reshape(g, cout_g)[None, :, :, None]
+            out = out.reshape(n, conv.out_channels, out_h, out_w)
+            self._times["gemm_s"] += time.perf_counter() - t1
+
+        if conv.bias is not None:
+            out = out + conv.bias.data.astype(np.float32)[None, :, None, None]
+        return out
+
+    def _bn_int8(self, bn: BatchNorm2d, x: np.ndarray) -> np.ndarray:
+        """Eval-mode BN folded to one float32 multiply-add per element."""
+        fused = self._bn_fused.get(id(bn))
+        if fused is None:
+            inv_std = 1.0 / np.sqrt(bn.running_var + bn.eps)
+            scale = (bn.gamma.data * inv_std).astype(np.float32)
+            shift = (
+                bn.beta.data - bn.running_mean * bn.gamma.data * inv_std
+            ).astype(np.float32)
+            fused = (scale, shift)
+            self._bn_fused[id(bn)] = fused
+        scale, shift = fused
+        return x * scale[None, :, None, None] + shift[None, :, None, None]
+
+    def _mask(self, block, x: np.ndarray) -> np.ndarray:
+        """Apply a choice block's channel mask (float32 at int8)."""
+        if self.precision == "int8":
+            return x * block.mask.mask.astype(np.float32)[None, :, None, None]
+        return block.mask(x)
+
+    def _linear(self, linear: Linear, x: np.ndarray) -> np.ndarray:
+        t0 = time.perf_counter()
+        if self.precision == "int8":
+            qw = self._qweight(linear)
+            out = x.astype(np.float32, copy=False) @ qw.q.T
+            out *= np.asarray(qw.scale, dtype=np.float32)[None, :]
+        else:
+            out = x @ linear.weight.data.T
+        self._times["gemm_s"] += time.perf_counter() - t0
+        if linear.bias is not None:
+            bias = linear.bias.data
+            if self.precision == "int8":
+                bias = bias.astype(np.float32)
+            out = out + bias[None, :]
+        return out
+
+    def _module(self, m: Module, x: np.ndarray) -> np.ndarray:
+        """Structure-walking dispatch mirroring each module's forward."""
+        if isinstance(m, Conv2d):
+            return self._conv(m, x)
+        if isinstance(m, Linear):
+            return self._linear(m, x)
+        if isinstance(m, BatchNorm2d) and self.precision == "int8":
+            return self._bn_int8(m, x)
+        if isinstance(m, Sequential):
+            for layer in m.layers:
+                x = self._module(layer, x)
+            return x
+        if isinstance(m, (ShuffleV2Block, ShuffleXceptionBlock)):
+            if m.stride == 1:
+                split = x.shape[1] // 2
+                out = np.concatenate(
+                    [x[:, :split], self._module(m.branch, x[:, split:])], axis=1
+                )
+            else:
+                out = np.concatenate(
+                    [self._module(m.left, x), self._module(m.branch, x)], axis=1
+                )
+            return m.shuffle(out)
+        if isinstance(m, SkipOp):
+            if m.proj is None:
+                return x
+            return self._module(m.proj, m.pool(x))
+        return m.forward(x)
+
+    # -- forwards --------------------------------------------------------------
+
+    def forward(self, arch: Architecture, images: np.ndarray) -> np.ndarray:
+        """Logits ``(N, num_classes)`` for one architecture."""
+        net = self.supernet
+        net.set_architecture(arch)
+        t0 = time.perf_counter()
+        with eval_no_grad(net):
+            x = self._module(net.stem, images)
+            for block in net.blocks:
+                x = self._module(block.ops[block.active_op], x)
+                x = self._mask(block, x)
+            x = self._module(net.head, x)
+            x = net.pool(x)
+            logits = self._linear(net.classifier, x)
+        self._times["total_s"] += time.perf_counter() - t0
+        return logits
+
+    def forward_many(
+        self,
+        archs: Sequence[Architecture],
+        images: np.ndarray,
+        chunk_archs: Optional[int] = None,
+    ) -> np.ndarray:
+        """Logits ``(A, N, num_classes)`` for a batch of architectures.
+
+        The stem runs once; each choice layer runs one forward per
+        *distinct* active operator over the stacked arch axis. Exact:
+        every sample's logits are bit-identical to :meth:`forward` on
+        its own (eval-mode layers are per-sample independent).
+
+        ``chunk_archs`` bounds peak activation memory (which scales with
+        ``A x N``) by processing the arch batch in slices.
+        """
+        if len(archs) == 0:
+            raise ValueError("need at least one architecture")
+        if chunk_archs is not None:
+            if chunk_archs < 1:
+                raise ValueError("chunk_archs must be >= 1")
+            pieces = [
+                self.forward_many(archs[i : i + chunk_archs], images)
+                for i in range(0, len(archs), chunk_archs)
+            ]
+            return np.concatenate(pieces, axis=0)
+
+        net = self.supernet
+        num_archs = len(archs)
+        for arch in archs:
+            if arch.num_layers != len(net.blocks):
+                raise ValueError(
+                    f"architecture has {arch.num_layers} layers; "
+                    f"supernet has {len(net.blocks)}"
+                )
+        t0 = time.perf_counter()
+        with eval_no_grad(net):
+            stem_out = self._module(net.stem, images)
+            acts = np.repeat(stem_out[None], num_archs, axis=0)
+            for li, block in enumerate(net.blocks):
+                ops = np.array([arch.ops[li] for arch in archs])
+                new_acts = None
+                for op_idx in np.unique(ops):
+                    rows = np.nonzero(ops == op_idx)[0]
+                    sub = acts[rows]
+                    flat = sub.reshape(-1, *sub.shape[2:])
+                    out = self._module(block.ops[int(op_idx)], flat)
+                    out = out.reshape(len(rows), sub.shape[1], *out.shape[1:])
+                    if new_acts is None:
+                        new_acts = np.empty(
+                            (num_archs,) + out.shape[1:], dtype=out.dtype
+                        )
+                    new_acts[rows] = out
+                masks = np.stack(
+                    [
+                        make_mask(block.geometry.max_out_channels, arch.factors[li])
+                        for arch in archs
+                    ]
+                )
+                if self.precision == "int8":
+                    masks = masks.astype(np.float32)
+                acts = new_acts * masks[:, None, :, None, None]
+            flat = acts.reshape(-1, *acts.shape[2:])
+            x = self._module(net.head, flat)
+            x = net.pool(x)
+            # The classifier is the one 2-D GEMM in the whole pass: its
+            # BLAS blocking (and thus summation order) depends on the
+            # row count, so run it per arch block of N rows to keep the
+            # result bit-identical to the per-arch path. All conv GEMMs
+            # are per-sample slices already.
+            features = x.reshape(num_archs, images.shape[0], -1)
+            logits = np.stack(
+                [
+                    self._linear(net.classifier, features[i])
+                    for i in range(num_archs)
+                ]
+            )
+        self._times["total_s"] += time.perf_counter() - t0
+        return logits
+
+    # -- accuracy proxies ------------------------------------------------------
+
+    def accuracy(
+        self, arch: Architecture, images: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """Top-1 weight-sharing accuracy of one subnet (eval-mode BN)."""
+        logits = self.forward(arch, images)
+        t0 = time.perf_counter()
+        acc = top_k_accuracy(logits, labels, k=1)
+        self._times["scoring_s"] += time.perf_counter() - t0
+        return acc
+
+    def accuracy_many(
+        self,
+        archs: Sequence[Architecture],
+        images: np.ndarray,
+        labels: np.ndarray,
+        chunk_archs: Optional[int] = None,
+    ) -> List[float]:
+        """Top-1 accuracies for a batch of subnets via one stacked pass."""
+        logits = self.forward_many(archs, images, chunk_archs=chunk_archs)
+        t0 = time.perf_counter()
+        accs = [top_k_accuracy(logits[i], labels, k=1) for i in range(len(archs))]
+        self._times["scoring_s"] += time.perf_counter() - t0
+        return accs

@@ -332,6 +332,74 @@ class TestRawJsonWrite:
         ) == []
 
 
+class TestDirectWorkerPool:
+    def test_direct_construction_fires(self):
+        findings = _lint(
+            """
+            from repro.parallel import WorkerPool
+
+            def evaluate(fn, archs):
+                with WorkerPool(fn, workers=4) as pool:
+                    return pool.map(archs)
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RL107"]
+        assert findings[0].severity is Severity.ERROR
+        assert "create_backend" in findings[0].message
+
+    def test_qualified_construction_fires(self):
+        assert _rule_ids(
+            """
+            import repro.parallel.pool as pool_mod
+
+            def evaluate(fn):
+                return pool_mod.WorkerPool(fn, workers=2)
+            """
+        ) == ["RL107"]
+
+    def test_factory_call_is_clean(self):
+        assert _rule_ids(
+            """
+            from repro.parallel import create_backend
+
+            def evaluate(fn, archs, backend):
+                with create_backend(backend, fn, workers=4) as pool:
+                    return pool.map(archs)
+            """
+        ) == []
+
+    def test_backend_layer_is_exempt(self):
+        code = textwrap.dedent(
+            """
+            from repro.parallel.pool import WorkerPool
+
+            def make(fn):
+                return WorkerPool(fn, workers=2)
+            """
+        )
+        assert [
+            f.rule_id
+            for f in lint_source(code, path="src/repro/parallel/backend.py")
+        ] == []
+        assert [
+            f.rule_id
+            for f in lint_source(code, path="tests/parallel/test_pool.py")
+        ] == []
+        assert [
+            f.rule_id for f in lint_source(code, path="src/repro/core/x.py")
+        ] == ["RL107"]
+
+    def test_suppression_comment_silences(self):
+        assert _rule_ids(
+            """
+            from repro.parallel import WorkerPool
+
+            def make(fn):
+                return WorkerPool(fn)  # repro-lint: disable=RL107
+            """
+        ) == []
+
+
 class TestSuppression:
     def test_named_suppression_silences_rule(self):
         assert _rule_ids(

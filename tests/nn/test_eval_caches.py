@@ -1,0 +1,167 @@
+"""Eval-mode forwards must retain no per-call backward caches.
+
+The no-grad contract of the fast path (``docs/performance.md``): after
+``module.eval()``, a forward allocates nothing that survives the call —
+no im2col columns, no cached activations, masks, or shapes. These tests
+audit every layer in :mod:`repro.nn` plus the supernet blocks, and the
+``eval_no_grad`` / ``assert_no_eval_caches`` helpers themselves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    ChannelMask,
+    ChannelShuffle,
+    Conv2d,
+    GlobalAvgPool2d,
+    HSwish,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    assert_no_eval_caches,
+    eval_no_grad,
+    find_eval_caches,
+)
+from repro.supernet import ShuffleV2Block, ShuffleXceptionBlock
+
+RNG = np.random.default_rng(0)
+
+# (factory, example input) for every cache-carrying repro.nn layer.
+LAYER_CASES = [
+    ("conv", lambda: Conv2d(4, 8, 3, padding=1, rng=np.random.default_rng(0)),
+     lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("depthwise", lambda: Conv2d(4, 4, 3, padding=1, groups=4,
+                                 rng=np.random.default_rng(0)),
+     lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("linear", lambda: Linear(6, 3, rng=np.random.default_rng(0)),
+     lambda: RNG.standard_normal((5, 6))),
+    ("batchnorm", lambda: BatchNorm2d(4),
+     lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("relu", ReLU, lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("hswish", HSwish, lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("sigmoid", Sigmoid, lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("maxpool", lambda: MaxPool2d(2), lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("avgpool", lambda: AvgPool2d(2), lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("gap", GlobalAvgPool2d, lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("shuffle", lambda: ChannelShuffle(2),
+     lambda: RNG.standard_normal((2, 4, 6, 6))),
+    ("mask", lambda: ChannelMask(4), lambda: RNG.standard_normal((2, 4, 6, 6))),
+]
+
+BLOCK_CASES = [
+    ("shufflev2", lambda: ShuffleV2Block(
+        8, 8, kernel_size=3, stride=1, rng=np.random.default_rng(0))),
+    ("xception", lambda: ShuffleXceptionBlock(
+        8, 8, stride=1, rng=np.random.default_rng(0))),
+]
+
+
+@pytest.mark.parametrize(
+    "factory,make_x", [(f, x) for _, f, x in LAYER_CASES],
+    ids=[name for name, _, _ in LAYER_CASES],
+)
+def test_eval_forward_retains_no_caches(factory, make_x):
+    layer = factory()
+    x = make_x()
+    # A training forward may cache; an eval forward afterwards must not
+    # only avoid caching but also leave no stale training cache behind.
+    layer.train()
+    layer(x)
+    layer.eval()
+    layer(x)
+    assert find_eval_caches(layer) == []
+    assert_no_eval_caches(layer)
+
+
+# ChannelShuffle and ChannelMask have stateless backwards (a fixed
+# permutation / a fixed mask) — they need no cached forward, so they are
+# exempt from the raise-on-eval-backward contract.
+STATELESS_BACKWARD = {"shuffle", "mask"}
+
+
+@pytest.mark.parametrize(
+    "factory,make_x",
+    [(f, x) for n, f, x in LAYER_CASES if n not in STATELESS_BACKWARD],
+    ids=[n for n, _, _ in LAYER_CASES if n not in STATELESS_BACKWARD],
+)
+def test_eval_backward_raises_without_training_cache(factory, make_x):
+    layer = factory()
+    x = make_x()
+    layer.eval()
+    y = layer(x)
+    with pytest.raises(RuntimeError, match="training forward"):
+        layer.backward(np.ones_like(np.asarray(y, dtype=float)))
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in BLOCK_CASES], ids=[n for n, _ in BLOCK_CASES]
+)
+def test_supernet_blocks_retain_no_eval_caches(factory):
+    block = factory()
+    x = RNG.standard_normal((2, 8, 8, 8))
+    block.train()
+    block(x)
+    block.eval()
+    block(x)
+    assert find_eval_caches(block) == []
+
+
+@pytest.mark.parametrize(
+    "factory", [f for _, f in BLOCK_CASES], ids=[n for n, _ in BLOCK_CASES]
+)
+def test_supernet_block_backward_requires_training_forward(factory):
+    block = factory()
+    x = RNG.standard_normal((2, 8, 8, 8))
+    block.eval()
+    y = block(x)
+    with pytest.raises(RuntimeError, match="training forward"):
+        block.backward(np.ones_like(y))
+
+
+def test_find_eval_caches_reports_offenders():
+    layer = Conv2d(2, 2, 3, padding=1, rng=np.random.default_rng(0))
+    layer.train()
+    layer(RNG.standard_normal((1, 2, 4, 4)))
+    offenders = find_eval_caches(layer)
+    assert offenders == ["Conv2d._cache"]
+    with pytest.raises(AssertionError, match="Conv2d._cache"):
+        assert_no_eval_caches(layer)
+
+
+def test_eval_no_grad_restores_exact_mode_mix(tiny_supernet):
+    # Put the net into a mixed train/eval state and check the context
+    # manager restores each module's flag exactly.
+    tiny_supernet.train()
+    some = list(tiny_supernet.modules())[3]
+    some.training = False
+    before = [m.training for m in tiny_supernet.modules()]
+    with eval_no_grad(tiny_supernet):
+        assert all(not m.training for m in tiny_supernet.modules())
+    assert [m.training for m in tiny_supernet.modules()] == before
+
+
+def test_eval_no_grad_restores_on_exception(tiny_supernet):
+    tiny_supernet.train()
+    with pytest.raises(RuntimeError, match="boom"):
+        with eval_no_grad(tiny_supernet):
+            raise RuntimeError("boom")
+    assert all(m.training for m in tiny_supernet.modules())
+
+
+def test_supernet_eval_forward_is_cache_free(tiny_supernet, tiny_space):
+    rng = np.random.default_rng(4)
+    arch = tiny_space.sample(rng)
+    images = rng.standard_normal((2, 3, 16, 16))
+    tiny_supernet.set_architecture(arch)
+    # Training forward populates caches throughout the active path...
+    tiny_supernet.train()
+    tiny_supernet(images)
+    assert find_eval_caches(tiny_supernet) != []
+    # ...and a single eval forward scrubs every one of them.
+    tiny_supernet.eval()
+    tiny_supernet(images)
+    assert_no_eval_caches(tiny_supernet)

@@ -1,0 +1,175 @@
+"""Int8 kernels, the shared quantization grid, and the fidelity gate."""
+
+import numpy as np
+import pytest
+
+from repro.deploy.quantize import fake_quantize_array
+from repro.nn.quantized import (
+    INT8_EXACT_ACCUM_DEPTH,
+    QuantizedTensor,
+    int8_conv_gemm,
+    int8_linear_gemm,
+    kendall_tau,
+    quantize_activation,
+    quantize_weight,
+    ranking_fidelity,
+    symmetric_scales,
+)
+
+
+class TestSymmetricScales:
+    def test_per_tensor_scale(self):
+        x = np.array([-2.54, 1.0, 0.5])
+        scale = symmetric_scales(x, bits=8, per_channel_axis=-1)
+        assert scale.ndim == 0
+        assert scale == pytest.approx(2.54 / 127)
+
+    def test_per_channel_scales(self):
+        w = np.stack([np.full((3, 3), 1.27), np.full((3, 3), 0.254)])
+        scales = symmetric_scales(w, bits=8, per_channel_axis=0)
+        assert scales.shape == (2,)
+        np.testing.assert_allclose(scales, [1.27 / 127, 0.254 / 127])
+
+    def test_zero_slice_gets_unit_scale(self):
+        w = np.zeros((2, 4))
+        w[1] = 3.0
+        scales = symmetric_scales(w, per_channel_axis=0)
+        assert scales[0] == 1.0
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            symmetric_scales(np.ones(3), bits=1)
+
+    def test_matches_deploy_grid(self):
+        # The deployment fake-quantizer and the eval fast path must land
+        # on the identical per-channel grid: one source of scales.
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((8, 4, 3, 3))
+        qw = quantize_weight(w)
+        np.testing.assert_array_equal(
+            qw.dequantize(), fake_quantize_array(w, bits=8, per_channel_axis=0)
+        )
+
+
+class TestQuantize:
+    def test_weight_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(1)
+        w = rng.standard_normal((6, 5))
+        qw = quantize_weight(w)
+        assert isinstance(qw, QuantizedTensor)
+        assert qw.q.dtype == np.float32
+        # Codes are integers on the int8 grid.
+        np.testing.assert_array_equal(qw.q, np.round(qw.q))
+        assert np.abs(qw.q).max() <= 127
+        # Per-channel rounding error is at most half a step.
+        err = np.abs(qw.dequantize() - w)
+        assert (err <= 0.5 * qw.scale[:, None] + 1e-12).all()
+
+    def test_activation_clips_to_grid(self):
+        x = np.array([-300.0, 0.0, 1.0, 300.0])
+        qx = quantize_activation(x)
+        assert np.abs(qx.q).max() <= 127
+
+    def test_activation_weak_scalar_keeps_float32(self):
+        # The dynamic scale must be a python float so float32 inputs do
+        # not get promoted to float64 (NEP 50 weak scalars).
+        qx = quantize_activation(np.ones(4, dtype=np.float32))
+        assert isinstance(qx.scale, float)
+        assert qx.q.dtype == np.float32
+
+
+class TestIntGemms:
+    def test_linear_gemm_exact_on_grid(self):
+        # With both operands already integer grids, the float32 sgemm
+        # must be *exact*: compare against int64 arithmetic.
+        rng = np.random.default_rng(2)
+        w = rng.standard_normal((7, 50))
+        x = rng.standard_normal((4, 50))
+        qw = quantize_weight(w)
+        qx = quantize_activation(x)
+        out = int8_linear_gemm(x, qw)
+        acc = qx.q.astype(np.int64) @ qw.q.astype(np.int64).T
+        expected = acc.astype(np.float64) * (
+            qx.scale * np.asarray(qw.scale)
+        )[None, :]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_conv_gemm_exact_on_grid(self):
+        rng = np.random.default_rng(3)
+        g, cout_g, ckk, ohw, n = 2, 3, 18, 9, 2
+        w = rng.standard_normal((g * cout_g, 2, 3, 3))
+        cols = rng.standard_normal((n, g * ckk, ohw))
+        qw = quantize_weight(w)
+        qx = quantize_activation(cols)
+        out = int8_conv_gemm(cols, qw, groups=g)
+        qcols = qx.q.astype(np.int64).reshape(n, g, ckk, ohw)
+        qwm = qw.q.astype(np.int64).reshape(g, cout_g, ckk)
+        acc = np.matmul(qwm[None], qcols)
+        wscale = np.asarray(qw.scale).reshape(g, cout_g)
+        expected = acc.astype(np.float64) * (qx.scale * wscale)[None, :, :, None]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_reduction_depth_guard(self):
+        deep = INT8_EXACT_ACCUM_DEPTH + 1
+        qw = quantize_weight(np.ones((2, deep)))
+        with pytest.raises(ValueError, match="accumulation"):
+            int8_linear_gemm(np.ones((1, deep)), qw)
+        qconv = quantize_weight(np.ones((2, deep, 1, 1)))
+        with pytest.raises(ValueError, match="accumulation"):
+            int8_conv_gemm(np.ones((1, 2 * deep, 4)), qconv, groups=2)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        assert kendall_tau([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_reversal(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_known_value(self):
+        # Classic example: one discordant pair out of six -> tau = 2/3.
+        assert kendall_tau([1, 2, 3, 4], [1, 2, 4, 3]) == pytest.approx(2 / 3)
+
+    def test_ties_use_tau_b(self):
+        tau = kendall_tau([1, 1, 2, 3], [1, 2, 3, 4])
+        # tau-b with one tied pair in a: 5 / sqrt(5 * 6).
+        assert tau == pytest.approx(5 / np.sqrt(30))
+
+    def test_all_ties_is_zero(self):
+        assert kendall_tau([1.0, 1.0, 1.0], [1, 2, 3]) == 0.0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            kendall_tau([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            kendall_tau([1], [1])
+
+
+class TestRankingFidelity:
+    def test_passes_on_identical_rankings(self):
+        ref = [0.1, 0.5, 0.3, 0.9, 0.2]
+        fast = [x + 0.01 for x in ref]
+        gate = ranking_fidelity(ref, fast, top_k=2)
+        assert gate["passed"]
+        assert gate["kendall_tau"] == 1.0
+        assert gate["top_k_overlap"] == 1.0
+
+    def test_fails_on_top_k_mismatch(self):
+        ref = [1.0, 2.0, 3.0, 4.0]
+        fast = [4.0, 3.0, 1.0, 2.0]  # different winners
+        gate = ranking_fidelity(ref, fast, top_k=1)
+        assert not gate["passed"]
+
+    def test_fails_below_min_tau(self):
+        ref = list(range(10))
+        fast = list(range(10))
+        fast[0], fast[1] = fast[1], fast[0]  # one swap outside top-K
+        gate = ranking_fidelity(ref, fast, top_k=2, min_tau=0.999)
+        assert gate["top_k_overlap"] == 1.0
+        assert not gate["passed"]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ranking_fidelity([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            ranking_fidelity([1, 2], [1, 2], top_k=3)

@@ -1,0 +1,278 @@
+"""EvaluationBackend: factory semantics and cross-backend equivalence.
+
+The contract under test: the backend is a pure dispatch knob. A search
+run gives *byte-identical* results (JSON fingerprints of the
+``SearchResult``) whether evaluations go through the default inline
+path, an explicit :class:`SerialBackend`, the multiprocess backend, or
+a :class:`TabularBackend` replaying recorded results.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvaluationCache,
+    EvolutionConfig,
+    EvolutionarySearch,
+    Nsga2Config,
+    Nsga2Search,
+    Objective,
+    SubspaceQuality,
+)
+from repro.parallel import (
+    BACKEND_NAMES,
+    EvaluationBackend,
+    ParallelEvaluator,
+    SerialBackend,
+    TabularBackend,
+    create_backend,
+    fork_available,
+    resolve_backend_name,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+
+def make_objective(space):
+    """Deterministic FLOPs-based Eq. 1 objective (no device needed)."""
+    return Objective(
+        accuracy_fn=lambda a: space.arch_flops(a) / 3e8,
+        latency_fn=lambda a: space.arch_flops(a) / 1e7,
+        target_ms=15.0,
+        beta=-0.3,
+    )
+
+
+def fingerprint(result) -> bytes:
+    return json.dumps(result.to_dict(), sort_keys=True).encode()
+
+
+def nsga2_fingerprint(result) -> bytes:
+    """Nsga2Result has no to_dict; serialize its fields directly."""
+    payload = {
+        "front": [
+            (p.arch.key(), p.latency_ms, p.accuracy) for p in result.front
+        ],
+        "population": [
+            (p.arch.key(), p.latency_ms, p.accuracy)
+            for p in result.population
+        ],
+        "num_evaluations": result.num_evaluations,
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class _Item:
+    """Minimal arch-like value: EvaluationCache keys items by .key()."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def key(self):
+        return (self.value,)
+
+
+class TestResolveAndFactory:
+    def test_auto_resolution_tracks_workers(self):
+        assert resolve_backend_name("auto", workers=0) == "serial"
+        assert resolve_backend_name("auto", workers=1) == "serial"
+        assert resolve_backend_name("auto", workers=2) == "multiprocess"
+        assert resolve_backend_name("serial", workers=8) == "serial"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend_name("threads")
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("threads", eval_many_fn=lambda a: a)
+
+    def test_required_arguments(self):
+        with pytest.raises(ValueError, match="eval_many_fn"):
+            create_backend("serial")
+        with pytest.raises(ValueError, match="lookup_fn"):
+            create_backend("tabular")
+
+    def test_factory_types_and_names(self):
+        serial = create_backend("serial", eval_many_fn=lambda a: a)
+        assert isinstance(serial, SerialBackend)
+        assert serial.name == "serial"
+        mp = create_backend("multiprocess", eval_many_fn=lambda a: a)
+        assert isinstance(mp, ParallelEvaluator)
+        assert mp.name == "multiprocess"
+        mp.close()
+        tab = create_backend("tabular", lookup_fn=lambda a: a)
+        assert isinstance(tab, TabularBackend)
+        assert tab.name == "tabular"
+        assert set(BACKEND_NAMES) == {"auto", "serial", "multiprocess", "tabular"}
+
+    def test_inline_backends_ignore_multiprocess_options(self):
+        # Call sites pass one uniform argument set; the in-process
+        # backends must accept and ignore the worker-only options.
+        backend = create_backend(
+            "serial",
+            eval_many_fn=lambda a: a,
+            workers=0,
+            on_worker_items=lambda n: None,
+            chunk_size=3,
+            max_retries=2,
+            weight_store=None,
+            source_module=None,
+        )
+        assert isinstance(backend, SerialBackend)
+
+
+class TestSerialBackend:
+    def test_map_preserves_order_and_counts(self):
+        backend = SerialBackend(lambda archs: [a * 10 for a in archs])
+        assert backend.map([3, 1, 2]) == [30, 10, 20]
+        assert backend.map((4,)) == [40]
+        assert backend.batches == 2
+        assert backend.stats() == {"backend": "serial", "batches": 2}
+
+    def test_evaluate_many_routes_through_cache(self):
+        calls = []
+
+        def eval_many(archs):
+            calls.append([a.value for a in archs])
+            return [a.value + 1 for a in archs]
+
+        one, two, three = _Item(1), _Item(2), _Item(3)
+        cache = EvaluationCache()
+        backend = SerialBackend(eval_many, cache=cache)
+        assert backend.evaluate_many([one, two, one]) == [2, 3, 2]
+        assert backend.evaluate_many([two, three]) == [3, 4]
+        # Dedup and hits happen in the cache: 1 appears once, 2 only in
+        # the first batch.
+        assert calls == [[1, 2], [3]]
+        assert backend.stats()["cache"] == cache.stats()
+
+    def test_sync_is_noop_and_context_manager(self):
+        with SerialBackend(lambda a: a) as backend:
+            assert backend.sync() == "noop"
+            assert backend.sync(module=object()) == "noop"
+
+
+class TestTabularBackend:
+    def test_replays_and_raises_on_miss(self):
+        table = {1: "one", 2: "two"}
+        backend = TabularBackend(lambda a: table[a])
+        assert backend.map([2, 1]) == ["two", "one"]
+        with pytest.raises(KeyError):
+            backend.map([3])
+
+    def test_evaluate_many_with_cache_counts_hits(self):
+        lookups = []
+
+        def lookup(a):
+            lookups.append(a.value)
+            return a.value * 2
+
+        one, two = _Item(1), _Item(2)
+        backend = TabularBackend(lookup, cache=EvaluationCache())
+        assert backend.evaluate_many([one, one, two]) == [2, 2, 4]
+        assert backend.evaluate_many([two]) == [4]
+        assert lookups == [1, 2]
+
+
+class TestSearchFingerprints:
+    CFG = dict(generations=3, population_size=10, num_parents=4, seed=5)
+
+    def _run_ea(self, space, evaluator):
+        obj = make_objective(space)
+        return EvolutionarySearch(
+            space, obj, EvolutionConfig(**self.CFG), evaluator=evaluator
+        ).run()
+
+    def test_explicit_serial_backend_matches_inline(self, proxy_space):
+        baseline = fingerprint(self._run_ea(proxy_space, None))
+        obj = make_objective(proxy_space)
+        with create_backend("serial", obj.evaluate_many) as backend:
+            explicit = fingerprint(self._run_ea(proxy_space, backend))
+        assert explicit == baseline
+
+    @needs_fork
+    def test_multiprocess_backend_matches_inline(self, proxy_space):
+        baseline = fingerprint(self._run_ea(proxy_space, None))
+        obj = make_objective(proxy_space)
+        with create_backend(
+            "multiprocess", obj.evaluate_many, workers=2
+        ) as backend:
+            assert backend.parallel
+            parallel = fingerprint(self._run_ea(proxy_space, backend))
+        assert parallel == baseline
+
+    def test_tabular_replay_matches_live_run(self, proxy_space):
+        obj = make_objective(proxy_space)
+        table = {}
+
+        def recording_eval_many(archs):
+            results = obj.evaluate_many(archs)
+            for arch, res in zip(archs, results):
+                table[arch.key()] = res
+            return results
+
+        with create_backend("serial", recording_eval_many) as backend:
+            live = fingerprint(self._run_ea(proxy_space, backend))
+        # Replay: same seeds -> same candidate stream -> every lookup
+        # hits; a miss would KeyError, which is the tabular contract.
+        with create_backend(
+            "tabular", lookup_fn=lambda a: table[a.key()]
+        ) as backend:
+            replay = fingerprint(self._run_ea(proxy_space, backend))
+        assert replay == live
+
+    def test_quality_estimate_identical_across_backends(self, proxy_space):
+        obj = make_objective(proxy_space)
+        baseline = SubspaceQuality(obj, num_samples=30, seed=7).estimate(
+            proxy_space
+        )
+        with create_backend("serial", obj.evaluate_many) as backend:
+            serial = SubspaceQuality(
+                obj, num_samples=30, seed=7, evaluator=backend
+            ).estimate(proxy_space)
+        assert serial == baseline
+
+    def test_nsga2_identical_across_backends(self, proxy_space):
+        obj = make_objective(proxy_space)
+
+        def run(**kwargs):
+            return Nsga2Search(
+                proxy_space,
+                accuracy_fn=obj.accuracy_fn,
+                latency_fn=obj.latency_fn,
+                config=Nsga2Config(
+                    generations=3, population_size=12, seed=2
+                ),
+                **kwargs,
+            ).run()
+
+        baseline = nsga2_fingerprint(run())
+        explicit = nsga2_fingerprint(run(backend="serial"))
+        assert explicit == baseline
+
+    @needs_fork
+    def test_nsga2_multiprocess_matches_serial(self, proxy_space):
+        obj = make_objective(proxy_space)
+
+        def run(**kwargs):
+            return Nsga2Search(
+                proxy_space,
+                accuracy_fn=obj.accuracy_fn,
+                latency_fn=obj.latency_fn,
+                config=Nsga2Config(
+                    generations=3, population_size=12, seed=2
+                ),
+                **kwargs,
+            ).run()
+
+        baseline = nsga2_fingerprint(run())
+        parallel = nsga2_fingerprint(run(backend="multiprocess", workers=2))
+        assert parallel == baseline
+
+    def test_base_class_map_is_abstract(self):
+        backend = EvaluationBackend()
+        with pytest.raises(NotImplementedError):
+            backend.map([1])

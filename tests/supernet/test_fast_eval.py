@@ -1,0 +1,208 @@
+"""SupernetFastEval: bit-exact float batching, gated int8, stage timing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import assert_no_eval_caches, ranking_fidelity
+from repro.nn.inference import CACHE_ATTRS
+from repro.supernet import SupernetFastEval
+from repro.train import SupernetTrainer, TrainConfig, top_k_accuracy
+
+
+@pytest.fixture()
+def trained(tiny_supernet, tiny_space, tiny_loader):
+    """A briefly trained tiny supernet (real BN stats, non-random logits)."""
+    trainer = SupernetTrainer(
+        tiny_supernet, tiny_loader, TrainConfig(base_lr=0.1, seed=0)
+    )
+    trainer.train_epochs(tiny_space, epochs=2)
+    return trainer
+
+
+def sample_archs(space, n, seed=7):
+    rng = np.random.default_rng(seed)
+    return [space.sample(rng) for _ in range(n)]
+
+
+def per_arch_eval_logits(net, archs, images):
+    """Reference: one eval-mode module forward per architecture."""
+    net.eval()
+    out = []
+    for arch in archs:
+        net.set_architecture(arch)
+        out.append(net.forward(images))
+    net.train()
+    return np.stack(out)
+
+
+class TestFloatPathBitExact:
+    def test_forward_matches_module_eval_forward(
+        self, trained, tiny_space, tiny_dataset
+    ):
+        net = trained.supernet
+        images = tiny_dataset.test_x[:6]
+        (arch,) = sample_archs(tiny_space, 1)
+        ref = per_arch_eval_logits(net, [arch], images)[0]
+        fast = SupernetFastEval(net).forward(arch, images)
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_forward_many_bit_exact(self, trained, tiny_space, tiny_dataset):
+        net = trained.supernet
+        images = tiny_dataset.test_x[:6]
+        archs = sample_archs(tiny_space, 8)
+        ref = per_arch_eval_logits(net, archs, images)
+        fast = SupernetFastEval(net).forward_many(archs, images)
+        np.testing.assert_array_equal(fast, ref)
+
+    def test_forward_many_chunked_bit_exact(
+        self, trained, tiny_space, tiny_dataset
+    ):
+        net = trained.supernet
+        images = tiny_dataset.test_x[:6]
+        archs = sample_archs(tiny_space, 7)
+        fe = SupernetFastEval(net)
+        full = fe.forward_many(archs, images)
+        chunked = fe.forward_many(archs, images, chunk_archs=3)
+        np.testing.assert_array_equal(chunked, full)
+
+    def test_accuracy_many_matches_per_arch_reference(
+        self, trained, tiny_space, tiny_dataset
+    ):
+        net = trained.supernet
+        images = tiny_dataset.test_x[:8]
+        labels = tiny_dataset.test_y[:8]
+        archs = sample_archs(tiny_space, 5)
+        ref_logits = per_arch_eval_logits(net, archs, images)
+        expected = [top_k_accuracy(l, labels, k=1) for l in ref_logits]
+        fe = SupernetFastEval(net)
+        assert fe.accuracy_many(archs, images, labels) == expected
+        assert fe.accuracy(archs[0], images, labels) == expected[0]
+
+    def test_leaves_no_caches_and_restores_mode(
+        self, trained, tiny_space, tiny_dataset
+    ):
+        net = trained.supernet
+        archs = sample_archs(tiny_space, 3)
+        images = tiny_dataset.test_x[:4]
+        # Scrub the trainer's leftover caches (training forwards cache
+        # on every path they sampled) so the assertion below isolates
+        # what the *fast path* allocates: nothing.
+        for m in net.modules():
+            for attr in CACHE_ATTRS:
+                if getattr(m, attr, None) is not None:
+                    setattr(m, attr, None)
+        assert_no_eval_caches(net)
+        net.train()
+        fe = SupernetFastEval(net)
+        fe.forward_many(archs, images)
+        assert_no_eval_caches(net)
+        assert all(m.training for m in net.modules())
+
+
+class TestInt8Path:
+    def test_logits_close_to_float(self, trained, tiny_space, tiny_dataset):
+        net = trained.supernet
+        images = tiny_dataset.test_x[:6]
+        archs = sample_archs(tiny_space, 6)
+        ref = SupernetFastEval(net).forward_many(archs, images)
+        int8 = SupernetFastEval(net, precision="int8").forward_many(
+            archs, images
+        )
+        assert int8.shape == ref.shape
+        assert np.all(np.isfinite(int8))
+        # Weight-only int8 is an approximation; logits stay within a
+        # small absolute band of the float forward on this scale of net.
+        assert float(np.abs(int8 - ref).max()) < 0.5
+        assert np.corrcoef(int8.ravel(), ref.ravel())[0, 1] > 0.999
+
+    def test_ranking_fidelity_gate(self, trained, tiny_space, tiny_dataset):
+        net = trained.supernet
+        images = tiny_dataset.test_x[:16]
+        labels = tiny_dataset.test_y[:16]
+        archs = sample_archs(tiny_space, 30, seed=11)
+        float_logits = SupernetFastEval(net).forward_many(archs, images)
+        int8_logits = SupernetFastEval(net, precision="int8").forward_many(
+            archs, images
+        )
+        idx = np.arange(images.shape[0])
+        ref = [float(l[idx, labels].mean()) for l in float_logits]
+        fast = [float(l[idx, labels].mean()) for l in int8_logits]
+        gate = ranking_fidelity(ref, fast, top_k=3)
+        assert gate["kendall_tau"] >= 0.99
+        assert gate["top_k_overlap"] == 1.0
+        assert gate["passed"]
+
+    def test_single_and_batched_int8_agree(
+        self, trained, tiny_space, tiny_dataset
+    ):
+        net = trained.supernet
+        images = tiny_dataset.test_x[:4]
+        archs = sample_archs(tiny_space, 4)
+        fe = SupernetFastEval(net, precision="int8")
+        batched = fe.forward_many(archs, images)
+        singles = np.stack([fe.forward(a, images) for a in archs])
+        np.testing.assert_array_equal(batched, singles)
+
+    def test_invalidate_weights_picks_up_mutation(
+        self, trained, tiny_space, tiny_dataset
+    ):
+        net = trained.supernet
+        images = tiny_dataset.test_x[:4]
+        (arch,) = sample_archs(tiny_space, 1)
+        fe = SupernetFastEval(net, precision="int8")
+        before = fe.forward(arch, images)
+        net.classifier.weight.data = net.classifier.weight.data * 2.0
+        # Cached int8 codes are stale until invalidated...
+        np.testing.assert_array_equal(fe.forward(arch, images), before)
+        fe.invalidate_weights()
+        fresh = SupernetFastEval(net, precision="int8").forward(arch, images)
+        np.testing.assert_array_equal(fe.forward(arch, images), fresh)
+        net.classifier.weight.data = net.classifier.weight.data / 2.0
+
+
+class TestApiAndTiming:
+    def test_rejects_unknown_precision(self, tiny_supernet):
+        with pytest.raises(ValueError, match="precision"):
+            SupernetFastEval(tiny_supernet, precision="fp16")
+
+    def test_rejects_empty_and_bad_chunk(
+        self, trained, tiny_space, tiny_dataset
+    ):
+        fe = SupernetFastEval(trained.supernet)
+        with pytest.raises(ValueError, match="at least one"):
+            fe.forward_many([], tiny_dataset.test_x[:2])
+        with pytest.raises(ValueError, match="chunk_archs"):
+            fe.forward_many(
+                sample_archs(tiny_space, 2),
+                tiny_dataset.test_x[:2],
+                chunk_archs=0,
+            )
+
+    def test_rejects_layer_count_mismatch(
+        self, trained, proxy_space, tiny_dataset
+    ):
+        fe = SupernetFastEval(trained.supernet)
+        wrong = sample_archs(proxy_space, 1)
+        with pytest.raises(ValueError, match="layers"):
+            fe.forward_many(wrong, tiny_dataset.test_x[:2])
+
+    def test_stage_times_accumulate_and_reset(
+        self, trained, tiny_space, tiny_dataset
+    ):
+        fe = SupernetFastEval(trained.supernet)
+        fe.accuracy_many(
+            sample_archs(tiny_space, 3),
+            tiny_dataset.test_x[:4],
+            tiny_dataset.test_y[:4],
+        )
+        times = fe.stage_times()
+        assert times["total_s"] > 0.0
+        assert times["gemm_s"] > 0.0
+        assert times["scoring_s"] > 0.0
+        attributed = (
+            times["im2col_s"] + times["gemm_s"] + times["scoring_s"]
+            + times["other_s"]
+        )
+        assert attributed <= times["total_s"] + times["scoring_s"] + 1e-9
+        fe.reset_stage_times()
+        assert all(v == 0.0 for v in fe.stage_times().values())
