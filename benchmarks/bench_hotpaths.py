@@ -41,6 +41,13 @@ host ``cpu_count``, because worker speedup is meaningless without it.
 ``--backend serial`` (or ``auto`` with ``--workers`` < 2) skips these
 entries: there is no second backend to compare against.
 
+A final ``serve_traffic`` entry drives synthetic query traffic against
+an in-process ``repro.serve`` daemon through the real HTTP client:
+queries/sec and client-observed p50/p99 at 1/2/4 concurrent clients
+(the warm-cache saturation curve), plus the cold first-query cost and
+a point-for-point ``max_abs_delta`` (must be 0.0) between the served
+front and the offline pipeline run.
+
 Results (times, speedups, equivalence deltas) are written to
 ``BENCH_hotpaths.json``. Expected on the CI container: >=5x on the
 depthwise conv, >=20x on batch latency prediction, and >=3x on the
@@ -452,6 +459,126 @@ def bench_ea_generation_parallel(quick: bool, workers: int, backend: str) -> dic
     }
 
 
+# -- 7. serve: synthetic traffic against the search daemon --------------------
+
+
+def bench_serve_traffic(quick: bool) -> dict:
+    """Synthetic query traffic against an in-process ``repro.serve`` daemon.
+
+    One server (serial evaluation backend), hammered by 1/2/4 client
+    threads issuing the same front query — the saturation curve for the
+    warm-cache hot path. The first request pays the one cold NSGA-II
+    computation; everything after is the cache + coalescing + HTTP
+    overhead the daemon adds, which is what this entry measures
+    (queries/sec and client-observed p50/p99). The served front is
+    compared point-for-point against the offline pipeline run —
+    ``max_abs_delta`` must be 0.0.
+    """
+    import threading
+
+    from repro.serve import ServeClient, ServeConfig, start_server
+    from repro.serve.metrics import percentile
+    from repro.serve.pipeline import (
+        build_front_predictor,
+        front_search,
+        space_for_layout,
+    )
+    from repro.serve.query import FrontQuery
+
+    query = dict(
+        device="edge", layout="proxy", seed=3,
+        generations=2 if quick else 5,
+        population_size=8 if quick else 20,
+    )
+    requests_per_level = 30 if quick else 200
+    levels = (1, 2, 4)
+
+    config = ServeConfig(backend="serial", quiet=True)
+    server, thread = start_server(config)
+    try:
+        client = ServeClient(*server.endpoint)
+
+        t0 = time.perf_counter()
+        served = client.front(**query, target_ms=50.0)
+        cold_s = time.perf_counter() - t0
+
+        # Bit-exactness vs the offline pipeline, point for point.
+        q = FrontQuery(**query)
+        space = space_for_layout(q.layout)
+        predictor = build_front_predictor(space, q.device, q.seed)
+        offline = front_search(
+            space, predictor, seed=q.seed, generations=q.generations,
+            population_size=q.population_size, backend="serial",
+        )
+        assert len(served["front"]) == len(offline.front)
+        max_delta = max(
+            max(
+                abs(got["latency_ms"] - want.latency_ms),
+                abs(got["accuracy"] - want.accuracy),
+            )
+            for got, want in zip(served["front"], offline.front)
+        )
+        assert max_delta == 0.0, f"served/offline mismatch: {max_delta}"
+
+        curve = []
+        for clients in levels:
+            latencies = []
+            lock = threading.Lock()
+            per_client = requests_per_level // clients
+
+            def hammer():
+                mine = []
+                for _ in range(per_client):
+                    t = time.perf_counter()
+                    status, _body = client.request_raw(
+                        "GET",
+                        "/front?device={device}&layout={layout}"
+                        "&seed={seed}&generations={generations}"
+                        "&population_size={population_size}".format(**query),
+                    )
+                    mine.append(time.perf_counter() - t)
+                    assert status == 200
+                with lock:
+                    latencies.extend(mine)
+
+            workers = [
+                threading.Thread(target=hammer) for _ in range(clients)
+            ]
+            t0 = time.perf_counter()
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+            wall_s = time.perf_counter() - t0
+            window = sorted(ms * 1e3 for ms in latencies)
+            curve.append({
+                "clients": clients,
+                "requests": len(latencies),
+                "qps": len(latencies) / wall_s,
+                "p50_ms": percentile(window, 0.50),
+                "p99_ms": percentile(window, 0.99),
+            })
+
+        metrics = client.metrics()
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=30)
+
+    warm = max(curve, key=lambda row: row["qps"])
+    return {
+        "query": query,
+        "cold_front_s": cold_s,
+        "saturation_curve": curve,
+        "best_qps": warm["qps"],
+        "p99_ms_at_best": warm["p99_ms"],
+        "coalesced": metrics["queries"]["coalesced"],
+        "front_cache": metrics["front_cache"],
+        "max_abs_delta": max_delta,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -522,6 +649,20 @@ def main() -> None:
             f"speedup {r['speedup']:6.1f}x  ({r['workers']} workers, "
             f"{r['cpu_count']} cores)"
         )
+
+    results["serve_traffic"] = bench_serve_traffic(args.quick)
+    serve = results["serve_traffic"]
+    print(
+        f"{'serve_traffic':>24s}: cold {serve['cold_front_s'] * 1e3:7.2f} ms   "
+        f"best {serve['best_qps']:7.1f} q/s   "
+        f"p99 {serve['p99_ms_at_best']:6.2f} ms   "
+        f"(curve: "
+        + ", ".join(
+            f"{row['clients']}c={row['qps']:.0f}q/s"
+            for row in serve["saturation_curve"]
+        )
+        + ")"
+    )
 
     atomic_write_json(args.out, results)
     print(f"wrote {args.out}")

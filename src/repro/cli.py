@@ -27,6 +27,11 @@ DIR`` (start a new crash-safe checkpointed run) and ``--resume DIR``
 state problems — a corrupt checkpoint, a ``--resume`` directory that
 does not exist or was started under different settings — exit with
 code 2 and a one-line actionable message, never a traceback.
+
+The long-running search-as-a-service daemon is a separate entry point:
+``python -m repro.serve`` (see ``docs/serving.md``). Its served fronts
+are bit-identical to ``repro front`` because both run the shared
+recipe in :mod:`repro.serve.pipeline`.
 """
 
 from __future__ import annotations
@@ -43,8 +48,6 @@ from repro.core import (
     EvolutionConfig,
     HSCoNAS,
     HSCoNASConfig,
-    Nsga2Config,
-    Nsga2Search,
 )
 from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
 from repro.hardware.calibration import calibrated_devices
@@ -386,9 +389,9 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 def cmd_front(args: argparse.Namespace) -> int:
     from repro.core import BiObjective, EvaluationCache
+    from repro.serve.pipeline import build_front_predictor, front_search
 
     space = _space(args.layout)
-    device = calibrated_devices()[args.device]
     surrogate = AccuracySurrogate(space)
     run_state = _run_state(
         args,
@@ -397,18 +400,17 @@ def cmd_front(args: argparse.Namespace) -> int:
         ("predictor", "front"),
     )
 
-    def build_predictor() -> LatencyPredictor:
-        lut = LatencyLUT.build(
-            space, device, samples_per_cell=2, seed=args.seed
-        )
-        predictor = LatencyPredictor(lut, space)
-        profiler = OnDeviceProfiler(device, seed=args.seed)
-        predictor.calibrate_bias(
-            space, profiler, num_archs=25, seed=args.seed + 1
-        )
-        return predictor
-
-    predictor = _checkpointed_lut_predictor(run_state, space, build_predictor)
+    # The predictor build and NSGA-II run are the shared serving-layer
+    # recipe (repro.serve.pipeline): the daemon must stay bit-identical
+    # to this offline path, so both call the same functions.
+    predictor = _checkpointed_lut_predictor(
+        run_state,
+        space,
+        lambda: build_front_predictor(
+            space, args.device, args.seed,
+            workers=args.workers, backend=args.backend,
+        ),
+    )
     cache = EvaluationCache()
     front_ckpt = None
     if run_state is not None:
@@ -423,16 +425,16 @@ def cmd_front(args: argparse.Namespace) -> int:
             ),
         )
 
-    result = Nsga2Search(
+    result = front_search(
         space,
-        accuracy_fn=surrogate.proxy_accuracy,
-        latency_fn=predictor.predict,
-        config=Nsga2Config(seed=args.seed),
+        predictor,
+        seed=args.seed,
         cache=cache,
         workers=args.workers,
         backend=args.backend,
         checkpoint=front_ckpt,
-    ).run()
+        surrogate=surrogate,
+    )
 
     print(f"{len(result.front)} Pareto points "
           f"({result.num_evaluations} evaluations):")

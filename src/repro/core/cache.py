@@ -143,13 +143,22 @@ class EvaluationCache:
         """
         self._store.clear()
 
-    def stats(self) -> Dict[str, int]:
-        """Counters for logs: size, hits, misses, evictions."""
+    def stats(self) -> Dict[str, object]:
+        """One snapshot every consumer reuses verbatim: size, hits,
+        misses, evictions, and the derived hit rate.
+
+        This is the *single* cache-stats schema in the codebase —
+        ``SearchResult.cache_stats``, ``ShrinkResult.cache_stats``,
+        backend ``stats()["cache"]``, and the serving layer's
+        ``/metrics`` endpoint all carry exactly this dict.
+        """
+        total = self.hits + self.misses
         return {
             "size": len(self._store),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else 0.0,
         }
 
     # -- checkpointing -----------------------------------------------------------

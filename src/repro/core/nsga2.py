@@ -89,6 +89,9 @@ class Nsga2Result:
     front: List[BiObjective]
     population: List[BiObjective] = field(default_factory=list)
     num_evaluations: int = 0
+    # Dispatch counters of the evaluation backend that scored the run
+    # (EvaluationBackend.stats()); surfaced in artifacts and /metrics.
+    backend_stats: Optional[Dict] = None
 
     def knee_under(self, latency_budget_ms: float) -> BiObjective:
         """Most accurate front member within a latency budget."""
@@ -164,10 +167,19 @@ class Nsga2Search:
         workers: int = 0,
         backend: str = "auto",
         checkpoint=None,
+        latency_many_fn: Optional[
+            Callable[[List[Architecture]], "List[float]"]
+        ] = None,
+        evaluator=None,
     ):
         self.space = space
         self.accuracy_fn = accuracy_fn
         self.latency_fn = latency_fn
+        # Optional batched latency counterpart ``archs -> [ms]`` (e.g.
+        # LatencyPredictor.predict_many). Must return exactly what
+        # ``latency_fn`` would per architecture — the batched path is a
+        # throughput knob, never a semantics change.
+        self.latency_many_fn = latency_many_fn
         self.config = config
         # The shared-cache contract: a cache passed in here must only
         # ever hold BiObjective values (i.e. be private to NSGA-II runs
@@ -179,6 +191,12 @@ class Nsga2Search:
         # resolves from ``workers`` (docs/performance.md).
         self.workers = workers
         self.backend = backend
+        # Optional externally-owned EvaluationBackend; when set, the
+        # search uses it for population batches (and does not close it)
+        # instead of constructing one from ``backend``/``workers`` —
+        # this is how the serving layer funnels every query through one
+        # observable backend.
+        self.evaluator = evaluator
         # Optional per-generation checkpoint slot (see
         # EvolutionarySearch); a resumed run is bit-identical.
         self.checkpoint = checkpoint
@@ -219,7 +237,21 @@ class Nsga2Search:
         )
 
     def eval_many(self, archs: List[Architecture]) -> List[BiObjective]:
-        """Uncached batch scoring (the worker-pool chunk function)."""
+        """Uncached batch scoring (the worker-pool chunk function).
+
+        With ``latency_many_fn`` set, one batched call scores every
+        latency (bit-exact with the scalar path by contract).
+        """
+        if self.latency_many_fn is not None:
+            latencies = self.latency_many_fn(list(archs))
+            return [
+                BiObjective(
+                    arch=a,
+                    latency_ms=float(lat),
+                    accuracy=self.accuracy_fn(a),
+                )
+                for a, lat in zip(archs, latencies)
+            ]
         return [
             BiObjective(
                 arch=a,
@@ -302,6 +334,8 @@ class Nsga2Search:
         the offspring in one cached batch — with ``workers >= 2`` the
         batch fans out across processes, with identical results.
         """
+        import contextlib
+
         from repro.parallel.backend import create_backend
 
         cfg = self.config
@@ -327,9 +361,15 @@ class Nsga2Search:
                 )
                 done = int(saved["completed_generations"])
 
-        with create_backend(
-            self.backend, self.eval_many, workers=self.workers
-        ) as pool:
+        # An externally-owned evaluator outlives this run (the caller
+        # closes it); an internally-built one is torn down on exit.
+        if self.evaluator is not None:
+            backend_ctx = contextlib.nullcontext(self.evaluator)
+        else:
+            backend_ctx = create_backend(
+                self.backend, self.eval_many, workers=self.workers
+            )
+        with backend_ctx as pool:
 
             def eval_batch(archs: List[Architecture]) -> List[BiObjective]:
                 return self.cache.get_or_eval_many(archs, pool.map)
@@ -373,6 +413,7 @@ class Nsga2Search:
                     child_archs.append(self.space.sample(rng))
                 population = parents + eval_batch(child_archs)
                 self._save_checkpoint(rng, population, misses_before, gen + 1)
+            pool_stats = pool.stats()
 
         fronts = non_dominated_sort(population)
         front = sorted(
@@ -385,4 +426,5 @@ class Nsga2Search:
             front=front,
             population=population,
             num_evaluations=self.cache.misses - misses_before,
+            backend_stats=pool_stats,
         )

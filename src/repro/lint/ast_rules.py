@@ -30,6 +30,13 @@ or is structurally prone to:
   ``repro.parallel.create_backend`` so ``--backend serial`` (and future
   tabular replay) keeps working everywhere. The backend layer itself
   (``repro/parallel/``) and its tests (``tests/parallel/``) are exempt.
+* **RL108 direct-socket-server** — constructing sockets, HTTP servers,
+  or HTTP connections outside :mod:`repro.serve` forks the serving
+  surface: a second listener would dodge the daemon's coalescing,
+  metrics, graceful drain, and byte-determinism contracts. All network
+  I/O goes through ``repro.serve.server`` / ``repro.serve.client``; the
+  serve layer itself (``repro/serve/``) and its tests (``tests/serve/``)
+  are exempt.
 """
 
 from __future__ import annotations
@@ -106,14 +113,48 @@ RL107 = CODE_RULES.register(
     )
 )
 
+RL108 = CODE_RULES.register(
+    Rule(
+        "RL108",
+        "direct-socket-server",
+        Severity.ERROR,
+        "direct socket/HTTP server or connection construction outside "
+        "repro.serve; route network I/O through repro.serve.server / "
+        "repro.serve.client so coalescing, metrics, and graceful drain "
+        "apply everywhere",
+    )
+)
+
 # Paths where constructing WorkerPool directly is the point: the backend
 # layer that wraps it, and the tests that exercise the pool itself.
 _RL107_EXEMPT_PATH_PARTS = ("repro/parallel/", "tests/parallel/")
 
+# Paths where touching sockets directly is the point: the serving layer
+# itself and the tests that exercise it.
+_RL108_EXEMPT_PATH_PARTS = ("repro/serve/", "tests/serve/")
+
+# Constructors that open a listening socket or client connection.
+_SOCKET_CONSTRUCTORS = {
+    "socket",
+    "create_connection",
+    "create_server",
+    "HTTPServer",
+    "ThreadingHTTPServer",
+    "TCPServer",
+    "ThreadingTCPServer",
+    "UDPServer",
+    "HTTPConnection",
+    "HTTPSConnection",
+}
+
+
+def _path_exempt(path: str, parts: Sequence[str]) -> bool:
+    normalized = path.replace("\\", "/")
+    return any(part in normalized for part in parts)
+
 
 def _rl107_exempt(path: str) -> bool:
-    normalized = path.replace("\\", "/")
-    return any(part in normalized for part in _RL107_EXEMPT_PATH_PARTS)
+    return _path_exempt(path, _RL107_EXEMPT_PATH_PARTS)
 
 # np.random attributes that are part of the Generator-based API and
 # therefore fine to touch from module scope.
@@ -430,6 +471,20 @@ class _Checker(ast.NodeVisitor):
                 "evaluator via repro.parallel.create_backend instead",
             )
 
+    # -- RL108: direct socket/server construction ---------------------------------
+
+    def _check_socket_server(self, node: ast.Call) -> None:
+        if _path_exempt(self.path, _RL108_EXEMPT_PATH_PARTS):
+            return
+        chain = _attr_chain(node.func)
+        if chain is not None and chain[-1] in _SOCKET_CONSTRUCTORS:
+            self._emit(
+                RL108, node,
+                f"direct '{chain[-1]}(...)' construction outside "
+                "repro.serve; use repro.serve.server (daemon) or "
+                "repro.serve.client (requests) instead",
+            )
+
     # -- RL106: raw JSON artifact writes -----------------------------------------
 
     def _is_json_dumps_call(self, node: ast.AST) -> bool:
@@ -515,6 +570,7 @@ class _Checker(ast.NodeVisitor):
         self._check_shared_mutation_call(node)
         self._check_raw_json_write(node)
         self._check_worker_pool(node)
+        self._check_socket_server(node)
         self.generic_visit(node)
 
     def visit_Subscript(self, node: ast.Subscript) -> None:

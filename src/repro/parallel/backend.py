@@ -49,6 +49,7 @@ class EvaluationBackend:
     def __init__(self, cache=None):
         self.cache = cache
         self.batches = 0
+        self.items = 0
 
     # -- evaluation --------------------------------------------------------------
 
@@ -77,7 +78,8 @@ class EvaluationBackend:
 
     def stats(self) -> dict:
         """Dispatch counters for run artifacts and logs."""
-        out = {"backend": self.name, "batches": self.batches}
+        out = {"backend": self.name, "batches": self.batches,
+               "items": self.items}
         if self.cache is not None:
             out["cache"] = self.cache.stats()
         return out
@@ -107,8 +109,10 @@ class SerialBackend(EvaluationBackend):
         self.eval_many_fn = eval_many_fn
 
     def map(self, archs: Sequence) -> List:
+        archs = list(archs)
         self.batches += 1
-        return list(self.eval_many_fn(list(archs)))
+        self.items += len(archs)
+        return list(self.eval_many_fn(archs))
 
 
 class TabularBackend(EvaluationBackend):
@@ -129,7 +133,9 @@ class TabularBackend(EvaluationBackend):
         self.lookup_fn = lookup_fn
 
     def map(self, archs: Sequence) -> List:
+        archs = list(archs)
         self.batches += 1
+        self.items += len(archs)
         return [self.lookup_fn(arch) for arch in archs]
 
 

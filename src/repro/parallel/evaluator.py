@@ -89,6 +89,7 @@ class ParallelEvaluator:
         self.source_module = source_module
         self.on_worker_items = on_worker_items
         self.batches = 0
+        self.items = 0
 
     # -- evaluation --------------------------------------------------------------
 
@@ -105,6 +106,7 @@ class ParallelEvaluator:
         """Evaluate ``archs`` (no caching), preserving input order."""
         archs = list(archs)
         self.batches += 1
+        self.items += len(archs)
         parent_before = self._pool.items_run_in_parent
         results = self._pool.map(archs)
         if self.on_worker_items is not None:
@@ -152,6 +154,7 @@ class ParallelEvaluator:
             "workers": self._pool.workers,
             "parallel": self._pool.parallel,
             "batches": self.batches,
+            "items": self.items,
             "chunks_dispatched": self._pool.chunks_dispatched,
             "chunk_retries": self._pool.chunk_retries,
             "serial_fallbacks": self._pool.serial_fallbacks,

@@ -26,7 +26,7 @@ PHASE_RUNNING = "running"
 PHASE_COMPLETE = "complete"
 PHASE_STATUSES = (PHASE_PENDING, PHASE_RUNNING, PHASE_COMPLETE)
 
-RUN_KINDS = ("search", "shrink", "front", "custom")
+RUN_KINDS = ("search", "shrink", "front", "serve", "custom")
 
 
 def checkpoint_relpath(phase: str) -> str:

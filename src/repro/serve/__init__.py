@@ -1,0 +1,49 @@
+"""Search-as-a-service: a long-running daemon answering NAS queries.
+
+The millions-of-users scenario from the roadmap: instead of a cold
+multi-second search per "best architecture for device D at latency
+target T" question, a resident :class:`SearchService` answers from a
+warm, LRU-bounded, crash-persistent front cache — with request
+coalescing so a thundering herd of identical queries costs one search.
+Served results are bit-identical to offline
+:class:`~repro.core.Nsga2Search` runs with the same seed/config; the
+serving layer is a throughput and caching skin, never a semantics
+change.
+
+Run it::
+
+    python -m repro.serve --backend serial --state-dir /var/run/repro
+
+and talk to it with :class:`ServeClient` (or plain HTTP — see
+``docs/serving.md`` for the query model, cache keys, warm-restart
+semantics, and the metrics glossary).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.config import ServeConfig, warm_query_from_spec
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pipeline import (
+    build_front_predictor,
+    front_search,
+    space_for_layout,
+)
+from repro.serve.query import FrontQuery
+from repro.serve.server import ServeServer, run_server, start_server
+from repro.serve.service import CachedFront, SearchService
+
+__all__ = [
+    "CachedFront",
+    "FrontQuery",
+    "SearchService",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServeMetrics",
+    "ServeServer",
+    "build_front_predictor",
+    "front_search",
+    "run_server",
+    "space_for_layout",
+    "start_server",
+    "warm_query_from_spec",
+]

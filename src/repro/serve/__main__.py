@@ -1,0 +1,85 @@
+"""``python -m repro.serve`` — the daemon entry point.
+
+Binds, restores/precomputes warm fronts, prints one ``listening on``
+line, then serves until SIGTERM/SIGINT, draining in-flight requests
+and persisting the front cache before exiting 0. State problems (a
+corrupt snapshot, a state directory started under different settings)
+exit 2 with a one-line message, matching the CLI's contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.runstate import RunStateError
+from repro.serve.config import BACKEND_CHOICES, ServeConfig, warm_query_from_spec
+from repro.serve.server import run_server
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="search-as-a-service daemon (see docs/serving.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 (default) binds an ephemeral port, printed "
+             "at startup and recorded in the state dir's endpoint.json",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default="auto",
+        help="evaluation backend for cache-missing front computations; "
+             "results are bit-identical either way",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="evaluation worker processes; 0 = serial (the default)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=64, metavar="N",
+        help="LRU cap on cached fronts (default 64); 0 = unbounded",
+    )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="crash-safe state directory: fronts persist atomically "
+             "and reload on restart (repro.runstate)",
+    )
+    parser.add_argument(
+        "--warm", action="append", default=[], metavar="DEV:LAYOUT[:SEED]",
+        help="precompute this front before accepting traffic "
+             "(repeatable), e.g. --warm edge:a --warm gpu:a:7",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-request access logs (metrics still record)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = ServeConfig(
+            host=args.host,
+            port=args.port,
+            backend=args.backend,
+            workers=args.workers,
+            front_cache_size=args.cache_size or None,
+            state_dir=args.state_dir,
+            warm=tuple(warm_query_from_spec(s) for s in args.warm),
+            quiet=args.quiet,
+        )
+        return run_server(config)
+    except RunStateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

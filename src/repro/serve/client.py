@@ -1,0 +1,124 @@
+"""Tiny stdlib client for the ``repro.serve`` daemon.
+
+Used by the synthetic-traffic benchmark, the CI smoke job, and tests;
+it is also the reference for how a downstream service would talk to
+the daemon. One fresh ``http.client`` connection per request keeps the
+client trivially thread-safe (the traffic benchmark hammers a single
+:class:`ServeClient` from many threads).
+
+With lint rule RL108, this module and :mod:`repro.serve.server` are
+the only places allowed to construct HTTP connections directly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+from typing import Optional, Tuple, Union
+from urllib.parse import urlencode
+
+from repro.serve.server import ENDPOINT_FILE
+
+
+class ServeError(RuntimeError):
+    """A non-2xx daemon response; carries status and the error body."""
+
+    def __init__(self, status: int, body: str):
+        super().__init__(f"HTTP {status}: {body.strip()}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """Talk JSON to one daemon endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_state_dir(
+        cls,
+        state_dir: Union[str, Path],
+        timeout: float = 60.0,
+        wait_s: float = 0.0,
+    ) -> "ServeClient":
+        """Connect via the daemon's ``endpoint.json``.
+
+        ``wait_s`` polls for the file (and a live ``/healthz``) — the
+        startup handshake the smoke driver uses.
+        """
+        path = Path(state_dir) / ENDPOINT_FILE
+        deadline = time.monotonic() + wait_s
+        while True:
+            if path.exists():
+                try:
+                    payload = json.loads(path.read_text())
+                    client = cls(
+                        str(payload["host"]),
+                        int(payload["port"]),
+                        timeout=timeout,
+                    )
+                    client.health()
+                    return client
+                except (ValueError, KeyError, OSError, ServeError):
+                    pass  # partially started daemon; keep polling
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"no live daemon behind {path} after {wait_s:.0f}s"
+                )
+            time.sleep(0.05)
+
+    # -- transport ---------------------------------------------------------------
+
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+    ) -> Tuple[int, bytes]:
+        """One request; returns ``(status, raw body bytes)``.
+
+        Raw bytes are first-class so callers can assert the daemon's
+        byte-identical response contract, not just value equality.
+        """
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        status, raw = self.request_raw(method, path, body)
+        if not 200 <= status < 300:
+            raise ServeError(status, raw.decode("utf-8", "replace"))
+        return json.loads(raw)
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def front(self, **query) -> dict:
+        """``GET /front`` with query fields as URL parameters."""
+        qs = urlencode({k: v for k, v in query.items() if v is not None})
+        return self._request("GET", f"/front?{qs}" if qs else "/front")
+
+    def query(self, **query) -> dict:
+        """``POST /query`` with the fields as a JSON body."""
+        return self._request("POST", "/query", body=query)

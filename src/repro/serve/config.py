@@ -1,0 +1,95 @@
+"""Daemon configuration for ``python -m repro.serve``.
+
+:class:`ServeConfig` is a frozen dataclass so one config object can be
+shared across the server, the service, and tests without aliasing
+surprises. Defaults are chosen for a local smoke deployment: loopback
+host, ephemeral port, auto backend, warm nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.serve.query import FrontQuery
+
+BACKEND_CHOICES = ("auto", "serial", "multiprocess")
+
+
+def warm_query_from_spec(spec: str) -> FrontQuery:
+    """Parse a ``--warm`` spec ``device:layout[:seed]`` into a query.
+
+    Warm pairs key on (device, layout) because one front covers every
+    latency target (see :mod:`repro.serve.query`); the optional seed
+    pins a non-default stream.
+    """
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ValueError(
+            f"warm spec {spec!r} must be device:layout or device:layout:seed"
+        )
+    kwargs = {"device": parts[0], "layout": parts[1]}
+    if len(parts) == 3:
+        try:
+            kwargs["seed"] = int(parts[2])
+        except ValueError as exc:
+            raise ValueError(
+                f"warm spec {spec!r} has a non-integer seed {parts[2]!r}"
+            ) from exc
+    return FrontQuery(**kwargs)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the daemon needs to bind, evaluate, and persist.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address. ``port=0`` asks the OS for an ephemeral port; the
+        bound port is printed at startup and recorded in the state
+        directory's ``endpoint.json``.
+    backend, workers:
+        Evaluation backend for cache-missing front computations —
+        exactly the CLI's ``--backend``/``--workers`` knobs; results
+        are bit-identical for any combination.
+    front_cache_size:
+        LRU cap on cached fronts (:class:`~repro.core.EvaluationCache`
+        semantics). ``None`` = unbounded.
+    state_dir:
+        Optional crash-safe state directory (:mod:`repro.runstate`).
+        When set, every computed front is persisted atomically and
+        reloaded on the next start — a kill + restart serves the same
+        bytes without recomputing.
+    warm:
+        Fronts to precompute before accepting traffic (popular
+        (device, layout) pairs). Restored snapshot entries satisfy warm
+        specs without recomputation.
+    metrics_window:
+        How many recent request latencies the p50/p99 estimates cover.
+    quiet:
+        Suppress per-request access logging (metrics still record).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    backend: str = "auto"
+    workers: int = 0
+    front_cache_size: Optional[int] = 64
+    state_dir: Optional[str] = None
+    warm: Tuple[FrontQuery, ...] = field(default_factory=tuple)
+    metrics_window: int = 1024
+    quiet: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_CHOICES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {BACKEND_CHOICES}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ValueError(f"port {self.port} out of range")
+        if self.front_cache_size is not None and self.front_cache_size < 1:
+            raise ValueError("front_cache_size must be >= 1 or None")
+        if self.metrics_window < 1:
+            raise ValueError("metrics_window must be >= 1")

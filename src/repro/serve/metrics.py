@@ -1,0 +1,144 @@
+"""Live serving metrics: counters, latency percentiles, one snapshot.
+
+:class:`ServeMetrics` is the daemon's single observability object.
+Request handlers record into it (thread-safe — the HTTP server handles
+each connection on its own thread) and ``GET /metrics`` renders
+:meth:`ServeMetrics.snapshot`. The snapshot is plain JSON-ready data;
+the cache section is exactly :meth:`repro.core.EvaluationCache.stats`
+and the backend section accumulates
+:meth:`repro.parallel.EvaluationBackend.stats` counters, so operators
+read the same schemas everywhere (search artifacts, shrink traces, and
+the daemon all agree). See ``docs/serving.md`` for the glossary.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return float(sorted_values[rank - 1])
+
+
+class ServeMetrics:
+    """Thread-safe counters + a bounded latency window.
+
+    Parameters
+    ----------
+    window:
+        How many recent query latencies the percentile estimates cover.
+        Bounded so a week of traffic cannot grow the daemon's memory;
+        p50/p99 are therefore *recent* percentiles, which is what an
+        operator watching a dashboard wants anyway.
+    """
+
+    # Counters accumulated from backend ``stats()`` dicts. Anything
+    # else a backend reports (name, worker count, nested cache stats)
+    # is identity, not a counter, and is kept out of the rollup.
+    _BACKEND_COUNTERS = (
+        "batches",
+        "items",
+        "chunks_dispatched",
+        "chunk_retries",
+        "serial_fallbacks",
+        "pool_rebuilds",
+    )
+
+    def __init__(self, window: int = 1024) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._lock = threading.Lock()
+        self._latencies_ms: Deque[float] = deque(maxlen=window)
+        self.queries = 0
+        self.errors = 0
+        self.coalesced = 0
+        self.front_computations = 0
+        self.warm_precomputed = 0
+        self.restored_fronts = 0
+        self.by_endpoint: Dict[str, int] = {}
+        self._backend: Dict[str, int] = {
+            name: 0 for name in self._BACKEND_COUNTERS
+        }
+        self._backend_names: Dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_query(
+        self, endpoint: str, elapsed_ms: float, error: bool = False
+    ) -> None:
+        """One finished request against a query endpoint."""
+        with self._lock:
+            self.queries += 1
+            if error:
+                self.errors += 1
+            else:
+                self._latencies_ms.append(float(elapsed_ms))
+            self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
+
+    def record_coalesced(self) -> None:
+        """A request that piggybacked on an identical in-flight one."""
+        with self._lock:
+            self.coalesced += 1
+
+    def record_front_computation(self, warm: bool = False) -> None:
+        """A cache-missing front actually computed (possibly warmup)."""
+        with self._lock:
+            self.front_computations += 1
+            if warm:
+                self.warm_precomputed += 1
+
+    def record_restored(self, count: int) -> None:
+        """Fronts reloaded from the warm-restart snapshot at startup."""
+        with self._lock:
+            self.restored_fronts += count
+
+    def add_backend_stats(self, stats: dict) -> None:
+        """Fold one finished backend's dispatch counters into the rollup."""
+        with self._lock:
+            for name in self._BACKEND_COUNTERS:
+                if name in stats:
+                    self._backend[name] += int(stats[name])
+            backend = str(stats.get("backend", "unknown"))
+            self._backend_names[backend] = (
+                self._backend_names.get(backend, 0) + 1
+            )
+
+    # -- reading -----------------------------------------------------------------
+
+    def snapshot(self, front_cache_stats: Optional[dict] = None) -> dict:
+        """The ``/metrics`` payload (see docs/serving.md for the glossary)."""
+        with self._lock:
+            window = sorted(self._latencies_ms)
+            out = {
+                "queries": {
+                    "total": self.queries,
+                    "errors": self.errors,
+                    "coalesced": self.coalesced,
+                    "by_endpoint": dict(self.by_endpoint),
+                },
+                "latency_ms": {
+                    "window": len(window),
+                    "p50": percentile(window, 0.50),
+                    "p99": percentile(window, 0.99),
+                    "max": window[-1] if window else 0.0,
+                },
+                "fronts": {
+                    "computed": self.front_computations,
+                    "warm_precomputed": self.warm_precomputed,
+                    "restored": self.restored_fronts,
+                },
+                "backend": {
+                    **self._backend,
+                    "runs_by_backend": dict(self._backend_names),
+                },
+            }
+        if front_cache_stats is not None:
+            out["front_cache"] = front_cache_stats
+        return out

@@ -1,0 +1,106 @@
+"""The one front-computation recipe both the CLI and the daemon run.
+
+``repro front`` (offline) and :class:`repro.serve.SearchService`
+(online) must produce bit-identical Pareto fronts for the same
+``(layout, device, seed, config)`` — the serving layer is a
+throughput/caching skin, never a semantics change. The only way to keep
+that guarantee honest is for both to call the same functions; this
+module is that shared recipe:
+
+* :func:`space_for_layout` — layout name -> :class:`SearchSpace`;
+* :func:`build_front_predictor` — the LUT build + Eq. 3 bias
+  calibration exactly as ``repro front`` has always seeded it;
+* :func:`front_search` — the NSGA-II run, funneling population
+  batches through ``predict_many`` and (optionally) an externally-owned
+  :class:`~repro.parallel.EvaluationBackend`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.accuracy import AccuracySurrogate
+from repro.core import EvaluationCache, Nsga2Config, Nsga2Result, Nsga2Search
+from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
+from repro.hardware.calibration import calibrated_devices
+from repro.space import SearchSpace, imagenet_a, imagenet_b, mini, proxy
+
+
+def space_for_layout(layout: str) -> SearchSpace:
+    """The search space a layout name serves."""
+    configs = {
+        "a": imagenet_a,
+        "b": imagenet_b,
+        "mini": mini,
+        "proxy": proxy,
+    }
+    if layout not in configs:
+        raise ValueError(
+            f"unknown layout {layout!r}; expected one of {sorted(configs)}"
+        )
+    return SearchSpace(configs[layout]())
+
+
+def build_front_predictor(
+    space: SearchSpace,
+    device_name: str,
+    seed: int,
+    workers: int = 0,
+    backend: str = "auto",
+) -> LatencyPredictor:
+    """The calibrated latency predictor behind a front computation.
+
+    Sampling budgets and seed offsets are the historical ``repro
+    front`` recipe (2 samples per LUT cell, 25 calibration
+    architectures, profiler seeded at ``seed``, calibration at
+    ``seed + 1``) — changing any of them changes every served front.
+    ``workers``/``backend`` only move the LUT build's wall-clock.
+    """
+    device = calibrated_devices()[device_name]
+    lut = LatencyLUT.build(
+        space, device, samples_per_cell=2, seed=seed,
+        workers=workers, backend=backend,
+    )
+    predictor = LatencyPredictor(lut, space)
+    profiler = OnDeviceProfiler(device, seed=seed)
+    predictor.calibrate_bias(space, profiler, num_archs=25, seed=seed + 1)
+    return predictor
+
+
+def front_search(
+    space: SearchSpace,
+    predictor: LatencyPredictor,
+    seed: int,
+    generations: int = 20,
+    population_size: int = 50,
+    cache: Optional[EvaluationCache] = None,
+    workers: int = 0,
+    backend: str = "auto",
+    checkpoint=None,
+    evaluator=None,
+    surrogate: Optional[AccuracySurrogate] = None,
+) -> Nsga2Result:
+    """One NSGA-II accuracy/latency front, deterministic in ``seed``.
+
+    Latencies go through :meth:`LatencyPredictor.predict_many` (one LUT
+    gather per population batch — the PR-1 batched scorer), which is
+    bit-exact with per-arch ``predict``.
+    """
+    if surrogate is None:
+        surrogate = AccuracySurrogate(space)
+    return Nsga2Search(
+        space,
+        accuracy_fn=surrogate.proxy_accuracy,
+        latency_fn=predictor.predict,
+        latency_many_fn=predictor.predict_many,
+        config=Nsga2Config(
+            seed=seed,
+            generations=generations,
+            population_size=population_size,
+        ),
+        cache=cache,
+        workers=workers,
+        backend=backend,
+        checkpoint=checkpoint,
+        evaluator=evaluator,
+    ).run()

@@ -1,0 +1,109 @@
+"""The serving layer's query model and cache keys.
+
+A :class:`FrontQuery` names one deterministic Pareto-front computation:
+``(layout, device, seed, NSGA-II knobs)``. Everything that changes the
+result is in the key; everything that does not (the latency target, the
+evaluation backend, worker counts) is deliberately *outside* it:
+
+* ``target_ms`` never enters the key because one NSGA-II front covers
+  every target — "best architecture for device D at latency target T"
+  is a millisecond ``knee_under(T)`` cut of the cached front.
+* ``workers``/``backend`` are wall-clock knobs with bit-identical
+  results (see ``docs/parallel.md``), so caching across them is sound.
+
+The canonical key tuple (:meth:`FrontQuery.key`) is what the front
+cache, request coalescing, and the warm-restart snapshot all index by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Tuple
+
+# Layouts the serving layer resolves. ``a``/``b`` are the paper spaces
+# the CLI serves; ``mini``/``proxy`` are the small spaces used by tests
+# and smoke deployments where cold-start cost matters.
+SERVABLE_LAYOUTS = ("a", "b", "mini", "proxy")
+SERVABLE_DEVICES = ("gpu", "cpu", "edge")
+
+
+@dataclass(frozen=True)
+class FrontQuery:
+    """One canonical front computation: space, device, seed, EA knobs.
+
+    Defaults mirror ``repro front`` (:class:`~repro.core.Nsga2Config`),
+    so a default query served over HTTP is bit-identical to the default
+    offline CLI run.
+    """
+
+    device: str = "edge"
+    layout: str = "a"
+    seed: int = 0
+    generations: int = 20
+    population_size: int = 50
+
+    def __post_init__(self) -> None:
+        if self.device not in SERVABLE_DEVICES:
+            raise ValueError(
+                f"unknown device {self.device!r}; "
+                f"expected one of {SERVABLE_DEVICES}"
+            )
+        if self.layout not in SERVABLE_LAYOUTS:
+            raise ValueError(
+                f"unknown layout {self.layout!r}; "
+                f"expected one of {SERVABLE_LAYOUTS}"
+            )
+        if self.generations < 1 or self.population_size < 4:
+            raise ValueError("need >= 1 generation and population >= 4")
+
+    def key(self) -> Tuple:
+        """The canonical cache/coalescing key.
+
+        Named ``key`` (not ``cache_key``) so a :class:`FrontQuery` can
+        be stored in an :class:`~repro.core.EvaluationCache`, which
+        keys entries by ``obj.key()``.
+        """
+        return (
+            "front",
+            self.device,
+            self.layout,
+            self.seed,
+            self.generations,
+            self.population_size,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FrontQuery":
+        """Parse a query from an HTTP body / query string / snapshot.
+
+        Unknown fields raise (a typo'd knob silently falling back to a
+        default would serve the wrong front); numeric fields accept the
+        strings an URL query yields.
+        """
+        known = {
+            "device": str,
+            "layout": str,
+            "seed": int,
+            "generations": int,
+            "population_size": int,
+        }
+        unknown = set(payload) - set(known)
+        if unknown:
+            raise ValueError(
+                f"unknown query field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs = {}
+        for field, cast in known.items():
+            if field in payload:
+                try:
+                    kwargs[field] = cast(payload[field])
+                except (TypeError, ValueError) as exc:
+                    raise ValueError(
+                        f"query field {field!r} must be {cast.__name__}: "
+                        f"{payload[field]!r}"
+                    ) from exc
+        return cls(**kwargs)

@@ -1,0 +1,229 @@
+"""Stdlib HTTP/JSON front end for :class:`~repro.serve.SearchService`.
+
+``ThreadingHTTPServer`` with non-daemon request threads: every
+connection gets a thread, and :meth:`ServeServer.server_close` joins
+them all — which is what makes the SIGTERM drain *graceful*: in-flight
+queries finish and are answered before the process exits and the final
+state snapshot is written.
+
+Endpoints (all JSON, all deterministic bodies — ``sort_keys`` and no
+timestamps, so identical queries yield byte-identical responses):
+
+* ``GET /healthz`` — liveness probe.
+* ``GET /metrics`` — the observability snapshot
+  (:meth:`SearchService.metrics_snapshot`).
+* ``GET /front?device=..&layout=..&seed=..[&target_ms=..]`` — resolve
+  a query from URL parameters.
+* ``POST /query`` — the same, with the query as a JSON body.
+
+This module (with :mod:`repro.serve.client`) is the only sanctioned
+place in the codebase that touches sockets — lint rule RL108 flags
+direct socket/server construction anywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from time import perf_counter
+from typing import Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.runstate import atomic_write_json
+from repro.serve.config import ServeConfig
+from repro.serve.service import SearchService
+
+ENDPOINT_FILE = "endpoint.json"
+
+
+def _json_bytes(payload: dict) -> bytes:
+    """The canonical response encoding: sorted keys, trailing newline.
+
+    Determinism here is load-bearing: the coalescing and warm-restart
+    contracts promise *byte*-identical responses for identical queries.
+    """
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """One request; the heavy lifting happens in the shared service."""
+
+    server_version = "repro-serve/1"
+    # HTTP/1.0 closes the connection per response, so a drained server
+    # never waits on an idle keep-alive thread.
+    protocol_version = "HTTP/1.0"
+
+    # -- plumbing ----------------------------------------------------------------
+
+    @property
+    def service(self) -> SearchService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.service.config.quiet:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _resolve(self, endpoint: str, payload: dict) -> None:
+        """Run one query through the service, recording metrics."""
+        start = perf_counter()
+        try:
+            response = self.service.resolve(payload)
+        except ValueError as exc:
+            # Malformed query: client error, one actionable line.
+            self.service.metrics.record_query(
+                endpoint, 0.0, error=True
+            )
+            self._reply(400, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 - must answer the client
+            self.service.metrics.record_query(
+                endpoint, 0.0, error=True
+            )
+            self._reply(500, {"error": f"{type(exc).__name__}: {exc}"})
+            return
+        elapsed_ms = (perf_counter() - start) * 1e3
+        self.service.metrics.record_query(endpoint, elapsed_ms)
+        self._reply(200, response)
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlsplit(self.path)
+        if url.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        elif url.path == "/metrics":
+            self._reply(200, self.service.metrics_snapshot())
+        elif url.path == "/front":
+            self._resolve("/front", dict(parse_qsl(url.query)))
+        else:
+            self._reply(404, {"error": f"unknown path {url.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlsplit(self.path)
+        if url.path != "/query":
+            self._reply(404, {"error": f"unknown path {url.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("query body must be a JSON object")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._reply(400, {"error": f"bad query body: {exc}"})
+            return
+        self._resolve("/query", payload)
+
+
+class ServeServer(ThreadingHTTPServer):
+    """The daemon's socket server bound to one :class:`SearchService`."""
+
+    # Non-daemon threads + block_on_close: server_close() joins every
+    # in-flight request — the graceful half of the SIGTERM drain.
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(self, config: ServeConfig, service: SearchService):
+        super().__init__((config.host, config.port), ServeHandler)
+        self.config = config
+        self.service = service
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        """The actually-bound (host, port) — resolves ``port=0``."""
+        return self.server_address[0], self.server_address[1]
+
+    def write_endpoint_file(self) -> Optional[Path]:
+        """Record where we listen in the state dir (atomic, for clients)."""
+        if self.config.state_dir is None:
+            return None
+        import os
+
+        host, port = self.endpoint
+        path = Path(self.config.state_dir) / ENDPOINT_FILE
+        atomic_write_json(
+            path, {"host": host, "port": port, "pid": os.getpid()}
+        )
+        return path
+
+
+def start_server(
+    config: ServeConfig, warm: bool = True
+) -> Tuple[ServeServer, threading.Thread]:
+    """Bind, warm, and serve in a background thread (tests, benches).
+
+    The returned server is already answering; stop it with
+    ``server.shutdown(); server.server_close(); server.service.close()``.
+    """
+    service = SearchService(config)
+    server = ServeServer(config, service)
+    if warm:
+        service.warm_start()
+    server.write_endpoint_file()
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def run_server(config: ServeConfig) -> int:
+    """The blocking daemon loop with graceful SIGTERM/SIGINT drain.
+
+    Sequence: bind, restore + warm, announce (stdout line + atomic
+    ``endpoint.json``), serve until signalled, stop accepting, finish
+    and answer every in-flight request, persist the front cache, exit
+    0. Only used by ``python -m repro.serve``.
+    """
+    service = SearchService(config)
+    server = ServeServer(config, service)
+    host, port = server.endpoint
+
+    warmed = service.warm_start()
+    server.write_endpoint_file()
+    print(
+        f"repro-serve listening on http://{host}:{port} "
+        f"(backend={config.backend}, workers={config.workers}, "
+        f"warm fronts computed={warmed}, "
+        f"restored={service.metrics.restored_fronts})",
+        flush=True,
+    )
+
+    def _drain(signum, frame) -> None:
+        # shutdown() blocks until serve_forever exits; it must run off
+        # the main thread, which is inside serve_forever right now.
+        threading.Thread(
+            target=server.shutdown, name="repro-serve-drain"
+        ).start()
+
+    previous = {
+        sig: signal.signal(sig, _drain)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    try:
+        server.serve_forever()
+        # Stop accepting, join every in-flight request thread, answer
+        # them all, then write the final warm-restart snapshot.
+        server.server_close()
+        service.close()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    snapshot = service.metrics_snapshot()
+    print(
+        f"repro-serve drained: {snapshot['queries']['total']} queries "
+        f"served ({snapshot['queries']['coalesced']} coalesced, "
+        f"{snapshot['front_cache']['hits']} front-cache hits)",
+        flush=True,
+    )
+    return 0

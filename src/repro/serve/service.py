@@ -1,0 +1,336 @@
+"""The search-as-a-service core: resolve queries to fronts, fast.
+
+:class:`SearchService` is the transport-independent heart of the
+daemon (the HTTP layer in :mod:`repro.serve.server` is a thin skin
+over it, which is also what makes it unit-testable without sockets).
+It layers three speedups over the offline pipeline, none of which may
+change a single byte of any result:
+
+1. **Front cache** — computed fronts are memoized in an
+   :class:`~repro.core.EvaluationCache` keyed by
+   :meth:`FrontQuery.key`, with the PR-5 LRU/eviction/stats semantics.
+   A hit is a dictionary lookup; the paper-scale search behind it ran
+   exactly once.
+2. **Request coalescing** — concurrent *identical* queries (same
+   canonical key) share one in-flight computation: the first caller
+   computes, the rest block on an event and receive the same object.
+   Queries differing in any key field (seed included) never coalesce.
+3. **Warm state** — popular fronts are precomputed before traffic is
+   accepted, and (with a state directory) every computed front is
+   persisted through :mod:`repro.runstate` atomic checkpoints so a
+   killed daemon restarts warm, serving bit-identical bytes without
+   recomputation.
+
+Cache-missing computations funnel through the shared
+:mod:`repro.serve.pipeline` recipe — the same code path as ``repro
+front`` — with population batches scored by ``predict_many`` via the
+PR-6 :class:`~repro.parallel.EvaluationBackend`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core import EvaluationCache, Nsga2Result
+from repro.core.nsga2 import BiObjective
+from repro.runstate import PhaseCheckpoint, RunDir
+from repro.runstate.manifest import MANIFEST_NAME
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pipeline import (
+    build_front_predictor,
+    front_search,
+    space_for_layout,
+)
+from repro.serve.query import FrontQuery
+
+# Identity of the on-disk state (RunDir kind + config fingerprint).
+STATE_KIND = "serve"
+STATE_FORMAT = 1
+# How many (device, layout, seed) predictor bundles stay resident.
+# Predictor builds are deterministic, so eviction is a recompute, not
+# a correctness event; the cap keeps hostile seed sweeps from growing
+# the daemon without bound.
+PREDICTOR_CACHE_SIZE = 8
+
+
+@dataclass(frozen=True)
+class CachedFront:
+    """One resolved front: the query that names it plus the result."""
+
+    query: FrontQuery
+    front: Tuple[BiObjective, ...]
+    num_evaluations: int
+
+    def key(self) -> Tuple:
+        return self.query.key()
+
+    def to_dict(self) -> dict:
+        return {
+            "query": self.query.to_dict(),
+            "front": [p.to_dict() for p in self.front],
+            "num_evaluations": self.num_evaluations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CachedFront":
+        return cls(
+            query=FrontQuery.from_dict(payload["query"]),
+            front=tuple(
+                BiObjective.from_dict(p) for p in payload["front"]
+            ),
+            num_evaluations=int(payload["num_evaluations"]),
+        )
+
+
+class _InFlight:
+    """One in-progress front computation other threads can wait on."""
+
+    def __init__(self) -> None:
+        self.ready = threading.Event()
+        self.value: Optional[CachedFront] = None
+        self.error: Optional[BaseException] = None
+
+
+class SearchService:
+    """Resolve ``(space, device, seed, knobs)`` queries to Pareto fronts.
+
+    Thread-safe: the HTTP server calls :meth:`resolve` from one thread
+    per connection. All cache and coalescing bookkeeping happens under
+    one lock; the expensive front computation itself runs outside it.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.metrics = ServeMetrics(window=config.metrics_window)
+        self._lock = threading.Lock()
+        self._front_cache = EvaluationCache(
+            max_size=config.front_cache_size
+        )
+        self._inflight: Dict[Tuple, _InFlight] = {}
+        self._bundles: "OrderedDict[Tuple, tuple]" = OrderedDict()
+        self._checkpoint = self._open_state()
+        self._restore()
+
+    # -- crash-safe state ---------------------------------------------------------
+
+    def _open_state(self) -> Optional[PhaseCheckpoint]:
+        if self.config.state_dir is None:
+            return None
+        path = Path(self.config.state_dir)
+        expect = {"format": STATE_FORMAT}
+        if (path / MANIFEST_NAME).exists():
+            run = RunDir.open(
+                path, expect_kind=STATE_KIND, expect_config=expect
+            )
+        else:
+            run = RunDir.create(path, STATE_KIND, expect, ("fronts",))
+        return PhaseCheckpoint(run, "fronts")
+
+    def _restore(self) -> None:
+        """Reload the front cache from the last persisted snapshot."""
+        if self._checkpoint is None:
+            return
+        saved = self._checkpoint.load()
+        if saved is None:
+            return
+        self._front_cache.restore(
+            saved["cache"],
+            CachedFront.from_dict,
+            key_fn=lambda value: value.query.key(),
+        )
+        self.metrics.record_restored(len(self._front_cache))
+
+    def persist(self) -> None:
+        """Atomically snapshot the front cache (counters included).
+
+        Called after every cache-missing computation and at shutdown;
+        a crash between calls loses at most fronts computed since the
+        last call, never corrupts the snapshot (write-then-rename).
+        """
+        if self._checkpoint is None:
+            return
+        with self._lock:
+            snapshot = self._front_cache.snapshot(CachedFront.to_dict)
+        self._checkpoint.save({"format": STATE_FORMAT, "cache": snapshot})
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _bundle(self, device: str, layout: str, seed: int):
+        """(space, surrogate, predictor) for a query, built once.
+
+        The bundle is deterministic in its key, so the small LRU here
+        is purely a wall-clock optimization shared by every query that
+        agrees on device/layout/seed.
+        """
+        key = (device, layout, seed)
+        with self._lock:
+            if key in self._bundles:
+                self._bundles.move_to_end(key)
+                return self._bundles[key]
+        # Built outside the lock: LUT builds take seconds and must not
+        # block unrelated cache-hit traffic. Two racing builders do
+        # redundant (identical) work; last insert wins harmlessly.
+        space = space_for_layout(layout)
+        from repro.accuracy import AccuracySurrogate
+
+        surrogate = AccuracySurrogate(space)
+        predictor = build_front_predictor(
+            space,
+            device,
+            seed,
+            workers=self.config.workers,
+            backend=self.config.backend,
+        )
+        bundle = (space, surrogate, predictor)
+        with self._lock:
+            self._bundles[key] = bundle
+            self._bundles.move_to_end(key)
+            while len(self._bundles) > PREDICTOR_CACHE_SIZE:
+                self._bundles.popitem(last=False)
+        return bundle
+
+    def _compute(self, query: FrontQuery, warm: bool) -> CachedFront:
+        space, surrogate, predictor = self._bundle(
+            query.device, query.layout, query.seed
+        )
+        result = front_search(
+            space,
+            predictor,
+            seed=query.seed,
+            generations=query.generations,
+            population_size=query.population_size,
+            workers=self.config.workers,
+            backend=self.config.backend,
+            surrogate=surrogate,
+        )
+        self.metrics.record_front_computation(warm=warm)
+        if result.backend_stats is not None:
+            self.metrics.add_backend_stats(result.backend_stats)
+        return CachedFront(
+            query=query,
+            front=tuple(result.front),
+            num_evaluations=result.num_evaluations,
+        )
+
+    # -- the cached, coalescing front resolver ------------------------------------
+
+    def front(self, query: FrontQuery, warm: bool = False) -> CachedFront:
+        """The front for ``query`` — cached, coalesced, bit-exact.
+
+        Exactly one computation runs per canonical key at any moment;
+        concurrent identical queries wait on it and share its result.
+        """
+        key = query.key()
+        while True:
+            with self._lock:
+                if query in self._front_cache:
+                    # Counted hit + LRU touch; the eval_fn can never run.
+                    return self._front_cache.get_or_eval(
+                        query, _unreachable
+                    )
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                else:
+                    leader = False
+            if not leader:
+                self.metrics.record_coalesced()
+                flight.ready.wait()
+                if flight.error is not None:
+                    raise flight.error
+                if flight.value is not None:
+                    return flight.value
+                # Leader vanished without a value (only possible on
+                # interpreter teardown paths); recompute.
+                continue
+            try:
+                value = self._compute(query, warm=warm)
+                with self._lock:
+                    # Counted miss + insertion (+ LRU eviction if full).
+                    value = self._front_cache.get_or_eval(
+                        query, lambda _q: value
+                    )
+                flight.value = value
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.ready.set()
+            self.persist()
+            return value
+
+    # -- request-facing API --------------------------------------------------------
+
+    def resolve(self, payload: dict) -> dict:
+        """One query request -> one JSON-ready response.
+
+        ``payload`` carries :class:`FrontQuery` fields plus an optional
+        ``target_ms``; with a target, the response adds the most
+        accurate front member within it (``best``/``feasible``) — the
+        millisecond ``knee_under`` cut of the cached front.
+        """
+        payload = dict(payload)
+        target = payload.pop("target_ms", None)
+        if target is not None:
+            try:
+                target = float(target)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"target_ms must be a number: {target!r}"
+                ) from exc
+        query = FrontQuery.from_dict(payload)
+        cached = self.front(query)
+        response = {
+            "query": query.to_dict(),
+            "target_ms": target,
+            "num_evaluations": cached.num_evaluations,
+            "front": [p.to_dict() for p in cached.front],
+        }
+        if target is not None:
+            try:
+                best = Nsga2Result(front=list(cached.front)).knee_under(
+                    target
+                )
+            except ValueError:
+                response["best"] = None
+                response["feasible"] = False
+            else:
+                response["best"] = best.to_dict()
+                response["feasible"] = True
+        return response
+
+    def warm_start(self) -> int:
+        """Precompute the configured warm fronts; returns how many
+        were computed fresh (snapshot-restored ones are already warm)."""
+        computed_before = self.metrics.front_computations
+        for query in self.config.warm:
+            self.front(query, warm=True)
+        return self.metrics.front_computations - computed_before
+
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics`` payload (front-cache stats included)."""
+        with self._lock:
+            cache_stats = self._front_cache.stats()
+        return self.metrics.snapshot(front_cache_stats=cache_stats)
+
+    def close(self) -> None:
+        """Final persist — part of the graceful-drain contract."""
+        self.persist()
+
+
+def _unreachable(query: FrontQuery) -> CachedFront:
+    raise AssertionError(
+        f"cache hit for {query!r} invoked the eval function"
+    )
+
+
+__all__ = ["CachedFront", "SearchService"]

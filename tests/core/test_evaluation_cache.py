@@ -47,6 +47,7 @@ class TestEvaluationCache:
         assert len(calls) == 1
         assert cache.stats() == {
             "size": 1, "hits": 1, "misses": 1, "evictions": 0,
+            "hit_rate": 0.5,
         }
         assert arch in cache and len(cache) == 1
 

@@ -400,6 +400,75 @@ class TestDirectWorkerPool:
         ) == []
 
 
+class TestDirectSocketServer:
+    def test_http_server_construction_fires(self):
+        findings = _lint(
+            """
+            from http.server import ThreadingHTTPServer, BaseHTTPRequestHandler
+
+            def serve(handler):
+                return ThreadingHTTPServer(("127.0.0.1", 0), handler)
+            """
+        )
+        assert [f.rule_id for f in findings] == ["RL108"]
+        assert findings[0].severity is Severity.ERROR
+        assert "repro.serve" in findings[0].message
+
+    def test_raw_socket_and_connection_fire(self):
+        assert _rule_ids(
+            """
+            import socket
+            from http.client import HTTPConnection
+
+            def probe(host, port):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                conn = HTTPConnection(host, port)
+                return sock, conn
+            """
+        ) == ["RL108", "RL108"]
+
+    def test_serve_client_usage_is_clean(self):
+        assert _rule_ids(
+            """
+            from repro.serve import ServeClient
+
+            def fetch(host, port):
+                return ServeClient(host, port).metrics()
+            """
+        ) == []
+
+    def test_serve_layer_is_exempt(self):
+        code = textwrap.dedent(
+            """
+            from http.server import ThreadingHTTPServer
+
+            def bind(handler):
+                return ThreadingHTTPServer(("127.0.0.1", 0), handler)
+            """
+        )
+        assert [
+            f.rule_id
+            for f in lint_source(code, path="src/repro/serve/server.py")
+        ] == []
+        assert [
+            f.rule_id
+            for f in lint_source(code, path="tests/serve/test_server.py")
+        ] == []
+        assert [
+            f.rule_id for f in lint_source(code, path="src/repro/cli.py")
+        ] == ["RL108"]
+
+    def test_suppression_comment_silences(self):
+        assert _rule_ids(
+            """
+            import socket
+
+            def probe():
+                return socket.create_connection(("::1", 80))  # repro-lint: disable=RL108
+            """
+        ) == []
+
+
 class TestSuppression:
     def test_named_suppression_silences_rule(self):
         assert _rule_ids(

@@ -130,7 +130,9 @@ class TestSerialBackend:
         assert backend.map([3, 1, 2]) == [30, 10, 20]
         assert backend.map((4,)) == [40]
         assert backend.batches == 2
-        assert backend.stats() == {"backend": "serial", "batches": 2}
+        assert backend.stats() == {
+            "backend": "serial", "batches": 2, "items": 4,
+        }
 
     def test_evaluate_many_routes_through_cache(self):
         calls = []

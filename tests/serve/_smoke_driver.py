@@ -1,0 +1,139 @@
+"""CI smoke driver for a running ``repro.serve`` daemon.
+
+Usage (the daemon must already be starting/running against STATE_DIR)::
+
+    python tests/serve/_smoke_driver.py STATE_DIR BODY_FILE [--expect-restored]
+
+Connects through the state directory's ``endpoint.json``, fires a burst
+of concurrent identical queries, and asserts the serving contracts:
+every response is byte-identical, ``/metrics`` is live and consistent,
+and the served front is point-for-point bit-exact with the offline
+pipeline run. The canonical response body is written to ``BODY_FILE``
+on the first run; with ``--expect-restored`` (the post-restart run) the
+driver instead requires the daemon to have restored its fronts from the
+snapshot — zero recomputation — and to serve bytes equal to
+``BODY_FILE``.
+
+Exit 0 on success; any broken contract raises (non-zero exit).
+"""
+
+import argparse
+import sys
+import threading
+from pathlib import Path
+from urllib.parse import urlencode
+
+from repro.accuracy import AccuracySurrogate
+from repro.serve import ServeClient
+from repro.serve.pipeline import (
+    build_front_predictor,
+    front_search,
+    space_for_layout,
+)
+from repro.serve.query import FrontQuery
+
+QUERY = dict(
+    device="edge", layout="proxy", seed=3, generations=3, population_size=8
+)
+BURST = 8
+
+
+def _burst(client: ServeClient, path: str) -> bytes:
+    bodies = [None] * BURST
+
+    def worker(i):
+        status, body = client.request_raw("GET", path)
+        assert status == 200, f"request {i} got HTTP {status}: {body!r}"
+        bodies[i] = body
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(BURST)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    distinct = set(bodies)
+    assert len(distinct) == 1, (
+        f"burst produced {len(distinct)} distinct response bodies"
+    )
+    return bodies[0]
+
+
+def _assert_offline_bit_exact(client: ServeClient) -> None:
+    served = client.front(**QUERY)
+    query = FrontQuery(**QUERY)
+    space = space_for_layout(query.layout)
+    predictor = build_front_predictor(space, query.device, query.seed)
+    offline = front_search(
+        space,
+        predictor,
+        seed=query.seed,
+        generations=query.generations,
+        population_size=query.population_size,
+        backend="serial",
+        surrogate=AccuracySurrogate(space),
+    )
+    assert served["num_evaluations"] == offline.num_evaluations
+    assert len(served["front"]) == len(offline.front), (
+        f"front sizes differ: {len(served['front'])} served "
+        f"vs {len(offline.front)} offline"
+    )
+    for got, want in zip(served["front"], offline.front):
+        assert got["latency_ms"] == want.latency_ms, "latency not bit-exact"
+        assert got["accuracy"] == want.accuracy, "accuracy not bit-exact"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("state_dir")
+    parser.add_argument("body_file", type=Path)
+    parser.add_argument(
+        "--expect-restored", action="store_true",
+        help="require restored-from-snapshot state (post-restart run): "
+             "zero front computations and bytes equal to BODY_FILE",
+    )
+    args = parser.parse_args(argv)
+
+    client = ServeClient.from_state_dir(args.state_dir, wait_s=60)
+    print(f"connected to daemon at {client.host}:{client.port}")
+
+    path = "/front?" + urlencode({**QUERY, "target_ms": 50})
+    body = _burst(client, path)
+    print(f"burst of {BURST} concurrent queries: all byte-identical")
+
+    metrics = client.metrics()
+    assert metrics, "/metrics returned an empty payload"
+    assert metrics["queries"]["total"] >= BURST
+    assert metrics["queries"]["errors"] == 0
+    assert metrics["front_cache"]["size"] >= 1
+    hits = metrics["front_cache"]["hits"]
+    coalesced = metrics["queries"]["coalesced"]
+    if args.expect_restored:
+        assert metrics["fronts"]["restored"] >= 1, (
+            f"expected restored fronts, got {metrics['fronts']}"
+        )
+        assert metrics["fronts"]["computed"] == 0, (
+            f"restored daemon recomputed: {metrics['fronts']}"
+        )
+        previous = args.body_file.read_bytes()
+        assert body == previous, "post-restart bytes differ from pre-kill"
+        print("warm restart: restored state, zero recompute, same bytes")
+    else:
+        assert metrics["fronts"]["computed"] == 1, (
+            f"burst must cost exactly one computation: {metrics['fronts']}"
+        )
+        args.body_file.write_bytes(body)
+    print(
+        f"metrics: {metrics['queries']['total']} queries, "
+        f"{hits} cache hits, {coalesced} coalesced, "
+        f"p99 {metrics['latency_ms']['p99']:.2f} ms"
+    )
+
+    _assert_offline_bit_exact(client)
+    print("served front is bit-exact with the offline pipeline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

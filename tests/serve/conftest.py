@@ -1,0 +1,26 @@
+"""Shared fixtures for the serve tests.
+
+Everything runs on the tiny ``proxy`` layout with a 3-generation,
+8-individual NSGA-II so a full served front costs well under a second;
+the contracts under test (caching, coalescing, byte-determinism,
+warm restart) are size-independent.
+"""
+
+import pytest
+
+from repro.serve import FrontQuery, ServeConfig
+
+# The canonical cheap query the serve tests resolve.
+SMALL_QUERY_KW = dict(
+    device="edge", layout="proxy", seed=3, generations=3, population_size=8
+)
+
+
+@pytest.fixture
+def small_query() -> FrontQuery:
+    return FrontQuery(**SMALL_QUERY_KW)
+
+
+@pytest.fixture
+def serial_config() -> ServeConfig:
+    return ServeConfig(backend="serial", quiet=True)

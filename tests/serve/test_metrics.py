@@ -1,0 +1,87 @@
+"""ServeMetrics: percentiles, counters, and the snapshot schema."""
+
+import pytest
+
+from repro.serve import ServeMetrics
+from repro.serve.metrics import percentile
+
+
+class TestPercentile:
+    def test_empty_window_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_nearest_rank(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.00) == 100.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.50) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+
+class TestServeMetrics:
+    def test_query_counters_and_latency_window(self):
+        metrics = ServeMetrics(window=4)
+        for ms in (1.0, 2.0, 3.0):
+            metrics.record_query("/front", ms)
+        metrics.record_query("/query", 0.0, error=True)
+        snap = metrics.snapshot()
+        assert snap["queries"]["total"] == 4
+        assert snap["queries"]["errors"] == 1
+        assert snap["queries"]["by_endpoint"] == {"/front": 3, "/query": 1}
+        # Errors do not pollute the latency percentiles.
+        assert snap["latency_ms"]["window"] == 3
+        assert snap["latency_ms"]["p50"] == 2.0
+        assert snap["latency_ms"]["max"] == 3.0
+
+    def test_window_is_bounded(self):
+        metrics = ServeMetrics(window=2)
+        for ms in (10.0, 20.0, 30.0):
+            metrics.record_query("/front", ms)
+        snap = metrics.snapshot()
+        assert snap["latency_ms"]["window"] == 2
+        assert snap["latency_ms"]["p50"] == 20.0
+
+    def test_front_and_coalescing_counters(self):
+        metrics = ServeMetrics()
+        metrics.record_front_computation()
+        metrics.record_front_computation(warm=True)
+        metrics.record_coalesced()
+        metrics.record_restored(3)
+        snap = metrics.snapshot()
+        assert snap["fronts"] == {
+            "computed": 2, "warm_precomputed": 1, "restored": 3,
+        }
+        assert snap["queries"]["coalesced"] == 1
+
+    def test_backend_rollup_accumulates_counters_only(self):
+        metrics = ServeMetrics()
+        metrics.add_backend_stats(
+            {"backend": "serial", "batches": 3, "items": 16}
+        )
+        metrics.add_backend_stats(
+            {"backend": "multiprocess", "batches": 2, "items": 10,
+             "chunks_dispatched": 4, "chunk_retries": 1,
+             "workers": 8, "cache": {"hits": 5}}
+        )
+        backend = metrics.snapshot()["backend"]
+        assert backend["batches"] == 5
+        assert backend["items"] == 26
+        assert backend["chunks_dispatched"] == 4
+        assert backend["chunk_retries"] == 1
+        assert backend["runs_by_backend"] == {"serial": 1, "multiprocess": 1}
+        # Identity fields (workers, nested cache) stay out of the rollup.
+        assert "workers" not in backend and "cache" not in backend
+
+    def test_snapshot_embeds_cache_stats_unchanged(self):
+        metrics = ServeMetrics()
+        stats = {"size": 1, "hits": 2, "misses": 1, "evictions": 0,
+                 "hit_rate": 2 / 3}
+        assert metrics.snapshot(front_cache_stats=stats)["front_cache"] == stats
+        assert "front_cache" not in metrics.snapshot()
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            ServeMetrics(window=0)

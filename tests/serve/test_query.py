@@ -1,0 +1,83 @@
+"""FrontQuery: validation, canonical keys, and strict parsing."""
+
+import pytest
+
+from repro.serve import FrontQuery, warm_query_from_spec
+from repro.serve.query import SERVABLE_DEVICES, SERVABLE_LAYOUTS
+
+
+class TestFrontQuery:
+    def test_defaults_mirror_the_cli_front_recipe(self):
+        q = FrontQuery()
+        assert (q.device, q.layout) == ("edge", "a")
+        assert (q.seed, q.generations, q.population_size) == (0, 20, 50)
+
+    def test_key_is_canonical_and_hashable(self):
+        q = FrontQuery(device="gpu", layout="mini", seed=7)
+        assert q.key() == ("front", "gpu", "mini", 7, 20, 50)
+        assert hash(q.key())
+        assert FrontQuery(device="gpu", layout="mini", seed=7).key() == q.key()
+
+    def test_key_separates_every_result_changing_field(self):
+        base = FrontQuery()
+        variants = [
+            FrontQuery(device="gpu"),
+            FrontQuery(layout="mini"),
+            FrontQuery(seed=1),
+            FrontQuery(generations=19),
+            FrontQuery(population_size=48),
+        ]
+        keys = {q.key() for q in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"device": "tpu"},
+            {"layout": "imagenet"},
+            {"generations": 0},
+            {"population_size": 3},
+        ],
+    )
+    def test_invalid_fields_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            FrontQuery(**kwargs)
+
+    def test_roundtrip_through_dict(self):
+        q = FrontQuery(device="cpu", layout="b", seed=5, generations=9,
+                       population_size=12)
+        assert FrontQuery.from_dict(q.to_dict()) == q
+
+    def test_from_dict_casts_url_string_numerics(self):
+        q = FrontQuery.from_dict(
+            {"device": "edge", "layout": "proxy", "seed": "3",
+             "generations": "4", "population_size": "8"}
+        )
+        assert (q.seed, q.generations, q.population_size) == (3, 4, 8)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown query field"):
+            FrontQuery.from_dict({"device": "edge", "generation": 5})
+
+    def test_from_dict_rejects_non_numeric(self):
+        with pytest.raises(ValueError, match="seed"):
+            FrontQuery.from_dict({"seed": "lots"})
+
+    def test_servable_sets_cover_all_cli_layouts(self):
+        assert set(SERVABLE_LAYOUTS) == {"a", "b", "mini", "proxy"}
+        assert set(SERVABLE_DEVICES) == {"gpu", "cpu", "edge"}
+
+
+class TestWarmSpec:
+    def test_device_layout(self):
+        q = warm_query_from_spec("edge:a")
+        assert (q.device, q.layout, q.seed) == ("edge", "a", 0)
+
+    def test_device_layout_seed(self):
+        q = warm_query_from_spec("gpu:mini:7")
+        assert (q.device, q.layout, q.seed) == ("gpu", "mini", 7)
+
+    @pytest.mark.parametrize("spec", ["edge", "a:b:c:d", "edge:a:x"])
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            warm_query_from_spec(spec)

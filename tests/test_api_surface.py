@@ -26,7 +26,8 @@ class TestPublicApi:
         "package",
         ["repro.nn", "repro.space", "repro.hardware", "repro.accuracy",
          "repro.core", "repro.baselines", "repro.data", "repro.train",
-         "repro.supernet", "repro.analysis", "repro.report", "repro.deploy"],
+         "repro.supernet", "repro.analysis", "repro.report", "repro.deploy",
+         "repro.serve"],
     )
     def test_subpackage_all_resolves(self, package):
         mod = importlib.import_module(package)

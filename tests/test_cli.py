@@ -68,6 +68,32 @@ class TestCommands:
         assert lats == sorted(lats)
 
 
+class TestBackendFlag:
+    """--backend must reach the evaluation layer and never change bytes."""
+
+    def test_front_backend_choice_is_bit_identical(self, tmp_path, capsys):
+        serial_dir = tmp_path / "serial"
+        multi_dir = tmp_path / "multi"
+        assert main(["--out", str(serial_dir), "front",
+                     "--backend", "serial"]) == 0
+        assert main(["--out", str(multi_dir), "front",
+                     "--backend", "multiprocess", "--workers", "2"]) == 0
+        serial_csv = (serial_dir / "front_edge_a.csv").read_bytes()
+        multi_csv = (multi_dir / "front_edge_a.csv").read_bytes()
+        assert serial_csv == multi_csv
+
+    def test_predict_backend_choice_is_bit_identical(self, tmp_path, capsys):
+        serial_dir = tmp_path / "serial"
+        multi_dir = tmp_path / "multi"
+        assert main(["--out", str(serial_dir), "predict",
+                     "--backend", "serial"]) == 0
+        assert main(["--out", str(multi_dir), "predict",
+                     "--backend", "multiprocess", "--workers", "2"]) == 0
+        serial_lut = (serial_dir / "lut_edge_a.json").read_bytes()
+        multi_lut = (multi_dir / "lut_edge_a.json").read_bytes()
+        assert serial_lut == multi_lut
+
+
 class TestEnergyCommand:
     def test_energy_writes_csv(self, tmp_path, capsys):
         from repro.cli import main
