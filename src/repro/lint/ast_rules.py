@@ -42,10 +42,13 @@ or is structurally prone to:
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from repro.lint.findings import Finding, Severity
 from repro.lint.rules import CODE_RULES, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.astcache import AstCache, SourceFile
 
 RL101 = CODE_RULES.register(
     Rule(
@@ -604,58 +607,62 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def _lint_file(
+    entry: "SourceFile", active_rules: Optional[Set[str]] = None
+) -> List[Finding]:
+    """Run the RL rules over one already-parsed module."""
+    from repro.lint.rules import filter_suppressed
+
+    if entry.tree is None:
+        exc = entry.syntax_error
+        return [
+            Finding(
+                rule_id="RL100",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg if exc else 'unparseable'}",
+                file=entry.path,
+                line=exc.lineno if exc else None,
+                column=exc.offset if exc else None,
+            )
+        ]
+    imports = _ModuleImports()
+    imports.visit(entry.tree)
+    checker = _Checker(entry.path, imports)
+    checker.visit(entry.tree)
+    findings = checker.findings
+    if active_rules is not None:
+        findings = [f for f in findings if f.rule_id in active_rules]
+    return filter_suppressed(findings, entry.lines)
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     active_rules: Optional[Set[str]] = None,
 ) -> List[Finding]:
     """Lint one module's source text; returns unsuppressed findings."""
-    from repro.lint.rules import filter_suppressed
+    from repro.lint.astcache import AstCache
 
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id="RL100",
-                severity=Severity.ERROR,
-                message=f"syntax error: {exc.msg}",
-                file=path,
-                line=exc.lineno,
-                column=exc.offset,
-            )
-        ]
-    imports = _ModuleImports()
-    imports.visit(tree)
-    checker = _Checker(path, imports)
-    checker.visit(tree)
-    findings = checker.findings
-    if active_rules is not None:
-        findings = [f for f in findings if f.rule_id in active_rules]
-    return filter_suppressed(findings, source.splitlines())
+    return _lint_file(AstCache().load(path, source=source), active_rules)
 
 
 def lint_paths(
     paths: Sequence[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    cache: Optional["AstCache"] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under the given files/directories."""
-    import os
+    """Lint every ``.py`` file under the given files/directories.
 
+    ``cache`` shares parsed trees with other passes (the flow analyses
+    reuse it), keeping the run at one parse per file.
+    """
+    from repro.lint.astcache import AstCache, collect_python_files
+
+    if cache is None:
+        cache = AstCache()
     active = CODE_RULES.resolve(select, ignore)
     findings: List[Finding] = []
-    files: List[str] = []
-    for path in paths:
-        if os.path.isdir(path):
-            for root, _dirs, names in os.walk(path):
-                files.extend(
-                    os.path.join(root, n) for n in names if n.endswith(".py")
-                )
-        elif path.endswith(".py"):
-            files.append(path)
-    for file_path in sorted(files):
-        with open(file_path, "r", encoding="utf-8") as handle:
-            source = handle.read()
-        findings.extend(lint_source(source, file_path, active))
+    for file_path in collect_python_files(paths):
+        findings.extend(_lint_file(cache.load(file_path), active))
     return findings

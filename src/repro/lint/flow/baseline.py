@@ -1,0 +1,117 @@
+"""Baseline files: accepted findings, checked in and documented.
+
+A whole-program analysis without escape hatches either rots (findings
+pile up, the signal drowns) or gets gutted (rules silenced globally).
+The baseline is the third way: a checked-in JSON file listing each
+accepted finding with a *reason*, reviewed like code. The strict CI
+run passes exactly when every live finding is in the baseline, and
+the baseline only ever shrinks — a stale entry (its finding no longer
+fires) is reported so it gets deleted, keeping the file honest.
+
+Matching is content-based — ``(rule, file, message)`` — deliberately
+excluding line numbers so unrelated edits above a finding do not
+invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.lint.findings import Finding, Severity
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    file: str
+    message: str
+    reason: str
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.rule_id != self.rule:
+            return False
+        if finding.message != self.message:
+            return False
+        path = (finding.file or "").replace(os.sep, "/")
+        return path.endswith(self.file)
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "suppressions" not in payload:
+        raise ValueError(
+            f"baseline {path}: expected an object with 'suppressions'"
+        )
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path}: unsupported version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = []
+    for raw in payload["suppressions"]:
+        missing = {"rule", "file", "message", "reason"} - set(raw)
+        if missing:
+            raise ValueError(
+                f"baseline {path}: entry missing {sorted(missing)}"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                file=raw["file"],
+                message=raw["message"],
+                reason=raw["reason"],
+            )
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+    """(kept findings, suppressed count, stale entries).
+
+    Stale entries — baseline lines whose finding no longer fires —
+    are surfaced as warnings by the CLI so the baseline shrinks over
+    time instead of accumulating dead weight.
+    """
+    kept: List[Finding] = []
+    used = [False] * len(entries)
+    suppressed = 0
+    for finding in findings:
+        matched = False
+        for index, entry in enumerate(entries):
+            if entry.matches(finding):
+                used[index] = True
+                matched = True
+                break
+        if matched:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    stale = [e for e, u in zip(entries, used) if not u]
+    return kept, suppressed, stale
+
+
+def stale_entry_findings(
+    stale: Sequence[BaselineEntry], baseline_path: str
+) -> List[Finding]:
+    return [
+        Finding(
+            rule_id="RF399",
+            severity=Severity.WARNING,
+            message=(
+                f"stale baseline entry ({entry.rule} in {entry.file}): "
+                "the finding no longer fires — delete the entry from "
+                f"{baseline_path}"
+            ),
+            component=f"baseline:{baseline_path}",
+        )
+        for entry in stale
+    ]

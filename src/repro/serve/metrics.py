@@ -112,6 +112,18 @@ class ServeMetrics:
 
     # -- reading -----------------------------------------------------------------
 
+    def total_front_computations(self) -> int:
+        """Locked read of the fronts-computed counter (for warm-start
+        accounting); bare attribute reads from other threads race with
+        the recorders above."""
+        with self._lock:
+            return self.front_computations
+
+    def total_restored_fronts(self) -> int:
+        """Locked read of the snapshot-restored-fronts counter."""
+        with self._lock:
+            return self.restored_fronts
+
     def snapshot(self, front_cache_stats: Optional[dict] = None) -> dict:
         """The ``/metrics`` payload (see docs/serving.md for the glossary)."""
         with self._lock:

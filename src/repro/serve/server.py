@@ -195,7 +195,7 @@ def run_server(config: ServeConfig) -> int:
         f"repro-serve listening on http://{host}:{port} "
         f"(backend={config.backend}, workers={config.workers}, "
         f"warm fronts computed={warmed}, "
-        f"restored={service.metrics.restored_fronts})",
+        f"restored={service.metrics.total_restored_fronts()})",
         flush=True,
     )
 

@@ -311,10 +311,10 @@ class SearchService:
     def warm_start(self) -> int:
         """Precompute the configured warm fronts; returns how many
         were computed fresh (snapshot-restored ones are already warm)."""
-        computed_before = self.metrics.front_computations
+        computed_before = self.metrics.total_front_computations()
         for query in self.config.warm:
             self.front(query, warm=True)
-        return self.metrics.front_computations - computed_before
+        return self.metrics.total_front_computations() - computed_before
 
     def metrics_snapshot(self) -> dict:
         """The ``/metrics`` payload (front-cache stats included)."""

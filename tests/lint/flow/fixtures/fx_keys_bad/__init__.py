@@ -1,0 +1,2 @@
+"""Hole-punched cache-key fixtures: a raw float reaches a cache key
+through a call hop without passing a quantizer (RF303)."""

@@ -1,0 +1,24 @@
+"""A latency table keyed by an unquantized width factor."""
+
+
+class LatencyTable:
+    def __init__(self):
+        self._cache = {}
+
+    def _make_key(self, factor: float):
+        # RF303: the raw float flows into the key — 0.1 + 0.2 style
+        # drift makes logically-equal lookups miss.
+        return ("cell", factor)
+
+    def lookup(self, factor: float):
+        key = self._make_key(factor)
+        return self._cache.get(key)
+
+    def store(self, factor: float, value):
+        self._cache[self._make_key(factor)] = value
+
+
+def lookup_ratio(table: LatencyTable, width, base):
+    # RF303: a division result crosses the call hop into the key.
+    factor = width / base
+    return table.lookup(factor)

@@ -1,0 +1,2 @@
+"""Known-good cache-key fixtures: every float is quantized to one
+decimal before it reaches a key."""

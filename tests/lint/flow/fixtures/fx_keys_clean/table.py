@@ -1,0 +1,22 @@
+"""The latency table from the bad twin, quantizing before keying."""
+
+
+class LatencyTable:
+    def __init__(self):
+        self._cache = {}
+
+    def _make_key(self, factor: float):
+        return ("cell", round(factor, 1))
+
+    def lookup(self, factor: float):
+        key = self._make_key(factor)
+        return self._cache.get(key)
+
+    def store(self, factor: float, value):
+        self._cache[self._make_key(factor)] = value
+
+
+def lookup_ratio(table: LatencyTable, width, base):
+    # The same division flows in, but _make_key quantizes it.
+    factor = width / base
+    return table.lookup(factor)

@@ -1,0 +1,2 @@
+"""Hole-punched lock fixtures: bare guarded-field access (RF301) and
+a lock-order inversion (RF302)."""

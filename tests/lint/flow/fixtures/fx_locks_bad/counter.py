@@ -1,0 +1,26 @@
+"""A guarded counter with an unguarded fast-path read and write."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def peek(self):
+        # RF301: bare read of a field only ever written under _lock.
+        return self.count
+
+    def reset(self):
+        # RF301: bare write races with bump().
+        self.count = 0
+
+
+def report(counter: Counter) -> int:
+    # RF301: cross-object bare read of a guarded field.
+    return counter.count

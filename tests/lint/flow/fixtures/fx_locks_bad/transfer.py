@@ -1,0 +1,23 @@
+"""Two locks taken in opposite orders on different paths."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.forwarded = 0
+        self.reversed_count = 0
+
+    def forward(self):
+        with self._lock_a:
+            with self._lock_b:
+                self.forwarded += 1
+
+    def backward(self):
+        # RF302: acquires b then a while forward() holds a then b —
+        # two threads can deadlock.
+        with self._lock_b:
+            with self._lock_a:
+                self.reversed_count += 1

@@ -1,0 +1,2 @@
+"""Known-good lock fixtures: every guarded access holds the lock and
+both locks are always taken in the same order."""

@@ -1,0 +1,25 @@
+"""The counter from the bad twin, with locked accessors throughout."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def peek(self):
+        with self._lock:
+            return self.count
+
+    def reset(self):
+        with self._lock:
+            self.count = 0
+
+
+def report(counter: Counter) -> int:
+    return counter.peek()

@@ -1,0 +1,21 @@
+"""Both paths acquire the two locks in the same a-then-b order."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._lock_a = threading.Lock()
+        self._lock_b = threading.Lock()
+        self.forwarded = 0
+        self.reversed_count = 0
+
+    def forward(self):
+        with self._lock_a:
+            with self._lock_b:
+                self.forwarded += 1
+
+    def backward(self):
+        with self._lock_a:
+            with self._lock_b:
+                self.reversed_count += 1

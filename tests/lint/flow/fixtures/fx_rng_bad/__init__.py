@@ -1,0 +1,2 @@
+"""Hole-punched RNG fixtures: every module here contains a seeded
+RF300 violation that the flow analysis must find."""

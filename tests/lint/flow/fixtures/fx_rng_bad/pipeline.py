@@ -1,0 +1,21 @@
+"""An unseeded generator crossing two call hops before it draws."""
+
+import numpy as np
+
+
+def make_generator():
+    # RF300: no seed — every run draws a different stream.
+    return np.random.default_rng()
+
+
+def middle(rng):
+    return sample(rng)
+
+
+def sample(rng):
+    return rng.random()
+
+
+def run():
+    rng = make_generator()
+    return middle(rng)

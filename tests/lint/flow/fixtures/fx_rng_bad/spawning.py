@@ -1,0 +1,12 @@
+"""Two call sites building the same (entropy, spawn_key) pair."""
+
+import numpy as np
+
+
+def left_stream():
+    return np.random.SeedSequence(9876, spawn_key=(0,))
+
+
+def right_stream():
+    # RF300: identical entropy and spawn_key — both streams collide.
+    return np.random.SeedSequence(9876, spawn_key=(0,))

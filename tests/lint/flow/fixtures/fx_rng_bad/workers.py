@@ -1,0 +1,17 @@
+"""One generator shared across the per-worker loop boundary."""
+
+import numpy as np
+
+
+def evaluate(rng, item):
+    return item + rng.random()
+
+
+def run_workers(items):
+    rng = np.random.default_rng(1234)
+    results = []
+    for worker_id in range(4):
+        # RF300: the same stream serves every worker, so results
+        # depend on scheduling order instead of worker_id.
+        results.append(evaluate(rng, worker_id))
+    return results

@@ -1,0 +1,2 @@
+"""Known-good RNG fixtures: seeded streams, per-worker spawning,
+distinct spawn keys — the flow analysis must stay silent here."""

@@ -1,0 +1,20 @@
+"""A seeded generator crossing the same two call hops as the bad twin."""
+
+import numpy as np
+
+
+def make_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def middle(rng):
+    return sample(rng)
+
+
+def sample(rng):
+    return rng.random()
+
+
+def run():
+    rng = make_generator(1234)
+    return middle(rng)

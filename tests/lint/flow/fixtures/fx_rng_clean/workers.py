@@ -1,0 +1,19 @@
+"""Per-worker spawned streams: the generator is derived inside the
+worker loop, so each worker owns an independent stream."""
+
+import numpy as np
+
+
+def evaluate(rng, item):
+    return item + rng.random()
+
+
+def run_workers(items):
+    root = np.random.SeedSequence(1234)
+    results = []
+    for worker_id in range(4):
+        rng = np.random.default_rng(
+            np.random.SeedSequence(1234, spawn_key=(worker_id,))
+        )
+        results.append(evaluate(rng, worker_id))
+    return results, root

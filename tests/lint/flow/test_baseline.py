@@ -1,0 +1,123 @@
+"""Baseline files: suppression, staleness, and validation."""
+
+import json
+
+import pytest
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.flow.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    stale_entry_findings,
+)
+
+
+def _finding(rule="RF301", file="src/repro/serve/service.py",
+             message="read of 'X.y' without holding 'X._lock'"):
+    return Finding(
+        rule_id=rule, severity=Severity.ERROR, message=message,
+        file=file, line=10,
+    )
+
+
+def _entry(rule="RF301", file="repro/serve/service.py",
+           message="read of 'X.y' without holding 'X._lock'"):
+    return BaselineEntry(
+        rule=rule, file=file, message=message, reason="documented FP"
+    )
+
+
+class TestMatching:
+    def test_exact_match_suppresses(self):
+        kept, suppressed, stale = apply_baseline([_finding()], [_entry()])
+        assert kept == [] and suppressed == 1 and stale == []
+
+    def test_path_matches_by_suffix_not_prefix(self):
+        # Line numbers and leading path segments must not matter.
+        finding = _finding(file="/abs/checkout/src/repro/serve/service.py")
+        kept, suppressed, _ = apply_baseline([finding], [_entry()])
+        assert suppressed == 1 and kept == []
+
+    def test_different_message_does_not_match(self):
+        kept, suppressed, stale = apply_baseline(
+            [_finding(message="some other finding")], [_entry()]
+        )
+        assert len(kept) == 1 and suppressed == 0
+        assert stale == [_entry()]
+
+    def test_different_rule_does_not_match(self):
+        kept, _, _ = apply_baseline([_finding(rule="RF302")], [_entry()])
+        assert len(kept) == 1
+
+
+class TestStaleEntries:
+    def test_stale_entry_becomes_warning(self):
+        findings = stale_entry_findings([_entry()], "lint_baseline.json")
+        assert len(findings) == 1
+        assert findings[0].rule_id == "RF399"
+        assert findings[0].severity is Severity.WARNING
+        assert "delete the entry" in findings[0].message
+
+    def test_used_entry_is_not_stale(self):
+        _, _, stale = apply_baseline([_finding()], [_entry()])
+        assert stale == []
+
+
+class TestLoading:
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "baseline.json"
+        # Throwaway tmp fixture; tearing is fine here.
+        path.write_text(json.dumps(payload))  # repro-lint: disable=RL106
+        return str(path)
+
+    def test_round_trip(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {
+                "version": 1,
+                "suppressions": [
+                    {
+                        "rule": "RF301",
+                        "file": "repro/serve/service.py",
+                        "message": "read of 'X.y' without holding",
+                        "reason": "intentional: single-writer startup",
+                    }
+                ],
+            },
+        )
+        entries = load_baseline(path)
+        assert len(entries) == 1
+        assert entries[0].rule == "RF301"
+        assert entries[0].reason.startswith("intentional")
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = self._write(tmp_path, {"version": 99, "suppressions": []})
+        with pytest.raises(ValueError, match="unsupported version"):
+            load_baseline(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {"version": 1, "suppressions": [{"rule": "RF301"}]},
+        )
+        with pytest.raises(ValueError, match="missing"):
+            load_baseline(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = self._write(tmp_path, [1, 2, 3])
+        with pytest.raises(ValueError, match="suppressions"):
+            load_baseline(path)
+
+    def test_checked_in_baseline_loads(self):
+        import os
+
+        repo_root = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "..")
+        )
+        entries = load_baseline(
+            os.path.join(repo_root, "lint_baseline.json")
+        )
+        # The shipped baseline stays small: every accepted finding is
+        # reviewed, and the issue budget is five.
+        assert len(entries) <= 5

@@ -1,0 +1,135 @@
+"""Deleting a shipped serve fix must make its RF rule fire again.
+
+Each test copies the real serve sources into a scratch package,
+textually reverts one fix (asserting the revert actually bit, so a
+rename cannot turn these into silent no-ops), and runs the flow
+analysis over the scratch tree. The shipped tree itself must be clean.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.lint.flow import analyze_flow
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..")
+)
+SERVE = os.path.join(REPO_ROOT, "src", "repro", "serve")
+
+
+def _copy_serve(tmp_path, reverts):
+    """Copy the serve modules the analysis needs, applying ``reverts``
+    as (filename, pattern, replacement, expected_count) tuples."""
+    package = tmp_path / "repro"
+    (package / "serve").mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    for name in ("__init__.py", "metrics.py", "service.py", "server.py"):
+        source = open(
+            os.path.join(SERVE, name), "r", encoding="utf-8"
+        ).read()
+        for filename, pattern, replacement, expected in reverts:
+            if filename == name:
+                source, count = re.subn(pattern, replacement, source)
+                assert count == expected, (
+                    f"revert pattern {pattern!r} matched {count} times "
+                    f"in {name} (expected {expected}); the fix moved — "
+                    "update this regression test"
+                )
+        (package / "serve" / name).write_text(source)
+    return str(tmp_path)
+
+
+def _rf301(findings):
+    return [f for f in findings if f.rule_id == "RF301"]
+
+
+class TestShippedTreeIsClean:
+    def test_serve_layer_has_no_flow_findings(self):
+        findings, _ = analyze_flow([SERVE])
+        assert findings == []
+
+
+class TestWarmStartCounterFix:
+    def test_reverting_locked_accessor_fires_rf301(self, tmp_path):
+        # Pre-fix warm_start read metrics.front_computations bare,
+        # racing record_front_computation() on handler threads.
+        root = _copy_serve(
+            tmp_path,
+            [
+                (
+                    "service.py",
+                    r"self\.metrics\.total_front_computations\(\)",
+                    "self.metrics.front_computations",
+                    2,
+                )
+            ],
+        )
+        findings, _ = analyze_flow([root])
+        bare = [
+            f
+            for f in _rf301(findings)
+            if "ServeMetrics.front_computations" in f.message
+        ]
+        assert len(bare) == 2
+        assert all(f.file.endswith("service.py") for f in bare)
+        assert all("locked accessor" in f.message for f in bare)
+
+
+class TestStartupBannerFix:
+    def test_reverting_restored_fronts_accessor_fires_rf301(
+        self, tmp_path
+    ):
+        # Pre-fix run_server read metrics.restored_fronts bare while
+        # warm_start's handler-thread writes were already possible.
+        root = _copy_serve(
+            tmp_path,
+            [
+                (
+                    "server.py",
+                    r"service\.metrics\.total_restored_fronts\(\)",
+                    "service.metrics.restored_fronts",
+                    1,
+                )
+            ],
+        )
+        findings, _ = analyze_flow([root])
+        bare = [
+            f
+            for f in _rf301(findings)
+            if "ServeMetrics.restored_fronts" in f.message
+        ]
+        assert len(bare) == 1
+        assert bare[0].file.endswith("server.py")
+
+
+class TestAccessorsStayGuarded:
+    @pytest.mark.parametrize(
+        "accessor",
+        ["total_front_computations", "total_restored_fronts"],
+    )
+    def test_unlocking_an_accessor_fires_rf301(self, tmp_path, accessor):
+        # The fix itself must stay honest: strip the with-lock from the
+        # accessor body and the analysis flags the now-bare read.
+        field = accessor.replace("total_", "")
+        root = _copy_serve(
+            tmp_path,
+            [
+                (
+                    "metrics.py",
+                    r"with self\._lock:\n            return self\."
+                    + field,
+                    "return self." + field,
+                    1,
+                )
+            ],
+        )
+        findings, _ = analyze_flow([root])
+        bare = [
+            f
+            for f in _rf301(findings)
+            if f"ServeMetrics.{field}" in f.message
+        ]
+        assert len(bare) == 1
+        assert bare[0].file.endswith("metrics.py")
