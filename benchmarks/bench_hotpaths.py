@@ -41,17 +41,27 @@ host ``cpu_count``, because worker speedup is meaningless without it.
 ``--backend serial`` (or ``auto`` with ``--workers`` < 2) skips these
 entries: there is no second backend to compare against.
 
-A final ``serve_traffic`` entry drives synthetic query traffic against
+A ``serve_traffic`` entry drives synthetic query traffic against
 an in-process ``repro.serve`` daemon through the real HTTP client:
 queries/sec and client-observed p50/p99 at 1/2/4 concurrent clients
 (the warm-cache saturation curve), plus the cold first-query cost and
 a point-for-point ``max_abs_delta`` (must be 0.0) between the served
 front and the offline pipeline run.
 
+A final ``tabular_replay`` entry times a live supernet-backed
+evolutionary search against the same search replayed from an
+exhaustive :class:`repro.tabular.TabularBenchmark` — every generation
+scored by one vectorized column gather instead of supernet forwards.
+The replayed run's full result dict must equal the live run's
+(``max_abs_delta`` must be 0.0): the table's columns were built from
+the very same evaluation functions, so replay is a lookup, not an
+approximation.
+
 Results (times, speedups, equivalence deltas) are written to
 ``BENCH_hotpaths.json``. Expected on the CI container: >=5x on the
-depthwise conv, >=20x on batch latency prediction, and >=3x on the
-supernet Eq. 4 estimate via no-grad + batched + int8; >=2x on the
+depthwise conv, >=20x on batch latency prediction, >=3x on the
+supernet Eq. 4 estimate via no-grad + batched + int8, >=100x on
+tabular replay vs the live supernet-backed search; >=2x on the
 parallel quality estimate when the host has >=4 cores.
 """
 
@@ -579,6 +589,139 @@ def bench_serve_traffic(quick: bool) -> dict:
     }
 
 
+# -- 8. tabular replay: live supernet-backed search vs column gathers ---------
+
+
+def bench_tabular_replay(quick: bool) -> dict:
+    """Live supernet-backed EA vs the same EA replayed from a table.
+
+    The table is built exhaustively over the mini space with the same
+    evaluation functions the live search uses — accuracy from the
+    batched :class:`SupernetFastEval` float path (bit-exact with
+    per-arch forwards), latency from the LUT predictor's
+    ``predict_many``. The replayed search therefore scores every
+    population with one gather per column and must reproduce the live
+    result byte for byte.
+    """
+    from repro.space import mini, space_for_layout
+    from repro.tabular import TabularBenchmark, TabularEvaluator
+
+    if quick:
+        # Two operators per layer: 6^4 = 1,296 architectures, so the
+        # exhaustive build stays within a CI smoke budget.
+        space = SearchSpace(mini(), candidate_ops=[(0, 2)] * 4)
+    else:
+        # Three operators per layer: 9^4 = 6,561 architectures. Large
+        # enough that the replayed EA's fixed overhead amortizes away,
+        # small enough that the exhaustive supernet-backed build stays
+        # in benchmark (not batch-job) territory — the full 15^4 mini
+        # space costs ~8x more build time for the same speedup story.
+        space = SearchSpace(mini(), candidate_ops=[(0, 1, 2)] * 4)
+    cfg = space.config
+    device = calibrated_devices()["edge"]
+
+    net = Supernet(space, seed=0)
+    ds = SyntheticImageDataset.generate(
+        num_classes=cfg.num_classes,
+        train_per_class=8,
+        test_per_class=2 if quick else 8,
+        image_size=cfg.input_size,
+        channels=cfg.input_channels,
+        seed=0,
+    )
+    images, labels = ds.test_x, ds.test_y
+    fast = SupernetFastEval(net, precision="float")
+
+    def accuracy_many(batch):
+        # Bounded chunks keep the batched forward's activation memory
+        # flat across the 50k-arch exhaustive build.
+        out = []
+        for i in range(0, len(batch), 256):
+            out.extend(fast.accuracy_many(batch[i:i + 256], images, labels))
+        return out
+
+    def accuracy_one(arch):
+        return accuracy_many([arch])[0]
+
+    lut = LatencyLUT.build(space, device, samples_per_cell=2, seed=0)
+    predictor = LatencyPredictor(lut, space)
+
+    t0 = time.perf_counter()
+    table = TabularBenchmark.build(
+        space,
+        predictor.predict,
+        accuracy_one,
+        num_archs=None,
+        seed=0,
+        device="edge",
+        latency_many_fn=predictor.predict_many,
+        accuracy_many_fn=accuracy_many,
+    )
+    build_s = time.perf_counter() - t0
+
+    target_ms = float(np.median(table.latency_column("edge")))
+    ea_cfg = EvolutionConfig(
+        generations=3 if quick else 12,
+        population_size=8 if quick else 40,
+        num_parents=3 if quick else 12,
+        seed=2,
+    )
+
+    def run_live():
+        obj = Objective(
+            accuracy_fn=accuracy_one,
+            latency_fn=predictor.predict,
+            target_ms=target_ms,
+            beta=-0.5,
+            accuracy_many_fn=accuracy_many,
+            latency_many_fn=predictor.predict_many,
+        )
+        return EvolutionarySearch(space, obj, ea_cfg).run()
+
+    def run_replay():
+        lookup = TabularEvaluator(table, device="edge")
+        obj = Objective(
+            accuracy_fn=lookup.accuracy,
+            latency_fn=lookup.latency,
+            target_ms=target_ms,
+            beta=-0.5,
+            accuracy_many_fn=lookup.accuracy_many,
+            latency_many_fn=lookup.latency_many,
+        )
+        with create_backend("tabular", obj.evaluate_many) as evaluator:
+            return EvolutionarySearch(
+                space, obj, ea_cfg, evaluator=evaluator
+            ).run()
+
+    live = run_live()
+    replay = run_replay()
+    assert replay.to_dict() == live.to_dict(), "replayed search diverged"
+    max_delta = max(
+        max(
+            abs(a.best.score - b.best.score),
+            abs(a.best.latency_ms - b.best.latency_ms),
+        )
+        for a, b in zip(live.generations, replay.generations)
+    )
+    assert max_delta == 0.0, f"live/replay mismatch: {max_delta}"
+
+    t_live = _best_of(run_live, 1 if quick else 2)
+    t_replay = _best_of(run_replay, 3 if quick else 5)
+    return {
+        "space": "mini[2-op]" if quick else "mini[3-op]",
+        "table_rows": len(table),
+        "generations": ea_cfg.generations,
+        "population_size": ea_cfg.population_size,
+        "build_s": build_s,
+        "live_s": t_live,
+        "replay_s": t_replay,
+        "loop_s": t_live,
+        "vectorized_s": t_replay,
+        "speedup": t_live / t_replay,
+        "max_abs_delta": max_delta,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -664,6 +807,15 @@ def main() -> None:
         + ")"
     )
 
+    results["tabular_replay"] = bench_tabular_replay(args.quick)
+    tab = results["tabular_replay"]
+    print(
+        f"{'tabular_replay':>24s}: live {tab['live_s'] * 1e3:9.2f} ms   "
+        f"replay {tab['replay_s'] * 1e3:9.2f} ms   "
+        f"speedup {tab['speedup']:6.1f}x  "
+        f"(build {tab['build_s']:.1f} s, {tab['table_rows']} rows)"
+    )
+
     atomic_write_json(args.out, results)
     print(f"wrote {args.out}")
 
@@ -677,6 +829,10 @@ def main() -> None:
         assert eq4["speedup"] >= 3.0
         assert eq4["max_abs_delta"] == 0.0
         assert eq4["fidelity_int8"]["passed"]
+        # Replaying a search from the tabular artifact must beat the
+        # live supernet-backed search by >=100x and stay bit-exact.
+        assert tab["speedup"] >= 100.0
+        assert tab["max_abs_delta"] == 0.0
         # Worker speedup needs actual cores: the bit-exactness deltas are
         # asserted unconditionally (inside each bench), the wall-clock
         # target only where the host can physically deliver it.

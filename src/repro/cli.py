@@ -11,6 +11,10 @@ The subcommands cover the workflows a downstream user runs most:
 * ``table1``  — regenerate the Table-I comparison (baselines +
   HSCoNets) and write it as text and CSV.
 * ``front``   — NSGA-II accuracy/latency Pareto front; writes CSV.
+* ``tabulate`` — precompute a columnar tabular artifact (per-device
+  latency + accuracy for every architecture) for instant replay.
+* ``sweep``   — replay hundreds of (seed, target, device) search
+  scenarios against a tabular artifact; writes variance bands.
 
 All artifacts land in ``--out`` (default ``./results``) and are written
 atomically (write-then-rename), so a crash never leaves a torn file.
@@ -19,7 +23,10 @@ The evaluation-heavy commands (``search``, ``shrink``, ``predict``,
 processes and ``--backend`` to pick the evaluation backend explicitly
 (``auto``, the default, resolves from ``--workers``) — results are
 bit-identical either way (see ``docs/parallel.md`` and
-``docs/performance.md``).
+``docs/performance.md``). ``search`` and ``front`` additionally accept
+``--backend tabular --table DIR`` to replay against a prebuilt
+artifact instead of evaluating live — same bytes when the artifact was
+built with the matching recipe and seed, orders of magnitude faster.
 
 ``search``, ``shrink``, and ``front`` additionally accept ``--run-dir
 DIR`` (start a new crash-safe checkpointed run) and ``--resume DIR``
@@ -59,15 +66,14 @@ from repro.runstate import (
     atomic_write_json,
     atomic_write_text,
 )
-from repro.space import SearchSpace, imagenet_a, imagenet_b
+from repro.space import LAYOUT_NAMES, SearchSpace, space_for_layout
 
 
 def _space(layout: str) -> SearchSpace:
-    if layout == "a":
-        return SearchSpace(imagenet_a())
-    if layout == "b":
-        return SearchSpace(imagenet_b())
-    raise SystemExit(f"unknown layout {layout!r}; expected 'a' or 'b'")
+    try:
+        return space_for_layout(layout)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _ensure_out(path: str) -> Path:
@@ -146,6 +152,9 @@ def cmd_search(args: argparse.Namespace) -> int:
         evolution=EvolutionConfig(seed=args.seed),
         workers=args.workers,
         backend=args.backend,
+        table=args.table,
+        # Replay the latency column matching the requested device.
+        table_device=args.device if args.table else None,
     )
     run_state = _run_state(
         args,
@@ -169,6 +178,7 @@ def cmd_search(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "workers": args.workers,
         "backend": args.backend,
+        "table": args.table,
         "architecture": result.arch.to_dict(),
         "top1_error": result.top1_error,
         "top5_error": result.top5_error,
@@ -387,11 +397,44 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_front(args: argparse.Namespace, space: SearchSpace):
+    """The ``front`` command's tabular-replay path (no live predictor).
+
+    Bit-identical to the live path when the artifact was built with the
+    ``"front"`` recipe at this seed (the CI replay gate proves it);
+    misconfigurations fail loudly before any search runs.
+    """
+    from repro.serve.pipeline import replay_front_search
+    from repro.tabular import load_artifact
+
+    if args.table is None:
+        raise SystemExit(
+            "--backend tabular replays a prebuilt artifact; pass "
+            "--table DIR (build one with `repro tabulate`)"
+        )
+    if args.run_dir or args.resume:
+        raise SystemExit(
+            "--run-dir/--resume checkpoint live searches; a tabular "
+            "replay finishes in milliseconds and takes no checkpoints"
+        )
+    table = load_artifact(args.table, space=space)
+    if not table.exhaustive:
+        raise SystemExit(
+            f"front replay needs an exhaustive table; {args.table} "
+            f"holds {len(table)} architectures — rebuild with "
+            "`repro tabulate --num-archs 0`"
+        )
+    return replay_front_search(space, table, args.device, seed=args.seed)
+
+
 def cmd_front(args: argparse.Namespace) -> int:
     from repro.core import BiObjective, EvaluationCache
     from repro.serve.pipeline import build_front_predictor, front_search
 
     space = _space(args.layout)
+    if args.backend == "tabular":
+        result = _replay_front(args, space)
+        return _write_front(args, result)
     surrogate = AccuracySurrogate(space)
     run_state = _run_state(
         args,
@@ -435,7 +478,11 @@ def cmd_front(args: argparse.Namespace) -> int:
         checkpoint=front_ckpt,
         surrogate=surrogate,
     )
+    return _write_front(args, result)
 
+
+def _write_front(args: argparse.Namespace, result) -> int:
+    """Print and persist a Pareto front (shared by live and replay)."""
     print(f"{len(result.front)} Pareto points "
           f"({result.num_evaluations} evaluations):")
     for p in result.front:
@@ -493,6 +540,80 @@ def cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tabulate(args: argparse.Namespace) -> int:
+    from repro.tabular import save_artifact, tabulate
+
+    space = _space(args.layout)
+    devices = tuple(args.device) if args.device else ("edge",)
+    table = tabulate(
+        space,
+        devices,
+        seed=args.seed,
+        num_archs=args.num_archs or None,
+        recipe=args.recipe,
+        workers=args.workers,
+        backend=args.backend,
+    )
+    out = _ensure_out(args.out)
+    path = out / f"table_{args.layout}_{args.recipe}_seed{args.seed}"
+    save_artifact(table, path, layout=args.layout)
+    coverage = "exhaustive" if table.exhaustive else "sampled"
+    print(
+        f"tabulated {len(table)} architectures ({coverage}) for "
+        f"{', '.join(table.devices)} "
+        f"[recipe={args.recipe} seed={args.seed}]"
+    )
+    print(f"artifact written to {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.report.sweeps import render_sweep_summary
+    from repro.tabular import load_artifact, run_sweep
+
+    table = load_artifact(args.table)
+    devices = tuple(args.device) if args.device else table.devices
+    if args.target:
+        targets = tuple(args.target)
+    else:
+        # No target given: sweep around the artifact's own latency
+        # distribution (the median of the primary device's column).
+        targets = (float(np.median(table.latency_column())),)
+    report = run_sweep(
+        table,
+        targets=targets,
+        seeds=tuple(range(args.seeds)),
+        devices=devices,
+        generations=args.generations,
+        population_size=args.population,
+        num_parents=args.parents,
+    )
+    print(
+        f"{len(report.results)} scenarios "
+        f"({len(devices)} devices x {len(targets)} targets x "
+        f"{args.seeds} seeds):"
+    )
+    print(render_sweep_summary(report.summary_rows()))
+
+    out = _ensure_out(args.out)
+    path = out / "sweep.json"
+    atomic_write_json(path, report.to_dict())
+    for label, band in report.bands().items():
+        csv = series_to_csv(
+            {
+                "generation": band["generation"],
+                "mean": band["mean"],
+                "std": band["std"],
+                "min": band["min"],
+                "max": band["max"],
+            }
+        )
+        band_path = out / f"sweep_band_{label.replace('@', '_')}.csv"
+        atomic_write_text(band_path, csv + "\n")
+    print(f"sweep written to {path} (+ per-group band CSVs)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -502,19 +623,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="artifact output directory (default: results)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_workers(p: argparse.ArgumentParser) -> None:
+    def add_workers(
+        p: argparse.ArgumentParser, tabular: bool = False
+    ) -> None:
         p.add_argument(
             "--workers", type=int, default=0,
             help="evaluation worker processes; 0 = serial (the default), "
                  "results are identical for any value",
         )
+        choices = ("auto", "serial", "multiprocess")
+        if tabular:
+            choices = choices + ("tabular",)
         p.add_argument(
-            "--backend", choices=("auto", "serial", "multiprocess"),
-            default="auto",
+            "--backend", choices=choices, default="auto",
             help="evaluation backend; auto picks multiprocess when "
                  "--workers >= 2, serial otherwise — results are "
-                 "identical either way (see docs/performance.md)",
+                 "identical either way (see docs/performance.md)"
+                 + (", and tabular replays a prebuilt artifact "
+                    "(requires --table)" if tabular else ""),
         )
+        if tabular:
+            p.add_argument(
+                "--table", default=None, metavar="DIR",
+                help="tabular artifact directory for --backend tabular "
+                     "(build one with `repro tabulate`)",
+            )
 
     def add_run_state(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -530,18 +663,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("search", help="run one HSCoNAS pipeline")
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
-    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--layout", choices=LAYOUT_NAMES, default="a")
     p.add_argument("--target", type=float, default=34.0,
                    help="latency constraint T in ms")
     p.add_argument("--seed", type=int, default=0)
-    add_workers(p)
+    add_workers(p, tabular=True)
     add_run_state(p)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("shrink",
                        help="progressive space shrinking trace (Sec. III-C)")
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
-    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--layout", choices=LAYOUT_NAMES, default="a")
     p.add_argument("--target", type=float, default=34.0,
                    help="latency constraint T in ms")
     p.add_argument("--quality-samples", type=int, default=100,
@@ -553,7 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("predict", help="build + evaluate the latency predictor")
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
-    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--layout", choices=LAYOUT_NAMES, default="a")
     p.add_argument("--seed", type=int, default=0)
     add_workers(p)
     p.set_defaults(func=cmd_predict)
@@ -566,19 +699,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("front", help="NSGA-II accuracy/latency Pareto front")
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
-    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--layout", choices=LAYOUT_NAMES, default="a")
     p.add_argument("--seed", type=int, default=0)
-    add_workers(p)
+    add_workers(p, tabular=True)
     add_run_state(p)
     p.set_defaults(func=cmd_front)
 
     p = sub.add_parser("energy",
                        help="energy model + predictor samples (future work)")
     p.add_argument("--device", choices=("gpu", "cpu", "edge"), default="edge")
-    p.add_argument("--layout", choices=("a", "b"), default="a")
+    p.add_argument("--layout", choices=LAYOUT_NAMES, default="a")
     p.add_argument("--samples", type=int, default=40)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_energy)
+
+    p = sub.add_parser(
+        "tabulate",
+        help="precompute a columnar tabular artifact for instant replay",
+    )
+    p.add_argument("--layout", choices=LAYOUT_NAMES, default="mini")
+    p.add_argument(
+        "--device", action="append", default=[],
+        choices=("gpu", "cpu", "edge"), metavar="DEV",
+        help="latency column(s) to tabulate (repeatable; default: edge)",
+    )
+    p.add_argument(
+        "--num-archs", type=int, default=0, metavar="N",
+        help="architectures to sample; 0 (default) = exhaustive "
+             "(small layouts only — capped at 1e6)",
+    )
+    p.add_argument(
+        "--recipe", choices=("front", "search"), default="front",
+        help="which live pipeline's predictor/surrogate to tabulate: "
+             "the serving-layer front recipe or the HSCoNAS search "
+             "recipe (they score differently; replay must match)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    add_workers(p)
+    p.set_defaults(func=cmd_tabulate)
+
+    p = sub.add_parser(
+        "sweep",
+        help="replay (device x target x seed) search scenarios "
+             "against a tabular artifact; writes variance bands",
+    )
+    p.add_argument(
+        "--table", required=True, metavar="DIR",
+        help="tabular artifact directory (from `repro tabulate`)",
+    )
+    p.add_argument(
+        "--device", action="append", default=[], metavar="DEV",
+        help="device column(s) to sweep (repeatable; default: all "
+             "columns in the artifact)",
+    )
+    p.add_argument(
+        "--target", action="append", default=[], type=float, metavar="MS",
+        help="latency target(s) in ms (repeatable; default: the median "
+             "latency of the artifact's primary device column)",
+    )
+    p.add_argument(
+        "--seeds", type=int, default=5, metavar="N",
+        help="replay seeds 0..N-1 per (device, target) cell (default 5)",
+    )
+    p.add_argument("--generations", type=int, default=20)
+    p.add_argument("--population", type=int, default=50)
+    p.add_argument("--parents", type=int, default=20)
+    p.set_defaults(func=cmd_sweep)
     return parser
 
 
@@ -590,6 +776,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except RunStateError as exc:
         # Operator errors (bad --resume dir, corrupt checkpoint, config
         # mismatch) get one actionable line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Same contract for artifact problems (wrong space fingerprint,
+        # corrupt columns, sampled table where replay needs exhaustive).
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -62,8 +62,18 @@ class HSCoNASConfig:
     # multiprocess when workers >= 2, serial otherwise — the historical
     # behaviour of the workers knob. "serial"/"multiprocess" force a
     # backend; forcing multiprocess with workers <= 1 still evaluates
-    # inline. Results are bit-identical across backends.
+    # inline. Results are bit-identical across backends. "tabular"
+    # replays a prebuilt artifact (``table``) instead of evaluating:
+    # shrinking and the EA score against the table's recorded columns,
+    # bit-identical to a live run when the artifact was built with the
+    # matching "search" recipe at the same seed and device.
     backend: str = "auto"
+    # Tabular replay (docs/performance.md, "Tabular replay"): path of a
+    # saved artifact directory (repro.tabular.save_artifact) and the
+    # latency column to replay; None picks the artifact's primary
+    # device. Only meaningful with backend="tabular".
+    table: Optional[str] = None
+    table_device: Optional[str] = None
     # Fault tolerance (docs/robustness.md). ``retry`` fights individual
     # probe failures during LUT building and measurement; its backoff
     # jitter never touches the measurement-noise stream, so a healthy
@@ -87,11 +97,16 @@ class HSCoNASConfig:
             raise ValueError(
                 f"backend must be one of {BACKEND_NAMES}, got {self.backend!r}"
             )
-        if self.backend == "tabular":
+        if self.backend == "tabular" and self.table is None:
             raise ValueError(
-                "the pipeline has no lookup table to replay; construct a "
-                "TabularBackend via repro.parallel.create_backend and use "
-                "it with the searchers directly"
+                "backend 'tabular' replays a prebuilt artifact; set "
+                "HSCoNASConfig.table to a saved artifact directory "
+                "(CLI: --backend tabular --table PATH)"
+            )
+        if self.table is not None and self.backend != "tabular":
+            raise ValueError(
+                "table is only meaningful with backend='tabular' "
+                f"(got backend={self.backend!r})"
             )
 
 
@@ -107,7 +122,8 @@ class HSCoNASResult:
     bias_ms: float
     search: SearchResult
     shrink: Optional[ShrinkResult]
-    predictor: LatencyPredictor
+    # None on a tabular replay (the artifact's columns replace it).
+    predictor: Optional[LatencyPredictor]
     final_space: SearchSpace
     ledger: Optional[MeasurementLedger] = None
     degradation: Optional[DegradationReport] = None
@@ -259,6 +275,43 @@ class HSCoNAS:
         checkpoint.save(self._predictor_payload(predictor), complete=True)
         return predictor
 
+    # -- tabular replay -----------------------------------------------------------
+
+    def _replay_objective(self) -> Objective:
+        """The Eq. 1 objective scored from a prebuilt tabular artifact.
+
+        Loading verifies the artifact's schema, checksums, and space
+        fingerprint (:mod:`repro.tabular.artifact`), so a wrong-space
+        or corrupt table fails loudly here rather than replaying
+        garbage. The table must be exhaustive: shrinking and the EA
+        sample freely from the space, and replay never silently falls
+        back to live evaluation.
+        """
+        cfg = self.config
+        # Local import: repro.tabular builds tables *through* this
+        # pipeline's recipes, so the dependency must stay one-way at
+        # module-import time.
+        from repro.space.encoding import space_cardinality
+        from repro.tabular import TabularEvaluator, load_artifact
+
+        table = load_artifact(cfg.table, space=self.space)
+        if not table.exhaustive:
+            raise ValueError(
+                "pipeline replay needs an exhaustive table; "
+                f"{cfg.table} holds {len(table)} of "
+                f"{space_cardinality(self.space)} architectures — "
+                "rebuild with num_archs=None"
+            )
+        evaluator = TabularEvaluator(table, device=cfg.table_device)
+        return Objective(
+            accuracy_fn=evaluator.accuracy,
+            latency_fn=evaluator.latency,
+            target_ms=cfg.target_ms,
+            beta=cfg.beta,
+            accuracy_many_fn=evaluator.accuracy_many,
+            latency_many_fn=evaluator.latency_many,
+        )
+
     # -- full pipeline --------------------------------------------------------------
 
     def run(self, run_state: Optional[RunDir] = None) -> HSCoNASResult:
@@ -271,33 +324,43 @@ class HSCoNAS:
         architecture, same numbers — for any ``workers`` setting.
         """
         cfg = self.config
-        predictor = self.checkpointed_predictor(run_state)
-
-        objective = Objective(
-            accuracy_fn=self.surrogate.proxy_accuracy,
-            latency_fn=predictor.predict,
-            target_ms=cfg.target_ms,
-            beta=cfg.beta,
-            latency_many_fn=predictor.predict_many,
-        )
+        replay = cfg.backend == "tabular"
+        if replay:
+            # Stage 1 is already done: the artifact's columns *are* the
+            # predictor (and surrogate) outputs, recorded at build time.
+            predictor = None
+            objective = self._replay_objective()
+            evaluator = create_backend(
+                "tabular", eval_many_fn=objective.evaluate_many
+            )
+        else:
+            predictor = self.checkpointed_predictor(run_state)
+            objective = Objective(
+                accuracy_fn=self.surrogate.proxy_accuracy,
+                latency_fn=predictor.predict,
+                target_ms=cfg.target_ms,
+                beta=cfg.beta,
+                latency_many_fn=predictor.predict_many,
+            )
+            # One evaluation backend serves both phases; "auto"
+            # resolves to multiprocess when workers >= 2, serial
+            # otherwise. Worker-side evaluations query the predictor in
+            # the workers' address space, where its ledger increments
+            # are lost — the hook replays them (one query per
+            # architecture) so search-cost accounting matches the
+            # serial run. The serial backend performs those increments
+            # inline and ignores the hook.
+            evaluator = create_backend(
+                cfg.backend,
+                objective.evaluate_many,
+                workers=cfg.workers,
+                on_worker_items=self.ledger.record_prediction,
+            )
         # One cache spans shrinking and the EA: the proxy accuracy and
-        # the predictor are both frozen for the whole run, so a score
-        # computed during shrinking is still valid when the EA re-visits
-        # the same architecture.
+        # the predictor (or the replay table) are both frozen for the
+        # whole run, so a score computed during shrinking is still
+        # valid when the EA re-visits the same architecture.
         eval_cache = EvaluationCache()
-        # One evaluation backend likewise serves both phases; "auto"
-        # resolves to multiprocess when workers >= 2, serial otherwise.
-        # Worker-side evaluations query the predictor in the workers'
-        # address space, where its ledger increments are lost — the hook
-        # replays them (one query per architecture) so search-cost
-        # accounting matches the serial run. The serial backend performs
-        # those increments inline and ignores the hook.
-        evaluator = create_backend(
-            cfg.backend,
-            objective.evaluate_many,
-            workers=cfg.workers,
-            on_worker_items=self.ledger.record_prediction,
-        )
 
         # From here until the final verification measurement the search
         # is measurement-free — the property Eq. 2-3 buys. The frozen
@@ -381,6 +444,25 @@ class HSCoNAS:
 
         self.ledger.thaw_measurements()
         best = search_result.best.arch
+        if replay:
+            # Replay never touches a device: the recorded column is
+            # both the prediction and the "measurement", and the bias
+            # is whatever the build recipe calibrated into the column.
+            predicted = objective.latency_fn(best)
+            return HSCoNASResult(
+                arch=best,
+                top1_error=self.surrogate.top1_error(best),
+                top5_error=self.surrogate.top5_error(best),
+                predicted_latency_ms=predicted,
+                measured_latency_ms=predicted,
+                bias_ms=0.0,
+                search=search_result,
+                shrink=shrink_result,
+                predictor=None,
+                final_space=search_space,
+                ledger=self.ledger,
+                degradation=self.degradation,
+            )
         return HSCoNASResult(
             arch=best,
             top1_error=self.surrogate.top1_error(best),

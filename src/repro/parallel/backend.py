@@ -118,24 +118,47 @@ class SerialBackend(EvaluationBackend):
 class TabularBackend(EvaluationBackend):
     """Replay recorded per-architecture results instead of evaluating.
 
-    ``lookup_fn`` maps one architecture to its recorded result — e.g.
-    ``table.lookup`` of a :class:`repro.tabular.TabularBenchmark`, or
-    any closure assembling the search stack's expected result type from
-    a table row. Missing architectures raise ``KeyError`` (a tabular
+    Two wiring styles, exactly one of which must be given:
+
+    * ``eval_many_fn`` — a *batched* replay function scoring a whole
+      population in one call, e.g. an :class:`repro.core.Objective`
+      whose accuracy/latency functions are a
+      :class:`repro.tabular.TabularEvaluator`'s vectorized column
+      gathers. This is the fast path: one fancy-indexed gather per
+      generation.
+    * ``lookup_fn`` — a per-architecture lookup, e.g. ``table.query``
+      of a :class:`repro.tabular.TabularBenchmark`, or any closure
+      assembling the search stack's expected result type from a table
+      row.
+
+    Either way, missing architectures raise ``KeyError`` (a tabular
     run that silently falls back to live evaluation would not be a
     replay).
     """
 
     name = "tabular"
 
-    def __init__(self, lookup_fn: Callable[[object], object], cache=None):
+    def __init__(
+        self,
+        lookup_fn: Optional[Callable[[object], object]] = None,
+        cache=None,
+        eval_many_fn: Optional[Callable[[List], Sequence]] = None,
+    ):
         super().__init__(cache=cache)
+        if (lookup_fn is None) == (eval_many_fn is None):
+            raise ValueError(
+                "tabular backend requires exactly one of lookup_fn "
+                "(per-arch) or eval_many_fn (batched replay)"
+            )
         self.lookup_fn = lookup_fn
+        self.eval_many_fn = eval_many_fn
 
     def map(self, archs: Sequence) -> List:
         archs = list(archs)
         self.batches += 1
         self.items += len(archs)
+        if self.eval_many_fn is not None:
+            return list(self.eval_many_fn(archs))
         return [self.lookup_fn(arch) for arch in archs]
 
 
@@ -167,16 +190,22 @@ def create_backend(
     ``"auto"`` resolves via :func:`resolve_backend_name`, preserving the
     historical meaning of ``workers``. ``"serial"`` and
     ``"multiprocess"`` require ``eval_many_fn``; ``"tabular"`` requires
-    ``lookup_fn``. The multiprocess-only options (``weight_store``,
-    ``source_module``, ``on_worker_items``, ``chunk_size``,
-    ``max_retries``) are accepted and ignored by the in-process backends
-    so call sites don't need to branch.
+    ``lookup_fn`` (per-arch replay) or ``eval_many_fn`` (batched replay
+    — preferred, one vectorized gather per generation). The
+    multiprocess-only options (``weight_store``, ``source_module``,
+    ``on_worker_items``, ``chunk_size``, ``max_retries``) are accepted
+    and ignored by the in-process backends so call sites don't need to
+    branch.
     """
     resolved = resolve_backend_name(name, workers=workers)
     if resolved == "tabular":
-        if lookup_fn is None:
-            raise ValueError("tabular backend requires lookup_fn")
-        return TabularBackend(lookup_fn, cache=cache)
+        if lookup_fn is None and eval_many_fn is None:
+            raise ValueError(
+                "tabular backend requires lookup_fn or eval_many_fn"
+            )
+        if lookup_fn is not None:
+            return TabularBackend(lookup_fn, cache=cache)
+        return TabularBackend(cache=cache, eval_many_fn=eval_many_fn)
     if eval_many_fn is None:
         raise ValueError(f"{resolved} backend requires eval_many_fn")
     if resolved == "serial":

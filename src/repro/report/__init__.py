@@ -2,6 +2,11 @@
 
 from repro.report.tables import TableRow, render_table1
 from repro.report.figures import ascii_histogram, ascii_scatter, series_to_csv
+from repro.report.sweeps import (
+    generation_bands,
+    render_sweep_summary,
+    summarize_group,
+)
 
 __all__ = [
     "TableRow",
@@ -9,4 +14,7 @@ __all__ = [
     "ascii_histogram",
     "ascii_scatter",
     "series_to_csv",
+    "generation_bands",
+    "render_sweep_summary",
+    "summarize_group",
 ]

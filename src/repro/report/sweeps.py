@@ -1,0 +1,96 @@
+"""Variance-band reporting for tabular scenario sweeps (Fig. 6 bands).
+
+Pure data-in, data-out helpers over plain lists/dicts so the report
+layer stays import-light: :mod:`repro.tabular.sweep` produces the
+scenario payloads, this module turns them into generation-wise bands
+(mean/std/min/max across seeds), aggregate summary rows, and rendered
+text — the multi-seed counterpart of the paper's single-seed Fig. 6
+curves and Table I rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def generation_bands(
+    curves: Sequence[Sequence[float]],
+) -> Dict[str, List[float]]:
+    """Generation-wise mean/std/min/max across same-length curves."""
+    if not curves:
+        raise ValueError("at least one curve is required")
+    lengths = {len(curve) for curve in curves}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"curves must share a generation count, got lengths {sorted(lengths)}"
+        )
+    stacked = np.asarray(curves, dtype=np.float64)
+    return {
+        "generation": list(range(stacked.shape[1])),
+        "mean": [float(v) for v in stacked.mean(axis=0)],
+        "std": [float(v) for v in stacked.std(axis=0)],
+        "min": [float(v) for v in stacked.min(axis=0)],
+        "max": [float(v) for v in stacked.max(axis=0)],
+    }
+
+
+def summarize_group(label: str, scenarios: Sequence[dict]) -> dict:
+    """One aggregate row for a (device, target) group of scenarios.
+
+    ``scenarios`` are :meth:`ScenarioResult.to_dict` payloads sharing a
+    device and target; the row reports cross-seed spread of the final
+    best plus the oracle gap where the table knows the true optimum.
+    """
+    if not scenarios:
+        raise ValueError("at least one scenario is required")
+    accuracy = np.asarray(
+        [s["best_accuracy"] for s in scenarios], dtype=np.float64
+    )
+    latency = np.asarray(
+        [s["best_latency_ms"] for s in scenarios], dtype=np.float64
+    )
+    row = {
+        "group": label,
+        "device": scenarios[0]["device"],
+        "target_ms": float(scenarios[0]["target_ms"]),
+        "seeds": len(scenarios),
+        "best_accuracy_mean": float(accuracy.mean()),
+        "best_accuracy_std": float(accuracy.std()),
+        "best_latency_ms_mean": float(latency.mean()),
+        "best_latency_ms_std": float(latency.std()),
+        "evaluations_total": int(
+            sum(s["num_evaluations"] for s in scenarios)
+        ),
+    }
+    oracles = [
+        s["oracle_accuracy"]
+        for s in scenarios
+        if s.get("oracle_accuracy") is not None
+    ]
+    if oracles:
+        # The oracle is a property of (device, target), identical for
+        # every seed in the group.
+        row["oracle_accuracy"] = float(oracles[0])
+        row["oracle_gap_mean"] = float(oracles[0] - accuracy.mean())
+    return row
+
+
+def render_sweep_summary(rows: Sequence[dict]) -> str:
+    """Fixed-width text rendering of :func:`summarize_group` rows."""
+    header = (
+        f"{'scenario':<18s} {'seeds':>5s} {'acc mean':>9s} "
+        f"{'acc std':>8s} {'lat mean':>9s} {'oracle gap':>10s}"
+    )
+    lines = [header]
+    for row in rows:
+        gap = row.get("oracle_gap_mean")
+        lines.append(
+            f"{row['group']:<18s} {row['seeds']:>5d} "
+            f"{row['best_accuracy_mean']:>9.4f} "
+            f"{row['best_accuracy_std']:>8.4f} "
+            f"{row['best_latency_ms_mean']:>9.2f} "
+            + (f"{gap:>10.4f}" if gap is not None else f"{'n/a':>10s}")
+        )
+    return "\n".join(lines)

@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(repeatable), e.g. --warm edge:a --warm gpu:a:7",
     )
     parser.add_argument(
+        "--table", default=None, metavar="DIR",
+        help="tabular artifact directory (repro tabulate); covered "
+             "queries replay from its columns — same bytes, "
+             "milliseconds instead of a live search",
+    )
+    parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-request access logs (metrics still record)",
     )
@@ -70,6 +76,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             front_cache_size=args.cache_size or None,
             state_dir=args.state_dir,
             warm=tuple(warm_query_from_spec(s) for s in args.warm),
+            table=args.table,
             quiet=args.quiet,
         )
         return run_server(config)

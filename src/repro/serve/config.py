@@ -65,6 +65,14 @@ class ServeConfig:
         Fronts to precompute before accepting traffic (popular
         (device, layout) pairs). Restored snapshot entries satisfy warm
         specs without recomputation.
+    table:
+        Optional tabular artifact directory
+        (:func:`repro.tabular.save_artifact`). Queries the artifact
+        covers — matching layout fingerprint, device column, and build
+        seed, on an exhaustive ``"front"``-recipe table — are replayed
+        from its columns instead of searched live: same bytes,
+        milliseconds instead of seconds. Everything else still runs
+        the live recipe.
     metrics_window:
         How many recent request latencies the p50/p99 estimates cover.
     quiet:
@@ -78,6 +86,7 @@ class ServeConfig:
     front_cache_size: Optional[int] = 64
     state_dir: Optional[str] = None
     warm: Tuple[FrontQuery, ...] = field(default_factory=tuple)
+    table: Optional[str] = None
     metrics_window: int = 1024
     quiet: bool = False
 

@@ -61,6 +61,7 @@ class ServeMetrics:
         self.coalesced = 0
         self.front_computations = 0
         self.warm_precomputed = 0
+        self.replayed_fronts = 0
         self.restored_fronts = 0
         self.by_endpoint: Dict[str, int] = {}
         self._backend: Dict[str, int] = {
@@ -87,12 +88,21 @@ class ServeMetrics:
         with self._lock:
             self.coalesced += 1
 
-    def record_front_computation(self, warm: bool = False) -> None:
-        """A cache-missing front actually computed (possibly warmup)."""
+    def record_front_computation(
+        self, warm: bool = False, replayed: bool = False
+    ) -> None:
+        """A cache-missing front actually computed (possibly warmup).
+
+        ``replayed`` counts fronts resolved from a tabular artifact's
+        columns instead of a live search — same bytes, so the split is
+        purely an operator's cost signal.
+        """
         with self._lock:
             self.front_computations += 1
             if warm:
                 self.warm_precomputed += 1
+            if replayed:
+                self.replayed_fronts += 1
 
     def record_restored(self, count: int) -> None:
         """Fronts reloaded from the warm-restart snapshot at startup."""
@@ -144,6 +154,7 @@ class ServeMetrics:
                 "fronts": {
                     "computed": self.front_computations,
                     "warm_precomputed": self.warm_precomputed,
+                    "replayed": self.replayed_fronts,
                     "restored": self.restored_fronts,
                 },
                 "backend": {

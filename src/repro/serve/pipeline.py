@@ -7,12 +7,18 @@ throughput/caching skin, never a semantics change. The only way to keep
 that guarantee honest is for both to call the same functions; this
 module is that shared recipe:
 
-* :func:`space_for_layout` — layout name -> :class:`SearchSpace`;
+* :func:`space_for_layout` — layout name -> :class:`SearchSpace`
+  (re-exported from :mod:`repro.space`, where the tabular artifact
+  loader resolves the same names);
 * :func:`build_front_predictor` — the LUT build + Eq. 3 bias
   calibration exactly as ``repro front`` has always seeded it;
 * :func:`front_search` — the NSGA-II run, funneling population
   batches through ``predict_many`` and (optionally) an externally-owned
-  :class:`~repro.parallel.EvaluationBackend`.
+  :class:`~repro.parallel.EvaluationBackend`;
+* :func:`replay_front_search` — the same NSGA-II run scored from a
+  prebuilt tabular artifact's columns instead of a live predictor,
+  bit-identical to :func:`front_search` when the artifact was built
+  with the ``"front"`` recipe at the same seed.
 """
 
 from __future__ import annotations
@@ -23,22 +29,14 @@ from repro.accuracy import AccuracySurrogate
 from repro.core import EvaluationCache, Nsga2Config, Nsga2Result, Nsga2Search
 from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
 from repro.hardware.calibration import calibrated_devices
-from repro.space import SearchSpace, imagenet_a, imagenet_b, mini, proxy
+from repro.space import SearchSpace, space_for_layout
 
-
-def space_for_layout(layout: str) -> SearchSpace:
-    """The search space a layout name serves."""
-    configs = {
-        "a": imagenet_a,
-        "b": imagenet_b,
-        "mini": mini,
-        "proxy": proxy,
-    }
-    if layout not in configs:
-        raise ValueError(
-            f"unknown layout {layout!r}; expected one of {sorted(configs)}"
-        )
-    return SearchSpace(configs[layout]())
+__all__ = [
+    "space_for_layout",
+    "build_front_predictor",
+    "front_search",
+    "replay_front_search",
+]
 
 
 def build_front_predictor(
@@ -104,3 +102,49 @@ def front_search(
         checkpoint=checkpoint,
         evaluator=evaluator,
     ).run()
+
+
+def replay_front_search(
+    space: SearchSpace,
+    table,
+    device: str,
+    seed: int,
+    generations: int = 20,
+    population_size: int = 50,
+    cache: Optional[EvaluationCache] = None,
+    checkpoint=None,
+) -> Nsga2Result:
+    """:func:`front_search` replayed from a tabular artifact's columns.
+
+    Populations are scored by one vectorized gather per generation
+    (:meth:`repro.tabular.TabularEvaluator.bi_objective_many`) through
+    ``create_backend("tabular")`` — no predictor, no surrogate, no
+    per-arch lookups. Bit-identical to the live recipe when ``table``
+    was built with the ``"front"`` recipe at this seed; untabulated
+    architectures raise ``KeyError`` rather than silently falling back
+    to live evaluation.
+    """
+    from repro.parallel.backend import create_backend
+    from repro.tabular.evaluator import TabularEvaluator
+
+    replay = TabularEvaluator(table, device=device)
+    evaluator = create_backend(
+        "tabular", eval_many_fn=replay.bi_objective_many
+    )
+    try:
+        return Nsga2Search(
+            space,
+            accuracy_fn=replay.accuracy,
+            latency_fn=replay.latency,
+            latency_many_fn=replay.latency_many,
+            config=Nsga2Config(
+                seed=seed,
+                generations=generations,
+                population_size=population_size,
+            ),
+            cache=cache,
+            checkpoint=checkpoint,
+            evaluator=evaluator,
+        ).run()
+    finally:
+        evaluator.close()

@@ -44,6 +44,7 @@ from repro.serve.metrics import ServeMetrics
 from repro.serve.pipeline import (
     build_front_predictor,
     front_search,
+    replay_front_search,
     space_for_layout,
 )
 from repro.serve.query import FrontQuery
@@ -113,6 +114,8 @@ class SearchService:
         )
         self._inflight: Dict[Tuple, _InFlight] = {}
         self._bundles: "OrderedDict[Tuple, tuple]" = OrderedDict()
+        self._table = self._load_table()
+        self._layout_fingerprints: Dict[str, str] = {}
         self._checkpoint = self._open_state()
         self._restore()
 
@@ -158,6 +161,56 @@ class SearchService:
             snapshot = self._front_cache.snapshot(CachedFront.to_dict)
         self._checkpoint.save({"format": STATE_FORMAT, "cache": snapshot})
 
+    # -- tabular replay -----------------------------------------------------------
+
+    def _load_table(self):
+        """The configured tabular artifact, schema/checksum-verified.
+
+        A bad artifact (corrupt columns, wrong schema, no recorded
+        layout) raises at startup — refusing to serve beats serving
+        fronts that silently came from the wrong table.
+        """
+        if self.config.table is None:
+            return None
+        # Local import: repro.tabular builds its columns through this
+        # package's recipes, so the static dependency stays one-way.
+        from repro.tabular import load_artifact
+
+        return load_artifact(self.config.table)
+
+    def _table_covers(self, query: FrontQuery) -> bool:
+        """Whether the artifact can answer ``query`` bit-identically.
+
+        Replay is only byte-equal to the live recipe when the table is
+        exhaustive (the NSGA-II run samples freely), was built with the
+        ``"front"`` recipe at the query's seed, has the query's device
+        column, and fingerprints to the query's layout space. Anything
+        else falls through to the live search — coverage is decided
+        per query, never silently approximated.
+        """
+        table = self._table
+        if table is None:
+            return False
+        if (
+            not table.exhaustive
+            or table.recipe != "front"
+            or table.build_seed != query.seed
+            or query.device not in table.devices
+        ):
+            return False
+        with self._lock:
+            fingerprint = self._layout_fingerprints.get(query.layout)
+        if fingerprint is None:
+            from repro.tabular import space_fingerprint
+
+            # Computed outside the lock: deriving a fingerprint walks
+            # the whole space definition. Two racing computations get
+            # identical results; last insert wins harmlessly.
+            fingerprint = space_fingerprint(space_for_layout(query.layout))
+            with self._lock:
+                self._layout_fingerprints[query.layout] = fingerprint
+        return fingerprint == table.fingerprint
+
     # -- evaluation ---------------------------------------------------------------
 
     def _bundle(self, device: str, layout: str, seed: int):
@@ -195,6 +248,23 @@ class SearchService:
         return bundle
 
     def _compute(self, query: FrontQuery, warm: bool) -> CachedFront:
+        if self._table_covers(query):
+            result = replay_front_search(
+                self._table.space,
+                self._table,
+                query.device,
+                seed=query.seed,
+                generations=query.generations,
+                population_size=query.population_size,
+            )
+            self.metrics.record_front_computation(
+                warm=warm, replayed=True
+            )
+            return CachedFront(
+                query=query,
+                front=tuple(result.front),
+                num_evaluations=result.num_evaluations,
+            )
         space, surrogate, predictor = self._bundle(
             query.device, query.layout, query.seed
         )

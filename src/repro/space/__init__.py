@@ -31,6 +31,7 @@ from repro.space.encoding import (
     space_cardinality,
 )
 from repro.space.geometry import LayerGeometry, build_layer_geometry
+from repro.space.layouts import LAYOUT_NAMES, space_for_layout
 from repro.space.search_space import SearchSpace
 from repro.space.sampling import sample_architectures, sample_uniform
 
@@ -54,6 +55,8 @@ __all__ = [
     "space_cardinality",
     "LayerGeometry",
     "build_layer_geometry",
+    "LAYOUT_NAMES",
+    "space_for_layout",
     "SearchSpace",
     "sample_uniform",
     "sample_architectures",

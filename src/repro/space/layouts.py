@@ -1,0 +1,32 @@
+"""Layout names -> search spaces, shared by every entry point.
+
+The CLI, the serving daemon, and the tabular artifact loader all accept
+the same four layout names; resolving them here (rather than in each
+front end) is what lets a tabular artifact record the layout it was
+built from and be reopened anywhere without the caller reconstructing
+the space by hand.
+"""
+
+from __future__ import annotations
+
+from repro.space.config import imagenet_a, imagenet_b, mini, proxy
+from repro.space.search_space import SearchSpace
+
+LAYOUT_NAMES = ("a", "b", "mini", "proxy")
+
+_LAYOUT_CONFIGS = {
+    "a": imagenet_a,
+    "b": imagenet_b,
+    "mini": mini,
+    "proxy": proxy,
+}
+
+
+def space_for_layout(layout: str) -> SearchSpace:
+    """The search space a layout name serves."""
+    configs = _LAYOUT_CONFIGS
+    if layout not in configs:
+        raise ValueError(
+            f"unknown layout {layout!r}; expected one of {sorted(configs)}"
+        )
+    return SearchSpace(configs[layout]())

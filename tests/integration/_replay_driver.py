@@ -1,0 +1,153 @@
+"""Subprocess driver for the tabular-replay CI gate.
+
+Builds a ``"search"``-recipe exhaustive artifact over the mini layout,
+then runs the same search twice — once live (supernet-free analytic
+recipe, exactly what ``HSCoNASConfig`` defaults to) and once replayed
+from the artifact's columns — and writes a raw-float JSON fingerprint
+of each. The CI job diffs the two files: any drift between live and
+replay, down to the last bit of any float, fails the gate. Raw floats
+on purpose — rendered CSV would round away exactly the drift this gate
+exists to catch.
+
+Two comparisons share the artifact:
+
+* ``pipeline`` — the full HSCoNAS run (shrinking + EA), live vs
+  ``backend="tabular"``;
+* ``front`` — the NSGA-II Pareto front, live vs
+  :func:`repro.serve.pipeline.replay_front_search`.
+
+Usage:
+    python _replay_driver.py tabulate TABLE_DIR
+    python _replay_driver.py pipeline OUT_JSON [--table TABLE_DIR]
+    python _replay_driver.py front OUT_JSON [--table TABLE_DIR]
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig
+from repro.hardware.calibration import calibrated_devices
+from repro.runstate.atomic import atomic_write_json
+from repro.space import space_for_layout
+from repro.tabular import load_artifact, save_artifact, tabulate
+from repro.tabular.build import recipe_predictor, recipe_surrogate
+
+LAYOUT = "mini"  # the one registered layout small enough for exhaustive
+DEVICE = "edge"
+SEED = 0
+TARGET_MS = 2.6
+
+
+def pipeline_config(table: Path = None) -> HSCoNASConfig:
+    kwargs = dict(
+        target_ms=TARGET_MS,
+        seed=SEED,
+        quality_samples=20,
+        shrink_stage_layers=((3,), (1,)),
+        evolution=EvolutionConfig(
+            generations=8, population_size=20, num_parents=8
+        ),
+    )
+    if table is not None:
+        kwargs.update(backend="tabular", table=str(table))
+    return HSCoNASConfig(**kwargs)
+
+
+def pipeline_fingerprint(result) -> dict:
+    return {
+        "arch": result.arch.to_dict(),
+        "top1_error": result.top1_error,
+        "top5_error": result.top5_error,
+        "predicted_latency_ms": result.predicted_latency_ms,
+        "num_evaluations": result.search.num_evaluations,
+        "generations": [
+            {
+                "index": g.index,
+                "best_score": g.best.score,
+                "best_latency_ms": g.best.latency_ms,
+                "best_accuracy": g.best.accuracy,
+            }
+            for g in result.search.generations
+        ],
+        "shrink": result.shrink.to_dict() if result.shrink else None,
+    }
+
+
+def front_fingerprint(result) -> dict:
+    return {
+        "num_evaluations": result.num_evaluations,
+        "front": [
+            {
+                "ops": list(p.arch.ops),
+                "factors": list(p.arch.factors),
+                "latency_ms": p.latency_ms,
+                "accuracy": p.accuracy,
+            }
+            for p in result.front
+        ],
+    }
+
+
+def cmd_tabulate(args) -> None:
+    space = space_for_layout(LAYOUT)
+    table = tabulate(
+        space, devices=(DEVICE,), seed=SEED, recipe="search"
+    )
+    save_artifact(table, args.table, layout=LAYOUT)
+    print(f"tabulated {len(table)} architectures -> {args.table}")
+
+
+def cmd_pipeline(args) -> None:
+    space = space_for_layout(LAYOUT)
+    device = calibrated_devices()[DEVICE]
+    config = pipeline_config(args.table)
+    result = HSCoNAS(space, device, config).run()
+    atomic_write_json(args.out, pipeline_fingerprint(result))
+
+
+def cmd_front(args) -> None:
+    from repro.serve.pipeline import front_search, replay_front_search
+
+    space = space_for_layout(LAYOUT)
+    if args.table is not None:
+        table = load_artifact(args.table, space=space)
+        result = replay_front_search(
+            space, table, DEVICE, seed=SEED, generations=8,
+            population_size=20,
+        )
+    else:
+        # The live twin of the "search"-recipe replay: same predictor
+        # build, same space-calibrated surrogate, same NSGA-II seed.
+        predictor = recipe_predictor("search", space, DEVICE, SEED)
+        result = front_search(
+            space,
+            predictor,
+            seed=SEED,
+            generations=8,
+            population_size=20,
+            surrogate=recipe_surrogate("search", space),
+        )
+    atomic_write_json(args.out, front_fingerprint(result))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers(dest="mode", required=True)
+    p = sub.add_parser("tabulate")
+    p.add_argument("table", type=Path)
+    for mode in ("pipeline", "front"):
+        p = sub.add_parser(mode)
+        p.add_argument("out", type=Path)
+        p.add_argument("--table", type=Path, default=None)
+    args = parser.parse_args()
+    {
+        "tabulate": cmd_tabulate,
+        "pipeline": cmd_pipeline,
+        "front": cmd_front,
+    }[args.mode](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The tabular-replay gate, in-process twin of the CI job.
+
+One exhaustive "search"-recipe artifact over the mini layout, then the
+same two comparisons the ``tabular-replay`` CI job diffs: the full
+HSCoNAS pipeline and the NSGA-II front, live vs replayed, compared as
+raw-float JSON fingerprints (never rendered output).
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+DRIVER = Path(__file__).with_name("_replay_driver.py")
+TIMEOUT_S = 600
+
+
+def _run_driver(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    proc = subprocess.run(
+        [sys.executable, str(DRIVER), *map(str, args)],
+        env=env,
+        timeout=TIMEOUT_S,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"driver {args[0]} failed ({proc.returncode}):\n"
+            f"{proc.stderr[-2000:]}"
+        )
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    table = tmp_path_factory.mktemp("replay_gate") / "table"
+    _run_driver("tabulate", table)
+    return table
+
+
+def test_pipeline_replay_fingerprint_is_bit_identical(artifact, tmp_path):
+    live, replay = tmp_path / "live.json", tmp_path / "replay.json"
+    _run_driver("pipeline", live)
+    _run_driver("pipeline", replay, "--table", artifact)
+    assert json.loads(live.read_text()) == json.loads(replay.read_text())
+
+
+def test_front_replay_fingerprint_is_bit_identical(artifact, tmp_path):
+    live, replay = tmp_path / "live.json", tmp_path / "replay.json"
+    _run_driver("front", live)
+    _run_driver("front", replay, "--table", artifact)
+    live_fp = json.loads(live.read_text())
+    replay_fp = json.loads(replay.read_text())
+    assert live_fp == replay_fp
+    # The gate must compare something real: a degenerate all-zero
+    # accuracy column would make bit-identity trivially true.
+    assert any(p["accuracy"] > 0.0 for p in live_fp["front"])

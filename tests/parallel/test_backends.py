@@ -178,6 +178,50 @@ class TestTabularBackend:
         assert backend.evaluate_many([two]) == [4]
         assert lookups == [1, 2]
 
+    def test_batched_replay_via_eval_many_fn(self):
+        batches = []
+
+        def gather(archs):
+            batches.append(list(archs))
+            return [a * 3 for a in archs]
+
+        backend = TabularBackend(eval_many_fn=gather)
+        assert backend.map([2, 1, 4]) == [6, 3, 12]
+        # One vectorized gather per batch, never per-item lookups.
+        assert batches == [[2, 1, 4]]
+        assert backend.stats() == {
+            "backend": "tabular", "batches": 1, "items": 3,
+        }
+
+    def test_batched_replay_miss_propagates(self):
+        def gather(archs):
+            raise KeyError("architecture not tabulated")
+
+        backend = TabularBackend(eval_many_fn=gather)
+        with pytest.raises(KeyError, match="not tabulated"):
+            backend.map([1])
+
+    def test_exactly_one_evaluation_path_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            TabularBackend(lookup_fn=lambda a: a, eval_many_fn=lambda a: a)
+        with pytest.raises(ValueError, match="exactly one"):
+            TabularBackend()
+
+    def test_factory_accepts_eval_many_fn(self):
+        backend = create_backend(
+            "tabular", eval_many_fn=lambda archs: [a + 1 for a in archs]
+        )
+        assert isinstance(backend, TabularBackend)
+        assert backend.map([1, 2]) == [2, 3]
+        # When both are given the factory prefers per-arch lookup (the
+        # historical signature); the backend itself rejects ambiguity.
+        preferred = create_backend(
+            "tabular",
+            lookup_fn=lambda a: a * 10,
+            eval_many_fn=lambda archs: [a + 1 for a in archs],
+        )
+        assert preferred.map([1, 2]) == [10, 20]
+
 
 class TestSearchFingerprints:
     CFG = dict(generations=3, population_size=10, num_parents=4, seed=5)

@@ -1,0 +1,84 @@
+"""Sweep reporting helpers: bands, group summaries, text rendering."""
+
+import pytest
+
+from repro.report.sweeps import (
+    generation_bands,
+    render_sweep_summary,
+    summarize_group,
+)
+
+
+class TestGenerationBands:
+    def test_bands_across_curves(self):
+        bands = generation_bands([[1.0, 2.0, 4.0], [3.0, 2.0, 2.0]])
+        assert bands["generation"] == [0, 1, 2]
+        assert bands["mean"] == [2.0, 2.0, 3.0]
+        assert bands["min"] == [1.0, 2.0, 2.0]
+        assert bands["max"] == [3.0, 2.0, 4.0]
+        assert bands["std"][1] == 0.0
+
+    def test_single_curve_degenerates(self):
+        bands = generation_bands([[0.5, 0.6]])
+        assert bands["mean"] == [0.5, 0.6]
+        assert bands["std"] == [0.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one curve"):
+            generation_bands([])
+        with pytest.raises(ValueError, match="generation count"):
+            generation_bands([[1.0], [1.0, 2.0]])
+
+
+def scenario(seed, accuracy, oracle=0.9):
+    return {
+        "device": "edge",
+        "target_ms": 3.0,
+        "seed": seed,
+        "best_accuracy": accuracy,
+        "best_latency_ms": 2.5,
+        "best_score": accuracy,
+        "num_evaluations": 30,
+        "best_score_curve": [accuracy],
+        "best_latency_curve": [2.5],
+        "oracle_accuracy": oracle,
+    }
+
+
+class TestSummarizeGroup:
+    def test_aggregates_across_seeds(self):
+        row = summarize_group(
+            "edge@3ms", [scenario(0, 0.8), scenario(1, 0.9)]
+        )
+        assert row["group"] == "edge@3ms"
+        assert row["seeds"] == 2
+        assert row["best_accuracy_mean"] == pytest.approx(0.85)
+        assert row["evaluations_total"] == 60
+        assert row["oracle_accuracy"] == 0.9
+        assert row["oracle_gap_mean"] == pytest.approx(0.05)
+
+    def test_without_oracle(self):
+        row = summarize_group(
+            "edge@3ms", [scenario(0, 0.8, oracle=None)]
+        )
+        assert "oracle_accuracy" not in row
+        assert "oracle_gap_mean" not in row
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            summarize_group("edge@3ms", [])
+
+
+class TestRenderSweepSummary:
+    def test_renders_rows_and_missing_oracle(self):
+        rows = [
+            summarize_group("edge@3ms", [scenario(0, 0.8)]),
+            summarize_group(
+                "gpu@1ms", [scenario(0, 0.7, oracle=None)]
+            ),
+        ]
+        text = render_sweep_summary(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("scenario")
+        assert "edge@3ms" in lines[1]
+        assert "n/a" in lines[2]

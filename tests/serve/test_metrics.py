@@ -48,11 +48,13 @@ class TestServeMetrics:
         metrics = ServeMetrics()
         metrics.record_front_computation()
         metrics.record_front_computation(warm=True)
+        metrics.record_front_computation(replayed=True)
         metrics.record_coalesced()
         metrics.record_restored(3)
         snap = metrics.snapshot()
         assert snap["fronts"] == {
-            "computed": 2, "warm_precomputed": 1, "restored": 3,
+            "computed": 3, "warm_precomputed": 1, "replayed": 1,
+            "restored": 3,
         }
         assert snap["queries"]["coalesced"] == 1
 

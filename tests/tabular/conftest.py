@@ -1,0 +1,52 @@
+"""Shared fixtures for the columnar tabular subsystem tests."""
+
+import pytest
+
+from repro.space import SearchSpace, SpaceConfig, StageSpec
+from repro.tabular import TabularBenchmark, decode_indices, resolve_indices
+
+
+def micro_config() -> SpaceConfig:
+    """(5 ops x 2 factors)^2 = 100 architectures."""
+    return SpaceConfig(
+        name="micro",
+        input_size=16,
+        num_classes=4,
+        stem_channels=4,
+        stages=(StageSpec(1, 8), StageSpec(1, 16)),
+        head_channels=16,
+        channel_factors=(0.5, 1.0),
+    )
+
+
+def micro_latency(space, arch) -> float:
+    return space.arch_flops(arch) / 1e4
+
+
+def micro_accuracy(space, arch) -> float:
+    return min(1.0, (space.arch_flops(arch) / 1e5) ** 0.5)
+
+
+@pytest.fixture(scope="session")
+def micro_space():
+    return SearchSpace(micro_config())
+
+
+@pytest.fixture(scope="session")
+def micro_table(micro_space):
+    """An exhaustive two-device table built from the micro functions."""
+    indices, exhaustive = resolve_indices(micro_space, None, 0)
+    archs = decode_indices(micro_space, indices)
+    return TabularBenchmark(
+        micro_space,
+        indices=indices,
+        accuracy=[micro_accuracy(micro_space, a) for a in archs],
+        latency={
+            "edge": [micro_latency(micro_space, a) for a in archs],
+            "gpu": [micro_latency(micro_space, a) / 3.0 for a in archs],
+        },
+        exhaustive=exhaustive,
+        primary_device="edge",
+        recipe="front",
+        build_seed=0,
+    )

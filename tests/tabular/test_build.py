@@ -1,0 +1,149 @@
+"""Recipe-faithful tabulation: determinism across seeds and backends."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import fork_available
+from repro.tabular import RECIPES, TabularBenchmark, tabulate
+
+from tests.tabular.conftest import micro_accuracy, micro_latency
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+
+def _columns(table):
+    cols = {"accuracy": table.accuracy_column()}
+    for device in table.devices:
+        cols[f"latency__{device}"] = table.latency_column(device)
+    return cols
+
+
+def assert_identical(a, b):
+    assert a.indices == b.indices
+    for name, col in _columns(a).items():
+        assert np.array_equal(col, _columns(b)[name]), name
+
+
+class TestTabulate:
+    def test_exhaustive_multi_device(self, micro_space):
+        table = tabulate(micro_space, devices=("edge", "gpu"), seed=3)
+        assert len(table) == 100
+        assert table.exhaustive
+        assert table.devices == ("edge", "gpu")
+        assert table.primary_device == "edge"
+        assert table.recipe == "front"
+        assert table.build_seed == 3
+
+    def test_same_seed_is_bit_identical(self, micro_space):
+        first = tabulate(micro_space, devices=("edge",), seed=5)
+        second = tabulate(micro_space, devices=("edge",), seed=5)
+        assert_identical(first, second)
+
+    def test_different_seed_moves_latency(self, micro_space):
+        first = tabulate(micro_space, devices=("edge",), seed=0)
+        second = tabulate(micro_space, devices=("edge",), seed=1)
+        # The LUT micro-benchmark noise is seeded, so the recorded
+        # latency columns must differ while the row set stays fixed.
+        assert first.indices == second.indices
+        assert not np.array_equal(
+            first.latency_column("edge"), second.latency_column("edge")
+        )
+
+    def test_sampled_build(self, proxy_space):
+        table = tabulate(
+            proxy_space, devices=("edge",), seed=0, num_archs=20
+        )
+        assert len(table) == 20
+        assert not table.exhaustive
+
+    def test_search_recipe_differs_from_front(self, micro_space):
+        front = tabulate(micro_space, devices=("edge",), seed=0)
+        search = tabulate(
+            micro_space, devices=("edge",), seed=0, recipe="search"
+        )
+        assert front.recipe == "front" and search.recipe == "search"
+        # 2 vs 4 LUT samples per cell: the latency columns cannot agree.
+        assert not np.array_equal(
+            front.latency_column("edge"), search.latency_column("edge")
+        )
+
+    def test_unknown_recipe_rejected(self, micro_space):
+        with pytest.raises(ValueError, match="unknown recipe"):
+            tabulate(micro_space, devices=("edge",), recipe="night")
+        assert set(RECIPES) == {"front", "search"}
+
+    def test_no_devices_rejected(self, micro_space):
+        with pytest.raises(ValueError, match="at least one device"):
+            tabulate(micro_space, devices=())
+
+
+class TestBuildBackends:
+    def test_serial_backend_matches_inline(self, micro_space):
+        def lat(a):
+            return micro_latency(micro_space, a)
+
+        def acc(a):
+            return micro_accuracy(micro_space, a)
+
+        inline = TabularBenchmark.build(
+            micro_space, lat, acc, num_archs=None
+        )
+        serial = TabularBenchmark.build(
+            micro_space, lat, acc, num_archs=None, backend="serial"
+        )
+        assert_identical(inline, serial)
+
+    @needs_fork
+    def test_multiprocess_build_matches_serial(self, micro_space):
+        def lat(a):
+            return micro_latency(micro_space, a)
+
+        def acc(a):
+            return micro_accuracy(micro_space, a)
+
+        serial = TabularBenchmark.build(
+            micro_space, lat, acc, num_archs=None
+        )
+        parallel = TabularBenchmark.build(
+            micro_space,
+            lat,
+            acc,
+            num_archs=None,
+            backend="multiprocess",
+            workers=2,
+        )
+        assert_identical(serial, parallel)
+
+    @needs_fork
+    def test_multiprocess_tabulate_matches_serial(self, micro_space):
+        serial = tabulate(micro_space, devices=("edge",), seed=0)
+        parallel = tabulate(
+            micro_space,
+            devices=("edge",),
+            seed=0,
+            workers=2,
+            backend="multiprocess",
+        )
+        assert_identical(serial, parallel)
+
+    def test_batched_fns_match_scalar_loop(self, micro_space):
+        def lat(a):
+            return micro_latency(micro_space, a)
+
+        def acc(a):
+            return micro_accuracy(micro_space, a)
+
+        scalar = TabularBenchmark.build(
+            micro_space, lat, acc, num_archs=None
+        )
+        batched = TabularBenchmark.build(
+            micro_space,
+            lat,
+            acc,
+            num_archs=None,
+            latency_many_fn=lambda archs: [lat(a) for a in archs],
+            accuracy_many_fn=lambda archs: [acc(a) for a in archs],
+        )
+        assert_identical(scalar, batched)

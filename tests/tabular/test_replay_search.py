@@ -1,0 +1,139 @@
+"""Instant replay vs live search: the bit-identity contracts.
+
+The artifact's whole value proposition is that a replayed search is the
+*same* search — same candidate stream, same scores, same discovered
+architecture — just read from columns instead of computed. These tests
+pin that for both entry points: the front recipe
+(:func:`repro.serve.pipeline.replay_front_search`) and the full HSCoNAS
+pipeline (``backend="tabular"``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EvolutionConfig, HSCoNAS, HSCoNASConfig
+from repro.hardware.calibration import calibrated_devices
+from repro.serve.pipeline import (
+    build_front_predictor,
+    front_search,
+    replay_front_search,
+)
+from repro.tabular import save_artifact, tabulate
+
+
+def front_points(result):
+    return [
+        (p.arch.key(), p.latency_ms, p.accuracy) for p in result.front
+    ]
+
+
+class TestFrontReplay:
+    @pytest.fixture(scope="class")
+    def front_table(self, micro_space):
+        return tabulate(
+            micro_space, devices=("edge",), seed=0, recipe="front"
+        )
+
+    def test_replay_front_is_bit_identical(self, micro_space, front_table):
+        predictor = build_front_predictor(micro_space, "edge", seed=0)
+        live = front_search(
+            micro_space, predictor, seed=0, generations=4,
+            population_size=10,
+        )
+        replay = replay_front_search(
+            micro_space, front_table, "edge", seed=0, generations=4,
+            population_size=10,
+        )
+        # Raw floats, not rendered output: any drift must fail here.
+        assert front_points(replay) == front_points(live)
+        assert replay.num_evaluations == live.num_evaluations
+
+    def test_replay_is_seed_sensitive(self, micro_space, front_table):
+        base = replay_front_search(
+            micro_space, front_table, "edge", seed=0, generations=4,
+            population_size=10,
+        )
+        other = replay_front_search(
+            micro_space, front_table, "edge", seed=1, generations=4,
+            population_size=10,
+        )
+        assert front_points(base) != front_points(other)
+
+
+class TestPipelineReplay:
+    @pytest.fixture(scope="class")
+    def search_artifact(self, micro_space, tmp_path_factory):
+        table = tabulate(
+            micro_space, devices=("edge",), seed=0, recipe="search"
+        )
+        path = tmp_path_factory.mktemp("artifact") / "micro_search"
+        save_artifact(table, path)
+        return path, float(np.median(table.latency_column("edge")))
+
+    def _config(self, target_ms, **overrides):
+        kwargs = dict(
+            target_ms=target_ms,
+            seed=0,
+            quality_samples=10,
+            shrink_stage_layers=((1,), (0,)),
+            evolution=EvolutionConfig(
+                generations=4, population_size=10, num_parents=4
+            ),
+        )
+        kwargs.update(overrides)
+        return HSCoNASConfig(**kwargs)
+
+    def test_pipeline_replay_matches_live(self, micro_space, search_artifact):
+        path, target_ms = search_artifact
+        device = calibrated_devices()["edge"]
+        live = HSCoNAS(
+            micro_space, device, self._config(target_ms)
+        ).run()
+        replay = HSCoNAS(
+            micro_space,
+            device,
+            self._config(
+                target_ms, backend="tabular", table=str(path)
+            ),
+        ).run()
+        assert replay.arch == live.arch
+        assert replay.top1_error == live.top1_error
+        assert replay.predicted_latency_ms == live.predicted_latency_ms
+        assert replay.search.to_dict() == live.search.to_dict()
+        # Shrinking took the same decisions from the same scores.
+        assert (
+            replay.shrink.final_space.candidate_ops
+            == live.shrink.final_space.candidate_ops
+        )
+        assert replay.predictor is None
+        # Replay never touched the device.
+        assert replay.ledger.measurement_sessions == 0
+
+    def test_sampled_artifact_rejected(
+        self, micro_space, tmp_path, search_artifact
+    ):
+        _, target_ms = search_artifact
+        sampled = tabulate(
+            micro_space,
+            devices=("edge",),
+            seed=0,
+            recipe="search",
+            num_archs=10,
+        )
+        path = save_artifact(sampled, tmp_path / "sampled")
+        device = calibrated_devices()["edge"]
+        nas = HSCoNAS(
+            micro_space,
+            device,
+            self._config(
+                target_ms, backend="tabular", table=str(path)
+            ),
+        )
+        with pytest.raises(ValueError, match="exhaustive"):
+            nas.run()
+
+    def test_config_requires_table_with_tabular_backend(self):
+        with pytest.raises(ValueError, match="--backend tabular"):
+            HSCoNASConfig(backend="tabular")
+        with pytest.raises(ValueError, match="only meaningful"):
+            HSCoNASConfig(table="/tmp/somewhere")

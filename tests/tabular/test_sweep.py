@@ -1,0 +1,149 @@
+"""Scenario sweeps: grid coverage, determinism, oracle gaps, bands."""
+
+import numpy as np
+import pytest
+
+from repro.tabular import (
+    SweepScenario,
+    TabularBenchmark,
+    run_scenario,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def budget(micro_table):
+    return float(np.median(micro_table.latency_column("edge")))
+
+
+def small_sweep(table, budget, **overrides):
+    kwargs = dict(
+        targets=(budget,),
+        seeds=(0, 1),
+        devices=("edge",),
+        generations=3,
+        population_size=8,
+        num_parents=3,
+    )
+    kwargs.update(overrides)
+    return run_sweep(table, **kwargs)
+
+
+class TestRunScenario:
+    def test_deterministic_replay(self, micro_table, budget):
+        scenario = SweepScenario(device="edge", target_ms=budget, seed=4)
+        first = run_scenario(
+            micro_table, scenario, generations=3, population_size=8,
+            num_parents=3,
+        )
+        second = run_scenario(
+            micro_table, scenario, generations=3, population_size=8,
+            num_parents=3,
+        )
+        assert first.to_dict() == second.to_dict()
+
+    def test_labels(self, budget):
+        scenario = SweepScenario(device="gpu", target_ms=2.5, seed=7)
+        assert scenario.label() == "gpu@2.5ms/seed7"
+
+    def test_oracle_matches_best_under(self, micro_table, budget):
+        result = run_scenario(
+            micro_table,
+            SweepScenario(device="edge", target_ms=budget, seed=0),
+            generations=3,
+            population_size=8,
+            num_parents=3,
+        )
+        _, entry = micro_table.best_under(budget, device="edge")
+        assert result.oracle_accuracy == entry.accuracy
+        # The EA can only ever reach the oracle, never beat it.
+        assert result.best_accuracy <= entry.accuracy
+
+    def test_infeasible_target_has_no_oracle(self, micro_table):
+        result = run_scenario(
+            micro_table,
+            SweepScenario(device="edge", target_ms=1e-9, seed=0),
+            generations=2,
+            population_size=6,
+            num_parents=2,
+        )
+        assert result.oracle_accuracy is None
+
+    def test_curves_span_generations(self, micro_table, budget):
+        result = run_scenario(
+            micro_table,
+            SweepScenario(device="edge", target_ms=budget, seed=0),
+            generations=4,
+            population_size=6,
+            num_parents=2,
+        )
+        assert len(result.best_score_curve) == 4
+        assert len(result.best_latency_curve) == 4
+
+
+class TestRunSweep:
+    def test_grid_size_and_order(self, micro_table, budget):
+        report = small_sweep(
+            micro_table,
+            budget,
+            devices=("edge", "gpu"),
+            targets=(budget, budget * 2),
+            seeds=(0, 1, 2),
+        )
+        assert len(report.results) == 2 * 2 * 3
+        labels = {r.scenario.label() for r in report.results}
+        assert len(labels) == 12  # every scenario distinct
+
+    def test_default_devices_cover_table(self, micro_table, budget):
+        report = small_sweep(micro_table, budget, devices=None)
+        assert {r.scenario.device for r in report.results} == {
+            "edge", "gpu",
+        }
+
+    def test_non_exhaustive_table_rejected(self, micro_space, budget):
+        sampled = TabularBenchmark(
+            micro_space,
+            indices=[0, 1, 2],
+            accuracy=[0.1, 0.2, 0.3],
+            latency={"edge": [1.0, 2.0, 3.0]},
+        )
+        with pytest.raises(ValueError, match="exhaustive"):
+            run_sweep(sampled, targets=(2.0,), seeds=(0,))
+
+    def test_bands_structure(self, micro_table, budget):
+        report = small_sweep(micro_table, budget)
+        bands = report.bands()
+        assert set(bands) == {f"edge@{budget:g}ms"}
+        band = bands[f"edge@{budget:g}ms"]
+        assert set(band) == {"generation", "mean", "std", "min", "max"}
+        for series in band.values():
+            assert len(series) == report.generations
+        assert band["generation"] == list(range(report.generations))
+        # Two seeds: the band must bracket both curves.
+        curves = report.grouped_curves()[f"edge@{budget:g}ms"]
+        assert len(curves) == 2
+        for gen in range(report.generations):
+            values = [c[gen] for c in curves]
+            assert band["min"][gen] == min(values)
+            assert band["max"][gen] == max(values)
+            assert band["mean"][gen] == pytest.approx(
+                sum(values) / len(values)
+            )
+
+    def test_summary_rows(self, micro_table, budget):
+        report = small_sweep(micro_table, budget, devices=("edge", "gpu"))
+        rows = report.summary_rows()
+        assert {row["group"] for row in rows} == {
+            f"edge@{budget:g}ms", f"gpu@{budget:g}ms",
+        }
+        for row in rows:
+            assert row["seeds"] == 2
+
+    def test_to_dict_is_json_ready(self, micro_table, budget):
+        import json
+
+        report = small_sweep(micro_table, budget)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["generations"] == 3
+        assert len(payload["scenarios"]) == 2
+        assert "bands" in payload and "summary" in payload

@@ -1,0 +1,260 @@
+"""Columnar table core: sampling, vectorized decode, row addressing."""
+
+import numpy as np
+import pytest
+
+from repro.space import Architecture
+from repro.space.encoding import (
+    architecture_to_index,
+    index_to_architecture,
+    space_cardinality,
+)
+from repro.tabular import (
+    SCHEMA_VERSION,
+    TabularBenchmark,
+    decode_indices,
+    sample_indices,
+    space_fingerprint,
+)
+
+from tests.tabular.conftest import micro_accuracy, micro_latency
+
+
+class TestSampleIndices:
+    def test_distinct_sorted_and_deterministic(self, proxy_space):
+        first = sample_indices(proxy_space, 200, seed=3)
+        assert first == sorted(set(first))
+        assert len(first) == 200
+        assert first == sample_indices(proxy_space, 200, seed=3)
+        assert first != sample_indices(proxy_space, 200, seed=4)
+
+    def test_whole_space_draw_does_not_stall(self, micro_space):
+        """Asking for 100% of the space must terminate with every index.
+
+        The historical rejection sampler gave up (or spun) once the
+        acceptance rate collapsed; choice-without-replacement cannot.
+        """
+        total = space_cardinality(micro_space)
+        assert sample_indices(micro_space, total, seed=0) == list(
+            range(total)
+        )
+
+    def test_oversized_request_saturates(self, micro_space):
+        total = space_cardinality(micro_space)
+        assert len(sample_indices(micro_space, total * 7, seed=0)) == total
+
+    def test_paper_scale_cardinality_samples(self, space_a):
+        # ~9.5e33 architectures: exercises the big-int rejection path.
+        indices = sample_indices(space_a, 32, seed=1)
+        assert len(indices) == 32
+        assert indices == sorted(set(indices))
+        assert all(0 <= i < space_cardinality(space_a) for i in indices)
+
+
+class TestDecodeIndices:
+    def test_matches_scalar_decoder(self, micro_space):
+        total = space_cardinality(micro_space)
+        batch = decode_indices(micro_space, range(total))
+        for index, arch in enumerate(batch):
+            assert arch == index_to_architecture(micro_space, index)
+
+    def test_round_trips_through_encoder(self, proxy_space):
+        indices = sample_indices(proxy_space, 64, seed=9)
+        for index, arch in zip(
+            indices, decode_indices(proxy_space, indices)
+        ):
+            assert architecture_to_index(proxy_space, arch) == index
+
+    def test_empty_and_out_of_range(self, micro_space):
+        assert decode_indices(micro_space, []) == []
+        with pytest.raises(ValueError, match="outside"):
+            decode_indices(micro_space, [space_cardinality(micro_space)])
+        with pytest.raises(ValueError, match="outside"):
+            decode_indices(micro_space, [-1])
+
+
+class TestFingerprint:
+    def test_stable_and_space_sensitive(self, micro_space, proxy_space):
+        assert space_fingerprint(micro_space) == space_fingerprint(
+            micro_space
+        )
+        assert space_fingerprint(micro_space) != space_fingerprint(
+            proxy_space
+        )
+
+    def test_shrunk_space_changes_fingerprint(self, micro_space):
+        from repro.space import SearchSpace
+
+        shrunk = SearchSpace(
+            micro_space.config,
+            candidate_ops=[
+                ops[:-1] for ops in micro_space.candidate_ops
+            ],
+        )
+        assert space_fingerprint(shrunk) != space_fingerprint(micro_space)
+
+
+class TestRowAddressing:
+    def test_rows_of_exhaustive_is_identity(self, micro_table, micro_space):
+        archs = decode_indices(micro_space, [0, 17, 99])
+        assert micro_table.rows_of(archs).tolist() == [0, 17, 99]
+
+    def test_rows_of_sampled_binary_search(self, micro_space):
+        table = TabularBenchmark(
+            micro_space,
+            indices=[3, 40, 77],
+            accuracy=[0.1, 0.2, 0.3],
+            latency={"edge": [1.0, 2.0, 3.0]},
+        )
+        archs = decode_indices(micro_space, [77, 3])
+        assert table.rows_of(archs).tolist() == [2, 0]
+
+    def test_miss_raises_never_falls_back(self, micro_space):
+        table = TabularBenchmark(
+            micro_space,
+            indices=[3, 40, 77],
+            accuracy=[0.1, 0.2, 0.3],
+            latency={"edge": [1.0, 2.0, 3.0]},
+        )
+        missing = decode_indices(micro_space, [4])
+        with pytest.raises(KeyError, match="not tabulated"):
+            table.rows_of(missing)
+        with pytest.raises(ValueError, match="not a member"):
+            table.rows_of([Architecture.uniform(3)])
+
+    def test_indices_of_matches_encoder(self, micro_table, micro_space, rng):
+        archs = [micro_space.sample(rng) for _ in range(10)]
+        assert micro_table.indices_of(archs) == [
+            architecture_to_index(micro_space, a) for a in archs
+        ]
+
+
+class TestBestUnder:
+    def test_masked_argmax_matches_linear_scan(self, micro_table):
+        latency = micro_table.latency_column("edge")
+        for budget in np.quantile(latency, [0.1, 0.5, 0.9]):
+            arch, entry = micro_table.best_under(float(budget), "edge")
+            best_row = None
+            for row in range(len(micro_table)):
+                if latency[row] > budget:
+                    continue
+                if (
+                    best_row is None
+                    or micro_table.accuracy_column()[row]
+                    > micro_table.accuracy_column()[best_row]
+                ):
+                    best_row = row
+            assert entry.accuracy == micro_table.accuracy_column()[best_row]
+            assert entry.latency_ms == latency[best_row]
+
+    def test_ties_resolve_to_lowest_index(self, micro_space):
+        table = TabularBenchmark(
+            micro_space,
+            indices=[2, 5, 9],
+            accuracy=[0.7, 0.7, 0.7],
+            latency={"edge": [1.0, 1.0, 1.0]},
+        )
+        arch, _ = table.best_under(2.0)
+        assert arch == index_to_architecture(micro_space, 2)
+
+    def test_infeasible_budget_raises(self, micro_table):
+        with pytest.raises(ValueError, match="no entry within"):
+            micro_table.best_under(-1.0)
+
+    def test_per_device_budgets_differ(self, micro_table):
+        budget = float(np.median(micro_table.latency_column("edge")))
+        _, edge = micro_table.best_under(budget, "edge")
+        _, gpu = micro_table.best_under(budget, "gpu")
+        # gpu columns are 3x faster, so more of the space is feasible.
+        assert gpu.accuracy >= edge.accuracy
+
+
+class TestColumns:
+    def test_columns_are_read_only(self, micro_table):
+        with pytest.raises(ValueError):
+            micro_table.accuracy_column()[0] = 1.0
+        with pytest.raises(ValueError):
+            micro_table.latency_column("edge")[0] = 1.0
+
+    def test_unknown_device_raises(self, micro_table):
+        with pytest.raises(KeyError, match="no latency column"):
+            micro_table.latency_column("tpu")
+
+    def test_devices_sorted_and_primary(self, micro_table):
+        assert micro_table.devices == ("edge", "gpu")
+        assert micro_table.primary_device == "edge"
+
+    def test_constructor_validation(self, micro_space):
+        with pytest.raises(ValueError, match="sorted and distinct"):
+            TabularBenchmark(
+                micro_space,
+                indices=[5, 3],
+                accuracy=[0.1, 0.2],
+                latency={"edge": [1.0, 2.0]},
+            )
+        with pytest.raises(ValueError, match="latency column"):
+            TabularBenchmark(
+                micro_space, indices=[3], accuracy=[0.1], latency={}
+            )
+        with pytest.raises(ValueError, match="shape"):
+            TabularBenchmark(
+                micro_space,
+                indices=[3, 5],
+                accuracy=[0.1],
+                latency={"edge": [1.0, 2.0]},
+            )
+        with pytest.raises(ValueError, match="primary device"):
+            TabularBenchmark(
+                micro_space,
+                indices=[3],
+                accuracy=[0.1],
+                latency={"edge": [1.0]},
+                primary_device="tpu",
+            )
+
+
+class TestJsonPayload:
+    def _table(self, micro_space):
+        return TabularBenchmark(
+            micro_space,
+            indices=[1, 8],
+            accuracy=[
+                micro_accuracy(micro_space, a)
+                for a in decode_indices(micro_space, [1, 8])
+            ],
+            latency={
+                "edge": [
+                    micro_latency(micro_space, a)
+                    for a in decode_indices(micro_space, [1, 8])
+                ]
+            },
+            recipe="custom",
+            build_seed=4,
+        )
+
+    def test_roundtrip_preserves_provenance(self, micro_space):
+        table = self._table(micro_space)
+        restored = TabularBenchmark.from_json(micro_space, table.to_json())
+        assert restored.build_seed == 4
+        assert restored.recipe == "custom"
+        assert restored.fingerprint == table.fingerprint
+        assert np.array_equal(
+            restored.accuracy_column(), table.accuracy_column()
+        )
+
+    def test_schema_version_enforced(self, micro_space):
+        import json
+
+        table = self._table(micro_space)
+        payload = json.loads(table.to_json())
+        payload["format"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            TabularBenchmark.from_json(micro_space, json.dumps(payload))
+        del payload["format"]
+        with pytest.raises(ValueError, match="no schema version"):
+            TabularBenchmark.from_json(micro_space, json.dumps(payload))
+
+    def test_wrong_space_rejected(self, micro_space, proxy_space):
+        table = self._table(micro_space)
+        with pytest.raises(ValueError, match="different space"):
+            TabularBenchmark.from_json(proxy_space, table.to_json())
