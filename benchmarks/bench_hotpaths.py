@@ -68,6 +68,7 @@ parallel quality estimate when the host has >=4 cores.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import time
 from pathlib import Path
@@ -589,7 +590,154 @@ def bench_serve_traffic(quick: bool) -> dict:
     }
 
 
-# -- 8. tabular replay: live supernet-backed search vs column gathers ---------
+# -- 8. chaos drill: overloaded + fault-injected daemon stays deterministic ---
+
+
+def bench_serve_chaos(quick: bool) -> dict:
+    """Mixed traffic against a saturated, fault-injected daemon.
+
+    One in-process server with tight admission (1 computing slot, 2
+    queue slots) and seeded chaos on every live front computation,
+    hammered at ~4x saturation. The drill asserts the overload
+    contract from docs/robustness.md — every single response is one
+    of: 200 healthy (byte-identical per query), 200 degraded (flagged),
+    503 shed (deterministic + Retry-After), 504 deadline (partial
+    progress), or 500 injected fault — and the daemon answers
+    ``/healthz`` after the storm. Reported numbers are the shed rate
+    and the client-observed p99 under overload.
+    """
+    import threading
+
+    from repro.serve import ServeClient, ServeConfig, start_server
+    from repro.serve.metrics import percentile
+
+    clients = 4
+    per_client = 8 if quick else 25
+    seeds = (3, 4, 5)
+    query = dict(
+        device="edge", layout="proxy",
+        generations=2 if quick else 4,
+        population_size=8 if quick else 16,
+    )
+
+    config = ServeConfig(
+        backend="serial",
+        quiet=True,
+        max_inflight=1,
+        queue_depth=2,
+        queue_timeout_s=0.2,
+        breaker_failures=3,
+        breaker_cooldown_s=0.5,
+        chaos="seed=7,error=0.25,burst=2",
+    )
+    server, thread = start_server(config)
+    counts = {
+        "healthy": 0, "degraded": 0, "shed": 0,
+        "deadline": 0, "fault": 0,
+    }
+    latencies = []
+    healthy_bodies = {}
+    lock = threading.Lock()
+    try:
+        client = ServeClient(*server.endpoint)
+
+        # One doomed request up front: an expired deadline must answer
+        # 504 with generation-granular progress, never hang.
+        status, body = client.request_raw(
+            "POST",
+            "/query",
+            body={**query, "seed": 99, "deadline_ms": 1},
+        )
+        deadline_ok = status in (504, 500, 503)
+        if status == 504:
+            progress = json.loads(body)["progress"]
+            assert progress["generations_done"] == 0
+            with lock:
+                counts["deadline"] += 1
+        assert deadline_ok, f"deadline probe got {status}: {body!r}"
+
+        def classify(path, status, body):
+            if status == 200:
+                payload = json.loads(body)
+                if payload.get("degraded"):
+                    return "degraded"
+                healthy_bodies.setdefault(path, set()).add(body)
+                return "healthy"
+            if status == 503:
+                payload = json.loads(body)
+                assert payload["shed"] is True
+                assert payload["retry_after_s"] >= 1
+                return "shed"
+            if status == 504:
+                assert "progress" in json.loads(body)
+                return "deadline"
+            if status == 500:
+                assert b"ChaosError" in body, body
+                return "fault"
+            raise AssertionError(f"unclassifiable HTTP {status}: {body!r}")
+
+        def hammer(worker_id):
+            mine = []
+            classes = []
+            for i in range(per_client):
+                seed = seeds[(worker_id + i) % len(seeds)]
+                path = (
+                    "/front?device={device}&layout={layout}&seed={s}"
+                    "&generations={generations}"
+                    "&population_size={population_size}"
+                ).format(**query, s=seed)
+                t = time.perf_counter()
+                status, body = client.request_raw("GET", path)
+                mine.append(time.perf_counter() - t)
+                classes.append(classify(path, status, body))
+            with lock:
+                latencies.extend(mine)
+                for cls in classes:
+                    counts[cls] += 1
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(clients)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+
+        # Liveness after the storm, and per-query byte-identity of
+        # every healthy response.
+        alive = client.health() == {"status": "ok"}
+        assert alive, "daemon died under chaos"
+        bit_identical = all(
+            len(bodies) == 1 for bodies in healthy_bodies.values()
+        )
+        assert bit_identical, {
+            path: len(bodies) for path, bodies in healthy_bodies.items()
+        }
+        metrics = client.metrics()
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=30)
+
+    total = sum(counts.values())
+    window = sorted(ms * 1e3 for ms in latencies)
+    return {
+        "chaos": config.chaos,
+        "clients": clients,
+        "requests": total,
+        "outcomes": counts,
+        "shed_rate": counts["shed"] / total,
+        "p99_ms_under_overload": percentile(window, 0.99),
+        "p50_ms_under_overload": percentile(window, 0.50),
+        "alive_after_storm": alive,
+        "non_degraded_bit_identical": bit_identical,
+        "resilience": metrics["resilience"],
+    }
+
+
+# -- 9. tabular replay: live supernet-backed search vs column gathers ---------
 
 
 def bench_tabular_replay(quick: bool) -> dict:
@@ -803,6 +951,20 @@ def main() -> None:
         + ", ".join(
             f"{row['clients']}c={row['qps']:.0f}q/s"
             for row in serve["saturation_curve"]
+        )
+        + ")"
+    )
+
+    results["serve_chaos"] = bench_serve_chaos(args.quick)
+    chaos = results["serve_chaos"]
+    print(
+        f"{'serve_chaos':>24s}: {chaos['requests']} requests   "
+        f"shed {chaos['shed_rate'] * 100:5.1f}%   "
+        f"p99 {chaos['p99_ms_under_overload']:8.2f} ms   "
+        f"(outcomes: "
+        + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(chaos["outcomes"].items())
         )
         + ")"
     )

@@ -35,6 +35,13 @@ state problems — a corrupt checkpoint, a ``--resume`` directory that
 does not exist or was started under different settings — exit with
 code 2 and a one-line actionable message, never a traceback.
 
+``search`` and ``front`` accept ``--deadline-ms MS``, a cooperative
+wall-clock budget (:class:`repro.resilience.CancelToken`, the same
+token the serving daemon propagates): a run that overruns it stops
+within one generation, prints a one-line partial-progress message, and
+exits with code 3. A run that finishes under its deadline is
+bit-identical to the same run without one.
+
 The long-running search-as-a-service daemon is a separate entry point:
 ``python -m repro.serve`` (see ``docs/serving.md``). Its served fronts
 are bit-identical to ``repro front`` because both run the shared
@@ -59,6 +66,7 @@ from repro.core import (
 from repro.hardware import LatencyLUT, LatencyPredictor, OnDeviceProfiler
 from repro.hardware.calibration import calibrated_devices
 from repro.report.figures import series_to_csv
+from repro.resilience import CancelToken, DeadlineExceeded
 from repro.runstate import (
     PhaseCheckpoint,
     RunDir,
@@ -80,6 +88,16 @@ def _ensure_out(path: str) -> Path:
     out = Path(path)
     out.mkdir(parents=True, exist_ok=True)
     return out
+
+
+def _cancel_token(args: argparse.Namespace) -> Optional[CancelToken]:
+    """The ``--deadline-ms`` token for this invocation, or ``None``."""
+    deadline_ms = getattr(args, "deadline_ms", None)
+    if deadline_ms is None:
+        return None
+    if deadline_ms <= 0:
+        raise SystemExit("--deadline-ms must be positive")
+    return CancelToken.after_ms(deadline_ms)
 
 
 def _run_state(
@@ -167,7 +185,9 @@ def cmd_search(args: argparse.Namespace) -> int:
         },
         HSCoNAS.PHASES,
     )
-    result = HSCoNAS(space, device, config).run(run_state=run_state)
+    result = HSCoNAS(space, device, config).run(
+        run_state=run_state, cancel=_cancel_token(args)
+    )
     print(result.summary())
 
     out = _ensure_out(args.out)
@@ -477,6 +497,7 @@ def cmd_front(args: argparse.Namespace) -> int:
         backend=args.backend,
         checkpoint=front_ckpt,
         surrogate=surrogate,
+        cancel=_cancel_token(args),
     )
     return _write_front(args, result)
 
@@ -649,6 +670,14 @@ def build_parser() -> argparse.ArgumentParser:
                      "(build one with `repro tabulate`)",
             )
 
+    def add_deadline(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--deadline-ms", type=float, default=None, metavar="MS",
+            help="cooperative wall-clock budget: a run that overruns it "
+                 "stops within one generation and exits 3 with a "
+                 "partial-progress line (see docs/robustness.md)",
+        )
+
     def add_run_state(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--run-dir", default=None, metavar="DIR",
@@ -669,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     add_workers(p, tabular=True)
     add_run_state(p)
+    add_deadline(p)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("shrink",
@@ -703,6 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     add_workers(p, tabular=True)
     add_run_state(p)
+    add_deadline(p)
     p.set_defaults(func=cmd_front)
 
     p = sub.add_parser("energy",
@@ -783,6 +814,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         # corrupt columns, sampled table where replay needs exhaustive).
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except DeadlineExceeded as exc:
+        # --deadline-ms fired: one line of partial progress, exit 3
+        # (distinct from operator errors so scripts can tell "ran out
+        # of budget" from "misconfigured").
+        progress = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(exc.progress.items())
+        )
+        detail = f" ({progress})" if progress else ""
+        print(f"deadline exceeded{detail}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

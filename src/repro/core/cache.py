@@ -135,6 +135,16 @@ class EvaluationCache:
             for key in keys
         ]
 
+    def values(self) -> List[object]:
+        """All cached values, insertion/recency order, no recency touch.
+
+        A read-only scan for consumers that pick among cached entries
+        without looking one up — e.g. the serving layer's
+        nearest-cached-front degraded fallback. Counters and LRU order
+        are untouched, so scanning never perturbs cache behaviour.
+        """
+        return list(self._store.values())
+
     def clear(self) -> None:
         """Drop all memoized results (hit/miss/eviction counters are kept).
 

@@ -141,6 +141,15 @@ class EvolutionarySearch:
         generation, and :meth:`run` continues from the saved point
         instead of starting over. A resumed run is bit-identical to an
         uninterrupted one.
+    cancel:
+        Optional cooperative :class:`~repro.resilience.CancelToken`,
+        checked once per generation (and forwarded to the evaluator
+        between dispatches). Expiry raises
+        :class:`~repro.resilience.DeadlineExceeded` carrying the
+        generation counters as partial progress; combined with a
+        checkpoint, the generations completed before expiry remain
+        resumable. Checks draw no randomness, so a run that finishes in
+        time is bit-identical with or without a token.
     """
 
     def __init__(
@@ -151,6 +160,7 @@ class EvolutionarySearch:
         cache: Optional[EvaluationCache] = None,
         evaluator=None,
         checkpoint=None,
+        cancel=None,
     ):
         self.space = space
         self.objective = objective
@@ -158,6 +168,7 @@ class EvolutionarySearch:
         self.cache = cache if cache is not None else EvaluationCache()
         self.evaluator = evaluator
         self.checkpoint = checkpoint
+        self.cancel = cancel
 
     # -- genetic operators ------------------------------------------------------
 
@@ -202,6 +213,17 @@ class EvolutionarySearch:
         if rng.random() < self.config.mutation_prob:
             child = self._mutate(child, rng)
         return child
+
+    # -- cancellation ------------------------------------------------------------
+
+    def _check_cancel(self, generations_done: int, misses_before: int) -> None:
+        if self.cancel is not None:
+            self.cancel.check(
+                stage="evolution",
+                generations_done=generations_done,
+                total_generations=self.config.generations,
+                evaluations=self.cache.misses - misses_before,
+            )
 
     # -- evaluation --------------------------------------------------------------
 
@@ -309,46 +331,44 @@ class EvolutionarySearch:
                     result.cache_stats = self.cache.stats()
                     return result
 
-        if result is None:
-            population = self._eval_batch(
-                [self.space.sample(rng) for _ in range(cfg.population_size)]
-            )
-            result = SearchResult(best=max(population, key=lambda e: e.score))
-            result.generations.append(GenerationRecord(0, list(population)))
-            self._save_checkpoint(rng, result, misses_before, next_generation=1)
-        else:
-            population = list(result.generations[-1].population)
+        forwarded_cancel = self.cancel is not None and hasattr(
+            self.evaluator, "set_cancel"
+        )
+        if forwarded_cancel:
+            self.evaluator.set_cancel(self.cancel)
+        try:
+            if result is None:
+                self._check_cancel(0, misses_before)
+                population = self._eval_batch(
+                    [
+                        self.space.sample(rng)
+                        for _ in range(cfg.population_size)
+                    ]
+                )
+                result = SearchResult(
+                    best=max(population, key=lambda e: e.score)
+                )
+                result.generations.append(
+                    GenerationRecord(0, list(population))
+                )
+                self._save_checkpoint(
+                    rng, result, misses_before, next_generation=1
+                )
+            else:
+                population = list(result.generations[-1].population)
 
-        for gen in range(start_gen, cfg.generations):
-            ranked = sorted(population, key=lambda e: e.score, reverse=True)
-            parents = ranked[: cfg.num_parents]
-            # Elitism: parents survive; the rest of the population is
-            # regenerated from them.
-            child_archs: List[Architecture] = []
-            seen = {p.arch.key() for p in parents}
-            attempts = 0
-            needed = cfg.population_size - len(parents)
-            while len(child_archs) < needed and attempts < needed * 40:
-                attempts += 1
-                child = self._make_child(parents, rng)
-                if child.key() in seen:
-                    continue
-                if not self.space.contains(child):
-                    continue
-                seen.add(child.key())
-                child_archs.append(child)
-            # If dedup starved us (tiny shrunk spaces), fill with samples.
-            while len(child_archs) < needed:
-                child_archs.append(self.space.sample(rng))
-            children = self._eval_batch(child_archs)
-            population = parents + children
-            record = GenerationRecord(gen, list(population))
-            result.generations.append(record)
-            if record.best.score > result.best.score:
-                result.best = record.best
-            self._save_checkpoint(
-                rng, result, misses_before, next_generation=gen + 1
-            )
+            for gen in range(start_gen, cfg.generations):
+                self._check_cancel(gen, misses_before)
+                self._run_generation(
+                    gen, population, result, rng, misses_before
+                )
+                population = result.generations[-1].population
+        finally:
+            # The evaluator outlives this run (the caller owns it);
+            # leaving a request-scoped token installed would expire
+            # every later run through it.
+            if forwarded_cancel:
+                self.evaluator.set_cancel(None)
 
         # Fresh objective evaluations this run — identical to the old
         # ``len(private_dict)`` accounting when the cache is private, and
@@ -363,6 +383,45 @@ class EvolutionarySearch:
             complete=True,
         )
         return result
+
+    def _run_generation(
+        self,
+        gen: int,
+        population: List[EvaluatedArch],
+        result: SearchResult,
+        rng: np.random.Generator,
+        misses_before: int,
+    ) -> None:
+        """Breed and score generation ``gen`` in place on ``result``."""
+        cfg = self.config
+        ranked = sorted(population, key=lambda e: e.score, reverse=True)
+        parents = ranked[: cfg.num_parents]
+        # Elitism: parents survive; the rest of the population is
+        # regenerated from them.
+        child_archs: List[Architecture] = []
+        seen = {p.arch.key() for p in parents}
+        attempts = 0
+        needed = cfg.population_size - len(parents)
+        while len(child_archs) < needed and attempts < needed * 40:
+            attempts += 1
+            child = self._make_child(parents, rng)
+            if child.key() in seen:
+                continue
+            if not self.space.contains(child):
+                continue
+            seen.add(child.key())
+            child_archs.append(child)
+        # If dedup starved us (tiny shrunk spaces), fill with samples.
+        while len(child_archs) < needed:
+            child_archs.append(self.space.sample(rng))
+        children = self._eval_batch(child_archs)
+        record = GenerationRecord(gen, parents + children)
+        result.generations.append(record)
+        if record.best.score > result.best.score:
+            result.best = record.best
+        self._save_checkpoint(
+            rng, result, misses_before, next_generation=gen + 1
+        )
 
 
 class RandomSearch:

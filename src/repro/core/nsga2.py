@@ -171,6 +171,7 @@ class Nsga2Search:
             Callable[[List[Architecture]], "List[float]"]
         ] = None,
         evaluator=None,
+        cancel=None,
     ):
         self.space = space
         self.accuracy_fn = accuracy_fn
@@ -200,6 +201,13 @@ class Nsga2Search:
         # Optional per-generation checkpoint slot (see
         # EvolutionarySearch); a resumed run is bit-identical.
         self.checkpoint = checkpoint
+        # Optional cooperative CancelToken (repro.resilience.deadline),
+        # checked once per generation and forwarded to the evaluation
+        # backend; expiry raises DeadlineExceeded with the generation
+        # counters as partial progress. Checks draw no randomness, so a
+        # run that finishes in time is bit-identical with or without a
+        # token.
+        self.cancel = cancel
 
     # -- checkpointing ------------------------------------------------------------
 
@@ -223,6 +231,17 @@ class Nsga2Search:
             },
             complete=complete,
         )
+
+    # -- cancellation -------------------------------------------------------------
+
+    def _check_cancel(self, generations_done: int, misses_before: int) -> None:
+        if self.cancel is not None:
+            self.cancel.check(
+                stage="nsga2",
+                generations_done=generations_done,
+                total_generations=self.config.generations,
+                evaluations=self.cache.misses - misses_before,
+            )
 
     # -- evaluation -------------------------------------------------------------
 
@@ -370,49 +389,75 @@ class Nsga2Search:
                 self.backend, self.eval_many, workers=self.workers
             )
         with backend_ctx as pool:
+            # Forward the deadline into the backend so it also stops
+            # between chunk dispatches, not just between generations.
+            # An externally-owned evaluator gets the token cleared on
+            # exit — it outlives this run.
+            forwarded_cancel = self.cancel is not None and hasattr(
+                pool, "set_cancel"
+            )
+            if forwarded_cancel:
+                pool.set_cancel(self.cancel)
 
             def eval_batch(archs: List[Architecture]) -> List[BiObjective]:
                 return self.cache.get_or_eval_many(archs, pool.map)
 
-            if population is None:
-                seeds: List[Architecture] = (
-                    self._corner_architectures() if cfg.seed_corners else []
-                )
-                seeds = seeds[: cfg.population_size // 2]
-                population = eval_batch(
-                    seeds
-                    + [
-                        self.space.sample(rng)
-                        for _ in range(cfg.population_size - len(seeds))
-                    ]
-                )
-                self._save_checkpoint(rng, population, misses_before, 0)
+            try:
+                if population is None:
+                    self._check_cancel(done, misses_before)
+                    seeds: List[Architecture] = (
+                        self._corner_architectures() if cfg.seed_corners else []
+                    )
+                    seeds = seeds[: cfg.population_size // 2]
+                    population = eval_batch(
+                        seeds
+                        + [
+                            self.space.sample(rng)
+                            for _ in range(cfg.population_size - len(seeds))
+                        ]
+                    )
+                    self._save_checkpoint(rng, population, misses_before, 0)
 
-            for gen in range(done, cfg.generations - 1):
-                ranked = self._rank_population(population)
-                parents = [
-                    population[i] for i in ranked[: cfg.population_size // 2]
-                ]
-                child_archs: List[Architecture] = []
-                seen = {p.arch.key() for p in parents}
-                attempts = 0
-                needed = cfg.population_size - len(parents)
-                while len(child_archs) < needed and attempts < needed * 40:
-                    attempts += 1
-                    child = parents[int(rng.integers(len(parents)))].arch
-                    if rng.random() < cfg.crossover_prob and len(parents) > 1:
-                        other = parents[int(rng.integers(len(parents)))].arch
-                        child = self._crossover(child, other, rng)
-                    if rng.random() < cfg.mutation_prob:
-                        child = self._mutate(child, rng)
-                    if child.key() in seen or not self.space.contains(child):
-                        continue
-                    seen.add(child.key())
-                    child_archs.append(child)
-                while len(child_archs) < needed:
-                    child_archs.append(self.space.sample(rng))
-                population = parents + eval_batch(child_archs)
-                self._save_checkpoint(rng, population, misses_before, gen + 1)
+                for gen in range(done, cfg.generations - 1):
+                    self._check_cancel(gen, misses_before)
+                    ranked = self._rank_population(population)
+                    parents = [
+                        population[i]
+                        for i in ranked[: cfg.population_size // 2]
+                    ]
+                    child_archs: List[Architecture] = []
+                    seen = {p.arch.key() for p in parents}
+                    attempts = 0
+                    needed = cfg.population_size - len(parents)
+                    while len(child_archs) < needed and attempts < needed * 40:
+                        attempts += 1
+                        child = parents[int(rng.integers(len(parents)))].arch
+                        if (
+                            rng.random() < cfg.crossover_prob
+                            and len(parents) > 1
+                        ):
+                            other = parents[
+                                int(rng.integers(len(parents)))
+                            ].arch
+                            child = self._crossover(child, other, rng)
+                        if rng.random() < cfg.mutation_prob:
+                            child = self._mutate(child, rng)
+                        if (
+                            child.key() in seen
+                            or not self.space.contains(child)
+                        ):
+                            continue
+                        seen.add(child.key())
+                        child_archs.append(child)
+                    while len(child_archs) < needed:
+                        child_archs.append(self.space.sample(rng))
+                    population = parents + eval_batch(child_archs)
+                    self._save_checkpoint(
+                        rng, population, misses_before, gen + 1
+                    )
+            finally:
+                if forwarded_cancel:
+                    pool.set_cancel(None)
             pool_stats = pool.stats()
 
         fronts = non_dominated_sort(population)

@@ -314,7 +314,9 @@ class HSCoNAS:
 
     # -- full pipeline --------------------------------------------------------------
 
-    def run(self, run_state: Optional[RunDir] = None) -> HSCoNASResult:
+    def run(
+        self, run_state: Optional[RunDir] = None, cancel=None
+    ) -> HSCoNASResult:
         """Execute the whole pipeline and return the discovered network.
 
         With a ``run_state``, every phase boundary and every unit of
@@ -322,6 +324,13 @@ class HSCoNAS:
         EA populations) is checkpointed crash-safely, and a killed run
         re-invoked with the same ``run_state`` resumes bit-exact — same
         architecture, same numbers — for any ``workers`` setting.
+
+        ``cancel`` is an optional cooperative
+        :class:`~repro.resilience.CancelToken` forwarded into the EA
+        (checked per generation); an expired deadline raises
+        :class:`~repro.resilience.DeadlineExceeded` with partial
+        progress, and with a ``run_state`` the completed generations
+        remain resumable.
         """
         cfg = self.config
         replay = cfg.backend == "tabular"
@@ -437,6 +446,7 @@ class HSCoNAS:
                 cache=eval_cache,
                 evaluator=evaluator,
                 checkpoint=search_ckpt,
+                cancel=cancel,
             )
             search_result = search.run()
         finally:

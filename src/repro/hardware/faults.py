@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple, TypeVar
+from typing import Callable, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -35,6 +35,58 @@ class ProbeError(RuntimeError):
 
 class ProbeTimeout(ProbeError):
     """A device probe exceeded its time budget."""
+
+
+class FaultStream:
+    """A seeded source of injected-fault decisions.
+
+    Shared by :class:`FlakyDevice` (probe faults) and the chaos harness
+    (:mod:`repro.resilience.chaos` — backend/transport faults): one
+    rng, separate from any measurement-noise stream, consumed exactly
+    once per decision with non-zero rates — so fault injection never
+    perturbs the values a healthy run would produce.
+
+    ``fail_first`` deterministically forces the first N decisions
+    (without consuming the rng), matching the historical
+    ``FlakyDevice`` semantics the fail-twice-then-succeed retry tests
+    rely on.
+    """
+
+    def __init__(self, seed: int = 0, fail_first: int = 0):
+        if fail_first < 0:
+            raise ValueError("fail_first must be >= 0")
+        self._rng = np.random.default_rng(seed)
+        self.fail_first = fail_first
+        self.draws = 0
+
+    def decide(
+        self,
+        outcomes: Sequence[Tuple[str, float]],
+        fail_first_outcome: Optional[str] = None,
+    ) -> Optional[str]:
+        """One decision over ``((name, rate), ...)``; ``None`` = healthy.
+
+        Rates must each be in [0, 1] and sum to at most 1; the single
+        uniform draw is partitioned in the order given. While
+        ``fail_first`` has budget, the forced outcome is
+        ``fail_first_outcome`` (default: the first listed) and no
+        randomness is consumed.
+        """
+        if self.fail_first > 0:
+            self.fail_first -= 1
+            if fail_first_outcome is not None:
+                return fail_first_outcome
+            return outcomes[0][0] if outcomes else None
+        if not any(rate > 0 for _, rate in outcomes):
+            return None
+        self.draws += 1
+        draw = float(self._rng.random())
+        acc = 0.0
+        for name, rate in outcomes:
+            acc += rate
+            if draw < acc:
+                return name
+        return None
 
 
 @dataclass(frozen=True)
@@ -154,30 +206,35 @@ class FlakyDevice(DeviceModel):
         super().__init__(device.spec)
         self.failure_rate = failure_rate
         self.timeout_rate = timeout_rate
-        self.fail_first = fail_first
-        self._fault_rng = np.random.default_rng(seed)
+        self._faults = FaultStream(seed=seed, fail_first=fail_first)
         # Observability: how much grief the device caused.
         self.probes = 0
         self.injected_failures = 0
         self.injected_timeouts = 0
 
+    @property
+    def fail_first(self) -> int:
+        return self._faults.fail_first
+
     def _maybe_fail(self) -> None:
         self.probes += 1
-        if self.fail_first > 0:
-            self.fail_first -= 1
-            self.injected_failures += 1
-            raise ProbeError(
-                f"injected failure (probe #{self.probes}, fail_first)"
-            )
-        if self.timeout_rate <= 0 and self.failure_rate <= 0:
-            return
-        draw = float(self._fault_rng.random())
-        if draw < self.timeout_rate:
+        forced = self._faults.fail_first > 0
+        kind = self._faults.decide(
+            (
+                ("timeout", self.timeout_rate),
+                ("failure", self.failure_rate),
+            ),
+            fail_first_outcome="failure",
+        )
+        if kind == "timeout":
             self.injected_timeouts += 1
             raise ProbeTimeout(f"injected timeout (probe #{self.probes})")
-        if draw < self.timeout_rate + self.failure_rate:
+        if kind == "failure":
             self.injected_failures += 1
-            raise ProbeError(f"injected failure (probe #{self.probes})")
+            suffix = ", fail_first" if forced else ""
+            raise ProbeError(
+                f"injected failure (probe #{self.probes}{suffix})"
+            )
 
     # Every probe entry point the measurement layer uses checks the
     # fault stream first, then delegates to the healthy implementation.

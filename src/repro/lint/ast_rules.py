@@ -37,6 +37,15 @@ or is structurally prone to:
   I/O goes through ``repro.serve.server`` / ``repro.serve.client``; the
   serve layer itself (``repro/serve/``) and its tests (``tests/serve/``)
   are exempt.
+* **RL109 unbounded-blocking-wait** — a ``.wait()`` / ``wait(...)`` /
+  queue ``.get()`` with no timeout inside the threaded runtime layers
+  (``repro/serve/``, ``repro/parallel/``, ``repro/resilience/``) blocks
+  its thread forever when the wake-up never comes — the coalescing
+  leader-death hang class: a follower waiting on a leader that died
+  waits until the daemon is killed. Every blocking primitive there must
+  take a timeout and re-check its condition in a loop, so a lost signal
+  degrades to one poll interval of latency instead of a deadlock. Only
+  those layers are in scope; ordinary code is untouched.
 """
 
 from __future__ import annotations
@@ -128,6 +137,17 @@ RL108 = CODE_RULES.register(
     )
 )
 
+RL109 = CODE_RULES.register(
+    Rule(
+        "RL109",
+        "unbounded-blocking-wait",
+        Severity.ERROR,
+        "blocking primitive with no timeout in a threaded runtime "
+        "layer; pass timeout= and re-check the condition in a loop so "
+        "a lost wake-up cannot deadlock the daemon",
+    )
+)
+
 # Paths where constructing WorkerPool directly is the point: the backend
 # layer that wraps it, and the tests that exercise the pool itself.
 _RL107_EXEMPT_PATH_PARTS = ("repro/parallel/", "tests/parallel/")
@@ -135,6 +155,19 @@ _RL107_EXEMPT_PATH_PARTS = ("repro/parallel/", "tests/parallel/")
 # Paths where touching sockets directly is the point: the serving layer
 # itself and the tests that exercise it.
 _RL108_EXEMPT_PATH_PARTS = ("repro/serve/", "tests/serve/")
+
+# RL109 applies ONLY here — the layers whose threads serve requests or
+# supervise workers, where an unbounded block is a daemon-wide hang.
+_RL109_SCOPE_PATH_PARTS = (
+    "repro/serve/",
+    "repro/parallel/",
+    "repro/resilience/",
+)
+
+# Receiver names that mark a ``.get()`` as a blocking queue read (a
+# dict-style ``.get(key)`` always has a positional key, so plain dict
+# lookups never match the zero-arg form this rule flags).
+_RL109_QUEUE_NAMES = ("queue", "inbox", "mailbox")
 
 # Constructors that open a listening socket or client connection.
 _SOCKET_CONSTRUCTORS = {
@@ -488,6 +521,56 @@ class _Checker(ast.NodeVisitor):
                 "repro.serve.client (requests) instead",
             )
 
+    # -- RL109: unbounded blocking waits ------------------------------------------
+
+    def _check_unbounded_wait(self, node: ast.Call) -> None:
+        if not _path_exempt(self.path, _RL109_SCOPE_PATH_PARTS):
+            return
+        has_timeout_kw = any(
+            kw.arg == "timeout" for kw in node.keywords
+        )
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "wait":
+            # Event/Condition/Process .wait([timeout]) — a positional
+            # argument is the timeout.
+            if not node.args and not has_timeout_kw:
+                self._emit(
+                    RL109, node,
+                    "unbounded '.wait()' blocks its thread forever on a "
+                    "missed wake-up; pass timeout= and re-check the "
+                    "condition in a loop",
+                )
+            return
+        if isinstance(func, ast.Name) and func.id == "wait":
+            # concurrent.futures.wait(fs[, timeout]) — timeout is the
+            # second positional.
+            if len(node.args) < 2 and not has_timeout_kw:
+                self._emit(
+                    RL109, node,
+                    "unbounded 'wait(...)' blocks forever on a hung "
+                    "worker; pass timeout= and handle the empty-done "
+                    "case",
+                )
+            return
+        if isinstance(func, ast.Attribute) and func.attr == "get":
+            receiver = func.value
+            name: Optional[str] = None
+            if isinstance(receiver, ast.Attribute):
+                name = receiver.attr
+            elif isinstance(receiver, ast.Name):
+                name = receiver.id
+            if name is None:
+                return
+            lowered = name.lower().lstrip("_")
+            if not any(part in lowered for part in _RL109_QUEUE_NAMES):
+                return
+            if not node.args and not has_timeout_kw:
+                self._emit(
+                    RL109, node,
+                    f"unbounded '.get()' on '{name}' blocks forever; "
+                    "pass timeout= (or use get_nowait) and handle Empty",
+                )
+
     # -- RL106: raw JSON artifact writes -----------------------------------------
 
     def _is_json_dumps_call(self, node: ast.AST) -> bool:
@@ -574,6 +657,7 @@ class _Checker(ast.NodeVisitor):
         self._check_raw_json_write(node)
         self._check_worker_pool(node)
         self._check_socket_server(node)
+        self._check_unbounded_wait(node)
         self.generic_visit(node)
 
     def visit_Subscript(self, node: ast.Subscript) -> None:

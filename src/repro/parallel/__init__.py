@@ -27,7 +27,12 @@ from repro.parallel.backend import (
     resolve_backend_name,
 )
 from repro.parallel.evaluator import ParallelEvaluator
-from repro.parallel.pool import WorkerPool, fork_available, resolve_workers
+from repro.parallel.pool import (
+    WorkerHangError,
+    WorkerPool,
+    fork_available,
+    resolve_workers,
+)
 from repro.parallel.shared_weights import SharedWeightHandle, SharedWeightStore
 
 __all__ = [
@@ -38,6 +43,7 @@ __all__ = [
     "SharedWeightHandle",
     "SharedWeightStore",
     "TabularBackend",
+    "WorkerHangError",
     "WorkerPool",
     "create_backend",
     "fork_available",

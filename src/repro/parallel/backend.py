@@ -50,12 +50,26 @@ class EvaluationBackend:
         self.cache = cache
         self.batches = 0
         self.items = 0
+        self.cancel_token = None
 
     # -- evaluation --------------------------------------------------------------
 
     def map(self, archs: Sequence) -> List:
         """Evaluate ``archs`` (no caching), preserving input order."""
         raise NotImplementedError
+
+    def set_cancel(self, token) -> None:
+        """Install (or clear, with ``None``) a cooperative cancel token.
+
+        In-process backends check it at each :meth:`map` entry; the
+        multiprocess backend additionally polls between dispatch waits.
+        """
+        self.cancel_token = token
+
+    def _check_cancel(self) -> None:
+        token = self.cancel_token
+        if token is not None:
+            token.check(stage=self.name, batches=self.batches)
 
     def evaluate_many(self, archs: Sequence) -> List:
         """Evaluate ``archs`` through the backend's cache, if set.
@@ -109,6 +123,7 @@ class SerialBackend(EvaluationBackend):
         self.eval_many_fn = eval_many_fn
 
     def map(self, archs: Sequence) -> List:
+        self._check_cancel()
         archs = list(archs)
         self.batches += 1
         self.items += len(archs)
@@ -154,6 +169,7 @@ class TabularBackend(EvaluationBackend):
         self.eval_many_fn = eval_many_fn
 
     def map(self, archs: Sequence) -> List:
+        self._check_cancel()
         archs = list(archs)
         self.batches += 1
         self.items += len(archs)
@@ -184,6 +200,7 @@ def create_backend(
     chunk_size: Optional[int] = None,
     max_retries: int = 1,
     lookup_fn: Optional[Callable[[object], object]] = None,
+    dispatch_timeout_s: Optional[float] = None,
 ) -> EvaluationBackend:
     """Build an evaluation backend by name — the single factory.
 
@@ -193,9 +210,9 @@ def create_backend(
     ``lookup_fn`` (per-arch replay) or ``eval_many_fn`` (batched replay
     — preferred, one vectorized gather per generation). The
     multiprocess-only options (``weight_store``, ``source_module``,
-    ``on_worker_items``, ``chunk_size``, ``max_retries``) are accepted
-    and ignored by the in-process backends so call sites don't need to
-    branch.
+    ``on_worker_items``, ``chunk_size``, ``max_retries``,
+    ``dispatch_timeout_s``) are accepted and ignored by the in-process
+    backends so call sites don't need to branch.
     """
     resolved = resolve_backend_name(name, workers=workers)
     if resolved == "tabular":
@@ -223,4 +240,5 @@ def create_backend(
         on_worker_items=on_worker_items,
         chunk_size=chunk_size,
         max_retries=max_retries,
+        dispatch_timeout_s=dispatch_timeout_s,
     )

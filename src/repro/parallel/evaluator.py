@@ -61,8 +61,9 @@ class ParallelEvaluator:
         ledger accounting, most relevantly — happen in the workers'
         address space and vanish with them; this hook lets the owner
         replay them, keeping cost accounting identical to serial runs.
-    chunk_size, max_retries:
-        Forwarded to :class:`WorkerPool`.
+    chunk_size, max_retries, dispatch_timeout_s:
+        Forwarded to :class:`WorkerPool` (``dispatch_timeout_s`` arms
+        its hang watchdog).
     """
 
     name = "multiprocess"
@@ -77,12 +78,14 @@ class ParallelEvaluator:
         on_worker_items: Optional[Callable[[int], None]] = None,
         chunk_size: Optional[int] = None,
         max_retries: int = 1,
+        dispatch_timeout_s: Optional[float] = None,
     ):
         self._pool = WorkerPool(
             eval_many_fn,
             workers=workers,
             chunk_size=chunk_size,
             max_retries=max_retries,
+            dispatch_timeout_s=dispatch_timeout_s,
         )
         self.cache = cache
         self.weight_store = weight_store
@@ -125,6 +128,14 @@ class ParallelEvaluator:
             return self.cache.get_or_eval_many(archs, self.map)
         return self.map(archs)
 
+    def set_cancel(self, token) -> None:
+        """Install (or clear, with ``None``) a cooperative cancel token.
+
+        The pool checks it between dispatch waits, so an expired
+        deadline stops within one chunk wait rather than one batch.
+        """
+        self._pool.set_cancel(token)
+
     # -- state synchronization ----------------------------------------------------
 
     def sync(self, module=None) -> str:
@@ -159,6 +170,7 @@ class ParallelEvaluator:
             "chunk_retries": self._pool.chunk_retries,
             "serial_fallbacks": self._pool.serial_fallbacks,
             "pool_rebuilds": self._pool.pool_rebuilds,
+            "hang_kills": self._pool.hang_kills,
         }
         if self.cache is not None:
             out["cache"] = self.cache.stats()

@@ -17,9 +17,22 @@ and the parallel LUT build. Design constraints, in order:
    the in-flight chunks, and any chunk that keeps failing is evaluated
    serially in the parent. A crashed worker can therefore never change
    results — only cost wall-clock.
-4. **Bounded in-flight work** — at most ``inflight_per_worker`` chunks
+4. **Hang containment** — with ``dispatch_timeout_s`` set, a window
+   that makes no progress for that long is treated as hung: the worker
+   processes are killed outright, the executor is rebuilt, and the
+   in-flight chunks are retried. A chunk that hangs on every allowed
+   attempt raises :class:`WorkerHangError` — it is *not* retried
+   serially, because a hanging chunk function would then wedge the
+   parent, which is exactly what the watchdog exists to prevent.
+5. **Bounded in-flight work** — at most ``inflight_per_worker`` chunks
    per worker are submitted at a time, bounding parent-side memory for
    pickled tasks and pending results.
+
+A cooperative :class:`~repro.resilience.deadline.CancelToken` installed
+via :meth:`WorkerPool.set_cancel` is checked between dispatches; on
+expiry the workers are killed (in-flight chunks would otherwise keep
+burning CPU) and :class:`~repro.resilience.deadline.DeadlineExceeded`
+propagates with the pool's progress counters attached.
 
 Platforms without ``fork`` (Windows, macOS under spawn) degrade to the
 serial path — same results, no processes.
@@ -28,10 +41,17 @@ serial path — same results, no processes.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.resilience.deadline import DeadlineExceeded
+
+
+class WorkerHangError(RuntimeError):
+    """A chunk exceeded the dispatch timeout on every allowed attempt."""
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -84,9 +104,15 @@ class WorkerPool:
         per-chunk IPC overhead.
     max_retries:
         How many times a chunk is re-dispatched after a worker crash
-        before the parent evaluates it serially.
+        (or hang kill) before the parent evaluates it serially (crash)
+        or :class:`WorkerHangError` is raised (hang).
     inflight_per_worker:
         Bound on submitted-but-unfinished chunks per worker.
+    dispatch_timeout_s:
+        Optional hang watchdog: when no in-flight chunk completes for
+        this long, the worker processes are killed and the window's
+        chunks are retried on a fresh pool. ``None`` (the default)
+        disables the watchdog — historical behaviour.
     """
 
     _CHUNKS_PER_WORKER = 4
@@ -98,6 +124,7 @@ class WorkerPool:
         chunk_size: Optional[int] = None,
         max_retries: int = 1,
         inflight_per_worker: int = 2,
+        dispatch_timeout_s: Optional[float] = None,
     ):
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -105,17 +132,23 @@ class WorkerPool:
             raise ValueError("max_retries must be >= 0")
         if inflight_per_worker < 1:
             raise ValueError("inflight_per_worker must be >= 1")
+        if dispatch_timeout_s is not None and dispatch_timeout_s <= 0:
+            raise ValueError("dispatch_timeout_s must be positive")
         self._chunk_fn = chunk_fn
         self.workers = resolve_workers(workers)
         self._chunk_size = chunk_size
         self._max_retries = max_retries
         self._max_inflight = max(1, self.workers) * inflight_per_worker
+        self._dispatch_timeout_s = dispatch_timeout_s
         self._executor: Optional[ProcessPoolExecutor] = None
+        # Optional cooperative CancelToken (see set_cancel).
+        self.cancel_token = None
         # Observability counters (surfaced by ParallelEvaluator.stats()).
         self.chunks_dispatched = 0
         self.chunk_retries = 0
         self.serial_fallbacks = 0
         self.pool_rebuilds = 0
+        self.hang_kills = 0
         # Items chunk_fn evaluated in the parent (serial path + crash
         # fallback). Lets callers split parent-side from worker-side
         # work — worker-side chunk_fn calls can't reach parent state,
@@ -144,6 +177,43 @@ class WorkerPool:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+
+    def _kill_workers(self) -> None:
+        """SIGKILL the worker processes and drop the executor.
+
+        Used by the hang watchdog and the deadline path: a stuck (or
+        no-longer-wanted) chunk cannot be cancelled cooperatively once
+        it is inside ``chunk_fn``, so the only way to reclaim the CPU
+        is to kill the process running it. Results are unaffected —
+        killed chunks are either retried or abandoned with the map.
+        """
+        executor = self._executor
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except (OSError, ValueError):  # already gone / closed
+                pass
+        self._discard_executor()
+
+    def set_cancel(self, token) -> None:
+        """Install (or clear, with ``None``) a cooperative CancelToken.
+
+        The token is checked between dispatches — at map entry, before
+        each serial chunk, and each time the dispatch wait wakes — and
+        on expiry the workers are killed before
+        :class:`~repro.resilience.deadline.DeadlineExceeded` propagates.
+        """
+        self.cancel_token = token
+
+    def _check_cancel(self) -> None:
+        token = self.cancel_token
+        if token is not None:
+            token.check(
+                stage="worker-pool",
+                chunks_dispatched=self.chunks_dispatched,
+            )
 
     def restart(self) -> None:
         """Drop the worker processes; the next map() re-forks them.
@@ -181,6 +251,7 @@ class WorkerPool:
         return max(1, -(-num_items // target_chunks))
 
     def _run_serial(self, items: List[Item]) -> List[Result]:
+        self._check_cancel()
         results = list(self._chunk_fn(items))
         if len(results) != len(items):
             raise ValueError(
@@ -207,15 +278,36 @@ class WorkerPool:
         while len(results) < len(chunks):
             window: Dict[int, object] = {}
             try:
+                self._check_cancel()
                 executor = self._ensure_executor()
                 while remaining and len(window) < self._max_inflight:
                     cid = remaining.popleft()
                     window[cid] = executor.submit(_run_chunk, cid, chunks[cid])
                     self.chunks_dispatched += 1
+                last_progress = time.monotonic()
                 while window:
                     done, _ = wait(
-                        list(window.values()), return_when=FIRST_COMPLETED
+                        list(window.values()),
+                        timeout=self._wait_timeout_s(),
+                        return_when=FIRST_COMPLETED,
                     )
+                    if not done:
+                        # Woke without progress: the caller's deadline
+                        # may have expired (check raises), or the
+                        # window may be hung (watchdog kills), or this
+                        # was just a cancel-poll tick (loop again).
+                        self._check_cancel()
+                        if (
+                            self._dispatch_timeout_s is not None
+                            and time.monotonic() - last_progress
+                            >= self._dispatch_timeout_s
+                        ):
+                            self._handle_hang(
+                                window, attempts, remaining
+                            )
+                            break
+                        continue
+                    last_progress = time.monotonic()
                     for future in done:
                         cid = next(
                             c for c, f in window.items() if f is future
@@ -250,5 +342,52 @@ class WorkerPool:
                     else:
                         self.chunk_retries += 1
                         remaining.append(cid)
+            except DeadlineExceeded:
+                # The caller's deadline expired mid-dispatch. The
+                # in-flight chunks would keep burning CPU in the
+                # workers; kill them before propagating.
+                self._kill_workers()
+                raise
 
         return [value for cid in range(len(chunks)) for value in results[cid]]
+
+    def _wait_timeout_s(self) -> Optional[float]:
+        """How long one dispatch wait may block.
+
+        Bounded by the hang watchdog (if configured) and by a short
+        poll tick whenever a cancel token is installed — the token has
+        no wakeup callback, so expiry is detected by polling. ``None``
+        (wait forever) only when neither is in play.
+        """
+        candidates = []
+        if self._dispatch_timeout_s is not None:
+            candidates.append(self._dispatch_timeout_s)
+        token = self.cancel_token
+        if token is not None:
+            remaining = token.remaining_s()
+            poll = 0.5 if remaining is None else min(0.5, remaining)
+            candidates.append(max(0.01, poll))
+        return min(candidates) if candidates else None
+
+    def _handle_hang(self, window: Dict, attempts, remaining) -> None:
+        """The watchdog fired: kill the workers, retry the window.
+
+        Every in-flight chunk is charged an attempt (the pool cannot
+        tell which one is stuck). A chunk out of attempts raises
+        :class:`WorkerHangError` instead of falling back to the serial
+        path — running a hanging chunk function in the parent would
+        hang the parent.
+        """
+        self.hang_kills += 1
+        self.pool_rebuilds += 1
+        self._kill_workers()
+        for cid in sorted(window):
+            attempts[cid] += 1
+            if attempts[cid] > self._max_retries:
+                raise WorkerHangError(
+                    f"chunk {cid} made no progress within "
+                    f"{self._dispatch_timeout_s}s on {attempts[cid]} "
+                    "attempts; workers killed"
+                )
+            self.chunk_retries += 1
+            remaining.append(cid)

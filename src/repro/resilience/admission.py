@@ -1,0 +1,134 @@
+"""Admission control: a bounded request queue with load shedding.
+
+Saturation policy for the daemon: at most ``capacity`` requests are in
+flight at once; up to ``queue_depth`` more wait (bounded, with a
+timeout); everything beyond that is *shed immediately* with a
+deterministic retry hint. Shedding the excess is what keeps latency
+bounded for everyone already admitted — an unbounded queue degrades
+every request a little until all of them miss their deadlines.
+
+Shed decisions are deterministic in the arrival order the OS presents:
+the controller never samples randomness, so a replayed overload trace
+sheds exactly the same requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, Tuple
+
+# How often a queued waiter re-checks its caller's CancelToken. Purely
+# a detection latency for deadline-expiry-while-queued; admissions are
+# signalled via the condition variable, not this poll.
+_QUEUE_POLL_S = 0.05
+
+
+class AdmissionController:
+    """Bounded in-flight + bounded queue; everything else is shed.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum concurrently admitted requests. ``None`` disables
+        limiting (every request is admitted; counters still record).
+    queue_depth:
+        Maximum requests waiting for a slot. ``0`` = shed immediately
+        when at capacity.
+    queue_timeout_s:
+        How long a queued request waits before being shed.
+    clock:
+        Injectable monotonic clock for tests.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        queue_depth: int = 16,
+        queue_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if queue_timeout_s <= 0:
+            raise ValueError("queue_timeout_s must be positive")
+        self.capacity = capacity
+        self.queue_depth = queue_depth
+        self.queue_timeout_s = queue_timeout_s
+        self._clock = clock
+        self._cond = threading.Condition(threading.Lock())
+        self.in_flight = 0
+        self.waiting = 0
+        # Counters (all mutated under the condition's lock).
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_queue_timeout = 0
+        self.shed_deadline = 0
+        self.peak_in_flight = 0
+        self.peak_waiting = 0
+
+    # -- admission ----------------------------------------------------------------
+
+    def try_admit(self, cancel=None) -> Tuple[bool, Optional[str]]:
+        """``(admitted, shed_reason)`` — blocks at most the queue timeout.
+
+        ``shed_reason`` is ``None`` on admission, else one of
+        ``"queue_full"``, ``"queue_timeout"``, or ``"deadline"`` (the
+        caller's :class:`~repro.resilience.deadline.CancelToken` expired
+        while queued — answered as a 504, not a shed).
+        """
+        with self._cond:
+            if self.capacity is not None and self.in_flight >= self.capacity:
+                if self.waiting >= self.queue_depth:
+                    self.shed_queue_full += 1
+                    return False, "queue_full"
+                self.waiting += 1
+                self.peak_waiting = max(self.peak_waiting, self.waiting)
+                give_up = self._clock() + self.queue_timeout_s
+                try:
+                    while self.in_flight >= self.capacity:
+                        if cancel is not None and cancel.expired:
+                            self.shed_deadline += 1
+                            return False, "deadline"
+                        remaining = give_up - self._clock()
+                        if remaining <= 0:
+                            self.shed_queue_timeout += 1
+                            return False, "queue_timeout"
+                        wait_s = remaining
+                        if cancel is not None:
+                            wait_s = min(wait_s, _QUEUE_POLL_S)
+                        self._cond.wait(timeout=wait_s)
+                finally:
+                    self.waiting -= 1
+            self.in_flight += 1
+            self.admitted += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+            return True, None
+
+    def release(self) -> None:
+        """One admitted request finished; wake one queued waiter."""
+        with self._cond:
+            self.in_flight -= 1
+            self._cond.notify()
+
+    # -- observability ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._cond:
+            return {
+                "capacity": self.capacity,
+                "queue_depth": self.queue_depth,
+                "in_flight": self.in_flight,
+                "waiting": self.waiting,
+                "admitted": self.admitted,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_queue_timeout": self.shed_queue_timeout,
+                "shed_deadline": self.shed_deadline,
+                "peak_in_flight": self.peak_in_flight,
+                "peak_waiting": self.peak_waiting,
+            }
+
+
+__all__ = ["AdmissionController"]

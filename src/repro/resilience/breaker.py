@@ -1,0 +1,192 @@
+"""Circuit breaker: stop hammering a backend that is failing or hanging.
+
+Standard three-state machine around an evaluation backend:
+
+* **closed** — normal operation; outcomes are recorded.
+* **open** — too many failures (consecutive, windowed-rate, or
+  hang-timeout breaches); every :meth:`CircuitBreaker.allow` is denied
+  until the cooldown elapses. The serving layer answers from a
+  *degraded* fallback (tabular replay / nearest cached front) instead
+  of queueing more work behind a sick backend.
+* **half-open** — cooldown elapsed; exactly one trial request is let
+  through. Success closes the breaker, failure re-opens it with a
+  fresh cooldown.
+
+The breaker never samples randomness and is driven by an injectable
+clock, so breaker trips are deterministic in the outcome sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Optional
+
+
+class ServiceOverloadError(RuntimeError):
+    """The service cannot take this request right now; retry later."""
+
+
+class BreakerOpenError(ServiceOverloadError):
+    """The circuit is open: live computations are suspended."""
+
+
+class CircuitBreaker:
+    """Failure-rate / hang-timeout circuit breaker (closed/open/half-open).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    failure_rate:
+        Windowed trip condition: the breaker also opens when at least
+        ``min_samples`` of the last ``window`` outcomes are recorded
+        and the failure fraction reaches this rate.
+    window, min_samples:
+        Size and fill requirement of the outcome window.
+    cooldown_s:
+        How long the breaker stays open before probing (half-open).
+    hang_timeout_s:
+        Optional hang budget: callers report each computation's
+        wall-clock via :meth:`record_success`'s ``elapsed_s`` (or
+        :meth:`record_failure` with ``hang=True``); a computation that
+        exceeds the budget counts as a failure even when it eventually
+        returned — a backend that answers in minutes is down for
+        serving purposes.
+    clock:
+        Injectable monotonic clock for tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        failure_rate: float = 0.5,
+        window: int = 16,
+        min_samples: int = 8,
+        cooldown_s: float = 30.0,
+        hang_timeout_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if not 0.0 < failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in (0, 1]")
+        if window < 1 or min_samples < 1 or min_samples > window:
+            raise ValueError("need 1 <= min_samples <= window")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        if hang_timeout_s is not None and hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.failure_rate = failure_rate
+        self.min_samples = min_samples
+        self.cooldown_s = cooldown_s
+        self.hang_timeout_s = hang_timeout_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._trial_in_flight = False
+        self._consecutive_failures = 0
+        self._window: Deque[int] = deque(maxlen=window)
+        # Counters (all mutated under the lock).
+        self.successes = 0
+        self.failures = 0
+        self.hang_failures = 0
+        self.opens = 0
+        self.rejected = 0
+        self.half_open_trials = 0
+
+    # -- gate ---------------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a live computation may be dispatched right now."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = self.HALF_OPEN
+                    self._trial_in_flight = True
+                    self.half_open_trials += 1
+                    return True
+                self.rejected += 1
+                return False
+            # HALF_OPEN: one trial at a time.
+            if self._trial_in_flight:
+                self.rejected += 1
+                return False
+            self._trial_in_flight = True
+            self.half_open_trials += 1
+            return True
+
+    # -- outcome recording --------------------------------------------------------
+
+    def record_success(self, elapsed_s: Optional[float] = None) -> None:
+        """A dispatch returned. A return slower than the hang budget
+        still counts as a failure — the result is served (it is
+        correct), but the backend's health record takes the hit."""
+        if (
+            self.hang_timeout_s is not None
+            and elapsed_s is not None
+            and elapsed_s >= self.hang_timeout_s
+        ):
+            self.record_failure(hang=True)
+            return
+        with self._lock:
+            self.successes += 1
+            self._consecutive_failures = 0
+            self._window.append(0)
+            if self._state == self.HALF_OPEN:
+                self._state = self.CLOSED
+                self._trial_in_flight = False
+                self._window.clear()
+
+    def record_failure(self, hang: bool = False) -> None:
+        with self._lock:
+            self.failures += 1
+            if hang:
+                self.hang_failures += 1
+            self._consecutive_failures += 1
+            self._window.append(1)
+            tripped = self._state == self.HALF_OPEN
+            if not tripped and self._state == self.CLOSED:
+                tripped = (
+                    self._consecutive_failures >= self.failure_threshold
+                )
+                if not tripped and len(self._window) >= self.min_samples:
+                    rate = sum(self._window) / len(self._window)
+                    tripped = rate >= self.failure_rate
+            if tripped:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._trial_in_flight = False
+                self.opens += 1
+
+    # -- observability ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "successes": self.successes,
+                "failures": self.failures,
+                "hang_failures": self.hang_failures,
+                "consecutive_failures": self._consecutive_failures,
+                "opens": self.opens,
+                "rejected": self.rejected,
+                "half_open_trials": self.half_open_trials,
+            }
+
+
+__all__ = ["BreakerOpenError", "CircuitBreaker", "ServiceOverloadError"]

@@ -1,0 +1,333 @@
+"""Chaos harness: seeded hangs, crashes, slow-downs, and error bursts.
+
+The online counterpart of :class:`repro.hardware.faults.FlakyDevice`:
+where that injects probe faults under the *measurement* layer, this
+module injects dispatch faults under the *serving* stack —
+
+* :class:`FlakyBackend` wraps any
+  :class:`~repro.parallel.EvaluationBackend`-shaped object and faults
+  its ``map`` dispatches (backend layer);
+* :class:`ChaosProxy` wraps any client-shaped object and faults its
+  ``request_raw`` transport (HTTP layer);
+* :class:`ChaosInjector` is the shared engine behind both, driven by a
+  :class:`repro.hardware.faults.FaultStream` so every fault sequence is
+  seeded and replayable — the ``serve_chaos`` bench and CI job assert
+  *deterministic* shedding/degradation under a fixed chaos seed.
+
+Specs are compact strings so the daemon can be started straight into a
+storm: ``--chaos "seed=7,error=0.3,burst=2,hang=0.1,hang_s=2"``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from http.client import RemoteDisconnected
+from typing import Callable, Optional
+
+
+class ChaosError(RuntimeError):
+    """An injected backend crash (the chaos analogue of ProbeError)."""
+
+
+_SPEC_KEYS = {
+    "seed": ("seed", int),
+    "error": ("error_rate", float),
+    "hang": ("hang_rate", float),
+    "hang_s": ("hang_s", float),
+    "slow": ("slow_rate", float),
+    "slow_s": ("slow_s", float),
+    "reset": ("reset_rate", float),
+    "burst": ("burst", int),
+    "fail_first": ("fail_first", int),
+}
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """What to inject, how often, and from which seed.
+
+    Rates are per dispatch decision: ``error_rate`` raises
+    :class:`ChaosError` (in bursts of ``burst`` consecutive
+    dispatches), ``hang_rate`` stalls for ``hang_s`` seconds (``0`` =
+    hang forever — only survivable under a watchdog), ``slow_rate``
+    sleeps ``slow_s`` then proceeds. ``reset_rate`` applies to the
+    transport stream (:meth:`ChaosInjector.transport_fault`), and
+    ``fail_first`` deterministically faults the first N transport
+    attempts — the fail-twice-then-succeed client-retry fixture.
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    hang_rate: float = 0.0
+    hang_s: float = 30.0
+    slow_rate: float = 0.0
+    slow_s: float = 0.1
+    reset_rate: float = 0.0
+    burst: int = 1
+    fail_first: int = 0
+
+    def __post_init__(self) -> None:
+        for rate in (self.error_rate, self.hang_rate, self.slow_rate,
+                     self.reset_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("chaos rates must be in [0, 1]")
+        if self.error_rate + self.hang_rate + self.slow_rate > 1.0:
+            raise ValueError("error + hang + slow rates must sum to <= 1")
+        if self.hang_s < 0 or self.slow_s < 0:
+            raise ValueError("hang_s and slow_s must be >= 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.fail_first < 0:
+            raise ValueError("fail_first must be >= 0")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosSpec":
+        """``"error=0.3,burst=2,hang=0.1,hang_s=2,seed=7"`` -> spec."""
+        kwargs = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            if not sep or key.strip() not in _SPEC_KEYS:
+                known = ", ".join(sorted(_SPEC_KEYS))
+                raise ValueError(
+                    f"bad chaos spec item {part!r}; expected key=value "
+                    f"with key in {{{known}}}"
+                )
+            field_name, cast = _SPEC_KEYS[key.strip()]
+            try:
+                kwargs[field_name] = cast(raw.strip())
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad chaos spec value in {part!r}: {exc}"
+                ) from exc
+        return cls(**kwargs)
+
+    def injector(
+        self, sleep: Callable[[float], None] = time.sleep
+    ) -> "ChaosInjector":
+        return ChaosInjector(self, sleep=sleep)
+
+
+class ChaosInjector:
+    """The seeded fault engine one harness run shares.
+
+    Thread-safe: decisions (rng draws, burst bookkeeping) happen under
+    a lock; the injected sleeps happen outside it so a hang stalls only
+    the dispatch it was injected into.
+    """
+
+    def __init__(
+        self, spec: ChaosSpec, sleep: Callable[[float], None] = time.sleep
+    ):
+        # Local import: keeps repro.resilience a stdlib-only leaf (the
+        # worker pool imports it, and the fault-stream home package
+        # pulls in the whole hardware model).
+        from repro.hardware.faults import FaultStream
+
+        self.spec = spec
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._stream = FaultStream(seed=spec.seed)
+        # The transport stream is separate (seed offset by 1) so HTTP
+        # faults do not perturb the backend fault sequence.
+        self._transport = FaultStream(
+            seed=spec.seed + 1, fail_first=spec.fail_first
+        )
+        self._burst_left = 0
+        # Observability.
+        self.dispatches = 0
+        self.injected_errors = 0
+        self.injected_hangs = 0
+        self.injected_slowdowns = 0
+        self.injected_resets = 0
+
+    # -- backend-layer faults -----------------------------------------------------
+
+    def inject(self) -> None:
+        """One dispatch decision: raise, stall, slow down, or pass."""
+        with self._lock:
+            self.dispatches += 1
+            if self._burst_left > 0:
+                self._burst_left -= 1
+                self.injected_errors += 1
+                raise ChaosError(
+                    f"injected error burst (dispatch #{self.dispatches})"
+                )
+            kind = self._stream.decide(
+                (
+                    ("error", self.spec.error_rate),
+                    ("hang", self.spec.hang_rate),
+                    ("slow", self.spec.slow_rate),
+                )
+            )
+            if kind == "error":
+                self._burst_left = self.spec.burst - 1
+                self.injected_errors += 1
+                raise ChaosError(
+                    f"injected error (dispatch #{self.dispatches})"
+                )
+            if kind == "hang":
+                self.injected_hangs += 1
+            elif kind == "slow":
+                self.injected_slowdowns += 1
+        if kind == "hang":
+            if self.spec.hang_s > 0:
+                self._sleep(self.spec.hang_s)
+            else:
+                # An intentionally-infinite stall: the one wait in the
+                # stack that must NOT be bounded, because it simulates
+                # the hung worker the watchdog exists to kill. Carries
+                # the lint_baseline.json entry for RL109.
+                threading.Event().wait()
+        elif kind == "slow":
+            self._sleep(self.spec.slow_s)
+
+    # -- transport-layer faults ---------------------------------------------------
+
+    def transport_fault(self) -> None:
+        """Maybe raise a transient connection fault (seeded stream).
+
+        Alternates the two transient shapes a real daemon restart
+        produces — ``ConnectionResetError`` and ``RemoteDisconnected``
+        — so client retry handling is exercised against both.
+        """
+        with self._lock:
+            kind = self._transport.decide(
+                (("reset", self.spec.reset_rate),),
+                fail_first_outcome="reset",
+            )
+            if kind != "reset":
+                return
+            self.injected_resets += 1
+            count = self.injected_resets
+        if count % 2 == 0:
+            raise RemoteDisconnected(f"injected disconnect (#{count})")
+        raise ConnectionResetError(f"injected reset (#{count})")
+
+    def transport_hook(self) -> Callable[[], None]:
+        """The :class:`repro.serve.ServeClient` ``fault_hook`` form."""
+        return self.transport_fault
+
+    # -- observability ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "dispatches": self.dispatches,
+                "injected_errors": self.injected_errors,
+                "injected_hangs": self.injected_hangs,
+                "injected_slowdowns": self.injected_slowdowns,
+                "injected_resets": self.injected_resets,
+            }
+
+
+class FlakyBackend:
+    """An :class:`~repro.parallel.EvaluationBackend` wrapper that faults
+    dispatches from a seeded chaos stream.
+
+    Duck-typed (not a subclass) so it can wrap any backend-shaped
+    object — serial, multiprocess, tabular — without importing the
+    backend layer. On healthy dispatches it delegates untouched, so a
+    zero-rate spec is bit-identical to the bare backend.
+    """
+
+    def __init__(
+        self,
+        inner,
+        spec: Optional[ChaosSpec] = None,
+        injector: Optional[ChaosInjector] = None,
+    ):
+        if (spec is None) == (injector is None):
+            raise ValueError(
+                "FlakyBackend requires exactly one of spec or injector"
+            )
+        self.inner = inner
+        self.injector = injector if injector is not None else spec.injector()
+
+    @property
+    def name(self) -> str:
+        return f"flaky[{getattr(self.inner, 'name', 'backend')}]"
+
+    @property
+    def cache(self):
+        return getattr(self.inner, "cache", None)
+
+    def map(self, archs):
+        self.injector.inject()
+        return self.inner.map(archs)
+
+    def evaluate_many(self, archs):
+        cache = self.cache
+        if cache is not None:
+            return cache.get_or_eval_many(archs, self.map)
+        return self.map(archs)
+
+    def set_cancel(self, token) -> None:
+        if hasattr(self.inner, "set_cancel"):
+            self.inner.set_cancel(token)
+
+    def sync(self, module=None) -> str:
+        return self.inner.sync(module)
+
+    def stats(self) -> dict:
+        out = dict(self.inner.stats())
+        out["backend"] = self.name
+        out["chaos"] = self.injector.snapshot()
+        return out
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __enter__(self) -> "FlakyBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ChaosProxy:
+    """A client-shaped wrapper that faults the HTTP transport.
+
+    Wraps anything exposing ``request_raw(method, path, body=None)``
+    (e.g. :class:`repro.serve.ServeClient`) and injects transient
+    connection faults *in front of* it — the caller sees the fault, so
+    this exercises caller-side handling. To exercise the client's own
+    retry loop instead, hand :meth:`ChaosInjector.transport_hook` to
+    ``ServeClient(fault_hook=...)``, which injects inside the retried
+    attempt.
+    """
+
+    def __init__(
+        self,
+        client,
+        spec: Optional[ChaosSpec] = None,
+        injector: Optional[ChaosInjector] = None,
+    ):
+        if (spec is None) == (injector is None):
+            raise ValueError(
+                "ChaosProxy requires exactly one of spec or injector"
+            )
+        self.client = client
+        self.injector = injector if injector is not None else spec.injector()
+
+    def request_raw(self, method: str, path: str, body=None):
+        self.injector.transport_fault()
+        return self.client.request_raw(method, path, body)
+
+    def __getattr__(self, name: str):
+        # Everything else (health/metrics/...) delegates untouched;
+        # only request_raw calls made *on the proxy* are faulted.
+        return getattr(self.client, name)
+
+
+__all__ = [
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosProxy",
+    "ChaosSpec",
+    "FlakyBackend",
+]

@@ -1,0 +1,99 @@
+"""Cooperative deadlines: a cancel token checked at safe points.
+
+The serving path promises that an expired request stops burning CPU
+"within one generation": the search stack cannot be preempted, so the
+token is *checked* — per EA/NSGA-II generation, per worker-pool
+dispatch — and raises :class:`DeadlineExceeded` at the first check
+after expiry. Every check records progress counters, so the 504 a
+client receives reports exactly how far the search got (the chaos CI
+job asserts cancellation granularity from those counters).
+
+Checks never consume randomness and never mutate search state, so a
+run that finishes under its deadline is bit-identical to the same run
+without a token.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """A cooperative cancellation fired; carries partial progress."""
+
+    def __init__(self, message: str, progress: Optional[Dict] = None):
+        super().__init__(message)
+        self.progress: Dict = dict(progress or {})
+
+
+class CancelToken:
+    """One request's cancellation state, checked cooperatively.
+
+    Parameters
+    ----------
+    deadline_s:
+        Optional wall-clock budget from construction time. ``None``
+        means no deadline — the token only fires via :meth:`cancel`.
+    clock:
+        Injectable monotonic clock (tests drive expiry deterministically).
+    """
+
+    def __init__(
+        self,
+        deadline_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self._clock = clock
+        self._deadline = None if deadline_s is None else clock() + deadline_s
+        self._cancelled = False
+        # Observability: how often the stack polled, and how far it got.
+        self.checks = 0
+        self.progress: Dict = {}
+
+    @classmethod
+    def after_ms(
+        cls,
+        deadline_ms: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "CancelToken":
+        """The wire form: ``deadline_ms`` from a query payload."""
+        return cls(deadline_s=float(deadline_ms) / 1e3, clock=clock)
+
+    def cancel(self) -> None:
+        """Fire the token regardless of any deadline."""
+        self._cancelled = True
+
+    @property
+    def expired(self) -> bool:
+        if self._cancelled:
+            return True
+        return self._deadline is not None and self._clock() >= self._deadline
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds until expiry; ``None`` when there is no deadline."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
+    def check(self, **progress) -> None:
+        """Record progress, then raise :class:`DeadlineExceeded` if due.
+
+        ``progress`` keyword counters (``generations_done``,
+        ``chunks_dispatched``, ...) accumulate on the token and ride on
+        the exception, so the layer that answers the client can report
+        exactly where the work stopped.
+        """
+        self.checks += 1
+        if progress:
+            self.progress.update(progress)
+        if self.expired:
+            reason = (
+                "cancelled" if self._cancelled else "deadline exceeded"
+            )
+            raise DeadlineExceeded(reason, progress=self.progress)
+
+
+__all__ = ["CancelToken", "DeadlineExceeded"]

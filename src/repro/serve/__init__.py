@@ -29,7 +29,11 @@ from repro.serve.pipeline import (
 )
 from repro.serve.query import FrontQuery
 from repro.serve.server import ServeServer, run_server, start_server
-from repro.serve.service import CachedFront, SearchService
+from repro.serve.service import (
+    CachedFront,
+    SearchService,
+    cancel_token_from_payload,
+)
 
 __all__ = [
     "CachedFront",
@@ -41,6 +45,7 @@ __all__ = [
     "ServeMetrics",
     "ServeServer",
     "build_front_predictor",
+    "cancel_token_from_payload",
     "front_search",
     "run_server",
     "space_for_layout",

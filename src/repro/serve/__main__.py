@@ -62,6 +62,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress per-request access logs (metrics still record)",
     )
+    overload = parser.add_argument_group(
+        "overload resilience (docs/robustness.md)"
+    )
+    overload.add_argument(
+        "--max-inflight", type=int, default=0, metavar="N",
+        help="max concurrently-computing query requests; 0 (default) "
+             "= unlimited; beyond it requests queue then shed with "
+             "a deterministic 503 + Retry-After",
+    )
+    overload.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="admission queue slots behind --max-inflight (default 16)",
+    )
+    overload.add_argument(
+        "--queue-timeout", type=float, default=30.0, metavar="S",
+        help="max seconds a request waits for admission (default 30)",
+    )
+    overload.add_argument(
+        "--retry-after", type=int, default=1, metavar="S",
+        help="Retry-After seconds on shed responses (default 1)",
+    )
+    overload.add_argument(
+        "--breaker-failures", type=int, default=5, metavar="N",
+        help="consecutive live-computation failures that open the "
+             "circuit breaker (default 5)",
+    )
+    overload.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="S",
+        help="seconds the breaker stays open before a half-open "
+             "trial (default 30)",
+    )
+    overload.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="S",
+        help="live computations slower than this count as breaker "
+             "failures even when they return (default: no budget)",
+    )
+    overload.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="chaos-injection spec for the resilience harness, e.g. "
+             "'seed=7,error=0.3,burst=2,hang=0.1,hang_s=2'; faults "
+             "live computations only, never warmup or replay",
+    )
     return parser
 
 
@@ -78,6 +120,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             warm=tuple(warm_query_from_spec(s) for s in args.warm),
             table=args.table,
             quiet=args.quiet,
+            max_inflight=args.max_inflight or None,
+            queue_depth=args.queue_depth,
+            queue_timeout_s=args.queue_timeout,
+            retry_after_s=args.retry_after,
+            breaker_failures=args.breaker_failures,
+            breaker_cooldown_s=args.breaker_cooldown,
+            hang_timeout_s=args.hang_timeout,
+            chaos=args.chaos,
         )
         return run_server(config)
     except RunStateError as exc:

@@ -6,6 +6,15 @@ the daemon. One fresh ``http.client`` connection per request keeps the
 client trivially thread-safe (the traffic benchmark hammers a single
 :class:`ServeClient` from many threads).
 
+Transient transport faults — the connection resets and early
+disconnects a restarting or overloaded daemon produces — are retried
+under a :class:`repro.hardware.faults.RetryPolicy` (bounded attempts,
+jittered exponential backoff). The jitter rng is drawn only when a
+retry actually happens, so a healthy run's requests and responses are
+bit-identical with or without retry configured. HTTP *status* errors
+(4xx/5xx) are never retried here: a deterministic 503 shed is an
+answer, and honoring ``Retry-After`` is the caller's policy decision.
+
 With lint rule RL108, this module and :mod:`repro.serve.server` are
 the only places allowed to construct HTTP connections directly.
 """
@@ -14,12 +23,27 @@ from __future__ import annotations
 
 import json
 import time
-from http.client import HTTPConnection
+from http.client import HTTPConnection, RemoteDisconnected
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Callable, Optional, Tuple, Union
 from urllib.parse import urlencode
 
+import numpy as np
+
+from repro.hardware.faults import ProbeError, RetryPolicy, run_with_retry
 from repro.serve.server import ENDPOINT_FILE
+
+# The transient shapes worth retrying: the peer vanished mid-exchange.
+# Timeouts and refusals are excluded — retrying a refused connection
+# hammers a daemon that is not there, and a timeout already waited.
+_TRANSIENT = (
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionAbortedError,
+    RemoteDisconnected,
+)
+
+DEFAULT_RETRY = RetryPolicy(attempts=3, backoff_s=0.05)
 
 
 class ServeError(RuntimeError):
@@ -32,12 +56,43 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Talk JSON to one daemon endpoint."""
+    """Talk JSON to one daemon endpoint.
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0):
+    Parameters
+    ----------
+    host, port, timeout:
+        Where to connect and the per-request socket timeout.
+    retry:
+        Transient-fault policy (``None`` = single attempt, the
+        historical behaviour). Only the ``_TRANSIENT`` connection
+        faults are retried.
+    retry_seed:
+        Seed of the backoff-jitter rng (its own stream, consumed only
+        on actual retries).
+    fault_hook:
+        Optional zero-arg callable invoked at the top of every
+        transport attempt — the chaos harness's injection point
+        (:meth:`repro.resilience.ChaosInjector.transport_hook`).
+        Faults it raises are retried like real ones.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = DEFAULT_RETRY,
+        retry_seed: int = 0,
+        fault_hook: Optional[Callable[[], None]] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        self.fault_hook = fault_hook
+        self._retry_rng = np.random.default_rng(retry_seed)
+        # Observability: transport retries this client performed.
+        self.transport_retries = 0
 
     @classmethod
     def from_state_dir(
@@ -74,17 +129,12 @@ class ServeClient:
 
     # -- transport ---------------------------------------------------------------
 
-    def request_raw(
-        self,
-        method: str,
-        path: str,
-        body: Optional[object] = None,
+    def _attempt(
+        self, method: str, path: str, body: Optional[object]
     ) -> Tuple[int, bytes]:
-        """One request; returns ``(status, raw body bytes)``.
-
-        Raw bytes are first-class so callers can assert the daemon's
-        byte-identical response contract, not just value equality.
-        """
+        """One transport attempt (fresh connection, no retry)."""
+        if self.fault_hook is not None:
+            self.fault_hook()
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             payload = None
@@ -97,6 +147,39 @@ class ServeClient:
             return response.status, response.read()
         finally:
             conn.close()
+
+    def request_raw(
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+    ) -> Tuple[int, bytes]:
+        """One request; returns ``(status, raw body bytes)``.
+
+        Raw bytes are first-class so callers can assert the daemon's
+        byte-identical response contract, not just value equality.
+        Transient connection faults are retried under ``self.retry``;
+        after the last attempt the fault propagates as a
+        :class:`~repro.hardware.faults.ProbeError` chaining the
+        original exception.
+        """
+        if self.retry is None:
+            return self._attempt(method, path, body)
+
+        def probe() -> Tuple[int, bytes]:
+            try:
+                return self._attempt(method, path, body)
+            except _TRANSIENT as exc:
+                raise ProbeError(
+                    f"transient transport fault: {exc}"
+                ) from exc
+
+        value, attempts = run_with_retry(
+            probe, self.retry, rng=self._retry_rng
+        )
+        if attempts > 1:
+            self.transport_retries += attempts - 1
+        return value
 
     def _request(
         self, method: str, path: str, body: Optional[dict] = None

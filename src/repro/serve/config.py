@@ -77,6 +77,28 @@ class ServeConfig:
         How many recent request latencies the p50/p99 estimates cover.
     quiet:
         Suppress per-request access logging (metrics still record).
+    max_inflight, queue_depth, queue_timeout_s:
+        Admission control (``docs/robustness.md``, "Online
+        resilience"). ``max_inflight`` caps concurrently-computing
+        query requests (``None`` = unlimited, the historical
+        behaviour); beyond it up to ``queue_depth`` requests wait up to
+        ``queue_timeout_s`` before being shed with a deterministic 503.
+    retry_after_s:
+        The ``Retry-After`` header value on shed responses.
+    breaker_failures, breaker_cooldown_s, hang_timeout_s:
+        Circuit breaker around live front computation:
+        ``breaker_failures`` consecutive failures open it for
+        ``breaker_cooldown_s``; a computation slower than
+        ``hang_timeout_s`` counts as a failure even when it returns
+        (``None`` disables the hang budget). While open, queries answer
+        from a degraded fallback (tabular replay or nearest cached
+        front), flagged ``degraded: true``.
+    chaos:
+        Optional chaos-injection spec string
+        (:meth:`repro.resilience.ChaosSpec.parse`), e.g.
+        ``"seed=7,error=0.3,burst=2"``. Faults live front computations
+        only — warmup and replay are never chaos-faulted. For the
+        chaos harness; leave ``None`` in production.
     """
 
     host: str = "127.0.0.1"
@@ -89,6 +111,14 @@ class ServeConfig:
     table: Optional[str] = None
     metrics_window: int = 1024
     quiet: bool = False
+    max_inflight: Optional[int] = None
+    queue_depth: int = 16
+    queue_timeout_s: float = 30.0
+    retry_after_s: int = 1
+    breaker_failures: int = 5
+    breaker_cooldown_s: float = 30.0
+    hang_timeout_s: Optional[float] = None
+    chaos: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_CHOICES:
@@ -102,3 +132,23 @@ class ServeConfig:
             raise ValueError("front_cache_size must be >= 1 or None")
         if self.metrics_window < 1:
             raise ValueError("metrics_window must be >= 1")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 or None")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if self.queue_timeout_s <= 0:
+            raise ValueError("queue_timeout_s must be positive")
+        if self.retry_after_s < 1:
+            raise ValueError("retry_after_s must be >= 1")
+        if self.breaker_failures < 1:
+            raise ValueError("breaker_failures must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
+        if self.hang_timeout_s is not None and self.hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be positive or None")
+        if self.chaos is not None:
+            # Validate eagerly so a bad spec fails at config time, not
+            # on the first faulted request.
+            from repro.resilience import ChaosSpec
+
+            ChaosSpec.parse(self.chaos)

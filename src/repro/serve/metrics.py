@@ -49,6 +49,7 @@ class ServeMetrics:
         "chunk_retries",
         "serial_fallbacks",
         "pool_rebuilds",
+        "hang_kills",
     )
 
     def __init__(self, window: int = 1024) -> None:
@@ -68,6 +69,13 @@ class ServeMetrics:
             name: 0 for name in self._BACKEND_COUNTERS
         }
         self._backend_names: Dict[str, int] = {}
+        # Resilience counters (ISSUE 10): deterministic load shedding,
+        # deadline expiries, degraded fallbacks, and coalescing-leader
+        # requeues all leave an audit trail here.
+        self.shed: Dict[str, int] = {}
+        self.deadline_expired = 0
+        self.degraded = 0
+        self.leader_requeued = 0
 
     # -- recording ---------------------------------------------------------------
 
@@ -109,6 +117,27 @@ class ServeMetrics:
         with self._lock:
             self.restored_fronts += count
 
+    def record_shed(self, reason: str) -> None:
+        """A request refused with 503 (queue full/timeout, breaker)."""
+        with self._lock:
+            self.shed[reason] = self.shed.get(reason, 0) + 1
+
+    def record_deadline_expired(self) -> None:
+        """A request whose deadline expired mid-flight (answered 504)."""
+        with self._lock:
+            self.deadline_expired += 1
+
+    def record_degraded(self) -> None:
+        """A query answered from a degraded fallback (flagged in body)."""
+        with self._lock:
+            self.degraded += 1
+
+    def record_leader_requeued(self) -> None:
+        """A coalescing follower that retook leadership after its
+        leader thread died without publishing a result."""
+        with self._lock:
+            self.leader_requeued += 1
+
     def add_backend_stats(self, stats: dict) -> None:
         """Fold one finished backend's dispatch counters into the rollup."""
         with self._lock:
@@ -134,10 +163,22 @@ class ServeMetrics:
         with self._lock:
             return self.restored_fronts
 
-    def snapshot(self, front_cache_stats: Optional[dict] = None) -> dict:
+    def snapshot(
+        self,
+        front_cache_stats: Optional[dict] = None,
+        admission: Optional[dict] = None,
+        breaker: Optional[dict] = None,
+    ) -> dict:
         """The ``/metrics`` payload (see docs/serving.md for the glossary)."""
         with self._lock:
             window = sorted(self._latencies_ms)
+            resilience = {
+                "shed": dict(self.shed),
+                "shed_total": sum(self.shed.values()),
+                "deadline_expired": self.deadline_expired,
+                "degraded": self.degraded,
+                "leader_requeued": self.leader_requeued,
+            }
             out = {
                 "queries": {
                     "total": self.queries,
@@ -161,7 +202,12 @@ class ServeMetrics:
                     **self._backend,
                     "runs_by_backend": dict(self._backend_names),
                 },
+                "resilience": resilience,
             }
         if front_cache_stats is not None:
             out["front_cache"] = front_cache_stats
+        if admission is not None:
+            out["resilience"]["admission"] = admission
+        if breaker is not None:
+            out["resilience"]["breaker"] = breaker
         return out

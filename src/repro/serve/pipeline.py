@@ -77,12 +77,16 @@ def front_search(
     checkpoint=None,
     evaluator=None,
     surrogate: Optional[AccuracySurrogate] = None,
+    cancel=None,
 ) -> Nsga2Result:
     """One NSGA-II accuracy/latency front, deterministic in ``seed``.
 
     Latencies go through :meth:`LatencyPredictor.predict_many` (one LUT
     gather per population batch — the PR-1 batched scorer), which is
-    bit-exact with per-arch ``predict``.
+    bit-exact with per-arch ``predict``. ``cancel`` is an optional
+    :class:`~repro.resilience.CancelToken` checked per generation; a
+    run that finishes before expiry is bit-identical with or without
+    it.
     """
     if surrogate is None:
         surrogate = AccuracySurrogate(space)
@@ -101,6 +105,7 @@ def front_search(
         backend=backend,
         checkpoint=checkpoint,
         evaluator=evaluator,
+        cancel=cancel,
     ).run()
 
 
@@ -113,6 +118,7 @@ def replay_front_search(
     population_size: int = 50,
     cache: Optional[EvaluationCache] = None,
     checkpoint=None,
+    cancel=None,
 ) -> Nsga2Result:
     """:func:`front_search` replayed from a tabular artifact's columns.
 
@@ -145,6 +151,7 @@ def replay_front_search(
             cache=cache,
             checkpoint=checkpoint,
             evaluator=evaluator,
+            cancel=cancel,
         ).run()
     finally:
         evaluator.close()

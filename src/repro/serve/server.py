@@ -16,6 +16,13 @@ timestamps, so identical queries yield byte-identical responses):
   a query from URL parameters.
 * ``POST /query`` — the same, with the query as a JSON body.
 
+Query endpoints pass through admission control (``docs/robustness.md``):
+beyond the configured in-flight capacity and bounded queue they answer
+a deterministic ``503`` with ``Retry-After``; a request whose optional
+``deadline_ms`` expires (queued or mid-computation) answers ``504``
+with partial-progress stats. ``/healthz`` and ``/metrics`` bypass
+admission so the daemon stays observable at any overload.
+
 This module (with :mod:`repro.serve.client`) is the only sanctioned
 place in the codebase that touches sockets — lint rule RL108 flags
 direct socket/server construction anywhere else.
@@ -32,9 +39,10 @@ from time import perf_counter
 from typing import Optional, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
+from repro.resilience import BreakerOpenError, DeadlineExceeded
 from repro.runstate import atomic_write_json
 from repro.serve.config import ServeConfig
-from repro.serve.service import SearchService
+from repro.serve.service import SearchService, cancel_token_from_payload
 
 ENDPOINT_FILE = "endpoint.json"
 
@@ -66,25 +74,98 @@ class ServeHandler(BaseHTTPRequestHandler):
         if not self.service.config.quiet:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
         body = _json_bytes(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
+    def _shed(self, endpoint: str, reason: str) -> None:
+        """Deterministic 503: body + ``Retry-After``, counters recorded."""
+        self.service.metrics.record_shed(reason)
+        self.service.metrics.record_query(endpoint, 0.0, error=True)
+        retry_after = self.service.config.retry_after_s
+        self._reply(
+            503,
+            {
+                "error": f"overloaded: {reason}",
+                "retry_after_s": retry_after,
+                "shed": True,
+            },
+            headers={"Retry-After": retry_after},
+        )
+
     def _resolve(self, endpoint: str, payload: dict) -> None:
-        """Run one query through the service, recording metrics."""
+        """Run one query through the service, recording metrics.
+
+        Admission happens here, before any work: a request that cannot
+        be taken is shed with a deterministic 503 + ``Retry-After``
+        (or 504 when its own deadline expired while queued). Health
+        and metrics endpoints never pass through this path, so the
+        daemon stays observable at any overload.
+        """
+        payload = dict(payload)
+        try:
+            cancel = cancel_token_from_payload(payload)
+        except ValueError as exc:
+            self.service.metrics.record_query(endpoint, 0.0, error=True)
+            self._reply(400, {"error": str(exc)})
+            return
+        admitted, shed_reason = self.service.admission.try_admit(
+            cancel=cancel
+        )
+        if not admitted:
+            if shed_reason == "deadline":
+                self.service.metrics.record_deadline_expired()
+                self.service.metrics.record_query(
+                    endpoint, 0.0, error=True
+                )
+                self._reply(
+                    504,
+                    {
+                        "error": "deadline expired in admission queue",
+                        "progress": {"stage": "admission-queue"},
+                    },
+                )
+            else:
+                self._shed(endpoint, shed_reason)
+            return
+        try:
+            self._resolve_admitted(endpoint, payload, cancel)
+        finally:
+            self.service.admission.release()
+
+    def _resolve_admitted(
+        self, endpoint: str, payload: dict, cancel
+    ) -> None:
         start = perf_counter()
         try:
-            response = self.service.resolve(payload)
+            response = self.service.resolve(payload, cancel=cancel)
         except ValueError as exc:
             # Malformed query: client error, one actionable line.
             self.service.metrics.record_query(
                 endpoint, 0.0, error=True
             )
             self._reply(400, {"error": str(exc)})
+            return
+        except DeadlineExceeded as exc:
+            self.service.metrics.record_deadline_expired()
+            self.service.metrics.record_query(endpoint, 0.0, error=True)
+            self._reply(
+                504,
+                {"error": str(exc), "progress": dict(exc.progress)},
+            )
+            return
+        except BreakerOpenError:
+            # The service already tried its degraded fallbacks; with
+            # none available the request is shed like any overload.
+            self._shed(endpoint, "breaker_open")
             return
         except Exception as exc:  # noqa: BLE001 - must answer the client
             self.service.metrics.record_query(

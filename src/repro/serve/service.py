@@ -30,6 +30,7 @@ PR-6 :class:`~repro.parallel.EvaluationBackend`.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,6 +38,14 @@ from typing import Dict, Optional, Tuple
 
 from repro.core import EvaluationCache, Nsga2Result
 from repro.core.nsga2 import BiObjective
+from repro.resilience import (
+    AdmissionController,
+    BreakerOpenError,
+    CancelToken,
+    ChaosSpec,
+    CircuitBreaker,
+    DeadlineExceeded,
+)
 from repro.runstate import PhaseCheckpoint, RunDir
 from repro.runstate.manifest import MANIFEST_NAME
 from repro.serve.config import ServeConfig
@@ -57,6 +66,30 @@ STATE_FORMAT = 1
 # a correctness event; the cap keeps hostile seed sweeps from growing
 # the daemon without bound.
 PREDICTOR_CACHE_SIZE = 8
+# How often a coalescing follower wakes to check its leader is still
+# alive (and its own deadline). Small enough that a died-mid-compute
+# leader stalls followers for about a second, large enough to cost
+# nothing on the healthy path.
+_LEADER_POLL_S = 1.0
+
+
+def cancel_token_from_payload(payload: dict) -> Optional[CancelToken]:
+    """Pop an optional ``deadline_ms`` field into a :class:`CancelToken`.
+
+    Mutates ``payload`` (the field is not a :class:`FrontQuery` key).
+    ``None`` when no deadline was requested; ``ValueError`` on a
+    non-positive or non-numeric value.
+    """
+    raw = payload.pop("deadline_ms", None)
+    if raw is None:
+        return None
+    try:
+        deadline_ms = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"deadline_ms must be a number: {raw!r}") from exc
+    if deadline_ms <= 0:
+        raise ValueError(f"deadline_ms must be positive: {deadline_ms!r}")
+    return CancelToken.after_ms(deadline_ms)
 
 
 @dataclass(frozen=True)
@@ -95,6 +128,10 @@ class _InFlight:
         self.ready = threading.Event()
         self.value: Optional[CachedFront] = None
         self.error: Optional[BaseException] = None
+        # The computing thread. Followers poll it: a leader that dies
+        # without publishing (thread killed, interpreter teardown)
+        # would otherwise strand them on ``ready`` forever.
+        self.leader = threading.current_thread()
 
 
 class SearchService:
@@ -118,6 +155,22 @@ class SearchService:
         self._layout_fingerprints: Dict[str, str] = {}
         self._checkpoint = self._open_state()
         self._restore()
+        # Overload resilience (docs/robustness.md, "Online resilience").
+        self.admission = AdmissionController(
+            capacity=config.max_inflight,
+            queue_depth=config.queue_depth,
+            queue_timeout_s=config.queue_timeout_s,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failures,
+            cooldown_s=config.breaker_cooldown_s,
+            hang_timeout_s=config.hang_timeout_s,
+        )
+        self._chaos = (
+            ChaosSpec.parse(config.chaos).injector()
+            if config.chaos is not None
+            else None
+        )
 
     # -- crash-safe state ---------------------------------------------------------
 
@@ -247,8 +300,13 @@ class SearchService:
                 self._bundles.popitem(last=False)
         return bundle
 
-    def _compute(self, query: FrontQuery, warm: bool) -> CachedFront:
+    def _compute(
+        self, query: FrontQuery, warm: bool, cancel=None
+    ) -> CachedFront:
         if self._table_covers(query):
+            # Replay is milliseconds of column gathers — never breaker-
+            # gated (it is itself the degraded-mode fallback) and never
+            # chaos-faulted.
             result = replay_front_search(
                 self._table.space,
                 self._table,
@@ -256,6 +314,7 @@ class SearchService:
                 seed=query.seed,
                 generations=query.generations,
                 population_size=query.population_size,
+                cancel=cancel,
             )
             self.metrics.record_front_computation(
                 warm=warm, replayed=True
@@ -265,18 +324,49 @@ class SearchService:
                 front=tuple(result.front),
                 num_evaluations=result.num_evaluations,
             )
-        space, surrogate, predictor = self._bundle(
-            query.device, query.layout, query.seed
-        )
-        result = front_search(
-            space,
-            predictor,
-            seed=query.seed,
-            generations=query.generations,
-            population_size=query.population_size,
-            workers=self.config.workers,
-            backend=self.config.backend,
-            surrogate=surrogate,
+        # The breaker guards only live computation; allow() is called
+        # outside self._lock so a cooling-down breaker never blocks
+        # cache-hit traffic.
+        if not self.breaker.allow():
+            raise BreakerOpenError(
+                "circuit open for live front computation "
+                f"(state={self.breaker.state})"
+            )
+        started = time.perf_counter()
+        try:
+            if self._chaos is not None and not warm:
+                # Warmup is exempt: a chaos daemon must still come up.
+                self._chaos.inject()
+            space, surrogate, predictor = self._bundle(
+                query.device, query.layout, query.seed
+            )
+            result = front_search(
+                space,
+                predictor,
+                seed=query.seed,
+                generations=query.generations,
+                population_size=query.population_size,
+                workers=self.config.workers,
+                backend=self.config.backend,
+                surrogate=surrogate,
+                cancel=cancel,
+            )
+        except DeadlineExceeded:
+            # The client's deadline, not the backend's health — unless
+            # the computation also blew the hang budget, in which case
+            # the backend is the problem.
+            elapsed = time.perf_counter() - started
+            if (
+                self.config.hang_timeout_s is not None
+                and elapsed >= self.config.hang_timeout_s
+            ):
+                self.breaker.record_failure(hang=True)
+            raise
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success(
+            elapsed_s=time.perf_counter() - started
         )
         self.metrics.record_front_computation(warm=warm)
         if result.backend_stats is not None:
@@ -289,11 +379,37 @@ class SearchService:
 
     # -- the cached, coalescing front resolver ------------------------------------
 
-    def front(self, query: FrontQuery, warm: bool = False) -> CachedFront:
+    def _await_leader(self, key: Tuple, flight: _InFlight, cancel) -> bool:
+        """Follower wait: ``True`` when the leader published, ``False``
+        when it died unpublished (the stale flight is removed and the
+        caller should retake leadership).
+
+        The wait is bounded (:data:`_LEADER_POLL_S` per tick) so a
+        leader thread that dies without running its ``finally`` block —
+        killed, or torn down mid-compute — strands no followers; each
+        tick also checks the follower's own deadline.
+        """
+        while not flight.ready.wait(timeout=_LEADER_POLL_S):
+            if cancel is not None:
+                cancel.check(stage="coalesce-wait")
+            if not flight.leader.is_alive():
+                with self._lock:
+                    if self._inflight.get(key) is flight:
+                        del self._inflight[key]
+                self.metrics.record_leader_requeued()
+                return False
+        return True
+
+    def front(
+        self, query: FrontQuery, warm: bool = False, cancel=None
+    ) -> CachedFront:
         """The front for ``query`` — cached, coalesced, bit-exact.
 
         Exactly one computation runs per canonical key at any moment;
         concurrent identical queries wait on it and share its result.
+        ``cancel`` (a :class:`~repro.resilience.CancelToken`) bounds
+        both the computation (checked per generation) and any coalesced
+        wait.
         """
         key = query.key()
         while True:
@@ -312,8 +428,15 @@ class SearchService:
                     leader = False
             if not leader:
                 self.metrics.record_coalesced()
-                flight.ready.wait()
+                if not self._await_leader(key, flight, cancel):
+                    # Leader died unpublished; retake leadership.
+                    continue
                 if flight.error is not None:
+                    if isinstance(flight.error, DeadlineExceeded):
+                        # The *leader's* deadline expired, not ours —
+                        # recompute under our own (possibly absent)
+                        # deadline instead of inheriting its 504.
+                        continue
                     raise flight.error
                 if flight.value is not None:
                     return flight.value
@@ -321,7 +444,7 @@ class SearchService:
                 # interpreter teardown paths); recompute.
                 continue
             try:
-                value = self._compute(query, warm=warm)
+                value = self._compute(query, warm=warm, cancel=cancel)
                 with self._lock:
                     # Counted miss + insertion (+ LRU eviction if full).
                     value = self._front_cache.get_or_eval(
@@ -340,15 +463,27 @@ class SearchService:
 
     # -- request-facing API --------------------------------------------------------
 
-    def resolve(self, payload: dict) -> dict:
+    def resolve(self, payload: dict, cancel=None) -> dict:
         """One query request -> one JSON-ready response.
 
         ``payload`` carries :class:`FrontQuery` fields plus an optional
         ``target_ms``; with a target, the response adds the most
         accurate front member within it (``best``/``feasible``) — the
-        millisecond ``knee_under`` cut of the cached front.
+        millisecond ``knee_under`` cut of the cached front. An optional
+        ``deadline_ms`` field bounds the request (504 upstream on
+        expiry); pre-built tokens arrive via ``cancel``.
+
+        Healthy responses are byte-identical to the pre-resilience
+        daemon (no new keys). When the circuit is open the response is
+        served from a fallback and flagged ``"degraded": true`` with a
+        ``degraded_reason`` — degraded fronts are never cached and
+        never persisted.
         """
         payload = dict(payload)
+        if cancel is None:
+            cancel = cancel_token_from_payload(payload)
+        else:
+            payload.pop("deadline_ms", None)
         target = payload.pop("target_ms", None)
         if target is not None:
             try:
@@ -358,13 +493,25 @@ class SearchService:
                     f"target_ms must be a number: {target!r}"
                 ) from exc
         query = FrontQuery.from_dict(payload)
-        cached = self.front(query)
+        degraded_reason: Optional[str] = None
+        served_query: Optional[FrontQuery] = None
+        try:
+            cached = self.front(query, cancel=cancel)
+        except BreakerOpenError:
+            cached, degraded_reason = self._degraded_fallback(query)
+            served_query = cached.query
+            self.metrics.record_degraded()
         response = {
             "query": query.to_dict(),
             "target_ms": target,
             "num_evaluations": cached.num_evaluations,
             "front": [p.to_dict() for p in cached.front],
         }
+        if degraded_reason is not None:
+            response["degraded"] = True
+            response["degraded_reason"] = degraded_reason
+            if served_query is not None and served_query != query:
+                response["served_query"] = served_query.to_dict()
         if target is not None:
             try:
                 best = Nsga2Result(front=list(cached.front)).knee_under(
@@ -378,6 +525,101 @@ class SearchService:
                 response["feasible"] = True
         return response
 
+    # -- graceful degradation ------------------------------------------------------
+
+    def _fingerprint_matches(self, layout: str) -> bool:
+        """Whether the artifact fingerprints to ``layout``'s space."""
+        table = self._table
+        if table is None:
+            return False
+        with self._lock:
+            fingerprint = self._layout_fingerprints.get(layout)
+        if fingerprint is None:
+            from repro.tabular import space_fingerprint
+
+            fingerprint = space_fingerprint(space_for_layout(layout))
+            with self._lock:
+                self._layout_fingerprints[layout] = fingerprint
+        return fingerprint == table.fingerprint
+
+    def _degraded_fallback(
+        self, query: FrontQuery
+    ) -> Tuple[CachedFront, str]:
+        """Answer ``query`` without live computation (circuit open).
+
+        Preference order:
+
+        1. **Tabular replay at the query's seed** when the artifact
+           fingerprints to the query's layout and has its device —
+           even though the columns were recorded at the *table's*
+           build seed, so the bytes differ from a live search (which
+           is exactly why the response is flagged degraded rather
+           than served silently).
+        2. **Nearest cached front** for the same (device, layout):
+           deterministically the entry with the smallest seed distance
+           (ties to the smaller seed).
+        3. Nothing available: re-raise :class:`BreakerOpenError` (the
+           HTTP layer sheds with 503 + ``Retry-After``).
+
+        Fallback results are returned, never cached: the moment the
+        breaker closes, the next identical query recomputes the real
+        bytes.
+        """
+        table = self._table
+        if (
+            table is not None
+            and table.exhaustive
+            and table.recipe == "front"
+            and query.device in table.devices
+            and self._fingerprint_matches(query.layout)
+        ):
+            result = replay_front_search(
+                table.space,
+                table,
+                query.device,
+                seed=query.seed,
+                generations=query.generations,
+                population_size=query.population_size,
+            )
+            reason = (
+                "circuit open; replayed from tabular artifact built "
+                f"at seed {table.build_seed}"
+            )
+            return (
+                CachedFront(
+                    query=query,
+                    front=tuple(result.front),
+                    num_evaluations=result.num_evaluations,
+                ),
+                reason,
+            )
+        with self._lock:
+            candidates = [
+                entry
+                for entry in self._front_cache.values()
+                if entry.query.device == query.device
+                and entry.query.layout == query.layout
+            ]
+        if candidates:
+            nearest = min(
+                candidates,
+                key=lambda e: (
+                    abs(e.query.seed - query.seed),
+                    e.query.seed,
+                    e.query.key(),
+                ),
+            )
+            reason = (
+                "circuit open; nearest cached front "
+                f"(seed {nearest.query.seed})"
+            )
+            return nearest, reason
+        raise BreakerOpenError(
+            "circuit open and no degraded fallback available "
+            "(no covering table, no cached front for "
+            f"{query.device}/{query.layout})"
+        )
+
     def warm_start(self) -> int:
         """Precompute the configured warm fronts; returns how many
         were computed fresh (snapshot-restored ones are already warm)."""
@@ -390,7 +632,11 @@ class SearchService:
         """The ``/metrics`` payload (front-cache stats included)."""
         with self._lock:
             cache_stats = self._front_cache.stats()
-        return self.metrics.snapshot(front_cache_stats=cache_stats)
+        return self.metrics.snapshot(
+            front_cache_stats=cache_stats,
+            admission=self.admission.snapshot(),
+            breaker=self.breaker.snapshot(),
+        )
 
     def close(self) -> None:
         """Final persist — part of the graceful-drain contract."""
@@ -403,4 +649,4 @@ def _unreachable(query: FrontQuery) -> CachedFront:
     )
 
 
-__all__ = ["CachedFront", "SearchService"]
+__all__ = ["CachedFront", "SearchService", "cancel_token_from_payload"]

@@ -469,6 +469,98 @@ class TestDirectSocketServer:
         ) == []
 
 
+class TestUnboundedBlockingWait:
+    """RL109 fires only inside the threaded runtime layers."""
+
+    IN_SCOPE = "src/repro/serve/service.py"
+
+    def _lint_at(self, code: str, path: str):
+        return [
+            f.rule_id
+            for f in lint_source(textwrap.dedent(code), path=path)
+        ]
+
+    def test_bare_event_wait_fires_in_scope(self):
+        code = """
+            import threading
+
+            def block(ready: threading.Event):
+                ready.wait()
+            """
+        assert self._lint_at(code, self.IN_SCOPE) == ["RL109"]
+        assert self._lint_at(code, "src/repro/parallel/pool.py") == [
+            "RL109"
+        ]
+        assert self._lint_at(
+            code, "src/repro/resilience/chaos.py"
+        ) == ["RL109"]
+
+    def test_out_of_scope_paths_are_silent(self):
+        code = """
+            import threading
+
+            def block(ready: threading.Event):
+                ready.wait()
+            """
+        assert self._lint_at(code, "fixture.py") == []
+        assert self._lint_at(code, "src/repro/core/nsga2.py") == []
+
+    def test_timeout_forms_are_clean(self):
+        assert self._lint_at(
+            """
+            def poll(ready, cond, jobs):
+                ready.wait(timeout=1.0)
+                cond.wait(0.5)
+                jobs.get(timeout=1.0)
+            """,
+            self.IN_SCOPE,
+        ) == []
+
+    def test_futures_wait_needs_a_timeout(self):
+        code = """
+            from concurrent.futures import wait
+
+            def drain(futures):
+                wait(futures)
+            """
+        assert self._lint_at(code, self.IN_SCOPE) == ["RL109"]
+        assert self._lint_at(
+            """
+            from concurrent.futures import wait
+
+            def drain(futures):
+                wait(futures, timeout=5.0)
+            """,
+            self.IN_SCOPE,
+        ) == []
+
+    def test_queue_get_flagged_only_on_queueish_receivers(self):
+        assert self._lint_at(
+            """
+            def take(self):
+                return self._queue.get()
+            """,
+            self.IN_SCOPE,
+        ) == ["RL109"]
+        assert self._lint_at(
+            """
+            def take(inbox, config):
+                item = inbox.get()
+                return item, config.get()
+            """,
+            self.IN_SCOPE,
+        ) == ["RL109"]
+
+    def test_suppression_comment_silences(self):
+        assert self._lint_at(
+            """
+            def block(ready):
+                ready.wait()  # repro-lint: disable=RL109
+            """,
+            self.IN_SCOPE,
+        ) == []
+
+
 class TestSuppression:
     def test_named_suppression_silences_rule(self):
         assert _rule_ids(

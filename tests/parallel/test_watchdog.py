@@ -1,0 +1,138 @@
+"""Hang watchdog + cooperative cancellation in the worker pool.
+
+A hung worker is indistinguishable from a slow one except by wall
+clock, so the pool's only defence is a dispatch timeout: no chunk
+completion within ``dispatch_timeout_s`` kills the whole worker set,
+re-forks it, and retries the windowed chunks. Unlike a crash, a hang is
+never retried serially in the parent — that would hang the daemon.
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.parallel import WorkerHangError, WorkerPool, fork_available
+from repro.resilience import CancelToken, DeadlineExceeded
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+
+def square_chunk(items):
+    return [x * x for x in items]
+
+
+def make_hang_while_sentinel_chunk(sentinel_path):
+    """Chunk fn that hangs (sleeps far past any timeout) while the
+    sentinel exists; the first hanging execution removes it, so the
+    post-kill retry proceeds normally."""
+
+    def chunk(items):
+        try:
+            os.remove(sentinel_path)
+        except FileNotFoundError:
+            return [x * x for x in items]
+        time.sleep(300)
+        return [x * x for x in items]  # pragma: no cover - killed first
+
+    return chunk
+
+
+def make_hang_always_chunk():
+    def chunk(items):
+        time.sleep(300)
+        return [x * x for x in items]  # pragma: no cover - killed first
+
+    return chunk
+
+
+def slow_chunk(items):
+    time.sleep(0.2)
+    return [x * x for x in items]
+
+
+def _sentinel() -> str:
+    handle = tempfile.NamedTemporaryFile(delete=False)
+    handle.close()
+    return handle.name
+
+
+class TestHangWatchdog:
+    def test_hang_once_killed_retried_and_correct(self):
+        sentinel = _sentinel()
+        try:
+            with WorkerPool(
+                make_hang_while_sentinel_chunk(sentinel),
+                workers=2,
+                chunk_size=4,
+                dispatch_timeout_s=1.0,
+            ) as pool:
+                assert pool.map(range(8)) == [x * x for x in range(8)]
+                assert pool.hang_kills == 1
+                assert pool.pool_rebuilds >= 1
+                assert pool.chunk_retries >= 1
+        finally:
+            if os.path.exists(sentinel):
+                os.remove(sentinel)
+
+    def test_persistent_hang_raises_worker_hang_error(self):
+        with WorkerPool(
+            make_hang_always_chunk(),
+            workers=2,
+            chunk_size=4,
+            max_retries=1,
+            dispatch_timeout_s=0.5,
+        ) as pool:
+            with pytest.raises(WorkerHangError) as excinfo:
+                pool.map(range(8))
+            assert "no progress" in str(excinfo.value)
+            assert pool.hang_kills >= 1
+
+    def test_no_timeout_means_no_watchdog_counters(self):
+        with WorkerPool(square_chunk, workers=2, chunk_size=4) as pool:
+            assert pool.map(range(8)) == [x * x for x in range(8)]
+            assert pool.hang_kills == 0
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(square_chunk, workers=2, dispatch_timeout_s=0)
+
+
+class TestPoolCancellation:
+    def test_expired_token_stops_parallel_map(self):
+        token = CancelToken(deadline_s=0.4)
+        with WorkerPool(slow_chunk, workers=2, chunk_size=1) as pool:
+            pool.set_cancel(token)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                pool.map(range(64))
+            assert excinfo.value.progress["stage"] == "worker-pool"
+            assert "chunks_dispatched" in excinfo.value.progress
+
+    def test_expired_token_stops_serial_map(self):
+        token = CancelToken(deadline_s=1.0)
+        token.cancel()
+        with WorkerPool(slow_chunk, workers=0) as pool:
+            pool.set_cancel(token)
+            with pytest.raises(DeadlineExceeded):
+                pool.map(range(4))
+
+    def test_clearing_the_token_restores_normal_maps(self):
+        token = CancelToken(deadline_s=1.0)
+        token.cancel()
+        with WorkerPool(square_chunk, workers=0) as pool:
+            pool.set_cancel(token)
+            with pytest.raises(DeadlineExceeded):
+                pool.map(range(4))
+            pool.set_cancel(None)
+            assert pool.map(range(4)) == [0, 1, 4, 9]
+
+    def test_healthy_run_unaffected_by_generous_token(self):
+        with WorkerPool(square_chunk, workers=2, chunk_size=4) as pool:
+            bare = pool.map(range(16))
+        with WorkerPool(square_chunk, workers=2, chunk_size=4) as pool:
+            pool.set_cancel(CancelToken(deadline_s=600))
+            with_token = pool.map(range(16))
+        assert bare == with_token

@@ -1,0 +1,117 @@
+"""AdmissionController: bounded in-flight + bounded queue + shedding."""
+
+import threading
+
+import pytest
+
+from repro.resilience import AdmissionController, CancelToken
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestUnlimited:
+    def test_none_capacity_admits_everything(self):
+        controller = AdmissionController(capacity=None)
+        for _ in range(50):
+            admitted, reason = controller.try_admit()
+            assert admitted and reason is None
+        snap = controller.snapshot()
+        assert snap["admitted"] == 50
+        assert snap["in_flight"] == 50
+        assert snap["peak_in_flight"] == 50
+
+
+class TestShedding:
+    def test_zero_queue_sheds_immediately_at_capacity(self):
+        controller = AdmissionController(capacity=1, queue_depth=0)
+        assert controller.try_admit() == (True, None)
+        assert controller.try_admit() == (False, "queue_full")
+        assert controller.snapshot()["shed_queue_full"] == 1
+
+    def test_release_frees_a_slot(self):
+        controller = AdmissionController(capacity=1, queue_depth=0)
+        assert controller.try_admit() == (True, None)
+        controller.release()
+        assert controller.try_admit() == (True, None)
+
+    def test_queue_timeout_sheds_with_reason(self):
+        controller = AdmissionController(
+            capacity=1, queue_depth=1, queue_timeout_s=0.05
+        )
+        assert controller.try_admit() == (True, None)
+        admitted, reason = controller.try_admit()
+        assert (admitted, reason) == (False, "queue_timeout")
+        assert controller.snapshot()["shed_queue_timeout"] == 1
+
+    def test_expired_deadline_while_queued_is_deadline_not_shed(self):
+        controller = AdmissionController(
+            capacity=1, queue_depth=1, queue_timeout_s=30.0
+        )
+        assert controller.try_admit() == (True, None)
+        token = CancelToken(deadline_s=1.0, clock=FakeClock())
+        token.cancel()
+        admitted, reason = controller.try_admit(cancel=token)
+        assert (admitted, reason) == (False, "deadline")
+        assert controller.snapshot()["shed_deadline"] == 1
+
+
+class TestQueuedAdmission:
+    def test_queued_request_admitted_when_slot_frees(self):
+        controller = AdmissionController(
+            capacity=1, queue_depth=4, queue_timeout_s=10.0
+        )
+        assert controller.try_admit() == (True, None)
+        results = []
+        started = threading.Event()
+
+        def waiter():
+            started.set()
+            results.append(controller.try_admit())
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert started.wait(timeout=5)
+        controller.release()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results == [(True, None)]
+        snap = controller.snapshot()
+        assert snap["peak_waiting"] == 1
+        assert snap["waiting"] == 0
+
+    def test_queue_depth_bounds_waiters(self):
+        controller = AdmissionController(
+            capacity=1, queue_depth=1, queue_timeout_s=10.0
+        )
+        assert controller.try_admit() == (True, None)
+        blocked = threading.Thread(target=controller.try_admit)
+        blocked.start()
+        # Give the queued waiter time to register itself.
+        for _ in range(100):
+            if controller.snapshot()["waiting"] == 1:
+                break
+            threading.Event().wait(timeout=0.01)
+        assert controller.try_admit() == (False, "queue_full")
+        controller.release()
+        blocked.join(timeout=5)
+        assert not blocked.is_alive()
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(capacity=0),
+            dict(queue_depth=-1),
+            dict(queue_timeout_s=0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)

@@ -1,0 +1,146 @@
+"""CircuitBreaker: closed/open/half-open, rate + hang tripping."""
+
+import pytest
+
+from repro.resilience import BreakerOpenError, CircuitBreaker
+from repro.resilience.breaker import ServiceOverloadError
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, by: float) -> None:
+        self.now += by
+
+
+def breaker(**kwargs) -> CircuitBreaker:
+    defaults = dict(
+        failure_threshold=3, cooldown_s=10.0, clock=FakeClock()
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestStateMachine:
+    def test_closed_allows_and_counts(self):
+        b = breaker()
+        assert b.state == "closed"
+        assert b.allow()
+        b.record_success()
+        assert b.snapshot()["successes"] == 1
+
+    def test_consecutive_failures_trip_open(self):
+        b = breaker(failure_threshold=3)
+        for _ in range(2):
+            b.record_failure()
+            assert b.state == "closed"
+        b.record_failure()
+        assert b.state == "open"
+        assert not b.allow()
+        assert b.snapshot()["rejected"] == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        b = breaker(failure_threshold=2)
+        b.record_failure()
+        b.record_success()
+        b.record_failure()
+        assert b.state == "closed"
+
+    def test_cooldown_transitions_to_half_open_single_trial(self):
+        clock = FakeClock()
+        b = breaker(failure_threshold=1, cooldown_s=10.0, clock=clock)
+        b.record_failure()
+        assert not b.allow()
+        clock.advance(10.0)
+        assert b.allow()  # the half-open trial
+        assert b.state == "half_open"
+        assert not b.allow()  # only one trial at a time
+        assert b.snapshot()["half_open_trials"] == 1
+
+    def test_trial_success_closes(self):
+        clock = FakeClock()
+        b = breaker(failure_threshold=1, clock=clock)
+        b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_success()
+        assert b.state == "closed"
+        assert b.allow()
+
+    def test_trial_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        b = breaker(failure_threshold=1, cooldown_s=10.0, clock=clock)
+        b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        b.record_failure()
+        assert b.state == "open"
+        clock.advance(9.0)
+        assert not b.allow()
+        clock.advance(1.0)
+        assert b.allow()
+
+
+class TestWindowedRate:
+    def test_failure_rate_trips_without_consecutive_run(self):
+        b = breaker(
+            failure_threshold=100,  # never trips on consecutive
+            failure_rate=0.5,
+            window=8,
+            min_samples=8,
+        )
+        # Alternate: 4 failures / 8 samples = 0.5 >= rate.
+        for _ in range(4):
+            b.record_success()
+            b.record_failure()
+        assert b.state == "open"
+
+    def test_below_min_samples_never_trips_on_rate(self):
+        b = breaker(
+            failure_threshold=100, failure_rate=0.5, window=8,
+            min_samples=8,
+        )
+        for _ in range(3):
+            b.record_failure()
+            b.record_success()
+        assert b.state == "closed"
+
+
+class TestHangBudget:
+    def test_slow_return_counts_as_hang_failure(self):
+        b = breaker(failure_threshold=2, hang_timeout_s=1.0)
+        b.record_success(elapsed_s=5.0)
+        b.record_success(elapsed_s=5.0)
+        assert b.state == "open"
+        assert b.snapshot()["hang_failures"] == 2
+
+    def test_fast_return_is_a_plain_success(self):
+        b = breaker(hang_timeout_s=1.0)
+        b.record_success(elapsed_s=0.2)
+        snap = b.snapshot()
+        assert snap["successes"] == 1
+        assert snap["failures"] == 0
+
+
+class TestErrors:
+    def test_breaker_open_error_is_an_overload_error(self):
+        assert issubclass(BreakerOpenError, ServiceOverloadError)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(failure_threshold=0),
+            dict(failure_rate=0.0),
+            dict(failure_rate=1.5),
+            dict(window=4, min_samples=5),
+            dict(cooldown_s=0),
+            dict(hang_timeout_s=0),
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

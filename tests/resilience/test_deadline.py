@@ -1,0 +1,84 @@
+"""CancelToken: cooperative deadlines with partial-progress reporting."""
+
+import pytest
+
+from repro.resilience import CancelToken, DeadlineExceeded
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, by: float) -> None:
+        self.now += by
+
+
+class TestCancelToken:
+    def test_no_deadline_never_expires(self):
+        token = CancelToken()
+        assert not token.expired
+        assert token.remaining_s() is None
+        for gen in range(100):
+            token.check(generations_done=gen)
+        assert token.checks == 100
+        assert token.progress == {"generations_done": 99}
+
+    def test_expires_when_clock_passes_deadline(self):
+        clock = FakeClock()
+        token = CancelToken(deadline_s=1.0, clock=clock)
+        token.check(stage="warm")
+        clock.advance(0.5)
+        assert not token.expired
+        assert token.remaining_s() == pytest.approx(0.5)
+        clock.advance(0.6)
+        assert token.expired
+        assert token.remaining_s() == 0.0
+
+    def test_check_raises_with_accumulated_progress(self):
+        clock = FakeClock()
+        token = CancelToken(deadline_s=1.0, clock=clock)
+        token.check(stage="search", generations_done=0)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            token.check(generations_done=3, evaluations=24)
+        assert excinfo.value.progress == {
+            "stage": "search",
+            "generations_done": 3,
+            "evaluations": 24,
+        }
+        assert "deadline exceeded" in str(excinfo.value)
+
+    def test_cancel_fires_without_deadline(self):
+        token = CancelToken()
+        token.cancel()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            token.check(stage="anywhere")
+        assert "cancelled" in str(excinfo.value)
+
+    def test_after_ms_converts_to_seconds(self):
+        clock = FakeClock()
+        token = CancelToken.after_ms(250, clock=clock)
+        assert token.remaining_s() == pytest.approx(0.25)
+        clock.advance(0.3)
+        assert token.expired
+
+    def test_accepts_string_wire_value(self):
+        # The HTTP layer hands the raw payload value through float().
+        token = CancelToken.after_ms(float("1500"), clock=FakeClock())
+        assert token.remaining_s() == pytest.approx(1.5)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            CancelToken(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            CancelToken.after_ms(-5)
+
+    def test_checks_never_mutate_progress_values(self):
+        token = CancelToken()
+        token.check(generations_done=1)
+        token.check(generations_done=2)
+        # Latest value wins; counters accumulate externally.
+        assert token.progress == {"generations_done": 2}

@@ -1,0 +1,253 @@
+"""Overload behaviour end to end: shed, deadline, degrade, requeue.
+
+The daemon's resilience contract (docs/robustness.md): a request is
+answered healthily and byte-identically, answered degraded and flagged,
+or refused deterministically (503 shed / 504 deadline). Nothing hangs.
+"""
+
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.resilience import ChaosSpec
+from repro.serve import ServeClient, ServeConfig, start_server
+from repro.serve.query import FrontQuery
+from repro.serve.service import _InFlight
+
+from tests.serve.conftest import SMALL_QUERY_KW
+
+
+@pytest.fixture
+def running_server(serial_config):
+    server, thread = start_server(serial_config)
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=30)
+
+
+def _start(config):
+    server, thread = start_server(config)
+
+    def stop():
+        server.shutdown()
+        server.server_close()
+        server.service.close()
+        thread.join(timeout=30)
+
+    return server, stop
+
+
+def _client(server) -> ServeClient:
+    return ServeClient(*server.endpoint)
+
+
+class TestAdmissionShedding:
+    def test_full_queue_sheds_503_with_retry_after(self):
+        config = ServeConfig(
+            backend="serial",
+            quiet=True,
+            max_inflight=1,
+            queue_depth=0,
+            retry_after_s=2,
+        )
+        server, stop = _start(config)
+        try:
+            service = server.service
+            # Occupy the single slot so the HTTP request must shed.
+            assert service.admission.try_admit() == (True, None)
+            try:
+                host, port = server.endpoint
+                conn = HTTPConnection(host, port, timeout=30)
+                try:
+                    conn.request(
+                        "GET",
+                        "/front?device=edge&layout=proxy&seed=3"
+                        "&generations=3&population_size=8",
+                    )
+                    response = conn.getresponse()
+                    body = response.read()
+                    assert response.status == 503
+                    assert response.getheader("Retry-After") == "2"
+                finally:
+                    conn.close()
+                assert b'"shed": true' in body
+                assert b'"retry_after_s": 2' in body
+                assert b"overloaded: queue_full" in body
+            finally:
+                service.admission.release()
+            # The slot is free again: the same query now answers 200.
+            response = _client(server).front(**SMALL_QUERY_KW)
+            assert response["front"]
+            shed = _client(server).metrics()["resilience"]["shed"]
+            assert shed["queue_full"] == 1
+        finally:
+            stop()
+
+    def test_healthz_and_metrics_bypass_admission(self):
+        config = ServeConfig(
+            backend="serial", quiet=True, max_inflight=1, queue_depth=0
+        )
+        server, stop = _start(config)
+        try:
+            assert server.service.admission.try_admit() == (True, None)
+            try:
+                client = _client(server)
+                assert client.health() == {"status": "ok"}
+                assert "resilience" in client.metrics()
+            finally:
+                server.service.admission.release()
+        finally:
+            stop()
+
+
+class TestDeadlines:
+    def test_expired_deadline_answers_504_with_progress(
+        self, running_server
+    ):
+        client = _client(running_server)
+        status, body = client.request_raw(
+            "POST",
+            "/query",
+            body={**SMALL_QUERY_KW, "seed": 11, "deadline_ms": 0.001},
+        )
+        assert status == 504
+        import json
+
+        payload = json.loads(body)
+        assert "progress" in payload
+        assert payload["progress"]["stage"] == "nsga2"
+        assert payload["progress"]["generations_done"] == 0
+        metrics = client.metrics()
+        assert metrics["resilience"]["deadline_expired"] == 1
+
+    def test_cached_fronts_answer_within_any_deadline(
+        self, running_server
+    ):
+        client = _client(running_server)
+        healthy = client.front(**SMALL_QUERY_KW)
+        # A cache hit is milliseconds: even a tight deadline succeeds,
+        # and the body carries no resilience keys.
+        again = client.query(**SMALL_QUERY_KW, deadline_ms=30_000)
+        assert again == healthy
+        assert "degraded" not in again
+
+    def test_invalid_deadline_is_a_400(self, running_server):
+        status, body = _client(running_server).request_raw(
+            "POST", "/query", body={**SMALL_QUERY_KW, "deadline_ms": -5}
+        )
+        assert status == 400
+        assert b"deadline_ms" in body
+
+
+class TestBreakerDegradation:
+    def _config(self, **extra):
+        return ServeConfig(
+            backend="serial", quiet=True, breaker_failures=1, **extra
+        )
+
+    def test_open_breaker_serves_nearest_cached_front_flagged(self):
+        server, stop = _start(self._config())
+        try:
+            client = _client(server)
+            healthy = client.front(**SMALL_QUERY_KW)
+            assert "degraded" not in healthy
+            server.service.breaker.record_failure()
+            assert server.service.breaker.state == "open"
+
+            degraded = client.front(**{**SMALL_QUERY_KW, "seed": 9})
+            assert degraded["degraded"] is True
+            assert "nearest cached front (seed 3)" in (
+                degraded["degraded_reason"]
+            )
+            assert degraded["served_query"]["seed"] == 3
+            assert degraded["query"]["seed"] == 9
+            assert degraded["front"] == healthy["front"]
+
+            metrics = client.metrics()
+            assert metrics["resilience"]["degraded"] == 1
+            assert metrics["resilience"]["breaker"]["state"] == "open"
+            # The degraded answer was never cached: the only computed
+            # front is still the healthy seed-3 one.
+            assert metrics["fronts"]["computed"] == 1
+        finally:
+            stop()
+
+    def test_open_breaker_with_no_fallback_sheds_503(self):
+        server, stop = _start(self._config())
+        try:
+            server.service.breaker.record_failure()
+            status, body = _client(server).request_raw(
+                "GET",
+                "/front?device=edge&layout=proxy&seed=3"
+                "&generations=3&population_size=8",
+            )
+            assert status == 503
+            assert b"overloaded: breaker_open" in body
+            shed = _client(server).metrics()["resilience"]["shed"]
+            assert shed["breaker_open"] == 1
+        finally:
+            stop()
+
+
+class TestLeaderDeath:
+    def test_follower_retakes_leadership_after_leader_dies(
+        self, running_server, monkeypatch
+    ):
+        # A coalescing leader that dies without publishing must not
+        # strand its followers on the ready event forever.
+        monkeypatch.setattr("repro.serve.service._LEADER_POLL_S", 0.05)
+        service = running_server.service
+        query = FrontQuery(**SMALL_QUERY_KW)
+
+        dead = threading.Thread(target=lambda: None)
+        dead.start()
+        dead.join()
+        flight = _InFlight()
+        flight.leader = dead
+        with service._lock:
+            service._inflight[query.key()] = flight
+
+        response = _client(running_server).front(**SMALL_QUERY_KW)
+        assert response["front"]
+        metrics = _client(running_server).metrics()
+        assert metrics["resilience"]["leader_requeued"] >= 1
+        assert query.key() not in service._inflight
+
+
+class TestClientRetry:
+    def test_transient_faults_retried_then_bit_identical(
+        self, running_server
+    ):
+        plain = _client(running_server)
+        status, healthy_body = plain.request_raw("GET", "/healthz")
+        assert status == 200
+
+        hook = ChaosSpec.parse("seed=0,fail_first=2").injector()
+        flaky = ServeClient(
+            *running_server.endpoint, fault_hook=hook.transport_hook()
+        )
+        status, body = flaky.request_raw("GET", "/healthz")
+        assert status == 200
+        assert body == healthy_body
+        assert flaky.transport_retries == 2
+
+    def test_healthy_client_never_draws_retry_state(self, running_server):
+        client = _client(running_server)
+        client.health()
+        client.front(**SMALL_QUERY_KW)
+        assert client.transport_retries == 0
+
+    def test_exhausted_retries_propagate(self, running_server):
+        from repro.hardware.faults import ProbeError
+
+        hook = ChaosSpec.parse("seed=0,fail_first=10").injector()
+        flaky = ServeClient(
+            *running_server.endpoint, fault_hook=hook.transport_hook()
+        )
+        with pytest.raises(ProbeError):
+            flaky.request_raw("GET", "/healthz")

@@ -141,10 +141,10 @@ class TestCoalescing:
         computed = []
         original = SearchService._compute
 
-        def gated(self, query, warm):
+        def gated(self, query, warm, cancel=None):
             computed.append(query)
             assert release.wait(timeout=60), "gate never released"
-            return original(self, query, warm)
+            return original(self, query, warm, cancel=cancel)
 
         monkeypatch.setattr(SearchService, "_compute", gated)
         return release, computed
@@ -219,7 +219,7 @@ class TestCoalescing:
         service = SearchService(serial_config)
         release = threading.Event()
 
-        def exploding(self, query, warm):
+        def exploding(self, query, warm, cancel=None):
             assert release.wait(timeout=60)
             raise RuntimeError("boom")
 
